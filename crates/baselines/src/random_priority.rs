@@ -1,0 +1,153 @@
+//! Greedy hot-potato routing with fixed random priorities.
+//!
+//! Each packet draws a random rank when routing starts; every conflict is
+//! decided by rank (higher wins, ranks are distinct by construction), as
+//! in randomized greedy hot-potato routing (Busch–Herlihy–Wattenhofer,
+//! reference 11 in the paper). A consistent total order avoids the livelock
+//! patterns of uniform tie-breaking: the globally top-ranked packet in
+//! flight never loses a conflict, so it advances one level per step.
+
+use hotpotato_sim::conflict::{self, Contender};
+use hotpotato_sim::{ExitKind, InjectOutcome, Simulation};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use routing_core::RoutingProblem;
+use std::sync::Arc;
+
+/// Greedy hot-potato routing under a fixed random total order.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomPriorityRouter {
+    /// Safety cap on simulated steps.
+    pub max_steps: u64,
+}
+
+impl Default for RandomPriorityRouter {
+    fn default() -> Self {
+        RandomPriorityRouter {
+            max_steps: 5_000_000,
+        }
+    }
+}
+
+impl RandomPriorityRouter {
+    /// A router with the default step cap.
+    pub fn new() -> Self {
+        RandomPriorityRouter::default()
+    }
+
+    /// Routes `problem`; deterministic given the rng state.
+    pub fn route<R: Rng + ?Sized>(
+        &self,
+        problem: &RoutingProblem,
+        rng: &mut R,
+    ) -> crate::greedy::GreedyOutcome {
+        let n = problem.num_packets();
+        // A random permutation gives distinct ranks — a strict total order.
+        let mut ranks: Vec<u32> = (0..n as u32).collect();
+        ranks.shuffle(rng);
+
+        let mut sim: Simulation<u32> = Simulation::new(Arc::new(problem.clone()), ranks, false);
+        let mut pending: Vec<u32> = (0..n as u32).collect();
+        let mut arrivals_buf: Vec<u32> = Vec::new();
+        let mut contenders: Vec<Contender> = Vec::new();
+
+        while !sim.is_done() && sim.now() < self.max_steps {
+            for v in sim.occupied_nodes() {
+                arrivals_buf.clear();
+                arrivals_buf.extend_from_slice(sim.arrivals(v));
+                contenders.clear();
+                for &p in &arrivals_buf {
+                    contenders.push(Contender {
+                        pkt: p,
+                        desired: sim
+                            .next_move_of(p)
+                            .expect("active packets are not at their destination"),
+                        priority: sim.packet(p).meta,
+                        arrival: sim.packet(p).last_move,
+                    });
+                }
+                // Fast path: a lone packet at a node cannot conflict.
+                if let [c] = contenders[..] {
+                    sim.stage_exit(c.pkt, c.desired, ExitKind::Advance)
+                        .expect("lone desired slot is free");
+                    continue;
+                }
+                let exits = conflict::resolve(&sim, v, &contenders, true, rng)
+                    .expect("fallback resolution cannot fail within degree bound");
+                for e in exits {
+                    let kind = if e.won {
+                        ExitKind::Advance
+                    } else {
+                        ExitKind::Deflect { safe: e.safe }
+                    };
+                    sim.stage_exit(e.pkt, e.mv, kind)
+                        .expect("resolver produces feasible exits");
+                }
+            }
+            pending.retain(|&p| match sim.try_inject(p).expect("pending") {
+                InjectOutcome::Injected | InjectOutcome::DeliveredTrivially => false,
+                InjectOutcome::Blocked => true,
+            });
+            sim.finish_step().expect("all arrivals staged");
+        }
+        crate::greedy::GreedyOutcome {
+            stats: sim.into_stats(),
+            record: None,
+        }
+    }
+}
+
+/// Outcome alias: identical shape to the greedy baseline.
+pub type RandomPriorityOutcome = crate::greedy::GreedyOutcome;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leveled_net::builders::{self, ButterflyCoords};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use routing_core::workloads;
+
+    #[test]
+    fn delivers_butterfly_permutation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let k = 5;
+        let net = Arc::new(builders::butterfly(k));
+        let coords = ButterflyCoords { k };
+        let prob = workloads::butterfly_permutation(&net, &coords, &mut rng);
+        let out = RandomPriorityRouter::new().route(&prob, &mut rng);
+        assert!(out.stats.all_delivered(), "{}", out.stats.summary());
+    }
+
+    #[test]
+    fn delivers_congested_funnel() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let net = Arc::new(builders::complete_leveled(10, 4));
+        let prob = workloads::funnel(&net, 16, &mut rng).unwrap();
+        let out = RandomPriorityRouter::new().route(&prob, &mut rng);
+        assert!(out.stats.all_delivered(), "{}", out.stats.summary());
+    }
+
+    #[test]
+    fn delivers_bit_reversal_stress() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let k = 6;
+        let net = Arc::new(builders::butterfly(k));
+        let coords = ButterflyCoords { k };
+        let prob = workloads::butterfly_bit_reversal(&net, &coords);
+        let out = RandomPriorityRouter::new().route(&prob, &mut rng);
+        assert!(out.stats.all_delivered(), "{}", out.stats.summary());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut wrng = ChaCha8Rng::seed_from_u64(4);
+        let net = Arc::new(builders::butterfly(4));
+        let prob = workloads::random_pairs(&net, 12, &mut wrng).unwrap();
+        let mut r1 = ChaCha8Rng::seed_from_u64(9);
+        let mut r2 = ChaCha8Rng::seed_from_u64(9);
+        let o1 = RandomPriorityRouter::new().route(&prob, &mut r1);
+        let o2 = RandomPriorityRouter::new().route(&prob, &mut r2);
+        assert_eq!(o1.stats.delivered_at, o2.stats.delivered_at);
+    }
+}

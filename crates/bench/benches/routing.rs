@@ -1,0 +1,87 @@
+//! End-to-end routing benchmarks: one group per experiment family.
+//!
+//! * `t1_scaling` — the paper's router across instance sizes;
+//! * `t4_comparison` — every algorithm on a fixed congested instance;
+//! * `t5_mesh` — the §5 mesh workload.
+
+use baselines::{GreedyRouter, RandomPriorityRouter, StoreForwardRouter};
+use busch_router::{BuschRouter, Params};
+use criterion::{criterion_group, criterion_main, Criterion};
+use leveled_net::builders::{self, ButterflyCoords, MeshCorner};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use routing_core::workloads;
+use std::sync::Arc;
+
+fn bench_t1_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1_scaling_busch");
+    for k in [4u32, 5, 6] {
+        let net = Arc::new(builders::butterfly(k));
+        let coords = ButterflyCoords { k };
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let prob = workloads::butterfly_permutation(&net, &coords, &mut rng);
+        let params = Params::auto(&prob);
+        g.bench_function(format!("butterfly_{k}_permutation"), |b| {
+            let mut rng = ChaCha8Rng::seed_from_u64(2);
+            b.iter(|| {
+                let out = BuschRouter::new(params).route(&prob, &mut rng);
+                assert!(out.stats.all_delivered());
+                out.stats.steps_run
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_t4_comparison(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t4_comparison");
+    let k = 6;
+    let net = Arc::new(builders::butterfly(k));
+    let coords = ButterflyCoords { k };
+    let prob = workloads::butterfly_bit_reversal(&net, &coords);
+    let params = Params::auto(&prob);
+
+    g.bench_function("busch", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        b.iter(|| BuschRouter::new(params).route(&prob, &mut rng).stats.steps_run)
+    });
+    g.bench_function("greedy", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        b.iter(|| GreedyRouter::new().route(&prob, &mut rng).stats.steps_run)
+    });
+    g.bench_function("random_priority", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        b.iter(|| RandomPriorityRouter::new().route(&prob, &mut rng).stats.steps_run)
+    });
+    g.bench_function("store_forward_fifo", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        b.iter(|| StoreForwardRouter::fifo().route(&prob, &mut rng).stats.steps_run)
+    });
+    g.finish();
+}
+
+fn bench_t5_mesh(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t5_mesh_transpose");
+    for n in [8usize, 16] {
+        let (raw, coords) = builders::mesh(n, n, MeshCorner::TopLeft);
+        let net = Arc::new(raw);
+        let prob = workloads::mesh_transpose(&net, &coords).unwrap();
+        let params = Params::auto(&prob);
+        g.bench_function(format!("busch_n{n}"), |b| {
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            b.iter(|| {
+                let out = BuschRouter::new(params).route(&prob, &mut rng);
+                assert!(out.stats.all_delivered());
+                out.stats.steps_run
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_t1_scaling, bench_t4_comparison, bench_t5_mesh
+);
+criterion_main!(benches);

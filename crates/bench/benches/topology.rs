@@ -1,0 +1,92 @@
+//! Benchmarks of the substrates: topology construction, reachability,
+//! path sampling, and workload generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use leveled_net::builders::{self, ButterflyCoords, MeshCorner};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use routing_core::paths::MinimalPathSampler;
+use routing_core::workloads;
+use std::sync::Arc;
+
+fn bench_builders(c: &mut Criterion) {
+    let mut g = c.benchmark_group("builders");
+    g.bench_function("butterfly_10", |b| {
+        b.iter(|| builders::butterfly(10).num_edges())
+    });
+    g.bench_function("mesh_64x64", |b| {
+        b.iter(|| builders::mesh(64, 64, MeshCorner::TopLeft).0.num_edges())
+    });
+    g.bench_function("complete_32x16", |b| {
+        b.iter(|| builders::complete_leveled(32, 16).num_edges())
+    });
+    g.bench_function("random_leveled_L64", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        b.iter(|| builders::random_leveled(64, 4..=16, 0.3, &mut rng).num_edges())
+    });
+    g.finish();
+}
+
+fn bench_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paths");
+    let net = builders::complete_leveled(32, 12);
+    let dst = net.nodes_at_level(32)[0];
+    g.bench_function("sampler_build_complete_32x12", |b| {
+        b.iter(|| MinimalPathSampler::new(&net, dst).reaches(net.nodes_at_level(0)[0]))
+    });
+    let sampler = MinimalPathSampler::new(&net, dst);
+    let src = net.nodes_at_level(0)[0];
+    g.bench_function("sample_one_path", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        b.iter(|| sampler.sample(&net, src, &mut rng).unwrap().len())
+    });
+    let bf = builders::butterfly(12);
+    let coords = ButterflyCoords { k: 12 };
+    g.bench_function("bit_fixing_bf12", |b| {
+        b.iter(|| routing_core::paths::bit_fixing(&bf, &coords, 123, 3456).len())
+    });
+    g.finish();
+}
+
+fn bench_levelize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("levelize");
+    // A dense random DAG with 400 nodes.
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let mut dag = leveled_net::levelize::Dag::new(400);
+    for u in 0..400u32 {
+        for v in (u + 1)..400u32 {
+            if rand::Rng::gen_bool(&mut rng, 0.02) {
+                dag.add_edge(u, v);
+            }
+        }
+    }
+    g.bench_function("random_dag_400", |b| {
+        b.iter(|| leveled_net::levelize(&dag).unwrap().net.num_edges())
+    });
+    g.bench_function("benes_8", |b| {
+        b.iter(|| builders::benes(8).0.num_edges())
+    });
+    g.finish();
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workloads");
+    let net = Arc::new(builders::butterfly(8));
+    let coords = ButterflyCoords { k: 8 };
+    g.bench_function("butterfly_permutation_k8", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        b.iter(|| workloads::butterfly_permutation(&net, &coords, &mut rng).congestion())
+    });
+    g.bench_function("random_pairs_64_on_bf8", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        b.iter(|| workloads::random_pairs(&net, 64, &mut rng).unwrap().congestion())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_builders, bench_paths, bench_levelize, bench_workloads
+);
+criterion_main!(benches);

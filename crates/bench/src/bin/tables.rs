@@ -1,0 +1,73 @@
+//! Experiment driver: regenerates every figure and evaluation table.
+//!
+//! ```text
+//! cargo run -p bench --release --bin tables -- all            # everything
+//! cargo run -p bench --release --bin tables -- t1 t4          # selected
+//! cargo run -p bench --release --bin tables -- all --quick    # smaller sweeps
+//! cargo run -p bench --release --bin tables -- all --json out.json
+//! ```
+
+use bench::experiments;
+use bench::table::sink;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let mut skip_next = false;
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--json" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with('-')
+        })
+        .map(|s| s.as_str())
+        .collect();
+    let ids: Vec<&str> = if ids.is_empty() || ids.contains(&"all") {
+        experiments::ALL.to_vec()
+    } else {
+        ids
+    };
+
+    if json_path.is_some() {
+        sink::begin();
+    }
+    let total = Instant::now();
+    for id in &ids {
+        println!("==================== experiment {id} ====================");
+        let t0 = Instant::now();
+        if !experiments::dispatch(id, quick) {
+            eprintln!(
+                "unknown experiment '{id}'; available: {}",
+                experiments::ALL.join(", ")
+            );
+            std::process::exit(2);
+        }
+        println!("[{} finished in {:.1?}]\n", id, t0.elapsed());
+    }
+    println!("all experiments done in {:.1?}", total.elapsed());
+    if let Some(path) = json_path {
+        let tables = sink::finish().unwrap_or_default();
+        let doc = serde_json::json!({
+            "suite": "hotpotato-routing experiments",
+            "quick": quick,
+            "experiments": ids,
+            "tables": tables,
+        });
+        std::fs::write(&path, serde_json::to_string_pretty(&doc).expect("serialize"))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote JSON results to {path}");
+    }
+}

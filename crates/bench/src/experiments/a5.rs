@@ -1,0 +1,82 @@
+//! A5 — ablation: the frame-scheduled injection discipline.
+//!
+//! The paper injects each packet exactly when its frame's rear inner level
+//! passes over its source (§3, "Packet Injection"), which — together with
+//! `I_f` — guarantees *isolation*: no other packet is present at the
+//! source, so the fresh packet cannot be deflected on its first step and
+//! Lemma 2.1's induction gets off the ground. This ablation replaces the
+//! schedule with greedy-style injection at step 0 and measures what
+//! breaks: isolation (`I_a`), set disjointness (`I_d`), frame containment
+//! (`I_c`), and ultimately Lemma 2.1 itself (unsafe deflections appear).
+
+use crate::runner::parallel_map;
+use crate::table::Table;
+use busch_router::{BuschConfig, BuschRouter, Params};
+use leveled_net::builders::{self, ButterflyCoords};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use routing_core::workloads;
+use std::sync::Arc;
+
+/// Runs A5.
+pub fn run(quick: bool) {
+    let seeds: u64 = if quick { 3 } else { 8 };
+    let k = 6;
+    let net = Arc::new(builders::butterfly(k));
+    let coords = ButterflyCoords { k };
+    let prob = workloads::butterfly_bit_reversal(&net, &coords);
+    let params = Params::scaled(6, 36, 0.1, (prob.congestion() / 2).max(1));
+
+    let mut t = Table::new(
+        format!(
+            "A5: scheduled vs eager injection (bf({k}) bit-reversal, {seeds} seeds)"
+        ),
+        &[
+            "injection rule", "delivered", "makespan", "Ia viol", "Id viol",
+            "Ic viol", "unsafe defl", "mean latency",
+        ],
+    );
+    for (label, eager) in [("frame-scheduled (paper)", false), ("eager (step 0)", true)] {
+        let cfg = BuschConfig {
+            eager_injection: eager,
+            ..BuschConfig::new(params)
+        };
+        let runs = parallel_map((0..seeds).collect::<Vec<u64>>(), |s| {
+            let mut rng = ChaCha8Rng::seed_from_u64(9500 + s);
+            let out = BuschRouter::with_config(cfg).route(&prob, &mut rng);
+            (
+                out.stats.delivered_count(),
+                out.stats.makespan().unwrap_or(0),
+                out.invariants.isolation_violations,
+                out.invariants.cross_set_meetings,
+                out.invariants.frame_escapes,
+                out.stats.counter("fallback_deflections"),
+                out.stats.mean_latency(),
+            )
+        });
+        let delivered: usize = runs.iter().map(|r| r.0).sum::<usize>() / runs.len();
+        let makespan = runs.iter().map(|r| r.1).sum::<u64>() / seeds;
+        let ia: u64 = runs.iter().map(|r| r.2).sum();
+        let id: u64 = runs.iter().map(|r| r.3).sum();
+        let ic: u64 = runs.iter().map(|r| r.4).sum();
+        let unsafe_defl: u64 = runs.iter().map(|r| r.5).sum();
+        let latency = runs.iter().map(|r| r.6).sum::<f64>() / runs.len() as f64;
+        t.row(vec![
+            label.to_string(),
+            format!("{}/{}", delivered, prob.num_packets()),
+            makespan.to_string(),
+            ia.to_string(),
+            id.to_string(),
+            ic.to_string(),
+            unsafe_defl.to_string(),
+            format!("{latency:.1}"),
+        ]);
+    }
+    t.note("measured: eager injection makes packets of different frontier sets");
+    t.note("meet constantly (Id explodes) — the frame/phase structure no longer");
+    t.note("means anything, so every guarantee built on set disjointness (frame");
+    t.note("containment, per-set congestion, round analysis) is forfeit. Ia stays");
+    t.note("0 only because all step-0 sources are trivially empty; the schedule's");
+    t.note("cost is the pipeline latency, its value is the worst-case guarantee");
+    t.print();
+}

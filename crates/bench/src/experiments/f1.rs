@@ -1,0 +1,55 @@
+//! F1 — Figure 1: leveled networks.
+//!
+//! The paper's Figure 1 shows a generic leveled network, a butterfly, and
+//! a mesh leveled from a corner. This experiment constructs every topology
+//! the paper names as representable leveled networks (§1.1), verifies the
+//! level partition and edge orientation, and prints the leveled
+//! decomposition — including the mesh in all four corner orientations.
+
+use crate::table::Table;
+use leveled_net::builders::{self, MeshCorner};
+use leveled_net::{render, LeveledNetwork};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Runs F1.
+pub fn run(_quick: bool) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let nets: Vec<LeveledNetwork> = vec![
+        builders::butterfly(3),
+        builders::mesh(4, 4, MeshCorner::TopLeft).0,
+        builders::mesh(4, 4, MeshCorner::TopRight).0,
+        builders::mesh(4, 4, MeshCorner::BottomLeft).0,
+        builders::mesh(4, 4, MeshCorner::BottomRight).0,
+        builders::linear_array(8),
+        builders::hypercube(4).0,
+        builders::multidim_array(&[3, 3, 3]).0,
+        builders::complete_leveled(4, 3),
+        builders::binary_tree(3),
+        builders::fat_tree(3, 4),
+        builders::shuffle_exchange_unrolled(3),
+        builders::random_leveled(6, 2..=5, 0.4, &mut rng),
+    ];
+
+    let mut t = Table::new(
+        "F1: leveled decompositions (paper Figure 1, §1.1)",
+        &["network", "nodes", "edges", "L", "max deg", "width profile"],
+    );
+    for net in &nets {
+        net.validate().expect("every builder yields a valid leveled network");
+        t.row(vec![
+            net.name().to_string(),
+            net.num_nodes().to_string(),
+            net.num_edges().to_string(),
+            net.depth().to_string(),
+            net.max_degree().to_string(),
+            render::width_profile(net),
+        ]);
+    }
+    t.note("every edge verified to connect consecutive levels (low -> high)");
+    t.note("the four mesh rows are the paper's four corner orientations");
+    t.print();
+
+    println!("{}", render::level_summary(&nets[0]));
+    println!("{}", render::level_summary(&nets[1]));
+}

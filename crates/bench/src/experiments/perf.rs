@@ -1,0 +1,116 @@
+//! PERF — simulator throughput (not a paper artifact).
+//!
+//! Wall-clock throughput of the substrates on fixed large instances:
+//! engine steps per second, packet-moves per second, and replay-audit
+//! throughput. Complements the Criterion micro-benchmarks with
+//! human-readable end-to-end numbers for capacity planning of experiment
+//! sweeps.
+
+use crate::table::{f, Table};
+use baselines::{GreedyConfig, GreedyRouter, StoreForwardRouter};
+use busch_router::{BuschRouter, Params};
+use leveled_net::builders::{self, ButterflyCoords};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use routing_core::workloads;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Runs PERF.
+pub fn run(quick: bool) {
+    let k = if quick { 10 } else { 12 };
+    let net = Arc::new(builders::butterfly(k));
+    let coords = ButterflyCoords { k };
+    let prob = workloads::butterfly_bit_reversal(&net, &coords);
+    let n = prob.num_packets() as u64;
+
+    let mut t = Table::new(
+        format!(
+            "PERF: end-to-end throughput on bf({k}) bit-reversal \
+             (N={n}, {} nodes, {} edges)",
+            net.num_nodes(),
+            net.num_edges()
+        ),
+        &[
+            "component", "wall time (s)", "steps", "steps/s", "moves", "moves/s",
+        ],
+    );
+
+    // Busch router (invariant audits on, as in the experiments).
+    {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let params = Params::auto(&prob);
+        let t0 = Instant::now();
+        let out = BuschRouter::new(params).route(&prob, &mut rng);
+        let dt = t0.elapsed().as_secs_f64();
+        assert!(out.stats.all_delivered());
+        let steps = out.stats.steps_run;
+        // Estimate moves: every delivered packet moves once per in-flight
+        // step; the record is off here, so use latency * N as the measure.
+        let moves = (out.stats.mean_latency() * n as f64) as u64;
+        t.row(vec![
+            "busch (audited)".into(),
+            f(dt),
+            steps.to_string(),
+            f(steps as f64 / dt),
+            moves.to_string(),
+            f(moves as f64 / dt),
+        ]);
+    }
+
+    // Greedy with recording, then the replay audit itself.
+    {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let cfg = GreedyConfig {
+            record: true,
+            ..Default::default()
+        };
+        let t0 = Instant::now();
+        let out = GreedyRouter::with_config(cfg).route(&prob, &mut rng);
+        let dt = t0.elapsed().as_secs_f64();
+        assert!(out.stats.all_delivered());
+        let record = out.record.as_ref().expect("recording on");
+        let moves = record.len() as u64;
+        t.row(vec![
+            "greedy (recorded)".into(),
+            f(dt),
+            out.stats.steps_run.to_string(),
+            f(out.stats.steps_run as f64 / dt),
+            moves.to_string(),
+            f(moves as f64 / dt),
+        ]);
+
+        let t0 = Instant::now();
+        let rep = hotpotato_sim::replay::verify(&prob, record, &out.stats).expect("clean");
+        let dt = t0.elapsed().as_secs_f64();
+        t.row(vec![
+            "replay audit".into(),
+            f(dt),
+            "-".into(),
+            "-".into(),
+            rep.moves.to_string(),
+            f(rep.moves as f64 / dt),
+        ]);
+    }
+
+    // Store-and-forward.
+    {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let t0 = Instant::now();
+        let out = StoreForwardRouter::fifo().route(&prob, &mut rng);
+        let dt = t0.elapsed().as_secs_f64();
+        assert!(out.stats.all_delivered());
+        let moves: u64 = prob.packets().iter().map(|p| p.path.len() as u64).sum();
+        t.row(vec![
+            "store-and-forward".into(),
+            f(dt),
+            out.stats.steps_run.to_string(),
+            f(out.stats.steps_run as f64 / dt),
+            moves.to_string(),
+            f(moves as f64 / dt),
+        ]);
+    }
+
+    t.note("single-threaded; experiment sweeps parallelize across seeds/instances");
+    t.print();
+}

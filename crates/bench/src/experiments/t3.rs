@@ -1,0 +1,119 @@
+//! T3 — the §4 invariants `I_a..I_f`, measured.
+//!
+//! The analysis proves the six invariants hold w.h.p. under the literal
+//! parameters. Under congestion-matched scaled parameters we *measure*
+//! them: every run reports per-invariant violation counters, summed here
+//! across seeds and workloads. The expected result — matching the paper —
+//! is all-zero columns with full delivery.
+
+use crate::runner::parallel_map;
+use crate::table::Table;
+use busch_router::{BuschRouter, InvariantReport, Params};
+use leveled_net::builders::{self, ButterflyCoords, MeshCorner};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use routing_core::{workloads, RoutingProblem};
+use std::sync::Arc;
+
+fn sum_invariants(prob: &RoutingProblem, seeds: u64) -> (InvariantReport, usize, usize) {
+    // Congestion-matched parameters: one set per two congestion units,
+    // frames of 8 levels, long rounds.
+    let params = Params::scaled(8, 96, 0.1, (prob.congestion() / 2).max(1));
+    let outs = parallel_map((0..seeds).collect::<Vec<u64>>(), |seed| {
+        let mut rng = ChaCha8Rng::seed_from_u64(2000 + seed);
+        let out = BuschRouter::new(params).route(prob, &mut rng);
+        (out.invariants, out.stats.delivered_count(), out.stats.num_packets())
+    });
+    let mut total = InvariantReport::default();
+    let mut delivered = 0;
+    let mut n = 0;
+    for (inv, d, nn) in outs {
+        total.isolation_violations += inv.isolation_violations;
+        total.unsafe_deflections += inv.unsafe_deflections;
+        total.invalid_current_paths += inv.invalid_current_paths;
+        total.frame_escapes += inv.frame_escapes;
+        total.cross_set_meetings += inv.cross_set_meetings;
+        total.congestion_exceeded += inv.congestion_exceeded;
+        total.rear_levels_occupied += inv.rear_levels_occupied;
+        total.phase_checks += inv.phase_checks;
+        delivered += d;
+        n += nn;
+    }
+    (total, delivered, n)
+}
+
+/// Runs T3.
+pub fn run(quick: bool) {
+    let seeds = if quick { 3 } else { 10 };
+    let mut t = Table::new(
+        format!("T3: invariant violations summed over {seeds} seeds (paper §4: all zero w.h.p.)"),
+        &[
+            "workload", "Ia", "Ib unsafe", "Ib paths", "Ic", "Id", "Ie", "If",
+            "checks", "delivered",
+        ],
+    );
+
+    let mut wl: Vec<(String, RoutingProblem)> = Vec::new();
+    {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let net = Arc::new(builders::butterfly(5));
+        wl.push((
+            "bf(5) random pairs".into(),
+            workloads::random_pairs(&net, 32, &mut rng).unwrap(),
+        ));
+        let coords = ButterflyCoords { k: 5 };
+        let mut rng2 = ChaCha8Rng::seed_from_u64(2);
+        wl.push((
+            "bf(5) permutation".into(),
+            workloads::butterfly_permutation(&net, &coords, &mut rng2),
+        ));
+        wl.push((
+            "bf(6) bit-reversal".into(),
+            workloads::butterfly_bit_reversal(
+                &Arc::new(builders::butterfly(6)),
+                &ButterflyCoords { k: 6 },
+            ),
+        ));
+    }
+    {
+        let (raw, coords) = builders::mesh(10, 10, MeshCorner::TopLeft);
+        let net = Arc::new(raw);
+        wl.push((
+            "mesh(10) transpose".into(),
+            workloads::mesh_transpose(&net, &coords).unwrap(),
+        ));
+    }
+    {
+        let net = Arc::new(builders::complete_leveled(12, 6));
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        wl.push((
+            "hotspot 32->3".into(),
+            workloads::hotspot(&net, 32, 3, &mut rng).unwrap(),
+        ));
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        wl.push((
+            "funnel C≈24".into(),
+            workloads::funnel(&net, 24, &mut rng).unwrap(),
+        ));
+    }
+
+    for (name, prob) in &wl {
+        let (inv, delivered, n) = sum_invariants(prob, seeds);
+        t.row(vec![
+            name.clone(),
+            inv.isolation_violations.to_string(),
+            inv.unsafe_deflections.to_string(),
+            inv.invalid_current_paths.to_string(),
+            inv.frame_escapes.to_string(),
+            inv.cross_set_meetings.to_string(),
+            inv.congestion_exceeded.to_string(),
+            inv.rear_levels_occupied.to_string(),
+            inv.phase_checks.to_string(),
+            format!("{delivered}/{n}"),
+        ]);
+    }
+    t.note("Ia: injection isolation; Ib: backward/safe deflections & valid paths;");
+    t.note("Ic: frame containment; Id: set disjointness; Ie: congestion non-increase;");
+    t.note("If: rear three inner levels empty at phase ends");
+    t.print();
+}

@@ -1,0 +1,54 @@
+//! T7 — §2.1 parameter formulas and §4.4 total time, tabulated.
+//!
+//! Evaluates the reconstructed parameter formulas over a `(C, L, N)` grid:
+//! `a`, `m`, `q`, `w`, the set count `⌈aC⌉`, the phase count `⌈aC⌉·m + L`,
+//! the total time `(⌈aC⌉·m + L)·m·w` (Proposition 4.25), the success
+//! probability `p(aCm + L)` against Theorem 2.6's `1 − 1/(LN)` bound, and
+//! the Õ factor `T / (C + L)` next to `ln⁹(LN)` — making the paper's own
+//! "not really practical" remark quantitative.
+
+use crate::table::{f, sci, Table};
+use busch_router::PaperParams;
+
+/// Runs T7.
+pub fn run(_quick: bool) {
+    let mut t = Table::new(
+        "T7: the paper's literal parameters over a (C, L, N) grid (§2.1, §4.4)",
+        &[
+            "C", "L", "N", "ln(LN)", "sets ⌈aC⌉", "m", "q", "w",
+            "phases", "total time", "T/(C+L)", "ln⁹(LN)", "succ ≥ 1-1/LN",
+        ],
+    );
+    let grid: &[(u64, u64, u64)] = &[
+        (4, 8, 16),
+        (16, 16, 256),
+        (64, 32, 1024),
+        (256, 64, 4096),
+        (1024, 128, 65536),
+        (4096, 256, 1 << 20),
+    ];
+    for &(c, l, n) in grid {
+        let p = PaperParams::new(c, l, n);
+        let ok = p.success_probability() >= p.success_lower_bound() - 4.0 * f64::EPSILON;
+        t.row(vec![
+            c.to_string(),
+            l.to_string(),
+            n.to_string(),
+            f(p.ln_ln),
+            f(p.num_sets()),
+            f(p.m),
+            sci(p.q),
+            sci(p.w),
+            sci(p.total_phases()),
+            sci(p.total_time()),
+            sci(p.polylog_factor()),
+            sci(p.ln_ln.powi(9)),
+            ok.to_string(),
+        ]);
+    }
+    t.note("total time tracks ln⁹(LN)·(C+L): optimal up to the polylog factor,");
+    t.note("but the constants make the literal schedule astronomically long —");
+    t.note("the paper's own 'not really practical' remark; simulations use the");
+    t.note("same algorithm under scaled (m, w, q, sets), see T1/T3");
+    t.print();
+}

@@ -1,0 +1,245 @@
+//! Run helpers: condensed per-run summaries, seed averaging, and a small
+//! crossbeam-scoped parallel map for sweeps.
+
+use baselines::{GreedyRouter, RandomPriorityRouter, StoreForwardRouter};
+use busch_router::{BuschOutcome, BuschRouter, Params};
+use hotpotato_sim::RouteStats;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use routing_core::RoutingProblem;
+
+/// A condensed view of one routing run, sufficient for every table.
+#[derive(Clone, Debug)]
+pub struct RunSummary {
+    /// Number of packets.
+    pub n: usize,
+    /// Delivered packets.
+    pub delivered: usize,
+    /// Makespan (0 when nothing was delivered).
+    pub makespan: u64,
+    /// Mean in-flight latency.
+    pub mean_latency: f64,
+    /// Total deflections.
+    pub deflections: u64,
+    /// Largest deviation-stack depth.
+    pub max_deviation: u32,
+    /// Invariant violations (0 for baselines).
+    pub violations: u64,
+    /// Named counters carried over from the run.
+    pub counters: std::collections::BTreeMap<&'static str, u64>,
+}
+
+impl RunSummary {
+    /// Builds a summary from routing statistics.
+    pub fn from_stats(stats: &RouteStats, violations: u64) -> Self {
+        RunSummary {
+            n: stats.num_packets(),
+            delivered: stats.delivered_count(),
+            makespan: stats.makespan().unwrap_or(0),
+            mean_latency: stats.mean_latency(),
+            deflections: stats.total_deflections(),
+            max_deviation: stats.max_deviation_overall(),
+            violations,
+            counters: stats.counters.clone(),
+        }
+    }
+
+    /// Builds a summary from a full Busch outcome.
+    pub fn from_busch(out: &BuschOutcome) -> Self {
+        RunSummary::from_stats(&out.stats, out.invariants.total_violations())
+    }
+
+    /// Whether everything was delivered.
+    pub fn complete(&self) -> bool {
+        self.delivered == self.n
+    }
+}
+
+/// Mean-field average of several run summaries (counters summed).
+pub fn average(runs: &[RunSummary]) -> RunSummary {
+    assert!(!runs.is_empty());
+    let k = runs.len() as f64;
+    let mut counters = std::collections::BTreeMap::new();
+    for r in runs {
+        for (&name, &v) in &r.counters {
+            *counters.entry(name).or_insert(0) += v;
+        }
+    }
+    RunSummary {
+        n: runs[0].n,
+        delivered: (runs.iter().map(|r| r.delivered).sum::<usize>() as f64 / k).round() as usize,
+        makespan: (runs.iter().map(|r| r.makespan).sum::<u64>() as f64 / k).round() as u64,
+        mean_latency: runs.iter().map(|r| r.mean_latency).sum::<f64>() / k,
+        deflections: (runs.iter().map(|r| r.deflections).sum::<u64>() as f64 / k).round() as u64,
+        max_deviation: runs.iter().map(|r| r.max_deviation).max().unwrap(),
+        violations: runs.iter().map(|r| r.violations).sum(),
+        counters,
+    }
+}
+
+/// Routes with the paper's algorithm under `params`; one seed.
+pub fn run_busch(problem: &RoutingProblem, params: Params, seed: u64) -> RunSummary {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let out = BuschRouter::new(params).route(problem, &mut rng);
+    RunSummary::from_busch(&out)
+}
+
+/// Routes with the greedy hot-potato baseline; one seed.
+pub fn run_greedy(problem: &RoutingProblem, seed: u64) -> RunSummary {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let out = GreedyRouter::new().route(problem, &mut rng);
+    RunSummary::from_stats(&out.stats, 0)
+}
+
+/// Routes with the random-priority greedy baseline; one seed.
+pub fn run_random_priority(problem: &RoutingProblem, seed: u64) -> RunSummary {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let out = RandomPriorityRouter::new().route(problem, &mut rng);
+    RunSummary::from_stats(&out.stats, 0)
+}
+
+/// Routes with buffered FIFO store-and-forward; one seed.
+pub fn run_store_forward(problem: &RoutingProblem, seed: u64) -> RunSummary {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let out = StoreForwardRouter::fifo().route(problem, &mut rng);
+    RunSummary::from_stats(&out.stats, 0)
+}
+
+/// Routes with buffered random-rank store-and-forward (`Θ(C)` delays).
+pub fn run_store_forward_ranked(problem: &RoutingProblem, seed: u64) -> RunSummary {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let out =
+        StoreForwardRouter::random_rank(problem.congestion() as u64).route(problem, &mut rng);
+    RunSummary::from_stats(&out.stats, 0)
+}
+
+/// Routes with store-and-forward under constant (size-2) buffers — the
+/// bounded-buffer regime of reference 16.
+pub fn run_store_forward_bounded(problem: &RoutingProblem, seed: u64) -> RunSummary {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let out = StoreForwardRouter::bounded(2).route(problem, &mut rng);
+    RunSummary::from_stats(&out.stats, 0)
+}
+
+/// Runs `f` over `items` on up to `threads` scoped worker threads,
+/// preserving order. Used to fan seed/parameter sweeps across cores.
+pub fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(items.len().max(1));
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Jobs are handed out by an atomic cursor; each worker takes ownership
+    // of its item through the per-slot mutex (taken exactly once).
+    let jobs: Vec<std::sync::Mutex<Option<T>>> = items
+        .into_iter()
+        .map(|t| std::sync::Mutex::new(Some(t)))
+        .collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<U>> = (0..jobs.len()).map(|_| None).collect();
+    let mut piles: Vec<Vec<(usize, U)>> = Vec::new();
+    crossbeam::scope(|s| {
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let next = &next;
+            let f = &f;
+            let jobs = &jobs;
+            handles.push(s.spawn(move |_| {
+                let mut pile = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    let item = jobs[i]
+                        .lock()
+                        .expect("job mutex")
+                        .take()
+                        .expect("each job is taken once");
+                    pile.push((i, f(item)));
+                }
+                pile
+            }));
+        }
+        for h in handles {
+            piles.push(h.join().expect("worker panicked"));
+        }
+    })
+    .expect("scope");
+    for pile in piles {
+        for (i, u) in pile {
+            slots[i] = Some(u);
+        }
+    }
+    slots.into_iter().map(|s| s.expect("all jobs ran")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leveled_net::builders;
+    use routing_core::workloads;
+    use std::sync::Arc;
+
+    #[test]
+    fn parallel_map_preserves_order_and_values() {
+        let items: Vec<u64> = (0..200).collect();
+        let out = parallel_map(items, |x| x * 3);
+        assert_eq!(out, (0..200).map(|x| x * 3).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn parallel_map_moves_non_clone_items() {
+        // Strings are Clone but Box<dyn ...> is not; use a move-only type.
+        struct MoveOnly(u64);
+        let items: Vec<MoveOnly> = (0..50).map(MoveOnly).collect();
+        let out = parallel_map(items, |m| m.0 + 1);
+        assert_eq!(out, (1..=50).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn run_helpers_produce_complete_summaries() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let net = Arc::new(builders::butterfly(4));
+        let prob = workloads::random_pairs(&net, 10, &mut rng).unwrap();
+        let b = run_busch(&prob, Params::auto(&prob), 1);
+        assert!(b.complete());
+        let g = run_greedy(&prob, 1);
+        assert!(g.complete());
+        let r = run_random_priority(&prob, 1);
+        assert!(r.complete());
+        let s = run_store_forward(&prob, 1);
+        assert!(s.complete());
+        let sr = run_store_forward_ranked(&prob, 1);
+        assert!(sr.complete());
+    }
+
+    #[test]
+    fn average_combines_runs() {
+        let a = RunSummary {
+            n: 4,
+            delivered: 4,
+            makespan: 10,
+            mean_latency: 2.0,
+            deflections: 4,
+            max_deviation: 1,
+            violations: 0,
+            counters: Default::default(),
+        };
+        let mut b = a.clone();
+        b.makespan = 20;
+        b.max_deviation = 3;
+        b.violations = 2;
+        let avg = average(&[a, b]);
+        assert_eq!(avg.makespan, 15);
+        assert_eq!(avg.max_deviation, 3);
+        assert_eq!(avg.violations, 2);
+    }
+}

@@ -1,0 +1,170 @@
+//! Minimal aligned-column table rendering for experiment output, with an
+//! optional process-wide JSON sink (`tables --json`).
+
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// A titled table with a header row and string cells; renders with
+/// right-aligned, width-fitted columns.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct Table {
+    /// Table title, printed above the header.
+    pub title: String,
+    /// Column names.
+    pub header: Vec<String>,
+    /// Data rows; ragged rows are padded with empty cells.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row (already stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Appends a note line printed under the table.
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.notes.push(line.into());
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let ncol = self
+            .rows
+            .iter()
+            .map(|r| r.len())
+            .chain([self.header.len()])
+            .max()
+            .unwrap_or(0);
+        let mut width = vec![0usize; ncol];
+        let all = std::iter::once(&self.header).chain(self.rows.iter());
+        for row in all {
+            for (i, cell) in row.iter().enumerate() {
+                width[i] = width[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let line = |row: &[String], width: &[usize], out: &mut String| {
+            for (i, w) in width.iter().enumerate() {
+                let empty = String::new();
+                let cell = row.get(i).unwrap_or(&empty);
+                let pad = w - cell.chars().count();
+                let _ = write!(out, "{}{}  ", " ".repeat(pad), cell);
+            }
+            let _ = writeln!(out);
+        };
+        line(&self.header, &width, &mut out);
+        let total: usize = width.iter().map(|w| w + 2).sum();
+        let _ = writeln!(out, "{}", "-".repeat(total.saturating_sub(2)));
+        for row in &self.rows {
+            line(row, &width, &mut out);
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "  * {note}");
+        }
+        out
+    }
+
+    /// Prints the table to stdout and forwards it to the JSON sink when
+    /// one is active.
+    pub fn print(&self) {
+        println!("{}", self.render());
+        sink::push(self);
+    }
+}
+
+/// Process-wide table collector backing the `tables --json` mode.
+pub mod sink {
+    use super::Table;
+    use std::sync::Mutex;
+
+    static COLLECTOR: Mutex<Option<Vec<serde_json::Value>>> = Mutex::new(None);
+
+    /// Starts collecting every printed table.
+    pub fn begin() {
+        *COLLECTOR.lock().expect("sink lock") = Some(Vec::new());
+    }
+
+    /// Records a table if collection is active.
+    pub fn push(table: &Table) {
+        if let Some(v) = COLLECTOR.lock().expect("sink lock").as_mut() {
+            v.push(serde_json::to_value(table).expect("tables serialize"));
+        }
+    }
+
+    /// Stops collecting and returns everything recorded, if active.
+    pub fn finish() -> Option<Vec<serde_json::Value>> {
+        COLLECTOR.lock().expect("sink lock").take()
+    }
+}
+
+/// Formats a float with three significant decimals.
+pub fn f(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+/// Formats a float in scientific notation.
+pub fn sci(x: f64) -> String {
+    format!("{x:.2e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["short".into(), "1".into()]);
+        t.row(vec!["a-much-longer-name".into(), "12345".into()]);
+        t.note("a note");
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("a-much-longer-name"));
+        assert!(s.contains("* a note"));
+        // All data lines have the same width.
+        let lines: Vec<&str> = s.lines().skip(1).take(4).collect();
+        assert_eq!(
+            lines[0].chars().count(),
+            lines[2].trim_end().chars().count().max(lines[0].chars().count()) // header >= rows
+        );
+    }
+
+    #[test]
+    fn ragged_rows_are_padded() {
+        let mut t = Table::new("ragged", &["a", "b", "c"]);
+        t.row(vec!["1".into()]);
+        let s = t.render();
+        assert!(s.lines().count() >= 3);
+    }
+
+    #[test]
+    fn float_formats() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(3.21987), "3.22");
+        assert_eq!(f(42.123), "42.1");
+        assert_eq!(f(12345.6), "12346");
+        assert_eq!(sci(1234.5), "1.23e3");
+    }
+}

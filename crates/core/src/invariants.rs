@@ -1,0 +1,195 @@
+//! Runtime checkers for the six correctness invariants of §4.
+//!
+//! The analysis proves that, under the literal parameters, the following
+//! hold at the end of every phase w.h.p.:
+//!
+//! * `I_a` — packets are injected in isolation;
+//! * `I_b` — deflections are backward and safe, current paths are valid;
+//! * `I_c` — active packets stay inside their frontier-frame;
+//! * `I_d` — packets of different frontier-sets never meet;
+//! * `I_e` — frontier-set congestion never exceeds its initial value
+//!   (Lemma 4.10: safe deflections recycle edges within a set);
+//! * `I_f` — at each phase end, the last three inner levels of every frame
+//!   are empty (active packets sit at inner level ≤ m − 4).
+//!
+//! Under scaled parameters these are *measured*, not assumed: the router
+//! increments a counter per violation, and the `T3` experiment reports
+//! them across seeds. A clean report means the run behaved exactly as the
+//! analysis describes.
+
+use crate::schedule::FrameSchedule;
+use hotpotato_sim::Simulation;
+use std::collections::HashMap;
+
+/// Violation counters for `I_a..I_f` (see module docs). All-zero means the
+/// run satisfied every invariant the paper proves w.h.p.
+#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize)]
+pub struct InvariantReport {
+    /// `I_a`: injections that happened while other packets were present at
+    /// the source node.
+    pub isolation_violations: u64,
+    /// `I_b`: deflections that could not be made backward-and-safe
+    /// (resolved by the fallback rule instead).
+    pub unsafe_deflections: u64,
+    /// `I_b`: packets whose current path failed validation at a phase end.
+    pub invalid_current_paths: u64,
+    /// `I_c`: (packet, phase-end) pairs found outside their frame.
+    pub frame_escapes: u64,
+    /// `I_d`: (node, step) occurrences where packets of different
+    /// frontier-sets met.
+    pub cross_set_meetings: u64,
+    /// `I_e`: (set, phase-end) pairs whose current-path congestion
+    /// exceeded the set's initial congestion.
+    pub congestion_exceeded: u64,
+    /// `I_f`: (packet, phase-end) pairs at inner level ≥ m − 3 (the rear
+    /// three levels, which must be empty when the frame shifts).
+    pub rear_levels_occupied: u64,
+    /// Number of phase-end audits performed.
+    pub phase_checks: u64,
+}
+
+impl InvariantReport {
+    /// Total violations across all invariants.
+    pub fn total_violations(&self) -> u64 {
+        self.isolation_violations
+            + self.unsafe_deflections
+            + self.invalid_current_paths
+            + self.frame_escapes
+            + self.cross_set_meetings
+            + self.congestion_exceeded
+            + self.rear_levels_occupied
+    }
+
+    /// Whether the run satisfied every invariant.
+    pub fn is_clean(&self) -> bool {
+        self.total_violations() == 0
+    }
+
+    /// One-line summary listing each invariant's violation count.
+    pub fn summary(&self) -> String {
+        format!(
+            "Ia={} Ib(unsafe)={} Ib(paths)={} Ic={} Id={} Ie={} If={} ({} phase checks)",
+            self.isolation_violations,
+            self.unsafe_deflections,
+            self.invalid_current_paths,
+            self.frame_escapes,
+            self.cross_set_meetings,
+            self.congestion_exceeded,
+            self.rear_levels_occupied,
+            self.phase_checks,
+        )
+    }
+}
+
+/// Initial per-set congestion of the preselected paths (the baseline for
+/// the `I_e` non-increase check and the subject of Lemma 2.2).
+pub fn initial_per_set_congestion<M>(
+    sim: &Simulation<M>,
+    sets: &[u32],
+    num_sets: u32,
+) -> Vec<u32> {
+    sim.problem().per_set_congestion(sets, num_sets as usize)
+}
+
+/// Runs the phase-end audits (`I_b` path validity, `I_c`, `I_e`, `I_f`)
+/// for the phase that just ended, updating `report`. `O(N·L)`.
+///
+/// `effective_level` maps a packet index and its actual level to the level
+/// used for the `I_f` rear-emptiness check: the router passes the *target*
+/// endpoint of a wait packet's oscillation edge, since the paper treats an
+/// oscillating packet as sitting at its target node (the oscillation
+/// parity at the exact phase boundary is immaterial to the analysis).
+pub fn check_phase_end<M>(
+    sim: &Simulation<M>,
+    schedule: &FrameSchedule,
+    sets: &[u32],
+    phase: u64,
+    initial_per_set: &[u32],
+    effective_level: impl Fn(u32, leveled_net::Level) -> leveled_net::Level,
+    report: &mut InvariantReport,
+) {
+    report.phase_checks += 1;
+    let net = sim.network();
+
+    // Per-(set, edge) congestion of current paths, counting active packets
+    // (by their current paths) and pending packets (by their preselected
+    // paths), as in the paper's definition (§2.4).
+    let mut per_set_edge: HashMap<(u32, u32), u32> = HashMap::new();
+
+    for idx in sim.active_indices() {
+        let pkt = sim.packet(idx);
+        let path = sim.path_of(idx);
+        let set = sets[idx as usize];
+
+        // I_b: current path must be a valid forward path.
+        if pkt.validate_current_path(net, path).is_err() {
+            report.invalid_current_paths += 1;
+        }
+
+        // I_c: inside the frame.
+        let level = net.level(pkt.node());
+        if !schedule.contains(set, phase, level) {
+            report.frame_escapes += 1;
+        } else if let Some(inner) =
+            schedule.inner_level(set, phase, effective_level(idx, level))
+        {
+            // I_f: rear three inner levels empty at phase end (packets at
+            // inner level ≤ m − 4, so the frame can shift and inject).
+            if inner + 3 >= schedule.m {
+                report.rear_levels_occupied += 1;
+            }
+        }
+
+        for e in pkt.current_path_edges(path) {
+            *per_set_edge.entry((set, e.0)).or_insert(0) += 1;
+        }
+    }
+    for idx in sim.pending_indices() {
+        let path = sim.path_of(idx);
+        let set = sets[idx as usize];
+        for &e in path.edges() {
+            *per_set_edge.entry((set, e.0)).or_insert(0) += 1;
+        }
+    }
+
+    // I_e: per-set congestion must not exceed its initial value.
+    let mut per_set_max = vec![0u32; initial_per_set.len()];
+    for (&(set, _), &count) in per_set_edge.iter() {
+        let s = set as usize;
+        per_set_max[s] = per_set_max[s].max(count);
+    }
+    for (&now_max, &init) in per_set_max.iter().zip(initial_per_set) {
+        if now_max > init {
+            report.congestion_exceeded += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_is_clean() {
+        let r = InvariantReport::default();
+        assert!(r.is_clean());
+        assert_eq!(r.total_violations(), 0);
+        assert!(r.summary().contains("Ia=0"));
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let r = InvariantReport {
+            isolation_violations: 1,
+            unsafe_deflections: 2,
+            invalid_current_paths: 3,
+            frame_escapes: 4,
+            cross_set_meetings: 5,
+            congestion_exceeded: 6,
+            rear_levels_occupied: 7,
+            phase_checks: 100,
+        };
+        assert_eq!(r.total_violations(), 28);
+        assert!(!r.is_clean());
+    }
+}

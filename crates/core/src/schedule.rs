@@ -1,0 +1,261 @@
+//! Frontier sets and the frontier-frame pipeline (§2.4, §2.5, Figure 2).
+//!
+//! Time is divided into *phases* of `m` *rounds* of `w` steps. Each
+//! frontier-set `S_i` is chased by frontier-frame `F_i`, whose *frontier*
+//! (highest level) at phase `k` is `φ_i(k) = k − i·m`; the frame spans
+//! levels `φ_i − m + 1 ..= φ_i` (clipped to the network). Frames are
+//! pipelined one behind the other, never overlap, and all shift one level
+//! forward per phase.
+//!
+//! Inner levels number a frame's levels 0 (the frontier) to `m − 1` (the
+//! rear). The *target level* of a frame starts at inner level 0 during
+//! rounds 0 and 1, then recedes one inner level per round (round `j ≥ 2` →
+//! inner level `j − 1`). Packets of `S_i` are injected at the start of the
+//! phase in which their source lies at inner level `m − 1`.
+
+use leveled_net::Level;
+use rand::Rng;
+
+/// The deterministic geometry of the frontier-frame pipeline.
+///
+/// ```
+/// use busch_router::FrameSchedule;
+///
+/// // Figure 2's setting: frames of 3 inner levels.
+/// let s = FrameSchedule::new(3, 4, 11);
+/// assert_eq!(s.frontier(0, 5), 5);        // φ_0(k) = k
+/// assert_eq!(s.frontier(1, 5), 2);        // φ_1(k) = k - m
+/// assert_eq!(s.frame_range(0, 5), (3, 5));
+/// assert_eq!(s.inner_level(0, 5, 4), Some(1));
+/// assert_eq!(s.injection_phase(0, 0), 2); // source level 0: phase m-1
+/// assert_eq!(s.end_phase(), 4 * 3 + 11);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct FrameSchedule {
+    /// Inner levels per frame (= rounds per phase), paper `m`.
+    pub m: u32,
+    /// Number of frontier sets / frames, paper `⌈aC⌉`.
+    pub num_sets: u32,
+    /// Network depth `L`.
+    pub depth: Level,
+}
+
+impl FrameSchedule {
+    /// Creates the schedule; panics on structurally invalid inputs.
+    pub fn new(m: u32, num_sets: u32, depth: Level) -> Self {
+        assert!(m >= 3, "frames need at least 3 inner levels");
+        assert!(num_sets >= 1);
+        FrameSchedule { m, num_sets, depth }
+    }
+
+    /// The frontier `φ_i(k) = k − i·m` of frame `set` at `phase` — as a
+    /// signed level, since frames start below the network and leave above
+    /// it.
+    #[inline]
+    pub fn frontier(&self, set: u32, phase: u64) -> i64 {
+        phase as i64 - set as i64 * self.m as i64
+    }
+
+    /// The inclusive level range `[φ − m + 1, φ]` of frame `set` at
+    /// `phase`, unclipped.
+    #[inline]
+    pub fn frame_range(&self, set: u32, phase: u64) -> (i64, i64) {
+        let f = self.frontier(set, phase);
+        (f - self.m as i64 + 1, f)
+    }
+
+    /// Whether network level `level` lies inside frame `set` at `phase`.
+    #[inline]
+    pub fn contains(&self, set: u32, phase: u64, level: Level) -> bool {
+        let (lo, hi) = self.frame_range(set, phase);
+        (level as i64) >= lo && (level as i64) <= hi
+    }
+
+    /// The inner level of network `level` within frame `set` at `phase`
+    /// (0 = frontier, `m − 1` = rear), or `None` if outside the frame.
+    pub fn inner_level(&self, set: u32, phase: u64, level: Level) -> Option<u32> {
+        let f = self.frontier(set, phase);
+        let k = f - level as i64;
+        if k >= 0 && k < self.m as i64 {
+            Some(k as u32)
+        } else {
+            None
+        }
+    }
+
+    /// The inner level the target sits at during `round`: 0 for rounds 0
+    /// and 1, `round − 1` afterwards.
+    #[inline]
+    pub fn target_inner_level(&self, round: u32) -> u32 {
+        debug_assert!(round < self.m);
+        round.saturating_sub(1)
+    }
+
+    /// The network level (signed) the target of frame `set` points to at
+    /// (`phase`, `round`).
+    #[inline]
+    pub fn target_level(&self, set: u32, phase: u64, round: u32) -> i64 {
+        self.frontier(set, phase) - self.target_inner_level(round) as i64
+    }
+
+    /// The phase at whose beginning a packet of `set` with source at
+    /// `source_level` is injected: the phase where the source lies at inner
+    /// level `m − 1`.
+    #[inline]
+    pub fn injection_phase(&self, set: u32, source_level: Level) -> u64 {
+        set as u64 * self.m as u64 + self.m as u64 - 1 + source_level as u64
+    }
+
+    /// First phase at which every frame has completely left the network
+    /// (frontier-frame `num_sets − 1` past level `depth`): the paper's
+    /// `aC·m + L`.
+    pub fn end_phase(&self) -> u64 {
+        self.num_sets as u64 * self.m as u64 + self.depth as u64
+    }
+
+    /// Whether frame `set` still intersects the network at `phase`.
+    pub fn frame_in_network(&self, set: u32, phase: u64) -> bool {
+        let (lo, hi) = self.frame_range(set, phase);
+        hi >= 0 && lo <= self.depth as i64
+    }
+}
+
+/// Assigns each of `n` packets to one of `num_sets` frontier sets,
+/// uniformly and independently at random (paper §2.4).
+pub fn assign_sets<R: Rng + ?Sized>(n: usize, num_sets: u32, rng: &mut R) -> Vec<u32> {
+    (0..n).map(|_| rng.gen_range(0..num_sets)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn figure_2_geometry() {
+        // Figure 2 shows a network with L = 11 and m = 3: reproduce the
+        // relationships it depicts.
+        let s = FrameSchedule::new(3, 5, 11);
+        // At phase k, frame i's frontier is k - 3i; consecutive frames are
+        // exactly m levels apart (pipelined, non-overlapping).
+        for phase in 0..30u64 {
+            for i in 0..4u32 {
+                assert_eq!(
+                    s.frontier(i, phase) - s.frontier(i + 1, phase),
+                    3,
+                    "frames ride m levels apart"
+                );
+                let (lo_i, hi_i) = s.frame_range(i, phase);
+                let (lo_j, hi_j) = s.frame_range(i + 1, phase);
+                assert!(hi_j < lo_i, "frames must not overlap");
+                let _ = (lo_j, hi_i);
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_reaches_level_zero_at_phase_im() {
+        let s = FrameSchedule::new(4, 3, 10);
+        for i in 0..3u32 {
+            let phase = (i * 4) as u64; // i * m
+            assert_eq!(s.frontier(i, phase), 0, "paper: φ_i = 0 at phase i·m");
+        }
+    }
+
+    #[test]
+    fn frames_shift_forward_one_level_per_phase() {
+        let s = FrameSchedule::new(4, 2, 10);
+        for phase in 0..20u64 {
+            assert_eq!(s.frontier(0, phase + 1), s.frontier(0, phase) + 1);
+        }
+    }
+
+    #[test]
+    fn inner_levels_number_frontier_to_rear() {
+        let s = FrameSchedule::new(4, 2, 10);
+        // Frame 0 at phase 5 spans levels 2..=5 with frontier 5.
+        assert_eq!(s.frame_range(0, 5), (2, 5));
+        assert_eq!(s.inner_level(0, 5, 5), Some(0));
+        assert_eq!(s.inner_level(0, 5, 4), Some(1));
+        assert_eq!(s.inner_level(0, 5, 2), Some(3));
+        assert_eq!(s.inner_level(0, 5, 6), None);
+        assert_eq!(s.inner_level(0, 5, 1), None);
+        assert!(s.contains(0, 5, 3));
+        assert!(!s.contains(0, 5, 6));
+    }
+
+    #[test]
+    fn target_recedes_one_inner_level_per_round() {
+        let s = FrameSchedule::new(5, 2, 10);
+        assert_eq!(s.target_inner_level(0), 0);
+        assert_eq!(s.target_inner_level(1), 0);
+        assert_eq!(s.target_inner_level(2), 1);
+        assert_eq!(s.target_inner_level(3), 2);
+        assert_eq!(s.target_inner_level(4), 3);
+        // Network-level version.
+        let phase = 7u64;
+        assert_eq!(s.target_level(0, phase, 0), 7);
+        assert_eq!(s.target_level(0, phase, 4), 4);
+    }
+
+    #[test]
+    fn injection_phase_places_source_at_rear() {
+        let s = FrameSchedule::new(4, 3, 12);
+        for set in 0..3u32 {
+            for src in 0..=12u32 {
+                let phase = s.injection_phase(set, src);
+                assert_eq!(
+                    s.inner_level(set, phase, src),
+                    Some(s.m - 1),
+                    "set {set} src {src}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn end_phase_clears_all_frames() {
+        let s = FrameSchedule::new(4, 3, 12);
+        let end = s.end_phase();
+        assert_eq!(end, 3 * 4 + 12);
+        for set in 0..3u32 {
+            assert!(
+                !s.frame_in_network(set, end),
+                "frame {set} must be gone at the end phase"
+            );
+            assert!(
+                s.frame_in_network(set, end - 1) || set + 1 < 3,
+                "the last frame leaves exactly at the end phase"
+            );
+        }
+        // One phase earlier, the last frame still touches level L.
+        assert!(s.frame_in_network(2, end - 1));
+    }
+
+    #[test]
+    fn frames_cover_every_level_for_every_set() {
+        // Every (set, level) pair gets visited by its frame before the end.
+        let s = FrameSchedule::new(3, 4, 9);
+        for set in 0..4u32 {
+            for level in 0..=9u32 {
+                let visited = (0..s.end_phase()).any(|ph| s.contains(set, ph, level));
+                assert!(visited, "set {set} level {level}");
+            }
+        }
+    }
+
+    #[test]
+    fn set_assignment_is_uniformish() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let sets = assign_sets(10_000, 10, &mut rng);
+        assert_eq!(sets.len(), 10_000);
+        let mut counts = [0usize; 10];
+        for &s in &sets {
+            counts[s as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((700..1300).contains(&c), "set {i} has {c} packets");
+        }
+    }
+}

@@ -1,0 +1,769 @@
+//! The synchronous bufferless (hot-potato) engine.
+//!
+//! The engine owns the dynamic packet states and enforces the hot-potato
+//! model of the paper (§1.1, §2.3):
+//!
+//! * time is discrete; at each step a node receives packets, a routing
+//!   decision is made, and the packets are forwarded;
+//! * **no buffering**: every packet that arrives at a node must be staged
+//!   an exit in the same step ([`Simulation::finish_step`] fails with
+//!   [`SimError::PacketRested`] otherwise);
+//! * **link capacity**: at most one packet traverses an edge per direction
+//!   per step (at most two packets per link, one per direction);
+//! * packets reaching their destination are absorbed on arrival.
+//!
+//! Routing algorithms drive the engine step by step:
+//!
+//! ```text
+//! loop {
+//!     for v in sim.occupied_nodes() {            // nodes with arrivals
+//!         // decide one exit per packet, e.g. via conflict::resolve
+//!         sim.stage_exit(pkt, mv, kind)?;
+//!     }
+//!     sim.try_inject(pkt)?;                      // source-side injections
+//!     sim.finish_step()?;                        // move, absorb, advance
+//! }
+//! ```
+
+use crate::kinematics::SimPacket;
+use crate::record::{MoveEvent, RunRecord, TrivialDelivery};
+use crate::stats::{RouteStats, Time};
+use leveled_net::ids::DirectedEdge;
+use leveled_net::{LeveledNetwork, NodeId};
+use routing_core::{PacketId, RoutingProblem};
+use std::sync::Arc;
+
+/// Lifecycle of a packet inside the engine.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PacketStatus {
+    /// Waiting at its source, not yet injected.
+    Pending,
+    /// In flight.
+    Active,
+    /// Absorbed at its destination.
+    Delivered,
+}
+
+/// How the caller classifies a staged exit; drives the statistics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExitKind {
+    /// The packet advances along its current path (won its conflict).
+    Advance,
+    /// The packet was deflected; `safe` records whether the deflection was
+    /// backward-and-safe in the sense of the paper's Lemma 2.1.
+    Deflect {
+        /// Backward along an edge another packet traversed forward this
+        /// step (edge recycling), versus an arbitrary free link.
+        safe: bool,
+    },
+    /// A wait-state oscillation move (not a deflection: the edge stays in
+    /// the packet's path list).
+    Oscillate,
+    /// The injection move out of the source node.
+    Inject,
+}
+
+/// Errors surfaced by the engine. Algorithms treat these as bugs in their
+/// own dispatch logic, except for [`SimError::SlotBusy`] which they use to
+/// probe availability.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SimError {
+    /// The (edge, direction) slot is already taken this step.
+    SlotBusy,
+    /// The staged move does not start at the packet's current node.
+    NotAtOrigin,
+    /// The packet was already staged an exit this step.
+    AlreadyStaged,
+    /// The packet is not active.
+    NotActive,
+    /// The packet is not pending (injection only applies to pending
+    /// packets).
+    NotPending,
+    /// `finish_step` found an active packet with no staged exit — a
+    /// violation of the hot-potato (bufferless) constraint by the caller.
+    PacketRested(PacketId),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::SlotBusy => write!(f, "edge-direction slot already used this step"),
+            SimError::NotAtOrigin => write!(f, "move does not start at the packet's node"),
+            SimError::AlreadyStaged => write!(f, "packet already staged this step"),
+            SimError::NotActive => write!(f, "packet is not active"),
+            SimError::NotPending => write!(f, "packet is not pending"),
+            SimError::PacketRested(p) => {
+                write!(f, "hot-potato violation: packet {p} was left resting")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Outcome of an injection attempt.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InjectOutcome {
+    /// The packet departed its source along the first edge of its path.
+    Injected,
+    /// The packet's path is trivial (source == destination); it was
+    /// delivered without entering the network.
+    DeliveredTrivially,
+    /// The first edge's forward slot is occupied; try again next step.
+    Blocked,
+}
+
+/// Per-step movement summary returned by [`Simulation::finish_step`].
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct StepReport {
+    /// Packets that moved this step (including injections).
+    pub moved: usize,
+    /// Packets absorbed at their destination.
+    pub absorbed: usize,
+    /// Packets injected.
+    pub injected: usize,
+    /// Deflections (safe + fallback).
+    pub deflections: usize,
+    /// Unsafe (fallback) deflections.
+    pub fallback_deflections: usize,
+    /// Oscillation moves.
+    pub oscillations: usize,
+}
+
+/// The bufferless simulation engine; `M` is the per-packet metadata type of
+/// the driving algorithm.
+pub struct Simulation<M> {
+    problem: Arc<RoutingProblem>,
+    net: Arc<LeveledNetwork>,
+    packets: Vec<SimPacket<M>>,
+    status: Vec<PacketStatus>,
+    now: Time,
+    buckets: Vec<Vec<u32>>,
+    occupied: Vec<u32>,
+    next_buckets: Vec<Vec<u32>>,
+    next_occupied: Vec<u32>,
+    slot_stamp: Vec<Time>,
+    staged: Vec<(u32, DirectedEdge, ExitKind)>,
+    staged_stamp: Vec<Time>,
+    delivered: usize,
+    pending: usize,
+    stats: RouteStats,
+    record: Option<RunRecord>,
+}
+
+impl<M> Simulation<M> {
+    /// Creates an engine over `problem`; `metas` supplies the initial
+    /// algorithm metadata for each packet (same order as
+    /// `problem.packets()`). `trace` enables the per-step active-count
+    /// trace in the statistics.
+    pub fn new(problem: Arc<RoutingProblem>, metas: Vec<M>, trace: bool) -> Self {
+        assert_eq!(metas.len(), problem.num_packets());
+        let net = problem.network_arc();
+        let n = problem.num_packets();
+        let packets: Vec<SimPacket<M>> = problem
+            .packets()
+            .iter()
+            .zip(metas)
+            .map(|(spec, meta)| SimPacket::new(spec.id, spec.path.source(), meta))
+            .collect();
+        let nv = net.num_nodes();
+        let ne = net.num_edges();
+        Simulation {
+            problem,
+            net,
+            packets,
+            status: vec![PacketStatus::Pending; n],
+            now: 0,
+            buckets: vec![Vec::new(); nv],
+            occupied: Vec::new(),
+            next_buckets: vec![Vec::new(); nv],
+            next_occupied: Vec::new(),
+            slot_stamp: vec![0; 2 * ne],
+            staged: Vec::new(),
+            staged_stamp: vec![0; n],
+            delivered: 0,
+            pending: n,
+            stats: RouteStats::new(n, trace),
+            record: None,
+        }
+    }
+
+    /// Enables full run recording: every movement event is logged for
+    /// later [`crate::replay::verify`] auditing. Call before the first
+    /// step.
+    pub fn enable_recording(&mut self) {
+        assert_eq!(self.now, 0, "enable recording before the run starts");
+        self.record = Some(RunRecord::default());
+    }
+
+    /// Current simulation time (step number).
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The routing problem being simulated.
+    #[inline]
+    pub fn problem(&self) -> &RoutingProblem {
+        &self.problem
+    }
+
+    /// The underlying network.
+    #[inline]
+    pub fn network(&self) -> &LeveledNetwork {
+        &self.net
+    }
+
+    /// Nodes with at least one arriving packet this step, ascending.
+    pub fn occupied_nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<u32> = self.occupied.clone();
+        v.sort_unstable();
+        v.into_iter().map(NodeId).collect()
+    }
+
+    /// Packet indices that arrived at `node` this step.
+    #[inline]
+    pub fn arrivals(&self, node: NodeId) -> &[u32] {
+        &self.buckets[node.index()]
+    }
+
+    /// The dynamic state of packet `idx`.
+    #[inline]
+    pub fn packet(&self, idx: u32) -> &SimPacket<M> {
+        &self.packets[idx as usize]
+    }
+
+    /// Mutable access to packet metadata.
+    #[inline]
+    pub fn meta_mut(&mut self, idx: u32) -> &mut M {
+        &mut self.packets[idx as usize].meta
+    }
+
+    /// The preselected path of packet `idx`.
+    #[inline]
+    pub fn path_of(&self, idx: u32) -> &routing_core::Path {
+        &self.problem.packets()[idx as usize].path
+    }
+
+    /// The next move along packet `idx`'s current path.
+    pub fn next_move_of(&self, idx: u32) -> Option<DirectedEdge> {
+        self.packets[idx as usize].next_move(self.path_of(idx))
+    }
+
+    /// Lifecycle status of packet `idx`.
+    #[inline]
+    pub fn status(&self, idx: u32) -> PacketStatus {
+        self.status[idx as usize]
+    }
+
+    /// Whether the (edge, direction) slot is still free this step.
+    #[inline]
+    pub fn slot_free(&self, mv: DirectedEdge) -> bool {
+        self.slot_stamp[mv.slot_index()] != self.now + 1
+    }
+
+    /// Number of delivered packets.
+    #[inline]
+    pub fn delivered_count(&self) -> usize {
+        self.delivered
+    }
+
+    /// Number of in-flight packets.
+    #[inline]
+    pub fn active_count(&self) -> usize {
+        self.packets.len() - self.delivered - self.pending
+    }
+
+    /// Number of packets still waiting to be injected.
+    #[inline]
+    pub fn pending_count(&self) -> usize {
+        self.pending
+    }
+
+    /// Whether every packet has been delivered.
+    #[inline]
+    pub fn is_done(&self) -> bool {
+        self.delivered == self.packets.len()
+    }
+
+    /// Indices of all active packets (ascending).
+    pub fn active_indices(&self) -> Vec<u32> {
+        self.status
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == PacketStatus::Active)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Indices of all pending (not yet injected) packets (ascending).
+    pub fn pending_indices(&self) -> Vec<u32> {
+        self.status
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == PacketStatus::Pending)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Mutable handle to the run statistics (for algorithm counters).
+    pub fn stats_mut(&mut self) -> &mut RouteStats {
+        &mut self.stats
+    }
+
+    /// Read-only handle to the run statistics.
+    pub fn stats(&self) -> &RouteStats {
+        &self.stats
+    }
+
+    /// Stages the exit of active packet `idx` along `mv` this step.
+    pub fn stage_exit(&mut self, idx: u32, mv: DirectedEdge, kind: ExitKind) -> Result<(), SimError> {
+        let i = idx as usize;
+        if self.status[i] != PacketStatus::Active {
+            return Err(SimError::NotActive);
+        }
+        if self.staged_stamp[i] == self.now + 1 {
+            return Err(SimError::AlreadyStaged);
+        }
+        if self.net.move_origin(mv) != self.packets[i].node() {
+            return Err(SimError::NotAtOrigin);
+        }
+        if !self.slot_free(mv) {
+            return Err(SimError::SlotBusy);
+        }
+        self.slot_stamp[mv.slot_index()] = self.now + 1;
+        self.staged_stamp[i] = self.now + 1;
+        self.staged.push((idx, mv, kind));
+        Ok(())
+    }
+
+    /// Attempts to inject pending packet `idx`: it departs its source along
+    /// the first edge of its preselected path if that slot is free.
+    ///
+    /// Packets with trivial paths are delivered immediately. The engine
+    /// does not require *isolation* (no other packets at the source) — the
+    /// paper's algorithm arranges isolation by scheduling; algorithms can
+    /// check [`Simulation::arrivals`] at the source to audit it.
+    pub fn try_inject(&mut self, idx: u32) -> Result<InjectOutcome, SimError> {
+        let i = idx as usize;
+        if self.status[i] != PacketStatus::Pending {
+            return Err(SimError::NotPending);
+        }
+        let path = &self.problem.packets()[i].path;
+        if path.is_empty() {
+            self.status[i] = PacketStatus::Delivered;
+            self.delivered += 1;
+            self.pending -= 1;
+            self.stats.injected_at[i] = Some(self.now);
+            self.stats.delivered_at[i] = Some(self.now);
+            if let Some(rec) = self.record.as_mut() {
+                rec.trivial.push(TrivialDelivery {
+                    time: self.now,
+                    pkt: PacketId(i as u32),
+                });
+            }
+            return Ok(InjectOutcome::DeliveredTrivially);
+        }
+        let mv = DirectedEdge::forward(path.edges()[0]);
+        if !self.slot_free(mv) {
+            return Ok(InjectOutcome::Blocked);
+        }
+        self.slot_stamp[mv.slot_index()] = self.now + 1;
+        self.staged_stamp[i] = self.now + 1;
+        self.status[i] = PacketStatus::Active;
+        self.pending -= 1;
+        self.staged.push((idx, mv, ExitKind::Inject));
+        Ok(InjectOutcome::Injected)
+    }
+
+    /// Applies all staged exits: verifies that *every* arriving packet was
+    /// staged (the bufferless constraint), moves packets, absorbs arrivals
+    /// at destinations, and advances the clock.
+    pub fn finish_step(&mut self) -> Result<StepReport, SimError> {
+        // Bufferless check: every packet that arrived this step must leave.
+        for &v in &self.occupied {
+            for &p in &self.buckets[v as usize] {
+                if self.staged_stamp[p as usize] != self.now + 1 {
+                    return Err(SimError::PacketRested(PacketId(p)));
+                }
+            }
+        }
+
+        let mut report = StepReport::default();
+        let staged = std::mem::take(&mut self.staged);
+        for (idx, mv, kind) in &staged {
+            let i = *idx as usize;
+            if let Some(rec) = self.record.as_mut() {
+                rec.moves.push(MoveEvent {
+                    time: self.now,
+                    pkt: PacketId(*idx),
+                    mv: *mv,
+                    kind: *kind,
+                });
+            }
+            let path = &self.problem.packets()[i].path;
+            let pkt = &mut self.packets[i];
+            let deflect = matches!(kind, ExitKind::Deflect { .. });
+            pkt.apply_move(&self.net, path, *mv, deflect);
+            report.moved += 1;
+            match kind {
+                ExitKind::Deflect { safe } => {
+                    report.deflections += 1;
+                    if !safe {
+                        report.fallback_deflections += 1;
+                        self.stats.bump("fallback_deflections");
+                    }
+                }
+                ExitKind::Oscillate => report.oscillations += 1,
+                ExitKind::Inject => {
+                    report.injected += 1;
+                    self.stats.injected_at[i] = Some(self.now);
+                }
+                ExitKind::Advance => {}
+            }
+            self.stats.max_deviation[i] = pkt.max_deviation();
+            self.stats.deflections[i] = pkt.deflections();
+
+            let dest = path.dest(&self.net);
+            let arrived_at = pkt.node();
+            if arrived_at == dest {
+                self.status[i] = PacketStatus::Delivered;
+                self.delivered += 1;
+                self.stats.delivered_at[i] = Some(self.now + 1);
+                report.absorbed += 1;
+            } else {
+                let b = &mut self.next_buckets[arrived_at.index()];
+                if b.is_empty() {
+                    self.next_occupied.push(arrived_at.0);
+                }
+                b.push(*idx);
+            }
+        }
+        self.staged = staged;
+        self.staged.clear();
+
+        // Swap arrival buffers: clear the old ones for reuse next step.
+        for &v in &self.occupied {
+            self.buckets[v as usize].clear();
+        }
+        self.occupied.clear();
+        std::mem::swap(&mut self.buckets, &mut self.next_buckets);
+        std::mem::swap(&mut self.occupied, &mut self.next_occupied);
+
+        self.now += 1;
+        if let Some(trace) = self.stats.active_trace.as_mut() {
+            trace.push((self.packets.len() - self.delivered - self.pending) as u32);
+        }
+        Ok(report)
+    }
+
+    /// Consumes the engine and returns the final statistics.
+    pub fn into_stats(self) -> RouteStats {
+        self.into_parts().0
+    }
+
+    /// Consumes the engine and returns the statistics together with the
+    /// movement record (if recording was enabled).
+    pub fn into_parts(mut self) -> (RouteStats, Option<RunRecord>) {
+        self.stats.steps_run = self.now;
+        (self.stats, self.record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leveled_net::builders;
+    use leveled_net::EdgeId;
+    use routing_core::Path;
+
+    fn line_problem(paths: Vec<Vec<u32>>) -> Arc<RoutingProblem> {
+        let net = Arc::new(builders::linear_array(6));
+        let ps = paths
+            .into_iter()
+            .map(|nodes| {
+                let nodes: Vec<NodeId> = nodes.into_iter().map(NodeId).collect();
+                Path::from_nodes(&net, &nodes).unwrap()
+            })
+            .collect();
+        Arc::new(RoutingProblem::new(net, ps).unwrap())
+    }
+
+    /// Drive a single packet straight to its destination.
+    #[test]
+    fn single_packet_advances_to_destination() {
+        let prob = line_problem(vec![vec![0, 1, 2, 3]]);
+        let mut sim: Simulation<()> = Simulation::new(prob, vec![()], true);
+        assert_eq!(sim.try_inject(0).unwrap(), InjectOutcome::Injected);
+        sim.finish_step().unwrap();
+        assert_eq!(sim.status(0), PacketStatus::Active);
+        assert_eq!(sim.packet(0).node(), NodeId(1));
+        for _ in 0..2 {
+            let nodes = sim.occupied_nodes();
+            assert_eq!(nodes.len(), 1);
+            let pkts = sim.arrivals(nodes[0]).to_vec();
+            let mv = sim.next_move_of(pkts[0]).unwrap();
+            sim.stage_exit(pkts[0], mv, ExitKind::Advance).unwrap();
+            sim.finish_step().unwrap();
+        }
+        assert!(sim.is_done());
+        let stats = sim.into_stats();
+        assert_eq!(stats.injected_at[0], Some(0));
+        assert_eq!(stats.delivered_at[0], Some(3));
+        assert_eq!(stats.makespan(), Some(3));
+        assert_eq!(stats.deflections[0], 0);
+    }
+
+    #[test]
+    fn trivial_path_delivered_at_injection() {
+        let net = Arc::new(builders::linear_array(3));
+        let prob = Arc::new(
+            RoutingProblem::new(Arc::clone(&net), vec![Path::trivial(NodeId(1))]).unwrap(),
+        );
+        let mut sim: Simulation<()> = Simulation::new(prob, vec![()], false);
+        assert_eq!(
+            sim.try_inject(0).unwrap(),
+            InjectOutcome::DeliveredTrivially
+        );
+        assert!(sim.is_done());
+    }
+
+    #[test]
+    fn injection_blocked_by_slot() {
+        // Two packets from the same... sources must differ, so use a packet
+        // already moving through the source's first edge.
+        let prob = line_problem(vec![vec![0, 1, 2], vec![1, 2, 3]]);
+        let mut sim: Simulation<()> = Simulation::new(prob, vec![(), ()], false);
+        // Inject p0 at t=0; it occupies edge 0->1.
+        sim.try_inject(0).unwrap();
+        sim.finish_step().unwrap();
+        // t=1: p0 is at node 1 and wants edge 1->2; p1 also wants edge
+        // 1->2 for injection. Stage p0 first: p1 must block.
+        let mv = sim.next_move_of(0).unwrap();
+        sim.stage_exit(0, mv, ExitKind::Advance).unwrap();
+        assert_eq!(sim.try_inject(1).unwrap(), InjectOutcome::Blocked);
+        sim.finish_step().unwrap();
+        // t=2: edge 1->2 free again; p1 injects.
+        assert_eq!(sim.try_inject(1).unwrap(), InjectOutcome::Injected);
+    }
+
+    #[test]
+    fn slot_capacity_is_one_per_direction() {
+        let prob = line_problem(vec![vec![0, 1, 2], vec![1, 2, 3]]);
+        let mut sim: Simulation<()> = Simulation::new(prob, vec![(), ()], false);
+        sim.try_inject(0).unwrap();
+        sim.try_inject(1).unwrap();
+        sim.finish_step().unwrap();
+        // Both at their second node; p0 at n1 wants 1->2, p1 at n2 wants 2->3.
+        let m0 = sim.next_move_of(0).unwrap();
+        let m1 = sim.next_move_of(1).unwrap();
+        sim.stage_exit(0, m0, ExitKind::Advance).unwrap();
+        // Staging p1 on p0's slot fails; its own slot works.
+        assert_eq!(
+            sim.stage_exit(1, m0, ExitKind::Advance).unwrap_err(),
+            SimError::NotAtOrigin
+        );
+        sim.stage_exit(1, m1, ExitKind::Advance).unwrap();
+        sim.finish_step().unwrap();
+    }
+
+    #[test]
+    fn both_directions_of_an_edge_usable_in_one_step() {
+        // At t=1, p1 traverses edge (1,2) forward while p0 traverses the
+        // same edge backward — the paper's "at most two packets per link,
+        // one per direction" rule.
+        let prob = line_problem(vec![vec![1, 2, 3], vec![0, 1, 2]]);
+        let mut sim: Simulation<()> = Simulation::new(prob, vec![(), ()], false);
+        sim.try_inject(0).unwrap(); // p0: 1 -> 2 (forward on edge 1)
+        sim.try_inject(1).unwrap(); // p1: 0 -> 1 (forward on edge 0)
+        sim.finish_step().unwrap();
+        // p0 at node 2 deflects backward over edge 1; p1 at node 1 advances
+        // forward over edge 1. Both succeed in the same step.
+        let fwd = sim.next_move_of(1).unwrap();
+        assert_eq!(fwd, DirectedEdge::forward(EdgeId(1)));
+        sim.stage_exit(1, fwd, ExitKind::Advance).unwrap();
+        sim.stage_exit(0, DirectedEdge::backward(EdgeId(1)), ExitKind::Deflect { safe: true })
+            .unwrap();
+        sim.finish_step().unwrap();
+        assert_eq!(sim.packet(0).node(), NodeId(1));
+        assert_eq!(sim.packet(0).deflections(), 1);
+        // p1 was absorbed at its destination node 2.
+        assert_eq!(sim.status(1), PacketStatus::Delivered);
+    }
+
+    #[test]
+    fn resting_packet_is_detected() {
+        let prob = line_problem(vec![vec![0, 1, 2]]);
+        let mut sim: Simulation<()> = Simulation::new(prob, vec![()], false);
+        sim.try_inject(0).unwrap();
+        sim.finish_step().unwrap();
+        // Don't stage anything for the active packet.
+        assert_eq!(
+            sim.finish_step().unwrap_err(),
+            SimError::PacketRested(PacketId(0))
+        );
+    }
+
+    #[test]
+    fn double_stage_rejected() {
+        let prob = line_problem(vec![vec![0, 1, 2]]);
+        let mut sim: Simulation<()> = Simulation::new(prob, vec![()], false);
+        sim.try_inject(0).unwrap();
+        sim.finish_step().unwrap();
+        let mv = sim.next_move_of(0).unwrap();
+        sim.stage_exit(0, mv, ExitKind::Advance).unwrap();
+        assert_eq!(
+            sim.stage_exit(0, DirectedEdge::backward(EdgeId(0)), ExitKind::Advance)
+                .unwrap_err(),
+            SimError::AlreadyStaged
+        );
+    }
+
+    #[test]
+    fn absorption_happens_on_arrival() {
+        let prob = line_problem(vec![vec![0, 1]]);
+        let mut sim: Simulation<()> = Simulation::new(prob, vec![()], false);
+        sim.try_inject(0).unwrap();
+        let report = sim.finish_step().unwrap();
+        assert_eq!(report.absorbed, 1);
+        assert_eq!(report.injected, 1);
+        assert!(sim.is_done());
+        assert!(sim.occupied_nodes().is_empty());
+    }
+
+    #[test]
+    fn deflection_statistics_flow_through() {
+        let prob = line_problem(vec![vec![0, 1, 2, 3]]);
+        let mut sim: Simulation<()> = Simulation::new(prob, vec![()], false);
+        sim.try_inject(0).unwrap();
+        sim.finish_step().unwrap();
+        // Deflect backward (unsafe), then advance twice, then resume.
+        sim.stage_exit(0, DirectedEdge::backward(EdgeId(0)), ExitKind::Deflect { safe: false })
+            .unwrap();
+        let report = sim.finish_step().unwrap();
+        assert_eq!(report.deflections, 1);
+        assert_eq!(report.fallback_deflections, 1);
+        while !sim.is_done() {
+            let mv = sim.next_move_of(0).unwrap();
+            sim.stage_exit(0, mv, ExitKind::Advance).unwrap();
+            sim.finish_step().unwrap();
+        }
+        let stats = sim.into_stats();
+        assert_eq!(stats.deflections[0], 1);
+        assert_eq!(stats.max_deviation[0], 1);
+        assert_eq!(stats.counter("fallback_deflections"), 1);
+        // 1 step out + 1 back + 3 forward from node 0 (path has 3 edges).
+        assert_eq!(stats.delivered_at[0], Some(5));
+    }
+
+    #[test]
+    fn active_trace_records_in_flight_counts() {
+        let prob = line_problem(vec![vec![0, 1, 2, 3]]);
+        let mut sim: Simulation<()> = Simulation::new(prob, vec![()], true);
+        sim.try_inject(0).unwrap();
+        sim.finish_step().unwrap();
+        while !sim.is_done() {
+            let mv = sim.next_move_of(0).unwrap();
+            sim.stage_exit(0, mv, ExitKind::Advance).unwrap();
+            sim.finish_step().unwrap();
+        }
+        let stats = sim.into_stats();
+        assert_eq!(stats.active_trace.unwrap(), vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn occupied_nodes_are_sorted_and_deduped() {
+        let prob = line_problem(vec![vec![3, 4, 5], vec![1, 2, 3], vec![0, 1, 2]]);
+        let mut sim: Simulation<()> = Simulation::new(prob, vec![(); 3], false);
+        for p in [2u32, 0, 1] {
+            sim.try_inject(p).unwrap();
+        }
+        sim.finish_step().unwrap();
+        let nodes = sim.occupied_nodes();
+        let mut sorted = nodes.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(nodes, sorted);
+        assert_eq!(nodes.len(), 3);
+    }
+
+    #[test]
+    fn counts_track_lifecycle() {
+        let prob = line_problem(vec![vec![0, 1, 2], vec![1, 2, 3]]);
+        let mut sim: Simulation<()> = Simulation::new(prob, vec![(), ()], false);
+        assert_eq!(sim.pending_count(), 2);
+        assert_eq!(sim.active_count(), 0);
+        assert_eq!(sim.delivered_count(), 0);
+        sim.try_inject(0).unwrap();
+        assert_eq!(sim.pending_count(), 1);
+        sim.finish_step().unwrap();
+        assert_eq!(sim.active_count(), 1);
+        assert_eq!(sim.active_indices(), vec![0]);
+        assert_eq!(sim.pending_indices(), vec![1]);
+        // Drive packet 0 home.
+        while sim.status(0) == PacketStatus::Active {
+            let mv = sim.next_move_of(0).unwrap();
+            sim.stage_exit(0, mv, ExitKind::Advance).unwrap();
+            sim.finish_step().unwrap();
+        }
+        assert_eq!(sim.delivered_count(), 1);
+        assert_eq!(sim.active_count(), 0);
+        assert!(!sim.is_done());
+    }
+
+    #[test]
+    fn slot_free_reflects_staging() {
+        let prob = line_problem(vec![vec![0, 1, 2]]);
+        let mut sim: Simulation<()> = Simulation::new(prob, vec![()], false);
+        let mv = DirectedEdge::forward(EdgeId(0));
+        assert!(sim.slot_free(mv));
+        sim.try_inject(0).unwrap();
+        assert!(!sim.slot_free(mv), "injection claims the slot");
+        assert!(sim.slot_free(mv.reversed()), "other direction unaffected");
+        sim.finish_step().unwrap();
+        assert!(sim.slot_free(mv), "slots reset every step");
+    }
+
+    #[test]
+    #[should_panic(expected = "before the run starts")]
+    fn recording_must_start_at_step_zero() {
+        let prob = line_problem(vec![vec![0, 1]]);
+        let mut sim: Simulation<()> = Simulation::new(prob, vec![()], false);
+        sim.try_inject(0).unwrap();
+        sim.finish_step().unwrap();
+        sim.enable_recording();
+    }
+
+    #[test]
+    fn step_report_accounts_every_move_kind() {
+        let prob = line_problem(vec![vec![0, 1, 2], vec![1, 2, 3]]);
+        let mut sim: Simulation<()> = Simulation::new(prob, vec![(), ()], false);
+        sim.try_inject(0).unwrap();
+        let r = sim.finish_step().unwrap();
+        assert_eq!(r.injected, 1);
+        assert_eq!(r.moved, 1);
+        // p0 at n1: oscillate it backward; also inject p1 from n1? n1 is
+        // p1's source: slot (edge 0 backward) vs p1's (edge 1 forward)
+        // don't clash.
+        sim.stage_exit(0, DirectedEdge::backward(EdgeId(0)), ExitKind::Oscillate)
+            .unwrap();
+        sim.try_inject(1).unwrap();
+        let r = sim.finish_step().unwrap();
+        assert_eq!(r.moved, 2);
+        assert_eq!(r.oscillations, 1);
+        assert_eq!(r.injected, 1);
+        assert_eq!(r.deflections, 0);
+    }
+
+    #[test]
+    fn stage_requires_active_packet() {
+        let prob = line_problem(vec![vec![0, 1, 2]]);
+        let mut sim: Simulation<()> = Simulation::new(prob, vec![()], false);
+        let err = sim
+            .stage_exit(0, DirectedEdge::forward(EdgeId(0)), ExitKind::Advance)
+            .unwrap_err();
+        assert_eq!(err, SimError::NotActive);
+        sim.try_inject(0).unwrap();
+        assert_eq!(sim.try_inject(0).unwrap_err(), SimError::NotPending);
+    }
+}

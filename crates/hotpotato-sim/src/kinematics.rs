@@ -1,0 +1,335 @@
+//! Per-packet movement bookkeeping: the *current path* as preselected path
+//! plus deviation stack.
+//!
+//! The paper (§2.3) maintains each packet's *current path* as a list of
+//! edges: traversing the first edge pops it, a deflection prepends the
+//! deflection edge. We represent this equivalently as
+//!
+//! ```text
+//! current path = reverse(deviation stack) ++ preselected[base_idx..]
+//! ```
+//!
+//! where the deviation stack holds, for every traversal that left the
+//! current path, the directed move that undoes it. This makes the
+//! "distance from the preselected path" (paper §1.2's polylogarithmic
+//! deviation claim) directly measurable as the stack depth, and makes the
+//! paper's *edge recycling* under safe deflections O(1): the deflected
+//! packet pushes the edge that the winning packet popped.
+//!
+//! For the paper's algorithm all deviation entries are forward moves
+//! (deflections are backward, so their undo is forward), keeping the
+//! current path a valid path. The representation also supports arbitrary
+//! deflections (forward/sideways) used by unsafe baselines.
+
+use leveled_net::ids::DirectedEdge;
+use leveled_net::{EdgeId, LeveledNetwork, NodeId};
+use routing_core::{PacketId, Path};
+
+/// The dynamic state of one packet inside a [`crate::Simulation`], carrying
+/// algorithm-specific metadata `M`.
+#[derive(Clone, Debug)]
+pub struct SimPacket<M> {
+    /// The packet identifier (index into the routing problem).
+    pub id: PacketId,
+    /// Algorithm-specific metadata (state machine, frontier set, ...).
+    pub meta: M,
+    /// The directed move that brought the packet to its current node this
+    /// step (`None` right after injection).
+    pub last_move: Option<DirectedEdge>,
+    node: NodeId,
+    base_idx: usize,
+    deviation: Vec<DirectedEdge>,
+    deflections: u32,
+    max_deviation: u32,
+}
+
+impl<M> SimPacket<M> {
+    /// Creates the state for a packet standing at its source, before
+    /// injection.
+    pub fn new(id: PacketId, source: NodeId, meta: M) -> Self {
+        SimPacket {
+            id,
+            meta,
+            last_move: None,
+            node: source,
+            base_idx: 0,
+            deviation: Vec::new(),
+            deflections: 0,
+            max_deviation: 0,
+        }
+    }
+
+    /// The node the packet currently occupies.
+    #[inline]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The next move along the packet's current path: the top of the
+    /// deviation stack, or the next preselected edge (forward), or `None`
+    /// when the current path is exhausted (the packet is at its
+    /// destination).
+    #[inline]
+    pub fn next_move(&self, path: &Path) -> Option<DirectedEdge> {
+        if let Some(&mv) = self.deviation.last() {
+            Some(mv)
+        } else {
+            path.edges()
+                .get(self.base_idx)
+                .map(|&e| DirectedEdge::forward(e))
+        }
+    }
+
+    /// Depth of the deviation stack: how many moves the packet is away
+    /// from its preselected path.
+    #[inline]
+    pub fn deviation_depth(&self) -> usize {
+        self.deviation.len()
+    }
+
+    /// Whether the packet currently stands on its preselected path.
+    #[inline]
+    pub fn on_preselected(&self) -> bool {
+        self.deviation.is_empty()
+    }
+
+    /// Number of deflections suffered so far.
+    #[inline]
+    pub fn deflections(&self) -> u32 {
+        self.deflections
+    }
+
+    /// Largest deviation depth reached so far.
+    #[inline]
+    pub fn max_deviation(&self) -> u32 {
+        self.max_deviation
+    }
+
+    /// Index of the next unconsumed edge of the preselected path.
+    #[inline]
+    pub fn base_idx(&self) -> usize {
+        self.base_idx
+    }
+
+    /// The edges of the packet's *current path*, in order from the current
+    /// node to the destination (deviation stack first, then the remainder
+    /// of the preselected path). Used by congestion auditors (invariant
+    /// `I_e`).
+    pub fn current_path_edges<'a>(&'a self, path: &'a Path) -> impl Iterator<Item = EdgeId> + 'a {
+        self.deviation
+            .iter()
+            .rev()
+            .map(|mv| mv.edge)
+            .chain(path.edges()[self.base_idx..].iter().copied())
+    }
+
+    /// Applies a committed move, updating position and path bookkeeping.
+    /// `count_as_deflection` controls the deflection statistic (the engine
+    /// passes the caller-declared [`crate::ExitKind`]).
+    pub(crate) fn apply_move(
+        &mut self,
+        net: &LeveledNetwork,
+        path: &Path,
+        mv: DirectedEdge,
+        count_as_deflection: bool,
+    ) {
+        debug_assert_eq!(net.move_origin(mv), self.node, "move starts elsewhere");
+        if self.next_move(path) == Some(mv) {
+            // Advancing along the current path: consume it.
+            if self.deviation.pop().is_none() {
+                self.base_idx += 1;
+            }
+        } else {
+            // Leaving the current path: remember how to come back.
+            self.deviation.push(mv.reversed());
+            self.max_deviation = self.max_deviation.max(self.deviation.len() as u32);
+        }
+        if count_as_deflection {
+            self.deflections += 1;
+        }
+        self.node = net.move_target(mv);
+        self.last_move = Some(mv);
+    }
+
+    /// Validates that the current path is a valid forward path starting at
+    /// the current node (the conclusion of the paper's Lemma 2.1). Returns
+    /// the destination it leads to. Used by auditors and tests.
+    pub fn validate_current_path(
+        &self,
+        net: &LeveledNetwork,
+        path: &Path,
+    ) -> Result<NodeId, String> {
+        let mut at = self.node;
+        for mv in self
+            .deviation
+            .iter()
+            .rev()
+            .copied()
+            .chain(
+                path.edges()[self.base_idx..]
+                    .iter()
+                    .map(|&e| DirectedEdge::forward(e)),
+            )
+        {
+            if mv.dir != leveled_net::Direction::Forward {
+                return Err(format!("{}: current path contains a backward move", self.id));
+            }
+            if net.move_origin(mv) != at {
+                return Err(format!("{}: current path breaks at node {at}", self.id));
+            }
+            at = net.move_target(mv);
+        }
+        Ok(at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leveled_net::builders;
+    use std::sync::Arc;
+
+    fn line() -> (Arc<LeveledNetwork>, Path) {
+        let net = Arc::new(builders::linear_array(5));
+        let nodes: Vec<NodeId> = (0..5).map(NodeId).collect();
+        let path = Path::from_nodes(&net, &nodes).unwrap();
+        (net, path)
+    }
+
+    #[test]
+    fn advances_along_preselected_path() {
+        let (net, path) = line();
+        let mut p = SimPacket::new(PacketId(0), NodeId(0), ());
+        for i in 0..4 {
+            let mv = p.next_move(&path).unwrap();
+            assert_eq!(mv, DirectedEdge::forward(EdgeId(i)));
+            p.apply_move(&net, &path, mv, false);
+            assert!(p.on_preselected());
+        }
+        assert_eq!(p.node(), NodeId(4));
+        assert_eq!(p.next_move(&path), None);
+        assert_eq!(p.deflections(), 0);
+        assert_eq!(p.max_deviation(), 0);
+    }
+
+    #[test]
+    fn backward_deflection_pushes_undo_and_returns() {
+        let (net, path) = line();
+        let mut p = SimPacket::new(PacketId(0), NodeId(0), ());
+        // Advance to node 2.
+        for _ in 0..2 {
+            let mv = p.next_move(&path).unwrap();
+            p.apply_move(&net, &path, mv, false);
+        }
+        // Deflect backward along edge 1 (2 -> 1).
+        let defl = DirectedEdge::backward(EdgeId(1));
+        p.apply_move(&net, &path, defl, true);
+        assert_eq!(p.node(), NodeId(1));
+        assert_eq!(p.deviation_depth(), 1);
+        assert_eq!(p.deflections(), 1);
+        assert_eq!(p.max_deviation(), 1);
+        // The undo move is forward along the same edge.
+        assert_eq!(p.next_move(&path), Some(DirectedEdge::forward(EdgeId(1))));
+        p.validate_current_path(&net, &path).unwrap();
+        // Take it: back on the preselected path.
+        let undo = p.next_move(&path).unwrap();
+        p.apply_move(&net, &path, undo, false);
+        assert!(p.on_preselected());
+        assert_eq!(p.node(), NodeId(2));
+        assert_eq!(p.next_move(&path), Some(DirectedEdge::forward(EdgeId(2))));
+    }
+
+    #[test]
+    fn nested_deflections_unwind_in_order() {
+        let (net, path) = line();
+        let mut p = SimPacket::new(PacketId(0), NodeId(0), ());
+        for _ in 0..3 {
+            let mv = p.next_move(&path).unwrap();
+            p.apply_move(&net, &path, mv, false);
+        }
+        // Two consecutive backward deflections: 3 -> 2 -> 1.
+        p.apply_move(&net, &path, DirectedEdge::backward(EdgeId(2)), true);
+        p.apply_move(&net, &path, DirectedEdge::backward(EdgeId(1)), true);
+        assert_eq!(p.node(), NodeId(1));
+        assert_eq!(p.deviation_depth(), 2);
+        assert_eq!(p.max_deviation(), 2);
+        p.validate_current_path(&net, &path).unwrap();
+        // Unwind.
+        let m1 = p.next_move(&path).unwrap();
+        assert_eq!(m1, DirectedEdge::forward(EdgeId(1)));
+        p.apply_move(&net, &path, m1, false);
+        let m2 = p.next_move(&path).unwrap();
+        assert_eq!(m2, DirectedEdge::forward(EdgeId(2)));
+        p.apply_move(&net, &path, m2, false);
+        assert_eq!(p.node(), NodeId(3));
+        assert!(p.on_preselected());
+    }
+
+    #[test]
+    fn current_path_edges_lists_deviation_then_base() {
+        let (net, path) = line();
+        let mut p = SimPacket::new(PacketId(0), NodeId(0), ());
+        for _ in 0..2 {
+            let mv = p.next_move(&path).unwrap();
+            p.apply_move(&net, &path, mv, false);
+        }
+        p.apply_move(&net, &path, DirectedEdge::backward(EdgeId(1)), true);
+        let edges: Vec<EdgeId> = p.current_path_edges(&path).collect();
+        assert_eq!(edges, vec![EdgeId(1), EdgeId(2), EdgeId(3)]);
+    }
+
+    #[test]
+    fn oscillation_is_push_pop_neutral() {
+        // Moving back and forth across an edge (the wait-state oscillation)
+        // leaves the current path unchanged, matching the paper's footnote
+        // that the edge "remains in the path list".
+        let (net, path) = line();
+        let mut p = SimPacket::new(PacketId(0), NodeId(0), ());
+        for _ in 0..2 {
+            let mv = p.next_move(&path).unwrap();
+            p.apply_move(&net, &path, mv, false);
+        }
+        let before: Vec<EdgeId> = p.current_path_edges(&path).collect();
+        for _ in 0..3 {
+            p.apply_move(&net, &path, DirectedEdge::backward(EdgeId(1)), false);
+            p.apply_move(&net, &path, DirectedEdge::forward(EdgeId(1)), false);
+        }
+        let after: Vec<EdgeId> = p.current_path_edges(&path).collect();
+        assert_eq!(p.node(), NodeId(2));
+        assert_eq!(before, after);
+        assert_eq!(p.deflections(), 0);
+    }
+
+    #[test]
+    fn validate_detects_backward_entries() {
+        let (net, path) = line();
+        let mut p = SimPacket::new(PacketId(0), NodeId(0), ());
+        let mv = p.next_move(&path).unwrap();
+        p.apply_move(&net, &path, mv, false);
+        // A *forward* off-path move (possible under unsafe baselines) makes
+        // the current path invalid in the paper's sense.
+        // From node 1 the only forward edge is edge 1 (on path), so emulate
+        // on a diamond instead.
+        let mut b = leveled_net::NetworkBuilder::new("d");
+        let n0 = b.add_node(0);
+        let n1 = b.add_node(1);
+        let n2 = b.add_node(1);
+        let n3 = b.add_node(2);
+        let e01 = b.add_edge(n0, n1).unwrap();
+        let _e02 = b.add_edge(n0, n2).unwrap();
+        let e13 = b.add_edge(n1, n3).unwrap();
+        let e23 = b.add_edge(n2, n3).unwrap();
+        let dnet = b.build().unwrap();
+        let dpath = Path::new(&dnet, n0, vec![e01, e13]).unwrap();
+        let mut q = SimPacket::new(PacketId(1), n0, ());
+        // Forward deflection onto the wrong branch.
+        q.apply_move(&dnet, &dpath, DirectedEdge::forward(_e02), true);
+        assert_eq!(q.node(), n2);
+        assert!(q.validate_current_path(&dnet, &dpath).is_err());
+        // It can still reach the destination by undoing.
+        q.apply_move(&dnet, &dpath, q.next_move(&dpath).unwrap(), false);
+        assert_eq!(q.node(), n0);
+        assert!(q.on_preselected());
+        let _ = e23;
+    }
+}

@@ -1,0 +1,32 @@
+//! Synchronous network simulators for leveled-network routing.
+//!
+//! Two engines share the packet/problem model of `routing-core`:
+//!
+//! * [`Simulation`] — the **bufferless (hot-potato) engine** (paper §2.3):
+//!   time is discrete; at each step every active packet *must* leave its
+//!   current node; at most one packet traverses each edge per direction per
+//!   step. Routing algorithms drive the engine by staging one exit per
+//!   arriving packet each step; the engine enforces the hot-potato
+//!   constraints, performs movement/absorption, and keeps statistics.
+//! * [`store_forward`] — the **buffered engine** used by the
+//!   store-and-forward baselines: per-edge output queues, one dequeue per
+//!   edge per direction per step.
+//!
+//! The [`conflict`] module provides the shared conflict-resolution routine
+//! (priority winners, *safe backward deflections* in the sense of the
+//! paper's Lemma 2.1) used by both the paper's algorithm and the greedy
+//! baselines.
+
+pub mod conflict;
+pub mod engine;
+pub mod kinematics;
+pub mod record;
+pub mod stats;
+pub mod store_forward;
+pub mod summary;
+
+pub use engine::{ExitKind, InjectOutcome, PacketStatus, SimError, Simulation, StepReport};
+pub use kinematics::SimPacket;
+pub use record::{replay, MoveEvent, RunRecord, TrivialDelivery};
+pub use stats::{RouteStats, Time};
+pub use summary::Summary;

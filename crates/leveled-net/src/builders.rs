@@ -1,0 +1,890 @@
+//! Constructions of the classic topologies the paper cites as leveled
+//! networks (§1.1, Figure 1): the butterfly, the mesh in its four corner
+//! orientations, linear and multidimensional arrays, the hypercube, trees
+//! and fat trees, plus complete and random leveled networks used as
+//! synthetic stress topologies.
+//!
+//! Each builder assigns node identifiers in a documented deterministic
+//! order, and coordinate helper types ([`ButterflyCoords`], [`MeshCoords`],
+//! [`GridCoords`]) translate between identifiers and logical coordinates so
+//! that path-selection strategies (bit-fixing, dimension-order) can be
+//! implemented without re-deriving the layout.
+
+use crate::ids::{Level, NodeId};
+use crate::network::{LeveledNetwork, NetworkBuilder};
+use rand::Rng;
+
+/// Builds the linear array (path) with `n >= 1` nodes: node `i` at level
+/// `i`, edges `i -- i+1`. Depth `L = n - 1`.
+pub fn linear_array(n: usize) -> LeveledNetwork {
+    assert!(n >= 1, "linear array needs at least one node");
+    let mut b = NetworkBuilder::with_capacity(format!("linear({n})"), n, n.saturating_sub(1));
+    let nodes: Vec<NodeId> = (0..n).map(|i| b.add_node(i as Level)).collect();
+    for w in nodes.windows(2) {
+        b.add_edge(w[0], w[1]).expect("consecutive levels");
+    }
+    b.build().expect("valid linear array")
+}
+
+/// Coordinate helper for [`butterfly`] networks.
+///
+/// Node identifiers are assigned level-major: the node in level `l`
+/// (`0..=k`) and row `r` (`0..2^k`) has id `l * 2^k + r`.
+#[derive(Clone, Copy, Debug)]
+pub struct ButterflyCoords {
+    /// Butterfly dimension `k`.
+    pub k: u32,
+}
+
+impl ButterflyCoords {
+    /// Number of rows, `2^k`.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        1usize << self.k
+    }
+
+    /// The node at `(level, row)`.
+    #[inline]
+    pub fn node(&self, level: Level, row: usize) -> NodeId {
+        debug_assert!(level <= self.k && row < self.rows());
+        NodeId((level as usize * self.rows() + row) as u32)
+    }
+
+    /// The `(level, row)` of `node`.
+    #[inline]
+    pub fn coords(&self, node: NodeId) -> (Level, usize) {
+        let r = self.rows();
+        ((node.index() / r) as Level, node.index() % r)
+    }
+}
+
+/// Builds the `k`-dimensional butterfly: `(k + 1) * 2^k` nodes in levels
+/// `0..=k`; node `(l, r)` connects to `(l + 1, r)` (the *straight* edge) and
+/// to `(l + 1, r XOR 2^l)` (the *cross* edge, flipping bit `l`).
+///
+/// Depth `L = k`; every interior node has degree 4. Bit-fixing paths fix
+/// source-row bits one per level, so any `(level-0 row) -> (level-k row)`
+/// pair is connected by exactly one valid path.
+pub fn butterfly(k: u32) -> LeveledNetwork {
+    assert!(k >= 1, "butterfly dimension must be at least 1");
+    assert!(k < 28, "butterfly dimension too large to simulate");
+    let rows = 1usize << k;
+    let coords = ButterflyCoords { k };
+    let mut b = NetworkBuilder::with_capacity(
+        format!("butterfly({k})"),
+        (k as usize + 1) * rows,
+        k as usize * rows * 2,
+    );
+    for l in 0..=k {
+        for _ in 0..rows {
+            b.add_node(l);
+        }
+    }
+    for l in 0..k {
+        for r in 0..rows {
+            let here = coords.node(l, r);
+            b.add_edge(here, coords.node(l + 1, r)).expect("straight");
+            b.add_edge(here, coords.node(l + 1, r ^ (1 << l)))
+                .expect("cross");
+        }
+    }
+    b.build().expect("valid butterfly")
+}
+
+/// The corner of a mesh chosen as level 0.
+///
+/// The paper (§1.1) notes that the mesh can be viewed as a leveled network
+/// in four different ways, according to which corner node is level 0. The
+/// level of cell `(r, c)` is its Manhattan distance from the chosen corner,
+/// and valid paths move monotonically away from it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MeshCorner {
+    /// Level 0 at `(0, 0)`; forward = down or right.
+    TopLeft,
+    /// Level 0 at `(0, cols - 1)`; forward = down or left.
+    TopRight,
+    /// Level 0 at `(rows - 1, 0)`; forward = up or right.
+    BottomLeft,
+    /// Level 0 at `(rows - 1, cols - 1)`; forward = up or left.
+    BottomRight,
+}
+
+impl MeshCorner {
+    /// All four orientations, for sweeps.
+    pub const ALL: [MeshCorner; 4] = [
+        MeshCorner::TopLeft,
+        MeshCorner::TopRight,
+        MeshCorner::BottomLeft,
+        MeshCorner::BottomRight,
+    ];
+
+    fn label(self) -> &'static str {
+        match self {
+            MeshCorner::TopLeft => "TL",
+            MeshCorner::TopRight => "TR",
+            MeshCorner::BottomLeft => "BL",
+            MeshCorner::BottomRight => "BR",
+        }
+    }
+}
+
+/// Coordinate helper for [`mesh`] networks.
+///
+/// Node identifiers are assigned row-major: cell `(r, c)` has id
+/// `r * cols + c`, regardless of the corner orientation.
+#[derive(Clone, Copy, Debug)]
+pub struct MeshCoords {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Which corner is level 0.
+    pub corner: MeshCorner,
+}
+
+impl MeshCoords {
+    /// The node at cell `(r, c)`.
+    #[inline]
+    pub fn node(&self, r: usize, c: usize) -> NodeId {
+        debug_assert!(r < self.rows && c < self.cols);
+        NodeId((r * self.cols + c) as u32)
+    }
+
+    /// The cell `(r, c)` of `node`.
+    #[inline]
+    pub fn coords(&self, node: NodeId) -> (usize, usize) {
+        (node.index() / self.cols, node.index() % self.cols)
+    }
+
+    /// The level of cell `(r, c)`: Manhattan distance from the level-0
+    /// corner.
+    #[inline]
+    pub fn level(&self, r: usize, c: usize) -> Level {
+        let dr = match self.corner {
+            MeshCorner::TopLeft | MeshCorner::TopRight => r,
+            MeshCorner::BottomLeft | MeshCorner::BottomRight => self.rows - 1 - r,
+        };
+        let dc = match self.corner {
+            MeshCorner::TopLeft | MeshCorner::BottomLeft => c,
+            MeshCorner::TopRight | MeshCorner::BottomRight => self.cols - 1 - c,
+        };
+        (dr + dc) as Level
+    }
+
+    /// Whether `(r2, c2)` is reachable from `(r1, c1)` by a valid (forward)
+    /// path in this orientation, i.e. the move is monotone away from the
+    /// level-0 corner in both axes.
+    pub fn reachable(&self, (r1, c1): (usize, usize), (r2, c2): (usize, usize)) -> bool {
+        let row_ok = match self.corner {
+            MeshCorner::TopLeft | MeshCorner::TopRight => r2 >= r1,
+            MeshCorner::BottomLeft | MeshCorner::BottomRight => r2 <= r1,
+        };
+        let col_ok = match self.corner {
+            MeshCorner::TopLeft | MeshCorner::BottomLeft => c2 >= c1,
+            MeshCorner::TopRight | MeshCorner::BottomRight => c2 <= c1,
+        };
+        row_ok && col_ok
+    }
+}
+
+/// Builds the `rows x cols` mesh, leveled by Manhattan distance from the
+/// chosen `corner` (§1.1, Figure 1). Depth `L = rows + cols - 2`.
+///
+/// Returns the network together with a [`MeshCoords`] helper.
+pub fn mesh(rows: usize, cols: usize, corner: MeshCorner) -> (LeveledNetwork, MeshCoords) {
+    assert!(rows >= 1 && cols >= 1, "mesh must be non-empty");
+    let coords = MeshCoords { rows, cols, corner };
+    let mut b = NetworkBuilder::with_capacity(
+        format!("mesh({rows}x{cols},{})", corner.label()),
+        rows * cols,
+        rows * cols * 2,
+    );
+    for r in 0..rows {
+        for c in 0..cols {
+            b.add_node(coords.level(r, c));
+        }
+    }
+    for r in 0..rows {
+        for c in 0..cols {
+            if r + 1 < rows {
+                b.add_edge(coords.node(r, c), coords.node(r + 1, c))
+                    .expect("vertical neighbours differ by one level");
+            }
+            if c + 1 < cols {
+                b.add_edge(coords.node(r, c), coords.node(r, c + 1))
+                    .expect("horizontal neighbours differ by one level");
+            }
+        }
+    }
+    (b.build().expect("valid mesh"), coords)
+}
+
+/// Coordinate helper for [`multidim_array`] networks.
+///
+/// Node identifiers are assigned in mixed-radix order with the **last**
+/// dimension varying fastest (row-major generalization).
+#[derive(Clone, Debug)]
+pub struct GridCoords {
+    /// Extent of each dimension.
+    pub dims: Vec<usize>,
+}
+
+impl GridCoords {
+    /// The node with coordinates `coord`.
+    pub fn node(&self, coord: &[usize]) -> NodeId {
+        debug_assert_eq!(coord.len(), self.dims.len());
+        let mut id = 0usize;
+        for (x, d) in coord.iter().zip(&self.dims) {
+            debug_assert!(x < d);
+            id = id * d + x;
+        }
+        NodeId(id as u32)
+    }
+
+    /// The coordinates of `node`.
+    pub fn coords(&self, node: NodeId) -> Vec<usize> {
+        let mut rem = node.index();
+        let mut out = vec![0usize; self.dims.len()];
+        for i in (0..self.dims.len()).rev() {
+            out[i] = rem % self.dims[i];
+            rem /= self.dims[i];
+        }
+        out
+    }
+
+    /// The level of `coord`: the coordinate sum (distance from the origin
+    /// corner).
+    pub fn level(&self, coord: &[usize]) -> Level {
+        coord.iter().sum::<usize>() as Level
+    }
+}
+
+/// Builds the multidimensional array with extents `dims`, leveled by
+/// coordinate sum (origin corner at level 0).
+/// Depth `L = sum(dims[i] - 1)`.
+///
+/// `multidim_array(&[2; d])` is the `d`-dimensional hypercube leveled by
+/// popcount; `multidim_array(&[r, c])` coincides with the top-left mesh.
+pub fn multidim_array(dims: &[usize]) -> (LeveledNetwork, GridCoords) {
+    assert!(!dims.is_empty(), "need at least one dimension");
+    assert!(dims.iter().all(|&d| d >= 1), "dimensions must be positive");
+    let total: usize = dims.iter().product();
+    assert!(total <= (u32::MAX as usize), "grid too large");
+    let coords = GridCoords {
+        dims: dims.to_vec(),
+    };
+    let dim_str: Vec<String> = dims.iter().map(|d| d.to_string()).collect();
+    let mut b = NetworkBuilder::with_capacity(
+        format!("array({})", dim_str.join("x")),
+        total,
+        total * dims.len(),
+    );
+    let mut coord = vec![0usize; dims.len()];
+    for _ in 0..total {
+        b.add_node(coords.level(&coord));
+        // increment mixed-radix counter (last dimension fastest)
+        for i in (0..dims.len()).rev() {
+            coord[i] += 1;
+            if coord[i] < dims[i] {
+                break;
+            }
+            coord[i] = 0;
+        }
+    }
+    let mut coord = vec![0usize; dims.len()];
+    for id in 0..total {
+        let here = NodeId(id as u32);
+        for i in 0..dims.len() {
+            if coord[i] + 1 < dims[i] {
+                coord[i] += 1;
+                let next = coords.node(&coord);
+                coord[i] -= 1;
+                b.add_edge(here, next).expect("adjacent levels");
+            }
+        }
+        for i in (0..dims.len()).rev() {
+            coord[i] += 1;
+            if coord[i] < dims[i] {
+                break;
+            }
+            coord[i] = 0;
+        }
+    }
+    (b.build().expect("valid array"), coords)
+}
+
+/// Builds the `d`-dimensional hypercube leveled by popcount (a special case
+/// of [`multidim_array`] with all extents 2). Depth `L = d`.
+pub fn hypercube(d: u32) -> (LeveledNetwork, GridCoords) {
+    assert!((1..26).contains(&d), "hypercube dimension out of range");
+    let (mut net, coords) = multidim_array(&vec![2usize; d as usize]);
+    // Rename for clarity in reports.
+    net = rename(net, format!("hypercube({d})"));
+    (net, coords)
+}
+
+fn rename(net: LeveledNetwork, name: String) -> LeveledNetwork {
+    // Rebuild with the new name; cheap relative to construction and keeps
+    // `LeveledNetwork` immutable.
+    let mut b = NetworkBuilder::with_capacity(name, net.num_nodes(), net.num_edges());
+    for nid in net.nodes() {
+        b.add_node(net.level(nid));
+    }
+    for eid in net.edge_ids() {
+        let e = net.edge(eid);
+        b.add_edge(e.tail, e.head).expect("already valid");
+    }
+    b.build().expect("already valid")
+}
+
+/// Builds the complete leveled network: levels `0..=depth`, each with
+/// `width` nodes, complete bipartite connections between consecutive
+/// levels. Node id `l * width + i` sits at level `l`.
+pub fn complete_leveled(depth: Level, width: usize) -> LeveledNetwork {
+    assert!(width >= 1, "width must be positive");
+    let nl = depth as usize + 1;
+    let mut b = NetworkBuilder::with_capacity(
+        format!("complete({depth},{width})"),
+        nl * width,
+        depth as usize * width * width,
+    );
+    for l in 0..nl {
+        for _ in 0..width {
+            b.add_node(l as Level);
+        }
+    }
+    for l in 0..depth as usize {
+        for i in 0..width {
+            for j in 0..width {
+                b.add_edge(
+                    NodeId((l * width + i) as u32),
+                    NodeId(((l + 1) * width + j) as u32),
+                )
+                .expect("consecutive levels");
+            }
+        }
+    }
+    b.build().expect("valid complete leveled network")
+}
+
+/// Builds a random leveled network: level `l` gets a width drawn uniformly
+/// from `width_range`, consecutive nodes are joined by a random bipartite
+/// graph where each potential edge appears with probability `edge_prob`,
+/// and a deterministic "spine" matching guarantees every non-sink node has
+/// a forward edge and every non-source node has a backward edge (so the
+/// network is routable and has no dead ends).
+pub fn random_leveled<R: Rng + ?Sized>(
+    depth: Level,
+    width_range: std::ops::RangeInclusive<usize>,
+    edge_prob: f64,
+    rng: &mut R,
+) -> LeveledNetwork {
+    assert!(*width_range.start() >= 1, "levels must be non-empty");
+    assert!((0.0..=1.0).contains(&edge_prob), "probability out of range");
+    let widths: Vec<usize> = (0..=depth)
+        .map(|_| rng.gen_range(width_range.clone()))
+        .collect();
+    let mut b = NetworkBuilder::new(format!("random(L={depth})"));
+    let mut level_nodes: Vec<Vec<NodeId>> = Vec::with_capacity(widths.len());
+    for (l, &w) in widths.iter().enumerate() {
+        level_nodes.push((0..w).map(|_| b.add_node(l as Level)).collect());
+    }
+    for l in 0..depth as usize {
+        let (lo, hi) = (&level_nodes[l], &level_nodes[l + 1]);
+        let mut connected_lo = vec![false; lo.len()];
+        let mut connected_hi = vec![false; hi.len()];
+        for (i, &u) in lo.iter().enumerate() {
+            for (j, &v) in hi.iter().enumerate() {
+                if rng.gen_bool(edge_prob) {
+                    b.add_edge(u, v).expect("consecutive levels");
+                    connected_lo[i] = true;
+                    connected_hi[j] = true;
+                }
+            }
+        }
+        // Spine: ensure no dead ends in either direction.
+        let m = lo.len().max(hi.len());
+        for x in 0..m {
+            let i = x % lo.len();
+            let j = x % hi.len();
+            if !connected_lo[i] || !connected_hi[j] {
+                b.add_edge(lo[i], hi[j]).expect("consecutive levels");
+                connected_lo[i] = true;
+                connected_hi[j] = true;
+            }
+        }
+    }
+    b.build().expect("valid random leveled network")
+}
+
+/// Builds the complete binary tree of the given `height`, rooted at level 0
+/// (leaves at level `height`). Node ids follow heap order: the root is 0
+/// and node `i` has children `2i + 1` and `2i + 2`. Depth `L = height`.
+pub fn binary_tree(height: Level) -> LeveledNetwork {
+    let n = (1usize << (height + 1)) - 1;
+    let mut b = NetworkBuilder::with_capacity(format!("btree({height})"), n, n - 1);
+    for i in 0..n {
+        let level = usize::BITS - 1 - (i + 1).leading_zeros();
+        b.add_node(level);
+    }
+    for i in 0..n {
+        let l = 2 * i + 1;
+        let r = 2 * i + 2;
+        if l < n {
+            b.add_edge(NodeId(i as u32), NodeId(l as u32)).unwrap();
+        }
+        if r < n {
+            b.add_edge(NodeId(i as u32), NodeId(r as u32)).unwrap();
+        }
+    }
+    b.build().expect("valid binary tree")
+}
+
+/// Builds a fat tree of the given `height`: the complete binary tree where
+/// the link between a depth-`d` node and its child is replicated
+/// `min(2^(height - 1 - d), max_parallel)` times, so capacity grows toward
+/// the root as in Leiserson's fat trees. Node ids follow heap order as in
+/// [`binary_tree`].
+pub fn fat_tree(height: Level, max_parallel: usize) -> LeveledNetwork {
+    assert!(max_parallel >= 1, "need at least one parallel edge");
+    let n = (1usize << (height + 1)) - 1;
+    let mut b = NetworkBuilder::new(format!("fattree({height},{max_parallel})"));
+    for i in 0..n {
+        let level = usize::BITS - 1 - (i + 1).leading_zeros();
+        b.add_node(level);
+    }
+    for i in 0..n {
+        let depth = usize::BITS - 1 - (i + 1).leading_zeros();
+        let copies = if height == 0 {
+            1
+        } else {
+            (1usize << (height - 1).saturating_sub(depth)).min(max_parallel)
+        };
+        for child in [2 * i + 1, 2 * i + 2] {
+            if child < n {
+                for _ in 0..copies {
+                    b.add_edge(NodeId(i as u32), NodeId(child as u32)).unwrap();
+                }
+            }
+        }
+    }
+    b.build().expect("valid fat tree")
+}
+
+/// Coordinate helper for rectangular layered networks (`levels x rows`
+/// node grids) such as [`benes`]. Node id = `level * rows + row`.
+#[derive(Clone, Copy, Debug)]
+pub struct LayeredCoords {
+    /// Number of levels (`L + 1`).
+    pub levels: u32,
+    /// Nodes per level.
+    pub rows: usize,
+}
+
+impl LayeredCoords {
+    /// The node at `(level, row)`.
+    #[inline]
+    pub fn node(&self, level: Level, row: usize) -> NodeId {
+        debug_assert!(level < self.levels && row < self.rows);
+        NodeId((level as usize * self.rows + row) as u32)
+    }
+
+    /// The `(level, row)` of `node`.
+    #[inline]
+    pub fn coords(&self, node: NodeId) -> (Level, usize) {
+        ((node.index() / self.rows) as Level, node.index() % self.rows)
+    }
+}
+
+/// Builds the `k`-dimensional Beneš network: a butterfly followed by its
+/// mirror image — levels `0..=2k`, each with `2^k` nodes. Level `l < k`
+/// crosses bit `l` (as in [`butterfly`]); level `l >= k` crosses bit
+/// `2k - 1 - l`, undoing the first half. The Beneš network is
+/// *rearrangeable*: every permutation is routable with edge congestion 1.
+/// Depth `L = 2k`.
+pub fn benes(k: u32) -> (LeveledNetwork, LayeredCoords) {
+    assert!((1..27).contains(&k), "Beneš dimension out of range");
+    let rows = 1usize << k;
+    let coords = LayeredCoords {
+        levels: 2 * k + 1,
+        rows,
+    };
+    let mut b = NetworkBuilder::with_capacity(
+        format!("benes({k})"),
+        (2 * k as usize + 1) * rows,
+        2 * k as usize * rows * 2,
+    );
+    for l in 0..=(2 * k) {
+        for _ in 0..rows {
+            b.add_node(l);
+        }
+    }
+    for l in 0..(2 * k) {
+        let bit = if l < k { l } else { 2 * k - 1 - l };
+        for r in 0..rows {
+            let here = coords.node(l, r);
+            b.add_edge(here, coords.node(l + 1, r)).expect("straight");
+            b.add_edge(here, coords.node(l + 1, r ^ (1 << bit)))
+                .expect("cross");
+        }
+    }
+    (b.build().expect("valid Beneš network"), coords)
+}
+
+/// Builds the unrolled (leveled) shuffle-exchange network of dimension `k`:
+/// levels `0..=k`, each with `2^k` nodes; node `(l, r)` connects to
+/// `(l + 1, rot(r))` and `(l + 1, rot(r) XOR 1)` where `rot` is a cyclic
+/// left rotation of the `k`-bit row index. Node ids are level-major as in
+/// [`butterfly`], and [`ButterflyCoords`] applies.
+pub fn shuffle_exchange_unrolled(k: u32) -> LeveledNetwork {
+    assert!((1..28).contains(&k), "dimension out of range");
+    let rows = 1usize << k;
+    let coords = ButterflyCoords { k };
+    let rot = |r: usize| -> usize { ((r << 1) | (r >> (k - 1))) & (rows - 1) };
+    let mut b = NetworkBuilder::with_capacity(
+        format!("shuffle-exchange({k})"),
+        (k as usize + 1) * rows,
+        k as usize * rows * 2,
+    );
+    for l in 0..=k {
+        for _ in 0..rows {
+            b.add_node(l);
+        }
+    }
+    for l in 0..k {
+        for r in 0..rows {
+            let here = coords.node(l, r);
+            b.add_edge(here, coords.node(l + 1, rot(r))).unwrap();
+            b.add_edge(here, coords.node(l + 1, rot(r) ^ 1)).unwrap();
+        }
+    }
+    b.build().expect("valid shuffle-exchange")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_array_shape() {
+        let net = linear_array(5);
+        assert_eq!(net.num_nodes(), 5);
+        assert_eq!(net.num_edges(), 4);
+        assert_eq!(net.depth(), 4);
+        assert_eq!(net.level_widths(), vec![1; 5]);
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn linear_array_single_node() {
+        let net = linear_array(1);
+        assert_eq!(net.depth(), 0);
+        assert_eq!(net.num_edges(), 0);
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn butterfly_counts() {
+        for k in 1..=6u32 {
+            let net = butterfly(k);
+            let rows = 1usize << k;
+            assert_eq!(net.num_nodes(), (k as usize + 1) * rows, "k={k}");
+            assert_eq!(net.num_edges(), k as usize * rows * 2, "k={k}");
+            assert_eq!(net.depth(), k);
+            net.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn butterfly_cross_edges_flip_level_bit() {
+        let k = 4;
+        let net = butterfly(k);
+        let c = ButterflyCoords { k };
+        for l in 0..k {
+            for r in 0..c.rows() {
+                let here = c.node(l, r);
+                let heads: Vec<usize> = net
+                    .fwd_edges(here)
+                    .iter()
+                    .map(|&e| c.coords(net.edge(e).head).1)
+                    .collect();
+                assert!(heads.contains(&r), "straight edge present");
+                assert!(heads.contains(&(r ^ (1 << l))), "cross edge flips bit l");
+            }
+        }
+    }
+
+    #[test]
+    fn butterfly_unique_path_between_extreme_rows() {
+        // In a butterfly there is exactly one valid path from any level-0
+        // node to any level-k node.
+        let k = 3;
+        let net = butterfly(k);
+        let c = ButterflyCoords { k };
+        // Count paths by forward DP.
+        let src = c.node(0, 5);
+        let mut count = vec![0u64; net.num_nodes()];
+        count[src.index()] = 1;
+        for l in 0..k {
+            for r in 0..c.rows() {
+                let v = c.node(l, r);
+                let cv = count[v.index()];
+                if cv > 0 {
+                    for &e in net.fwd_edges(v) {
+                        count[net.edge(e).head.index()] += cv;
+                    }
+                }
+            }
+        }
+        for r in 0..c.rows() {
+            assert_eq!(count[c.node(k, r).index()], 1, "row {r}");
+        }
+    }
+
+    #[test]
+    fn mesh_shapes_for_all_corners() {
+        for corner in MeshCorner::ALL {
+            let (net, coords) = mesh(3, 4, corner);
+            assert_eq!(net.num_nodes(), 12);
+            assert_eq!(net.num_edges(), 3 * 3 + 2 * 4); // vertical + horizontal
+            assert_eq!(net.depth(), 5);
+            net.validate().unwrap();
+            // Exactly one node at level 0 (the corner) and one at level L.
+            assert_eq!(net.nodes_at_level(0).len(), 1);
+            assert_eq!(net.nodes_at_level(net.depth()).len(), 1);
+            // Level-0 node is at the right corner.
+            let zero = net.nodes_at_level(0)[0];
+            let (r, c) = coords.coords(zero);
+            assert_eq!(coords.level(r, c), 0);
+        }
+    }
+
+    #[test]
+    fn mesh_corner_levels() {
+        let (_, tl) = mesh(3, 3, MeshCorner::TopLeft);
+        assert_eq!(tl.level(0, 0), 0);
+        assert_eq!(tl.level(2, 2), 4);
+        let (_, br) = mesh(3, 3, MeshCorner::BottomRight);
+        assert_eq!(br.level(2, 2), 0);
+        assert_eq!(br.level(0, 0), 4);
+        let (_, tr) = mesh(3, 3, MeshCorner::TopRight);
+        assert_eq!(tr.level(0, 2), 0);
+        assert_eq!(tr.level(2, 0), 4);
+        let (_, bl) = mesh(3, 3, MeshCorner::BottomLeft);
+        assert_eq!(bl.level(2, 0), 0);
+        assert_eq!(bl.level(0, 2), 4);
+    }
+
+    #[test]
+    fn mesh_reachability_is_monotone() {
+        let (net, coords) = mesh(4, 4, MeshCorner::TopLeft);
+        assert!(coords.reachable((1, 1), (3, 2)));
+        assert!(!coords.reachable((1, 1), (0, 2)));
+        // Cross-check against graph reachability.
+        let mask = net.reachable_mask(coords.node(1, 1));
+        for r in 0..4 {
+            for c in 0..4 {
+                assert_eq!(
+                    mask[coords.node(r, c).index()],
+                    coords.reachable((1, 1), (r, c)),
+                    "cell ({r},{c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_diagonal_level_widths() {
+        let (net, _) = mesh(4, 4, MeshCorner::TopLeft);
+        assert_eq!(net.level_widths(), vec![1, 2, 3, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn multidim_array_matches_mesh() {
+        let (grid, gc) = multidim_array(&[3, 4]);
+        let (m, _) = mesh(3, 4, MeshCorner::TopLeft);
+        assert_eq!(grid.num_nodes(), m.num_nodes());
+        assert_eq!(grid.num_edges(), m.num_edges());
+        assert_eq!(grid.depth(), m.depth());
+        assert_eq!(gc.node(&[2, 3]), NodeId(11));
+        assert_eq!(gc.coords(NodeId(11)), vec![2, 3]);
+    }
+
+    #[test]
+    fn hypercube_levels_are_popcounts() {
+        let (net, gc) = hypercube(4);
+        assert_eq!(net.num_nodes(), 16);
+        assert_eq!(net.num_edges(), 32); // d * 2^(d-1)
+        assert_eq!(net.depth(), 4);
+        for nid in net.nodes() {
+            let pop: usize = gc.coords(nid).iter().sum();
+            assert_eq!(net.level(nid), pop as Level);
+        }
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn complete_leveled_counts() {
+        let net = complete_leveled(3, 4);
+        assert_eq!(net.num_nodes(), 16);
+        assert_eq!(net.num_edges(), 3 * 16);
+        assert_eq!(net.depth(), 3);
+        for nid in net.nodes() {
+            let l = net.level(nid);
+            let fwd = if l < 3 { 4 } else { 0 };
+            let bwd = if l > 0 { 4 } else { 0 };
+            assert_eq!(net.fwd_edges(nid).len(), fwd);
+            assert_eq!(net.bwd_edges(nid).len(), bwd);
+        }
+    }
+
+    #[test]
+    fn random_leveled_has_no_dead_ends() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..10 {
+            let net = random_leveled(8, 2..=6, 0.3, &mut rng);
+            net.validate().unwrap();
+            for nid in net.nodes() {
+                let l = net.level(nid);
+                if l < net.depth() {
+                    assert!(!net.fwd_edges(nid).is_empty(), "dead end at {nid}");
+                }
+                if l > 0 {
+                    assert!(!net.bwd_edges(nid).is_empty(), "unreachable {nid}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_leveled_zero_prob_still_routable() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let net = random_leveled(5, 1..=4, 0.0, &mut rng);
+        net.validate().unwrap();
+        for nid in net.nodes() {
+            if net.level(nid) < net.depth() {
+                assert!(!net.fwd_edges(nid).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let net = binary_tree(3);
+        assert_eq!(net.num_nodes(), 15);
+        assert_eq!(net.num_edges(), 14);
+        assert_eq!(net.depth(), 3);
+        assert_eq!(net.level_widths(), vec![1, 2, 4, 8]);
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn fat_tree_capacity_grows_toward_root() {
+        let net = fat_tree(3, 8);
+        net.validate().unwrap();
+        // Root (level 0) to each child: 2^(3-1-0) = 4 parallel edges.
+        let root = NodeId(0);
+        assert_eq!(net.fwd_edges(root).len(), 8); // two children x 4 copies
+        // A leaf's parent link: 2^(3-1-2) = 1 copy.
+        let leaf_parent_level = 2u32;
+        let some_l2 = net.nodes_at_level(leaf_parent_level)[0];
+        assert_eq!(net.fwd_edges(some_l2).len(), 2); // two children x 1 copy
+    }
+
+    #[test]
+    fn fat_tree_respects_max_parallel() {
+        let net = fat_tree(4, 2);
+        let root = NodeId(0);
+        assert_eq!(net.fwd_edges(root).len(), 4); // two children x min(8, 2)
+    }
+
+    #[test]
+    fn benes_shape() {
+        for k in 1..=4u32 {
+            let (net, coords) = benes(k);
+            let rows = 1usize << k;
+            assert_eq!(net.num_nodes(), (2 * k as usize + 1) * rows, "k={k}");
+            assert_eq!(net.num_edges(), 2 * k as usize * rows * 2, "k={k}");
+            assert_eq!(net.depth(), 2 * k);
+            net.validate().unwrap();
+            let (l, r) = coords.coords(coords.node(k, rows - 1));
+            assert_eq!((l, r), (k, rows - 1));
+        }
+    }
+
+    #[test]
+    fn benes_connects_all_input_output_pairs_with_many_paths() {
+        // Rearrangeability implies full connectivity; path counts between
+        // any (input, output) pair are equal (2^k through the full Beneš).
+        let k = 3;
+        let (net, coords) = benes(k);
+        let rows = 1usize << k;
+        for sr in [0usize, 3, 7] {
+            for dr in [0usize, 5, 7] {
+                let n = crate_count_paths(&net, coords.node(0, sr), coords.node(2 * k, dr));
+                assert_eq!(n, rows as f64, "sr={sr} dr={dr}");
+            }
+        }
+    }
+
+    /// Local forward path-count DP (mirror of routing-core's count_paths,
+    /// inlined here to avoid a dev-dependency cycle).
+    fn crate_count_paths(
+        net: &LeveledNetwork,
+        src: NodeId,
+        dst: NodeId,
+    ) -> f64 {
+        let mut count = vec![0.0f64; net.num_nodes()];
+        count[dst.index()] = 1.0;
+        let (sl, dl) = (net.level(src), net.level(dst));
+        for l in (sl..dl).rev() {
+            for &v in net.nodes_at_level(l) {
+                let mut c = 0.0;
+                for &e in net.fwd_edges(v) {
+                    c += count[net.edge(e).head.index()];
+                }
+                count[v.index()] = c;
+            }
+        }
+        count[src.index()]
+    }
+
+    #[test]
+    fn benes_mirror_symmetry() {
+        // Level l and level 2k-1-l cross the same bit.
+        let k = 3;
+        let (net, coords) = benes(k);
+        for l in 0..k {
+            let mirror = 2 * k - 1 - l;
+            for r in 0..coords.rows {
+                let heads_a: std::collections::BTreeSet<usize> = net
+                    .fwd_edges(coords.node(l, r))
+                    .iter()
+                    .map(|&e| coords.coords(net.edge(e).head).1)
+                    .collect();
+                let heads_b: std::collections::BTreeSet<usize> = net
+                    .fwd_edges(coords.node(mirror, r))
+                    .iter()
+                    .map(|&e| coords.coords(net.edge(e).head).1)
+                    .collect();
+                assert_eq!(heads_a, heads_b, "l={l} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_exchange_shape() {
+        let net = shuffle_exchange_unrolled(3);
+        assert_eq!(net.num_nodes(), 4 * 8);
+        assert_eq!(net.num_edges(), 3 * 16);
+        assert_eq!(net.depth(), 3);
+        net.validate().unwrap();
+        // Every level-k row is reachable from row 0 at level 0.
+        let c = ButterflyCoords { k: 3 };
+        let mask = net.reachable_mask(c.node(0, 0));
+        for r in 0..8 {
+            assert!(mask[c.node(3, r).index()], "row {r} reachable");
+        }
+    }
+}

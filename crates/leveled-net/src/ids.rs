@@ -1,0 +1,187 @@
+//! Compact identifier types for nodes, edges, and traversal directions.
+//!
+//! Nodes and edges are identified by dense `u32` indices so that adjacency
+//! and per-entity state can live in flat arrays. `u32` keeps hot simulator
+//! structures half the size of `usize` indices on 64-bit targets (networks
+//! with more than 2³² nodes are far beyond the simulated scales).
+
+use std::fmt;
+
+/// A level number in a leveled network (`0..=L`).
+pub type Level = u32;
+
+/// Dense identifier of a node in a [`crate::LeveledNetwork`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// Dense identifier of an edge in a [`crate::LeveledNetwork`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub u32);
+
+impl NodeId {
+    /// The identifier as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// The identifier as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NodeId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<u32> for EdgeId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        EdgeId(v)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// The direction in which an edge is traversed.
+///
+/// Edges are *oriented* tail → head (lower level → higher level), but
+/// hot-potato routing uses them in both directions: a `Forward` traversal
+/// moves a packet one level up, a `Backward` traversal one level down
+/// (a *backward deflection* in the paper's terminology).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Direction {
+    /// Tail → head: from level `l` to level `l + 1`.
+    Forward,
+    /// Head → tail: from level `l + 1` to level `l`.
+    Backward,
+}
+
+impl Direction {
+    /// The opposite traversal direction.
+    #[inline]
+    pub fn reverse(self) -> Direction {
+        match self {
+            Direction::Forward => Direction::Backward,
+            Direction::Backward => Direction::Forward,
+        }
+    }
+
+    /// Index 0 for forward, 1 for backward — used to address the two
+    /// per-step capacity slots of an edge.
+    #[inline]
+    pub fn slot(self) -> usize {
+        match self {
+            Direction::Forward => 0,
+            Direction::Backward => 1,
+        }
+    }
+}
+
+/// A directed traversal of an edge: the atomic unit of packet movement.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct DirectedEdge {
+    /// The edge being traversed.
+    pub edge: EdgeId,
+    /// The traversal direction.
+    pub dir: Direction,
+}
+
+impl DirectedEdge {
+    /// Forward traversal of `edge`.
+    #[inline]
+    pub fn forward(edge: EdgeId) -> Self {
+        DirectedEdge {
+            edge,
+            dir: Direction::Forward,
+        }
+    }
+
+    /// Backward traversal of `edge`.
+    #[inline]
+    pub fn backward(edge: EdgeId) -> Self {
+        DirectedEdge {
+            edge,
+            dir: Direction::Backward,
+        }
+    }
+
+    /// The same edge traversed in the opposite direction.
+    #[inline]
+    pub fn reversed(self) -> Self {
+        DirectedEdge {
+            edge: self.edge,
+            dir: self.dir.reverse(),
+        }
+    }
+
+    /// Index into a `2 * num_edges` slot table (forward slots first).
+    #[inline]
+    pub fn slot_index(self) -> usize {
+        self.edge.index() * 2 + self.dir.slot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_and_format() {
+        let n = NodeId(7);
+        let e = EdgeId(11);
+        assert_eq!(n.index(), 7);
+        assert_eq!(e.index(), 11);
+        assert_eq!(format!("{n}"), "n7");
+        assert_eq!(format!("{e:?}"), "e11");
+        assert_eq!(NodeId::from(7u32), n);
+        assert_eq!(EdgeId::from(11u32), e);
+    }
+
+    #[test]
+    fn direction_reverse_is_involution() {
+        assert_eq!(Direction::Forward.reverse(), Direction::Backward);
+        assert_eq!(Direction::Backward.reverse(), Direction::Forward);
+        assert_eq!(Direction::Forward.reverse().reverse(), Direction::Forward);
+    }
+
+    #[test]
+    fn directed_edge_slots_are_distinct_per_direction() {
+        let f = DirectedEdge::forward(EdgeId(3));
+        let b = DirectedEdge::backward(EdgeId(3));
+        assert_ne!(f.slot_index(), b.slot_index());
+        assert_eq!(f.slot_index(), 6);
+        assert_eq!(b.slot_index(), 7);
+        assert_eq!(f.reversed(), b);
+        assert_eq!(b.reversed(), f);
+    }
+}

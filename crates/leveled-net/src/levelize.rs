@@ -1,0 +1,380 @@
+//! Levelizing arbitrary DAGs.
+//!
+//! The paper closes with: "It is interesting to extend our work for
+//! arbitrary network topologies" (§5). This module provides the natural
+//! first step for acyclic topologies: any DAG can be turned into a
+//! leveled network by **longest-path layering** plus **edge subdivision**
+//! — each node gets the level `longest path from a source`, and an edge
+//! spanning `s > 1` levels is replaced by a chain of `s − 1` *dummy
+//! relay nodes*. Routing problems on the DAG translate edge-for-chain
+//! onto the leveled network, where the paper's router applies verbatim
+//! (dummy relays behave exactly like ordinary degree-preserving nodes).
+//!
+//! The construction preserves reachability and multiplies path lengths by
+//! at most the original depth; congestion is preserved exactly (each
+//! original edge maps to a private chain).
+
+use crate::ids::{EdgeId, Level, NodeId};
+use crate::network::{LeveledNetwork, NetworkBuilder};
+
+/// A directed acyclic graph under construction (nodes are `0..n`).
+#[derive(Clone, Debug, Default)]
+pub struct Dag {
+    num_nodes: usize,
+    edges: Vec<(u32, u32)>,
+}
+
+/// Errors from levelization.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LevelizeError {
+    /// The graph contains a directed cycle.
+    Cyclic,
+    /// An edge references a node outside `0..n`.
+    UnknownNode(u32),
+    /// A self-loop was found.
+    SelfLoop(u32),
+    /// The graph has no nodes.
+    Empty,
+}
+
+impl std::fmt::Display for LevelizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LevelizeError::Cyclic => write!(f, "graph contains a directed cycle"),
+            LevelizeError::UnknownNode(v) => write!(f, "edge references unknown node {v}"),
+            LevelizeError::SelfLoop(v) => write!(f, "self loop at node {v}"),
+            LevelizeError::Empty => write!(f, "graph has no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for LevelizeError {}
+
+impl Dag {
+    /// Creates a DAG with `num_nodes` isolated nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        Dag {
+            num_nodes,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds a directed edge `u -> v`.
+    pub fn add_edge(&mut self, u: u32, v: u32) {
+        self.edges.push((u, v));
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The edge list.
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+}
+
+/// The result of levelizing a DAG: the leveled network plus the mapping
+/// back to the original graph.
+#[derive(Clone, Debug)]
+pub struct Levelized {
+    /// The resulting leveled network (original nodes first, then dummies).
+    pub net: LeveledNetwork,
+    /// Image of each original node.
+    node_map: Vec<NodeId>,
+    /// For each original edge, the chain of leveled edges implementing it
+    /// (length = level span of the edge).
+    edge_chains: Vec<Vec<EdgeId>>,
+    /// Marks dummy (subdivision) nodes in the leveled network.
+    is_dummy: Vec<bool>,
+    /// The level assigned to each original node.
+    levels: Vec<Level>,
+}
+
+impl Levelized {
+    /// The leveled image of original node `v`.
+    pub fn node(&self, v: u32) -> NodeId {
+        self.node_map[v as usize]
+    }
+
+    /// The level assigned to original node `v` (its longest distance from
+    /// a source).
+    pub fn level_of(&self, v: u32) -> Level {
+        self.levels[v as usize]
+    }
+
+    /// The chain of leveled edges implementing original edge `e` (by index
+    /// into the DAG's edge list).
+    pub fn edge_chain(&self, e: usize) -> &[EdgeId] {
+        &self.edge_chains[e]
+    }
+
+    /// Whether a leveled node is a subdivision dummy.
+    pub fn is_dummy(&self, n: NodeId) -> bool {
+        self.is_dummy[n.index()]
+    }
+
+    /// Number of dummy nodes introduced.
+    pub fn num_dummies(&self) -> usize {
+        self.is_dummy.iter().filter(|&&d| d).count()
+    }
+
+    /// Translates a path given as a sequence of original *edge indices*
+    /// (into the DAG edge list) into the corresponding leveled edge
+    /// sequence.
+    pub fn translate_edges(&self, dag_edges: &[usize]) -> Vec<EdgeId> {
+        let mut out = Vec::new();
+        for &e in dag_edges {
+            out.extend_from_slice(&self.edge_chains[e]);
+        }
+        out
+    }
+}
+
+/// Levelizes `dag` by longest-path layering with edge subdivision.
+///
+/// ```
+/// use leveled_net::levelize::{levelize, Dag};
+///
+/// // A triangle shortcut: 0 -> 1 -> 2 plus 0 -> 2.
+/// let mut dag = Dag::new(3);
+/// dag.add_edge(0, 1);
+/// dag.add_edge(1, 2);
+/// dag.add_edge(0, 2);
+/// let lz = levelize(&dag).unwrap();
+/// assert_eq!(lz.net.depth(), 2);
+/// assert_eq!(lz.num_dummies(), 1);      // the shortcut gets one relay
+/// assert_eq!(lz.edge_chain(2).len(), 2); // ... and spans two edges
+/// ```
+pub fn levelize(dag: &Dag) -> Result<Levelized, LevelizeError> {
+    let n = dag.num_nodes;
+    if n == 0 {
+        return Err(LevelizeError::Empty);
+    }
+    for &(u, v) in &dag.edges {
+        if u as usize >= n {
+            return Err(LevelizeError::UnknownNode(u));
+        }
+        if v as usize >= n {
+            return Err(LevelizeError::UnknownNode(v));
+        }
+        if u == v {
+            return Err(LevelizeError::SelfLoop(u));
+        }
+    }
+
+    // Kahn topological order with longest-path levels.
+    let mut indeg = vec![0u32; n];
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for &(u, v) in &dag.edges {
+        indeg[v as usize] += 1;
+        adj[u as usize].push(v);
+    }
+    let mut level = vec![0 as Level; n];
+    let mut queue: Vec<u32> = (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
+    let mut seen = 0usize;
+    let mut head = 0usize;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        seen += 1;
+        for &v in &adj[u as usize] {
+            level[v as usize] = level[v as usize].max(level[u as usize] + 1);
+            indeg[v as usize] -= 1;
+            if indeg[v as usize] == 0 {
+                queue.push(v);
+            }
+        }
+    }
+    if seen != n {
+        return Err(LevelizeError::Cyclic);
+    }
+
+    // Build the leveled network: original nodes first, dummies appended.
+    // Dummies may create levels with no original nodes; the builder
+    // requires all levels 0..=L non-empty, which subdivision guarantees
+    // for every level that any edge crosses. Isolated high-level gaps
+    // cannot occur: levels are longest-path distances, so every level
+    // l <= L is realized by some node on a longest path.
+    let mut b = NetworkBuilder::with_capacity("levelized", n + dag.edges.len(), dag.edges.len());
+    for &lv in level.iter().take(n) {
+        b.add_node(lv);
+    }
+    let node_map: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+    let mut is_dummy = vec![false; n];
+    let mut edge_chains = Vec::with_capacity(dag.edges.len());
+    for &(u, v) in &dag.edges {
+        let (lu, lv) = (level[u as usize], level[v as usize]);
+        debug_assert!(lv > lu, "topological levels are strictly increasing");
+        let mut chain = Vec::with_capacity((lv - lu) as usize);
+        let mut prev = node_map[u as usize];
+        for l in (lu + 1)..lv {
+            let d = b.add_node(l);
+            is_dummy.push(true);
+            chain.push(b.add_edge(prev, d).expect("consecutive levels"));
+            prev = d;
+        }
+        chain.push(
+            b.add_edge(prev, node_map[v as usize])
+                .expect("consecutive levels"),
+        );
+        edge_chains.push(chain);
+    }
+    let net = b.build().map_err(|_| LevelizeError::Empty)?;
+    is_dummy.resize(net.num_nodes(), true);
+
+    Ok(Levelized {
+        net,
+        node_map,
+        edge_chains,
+        is_dummy,
+        levels: level,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    /// A diamond with a long shortcut:  0 -> 1 -> 2 -> 3 and 0 -> 3.
+    fn shortcut_dag() -> Dag {
+        let mut d = Dag::new(4);
+        d.add_edge(0, 1);
+        d.add_edge(1, 2);
+        d.add_edge(2, 3);
+        d.add_edge(0, 3);
+        d
+    }
+
+    #[test]
+    fn longest_path_levels() {
+        let lz = levelize(&shortcut_dag()).unwrap();
+        assert_eq!(lz.level_of(0), 0);
+        assert_eq!(lz.level_of(1), 1);
+        assert_eq!(lz.level_of(2), 2);
+        assert_eq!(lz.level_of(3), 3);
+        assert_eq!(lz.net.depth(), 3);
+        lz.net.validate().unwrap();
+    }
+
+    #[test]
+    fn long_edges_get_subdivided() {
+        let lz = levelize(&shortcut_dag()).unwrap();
+        // The shortcut 0 -> 3 spans 3 levels: 2 dummies, chain of 3 edges.
+        assert_eq!(lz.num_dummies(), 2);
+        assert_eq!(lz.edge_chain(3).len(), 3);
+        for &(e, len) in &[(0usize, 1usize), (1, 1), (2, 1)] {
+            assert_eq!(lz.edge_chain(e).len(), len);
+        }
+        // Chain edges concatenate to a valid leveled walk 0 -> 3.
+        let chain = lz.edge_chain(3);
+        let mut at = lz.node(0);
+        for &e in chain {
+            assert_eq!(lz.net.edge(e).tail, at);
+            at = lz.net.edge(e).head;
+        }
+        assert_eq!(at, lz.node(3));
+    }
+
+    #[test]
+    fn dummies_are_marked() {
+        let lz = levelize(&shortcut_dag()).unwrap();
+        for v in 0..4 {
+            assert!(!lz.is_dummy(lz.node(v)));
+        }
+        let dummies: Vec<NodeId> = lz
+            .net
+            .nodes()
+            .filter(|&nd| lz.is_dummy(nd))
+            .collect();
+        assert_eq!(dummies.len(), 2);
+        // Dummies sit on levels 1 and 2.
+        let mut lv: Vec<Level> = dummies.iter().map(|&d| lz.net.level(d)).collect();
+        lv.sort_unstable();
+        assert_eq!(lv, vec![1, 2]);
+    }
+
+    #[test]
+    fn translate_edges_concatenates_chains() {
+        let lz = levelize(&shortcut_dag()).unwrap();
+        let edges = lz.translate_edges(&[0, 1, 2]);
+        assert_eq!(edges.len(), 3);
+        let single = lz.translate_edges(&[3]);
+        assert_eq!(single.len(), 3);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut d = Dag::new(3);
+        d.add_edge(0, 1);
+        d.add_edge(1, 2);
+        d.add_edge(2, 0);
+        assert_eq!(levelize(&d).unwrap_err(), LevelizeError::Cyclic);
+    }
+
+    #[test]
+    fn self_loop_detected() {
+        let mut d = Dag::new(2);
+        d.add_edge(1, 1);
+        assert_eq!(levelize(&d).unwrap_err(), LevelizeError::SelfLoop(1));
+    }
+
+    #[test]
+    fn unknown_node_detected() {
+        let mut d = Dag::new(2);
+        d.add_edge(0, 5);
+        assert_eq!(levelize(&d).unwrap_err(), LevelizeError::UnknownNode(5));
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        assert_eq!(levelize(&Dag::new(0)).unwrap_err(), LevelizeError::Empty);
+    }
+
+    #[test]
+    fn edgeless_graph_levelizes_flat() {
+        let lz = levelize(&Dag::new(5)).unwrap();
+        assert_eq!(lz.net.depth(), 0);
+        assert_eq!(lz.net.num_nodes(), 5);
+        assert_eq!(lz.num_dummies(), 0);
+    }
+
+    #[test]
+    fn random_dags_levelize_validly() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+        for trial in 0..30 {
+            let n = rng.gen_range(2..40);
+            let mut d = Dag::new(n);
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if rng.gen_bool(0.15) {
+                        d.add_edge(u, v);
+                    }
+                }
+            }
+            let lz = levelize(&d).unwrap();
+            lz.net.validate().unwrap();
+            // Every original edge's chain spans exactly its level gap.
+            for (i, &(u, v)) in d.edges().iter().enumerate() {
+                let span = (lz.level_of(v) - lz.level_of(u)) as usize;
+                assert_eq!(lz.edge_chain(i).len(), span, "trial {trial} edge {i}");
+            }
+            // Congestion preserved: chains are edge-disjoint by
+            // construction (each chain has private dummies).
+            let mut used = std::collections::HashSet::new();
+            for i in 0..d.num_edges() {
+                for &e in lz.edge_chain(i) {
+                    assert!(used.insert(e), "chains must be edge-disjoint");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Leveled-network substrate for hot-potato routing.
+//!
+//! A *leveled network* of depth `L` (Busch, SPAA 2002, §1.1) consists of
+//! `L + 1` levels of nodes, numbered `0..=L`, such that every node belongs to
+//! exactly one level and every edge connects nodes in *consecutive* levels.
+//! Edges are oriented from the lower level to the higher level (`tail` at
+//! level `l`, `head` at level `l + 1`), but during routing they are used in
+//! both directions: at any time step at most two packets can traverse a link,
+//! one per direction.
+//!
+//! This crate provides:
+//!
+//! * [`LeveledNetwork`] — an immutable, validated leveled network with
+//!   CSR-style forward/backward adjacency,
+//! * [`NetworkBuilder`] — an incremental builder that checks the leveling
+//!   constraints,
+//! * [`builders`] — the classic multiprocessor topologies the paper lists as
+//!   leveled networks (butterfly, mesh in its four corner orientations,
+//!   linear and multidimensional arrays, hypercube, trees and fat trees,
+//!   complete and random leveled networks),
+//! * [`render`] — textual/DOT renderings used to regenerate Figure 1.
+//!
+//! # Example
+//!
+//! ```
+//! use leveled_net::builders;
+//!
+//! let net = builders::butterfly(3);
+//! assert_eq!(net.depth(), 3);            // levels 0..=3
+//! assert_eq!(net.num_nodes(), 4 * 8);    // (k+1) * 2^k
+//! assert_eq!(net.num_edges(), 3 * 16);   // k * 2^(k+1)
+//! net.validate().unwrap();
+//! ```
+
+pub mod builders;
+pub mod ids;
+pub mod levelize;
+pub mod network;
+pub mod render;
+
+pub use ids::{Direction, EdgeId, Level, NodeId};
+pub use levelize::{levelize, Dag, Levelized, LevelizeError};
+pub use network::{Edge, LeveledNetwork, NetworkBuilder, NetworkError};

@@ -1,0 +1,593 @@
+//! The [`LeveledNetwork`] graph type and its builder.
+//!
+//! The network is immutable after construction. Adjacency is stored in two
+//! CSR (compressed sparse row) tables:
+//!
+//! * `fwd` — for each node `v`, the edges whose *tail* is `v` (traversing
+//!   them forward moves a packet from `level(v)` to `level(v) + 1`);
+//! * `bwd` — for each node `v`, the edges whose *head* is `v` (traversing
+//!   them backward moves a packet from `level(v)` to `level(v) - 1`).
+//!
+//! Parallel edges are permitted (they arise naturally in fat trees); self
+//! loops and intra-level edges are not, by definition of a leveled network.
+
+use crate::ids::{DirectedEdge, Direction, EdgeId, Level, NodeId};
+
+/// An edge of a leveled network, oriented from the lower level (`tail`) to
+/// the higher level (`head`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Edge {
+    /// Endpoint at level `l`.
+    pub tail: NodeId,
+    /// Endpoint at level `l + 1`.
+    pub head: NodeId,
+}
+
+impl Edge {
+    /// The endpoint reached when traversing the edge in `dir` starting from
+    /// the other endpoint.
+    #[inline]
+    pub fn endpoint(&self, dir: Direction) -> NodeId {
+        match dir {
+            Direction::Forward => self.head,
+            Direction::Backward => self.tail,
+        }
+    }
+
+    /// The endpoint opposite to `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not an endpoint of the edge.
+    #[inline]
+    pub fn other(&self, node: NodeId) -> NodeId {
+        if node == self.tail {
+            self.head
+        } else {
+            assert_eq!(node, self.head, "node is not an endpoint of this edge");
+            self.tail
+        }
+    }
+}
+
+/// Errors detected while building or validating a leveled network.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum NetworkError {
+    /// An edge's endpoints are not in consecutive levels.
+    NotConsecutiveLevels {
+        /// Offending edge.
+        edge: EdgeId,
+        /// Level of the edge's tail.
+        tail_level: Level,
+        /// Level of the edge's head.
+        head_level: Level,
+    },
+    /// A node identifier was out of range.
+    UnknownNode(NodeId),
+    /// Some level in `0..=L` contains no nodes.
+    EmptyLevel(Level),
+    /// The network has no nodes at all.
+    Empty,
+}
+
+impl std::fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetworkError::NotConsecutiveLevels {
+                edge,
+                tail_level,
+                head_level,
+            } => write!(
+                f,
+                "edge {edge} connects levels {tail_level} and {head_level}, \
+                 which are not consecutive"
+            ),
+            NetworkError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            NetworkError::EmptyLevel(l) => write!(f, "level {l} contains no nodes"),
+            NetworkError::Empty => write!(f, "the network has no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+/// A validated, immutable leveled network.
+#[derive(Clone, Debug)]
+pub struct LeveledNetwork {
+    name: String,
+    level_of: Vec<Level>,
+    edges: Vec<Edge>,
+    /// CSR offsets/targets: edges with tail == node.
+    fwd_off: Vec<u32>,
+    fwd_edges: Vec<EdgeId>,
+    /// CSR offsets/targets: edges with head == node.
+    bwd_off: Vec<u32>,
+    bwd_edges: Vec<EdgeId>,
+    /// Nodes grouped by level (CSR).
+    lvl_off: Vec<u32>,
+    lvl_nodes: Vec<NodeId>,
+    depth: Level,
+}
+
+impl LeveledNetwork {
+    /// A short human-readable name of the topology (e.g. `"butterfly(5)"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.level_of.len()
+    }
+
+    /// Number of (undirected, oriented) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The depth `L`: levels are numbered `0..=L`.
+    #[inline]
+    pub fn depth(&self) -> Level {
+        self.depth
+    }
+
+    /// Number of levels, `L + 1`.
+    #[inline]
+    pub fn num_levels(&self) -> usize {
+        self.depth as usize + 1
+    }
+
+    /// The level of `node`.
+    #[inline]
+    pub fn level(&self, node: NodeId) -> Level {
+        self.level_of[node.index()]
+    }
+
+    /// The edge record for `edge`.
+    #[inline]
+    pub fn edge(&self, edge: EdgeId) -> Edge {
+        self.edges[edge.index()]
+    }
+
+    /// Iterator over all node identifiers.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        (0..self.level_of.len() as u32).map(NodeId)
+    }
+
+    /// Iterator over all edge identifiers.
+    pub fn edge_ids(&self) -> impl ExactSizeIterator<Item = EdgeId> + '_ {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// The nodes at `level`.
+    #[inline]
+    pub fn nodes_at_level(&self, level: Level) -> &[NodeId] {
+        let l = level as usize;
+        let lo = self.lvl_off[l] as usize;
+        let hi = self.lvl_off[l + 1] as usize;
+        &self.lvl_nodes[lo..hi]
+    }
+
+    /// Edges leaving `node` forward (to level `level(node) + 1`).
+    #[inline]
+    pub fn fwd_edges(&self, node: NodeId) -> &[EdgeId] {
+        let i = node.index();
+        let lo = self.fwd_off[i] as usize;
+        let hi = self.fwd_off[i + 1] as usize;
+        &self.fwd_edges[lo..hi]
+    }
+
+    /// Edges leaving `node` backward (to level `level(node) - 1`).
+    #[inline]
+    pub fn bwd_edges(&self, node: NodeId) -> &[EdgeId] {
+        let i = node.index();
+        let lo = self.bwd_off[i] as usize;
+        let hi = self.bwd_off[i + 1] as usize;
+        &self.bwd_edges[lo..hi]
+    }
+
+    /// Total degree of `node` (forward plus backward incident edges).
+    #[inline]
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.fwd_edges(node).len() + self.bwd_edges(node).len()
+    }
+
+    /// Maximum degree over all nodes.
+    pub fn max_degree(&self) -> usize {
+        self.nodes().map(|n| self.degree(n)).max().unwrap_or(0)
+    }
+
+    /// The node reached from `from` by the directed traversal `mv`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `from` is not the origin of `mv`.
+    #[inline]
+    pub fn traverse(&self, from: NodeId, mv: DirectedEdge) -> NodeId {
+        let e = self.edge(mv.edge);
+        debug_assert_eq!(
+            self.move_origin(mv),
+            from,
+            "traversal does not start at `from`"
+        );
+        e.endpoint(mv.dir)
+    }
+
+    /// The node a directed traversal starts from.
+    #[inline]
+    pub fn move_origin(&self, mv: DirectedEdge) -> NodeId {
+        let e = self.edge(mv.edge);
+        match mv.dir {
+            Direction::Forward => e.tail,
+            Direction::Backward => e.head,
+        }
+    }
+
+    /// The node a directed traversal arrives at.
+    #[inline]
+    pub fn move_target(&self, mv: DirectedEdge) -> NodeId {
+        self.edge(mv.edge).endpoint(mv.dir)
+    }
+
+    /// All directed traversals leaving `node` (forward edges forward,
+    /// backward edges backward).
+    pub fn exits(&self, node: NodeId) -> impl Iterator<Item = DirectedEdge> + '_ {
+        self.fwd_edges(node)
+            .iter()
+            .map(|&e| DirectedEdge::forward(e))
+            .chain(
+                self.bwd_edges(node)
+                    .iter()
+                    .map(|&e| DirectedEdge::backward(e)),
+            )
+    }
+
+    /// Re-checks every structural invariant of the leveled network.
+    ///
+    /// Construction already enforces these; `validate` exists so tests and
+    /// downstream code can assert the invariants on arbitrary instances.
+    pub fn validate(&self) -> Result<(), NetworkError> {
+        if self.level_of.is_empty() {
+            return Err(NetworkError::Empty);
+        }
+        for (i, e) in self.edges.iter().enumerate() {
+            let lt = self.level(e.tail);
+            let lh = self.level(e.head);
+            if lh != lt + 1 {
+                return Err(NetworkError::NotConsecutiveLevels {
+                    edge: EdgeId(i as u32),
+                    tail_level: lt,
+                    head_level: lh,
+                });
+            }
+        }
+        for l in 0..=self.depth {
+            if self.nodes_at_level(l).is_empty() {
+                return Err(NetworkError::EmptyLevel(l));
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-level node counts (the "width profile" of the network).
+    pub fn level_widths(&self) -> Vec<usize> {
+        (0..=self.depth)
+            .map(|l| self.nodes_at_level(l).len())
+            .collect()
+    }
+
+    /// The set of nodes that can reach `dest` by a valid (forward) path,
+    /// including `dest` itself, as a boolean mask indexed by node.
+    ///
+    /// Computed by a backward sweep from `dest`; `O(V + E)`.
+    pub fn reaches_mask(&self, dest: NodeId) -> Vec<bool> {
+        let mut mask = vec![false; self.num_nodes()];
+        mask[dest.index()] = true;
+        let mut frontier = vec![dest];
+        while let Some(v) = frontier.pop() {
+            for &e in self.bwd_edges(v) {
+                let u = self.edge(e).tail;
+                if !mask[u.index()] {
+                    mask[u.index()] = true;
+                    frontier.push(u);
+                }
+            }
+        }
+        mask
+    }
+
+    /// The set of nodes reachable from `src` by a valid (forward) path,
+    /// including `src` itself, as a boolean mask indexed by node.
+    pub fn reachable_mask(&self, src: NodeId) -> Vec<bool> {
+        let mut mask = vec![false; self.num_nodes()];
+        mask[src.index()] = true;
+        let mut frontier = vec![src];
+        while let Some(v) = frontier.pop() {
+            for &e in self.fwd_edges(v) {
+                let w = self.edge(e).head;
+                if !mask[w.index()] {
+                    mask[w.index()] = true;
+                    frontier.push(w);
+                }
+            }
+        }
+        mask
+    }
+}
+
+/// Incremental builder for [`LeveledNetwork`].
+///
+/// ```
+/// use leveled_net::{NetworkBuilder, NodeId};
+///
+/// let mut b = NetworkBuilder::new("tiny");
+/// let a = b.add_node(0);
+/// let c = b.add_node(1);
+/// b.add_edge(a, c).unwrap();
+/// let net = b.build().unwrap();
+/// assert_eq!(net.depth(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct NetworkBuilder {
+    name: String,
+    level_of: Vec<Level>,
+    edges: Vec<Edge>,
+}
+
+impl NetworkBuilder {
+    /// Creates an empty builder; `name` labels the resulting topology.
+    pub fn new(name: impl Into<String>) -> Self {
+        NetworkBuilder {
+            name: name.into(),
+            level_of: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Creates an empty builder with node/edge capacity hints.
+    pub fn with_capacity(name: impl Into<String>, nodes: usize, edges: usize) -> Self {
+        NetworkBuilder {
+            name: name.into(),
+            level_of: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Adds a node at `level` and returns its identifier.
+    pub fn add_node(&mut self, level: Level) -> NodeId {
+        let id = NodeId(self.level_of.len() as u32);
+        self.level_of.push(level);
+        id
+    }
+
+    /// Number of nodes added so far.
+    pub fn num_nodes(&self) -> usize {
+        self.level_of.len()
+    }
+
+    /// Adds an edge between `a` and `b`, which must lie in consecutive
+    /// levels (in either order); the edge is oriented low → high.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> Result<EdgeId, NetworkError> {
+        let la = *self
+            .level_of
+            .get(a.index())
+            .ok_or(NetworkError::UnknownNode(a))?;
+        let lb = *self
+            .level_of
+            .get(b.index())
+            .ok_or(NetworkError::UnknownNode(b))?;
+        let id = EdgeId(self.edges.len() as u32);
+        let edge = if lb == la + 1 {
+            Edge { tail: a, head: b }
+        } else if la == lb + 1 {
+            Edge { tail: b, head: a }
+        } else {
+            return Err(NetworkError::NotConsecutiveLevels {
+                edge: id,
+                tail_level: la,
+                head_level: lb,
+            });
+        };
+        self.edges.push(edge);
+        Ok(id)
+    }
+
+    /// Finalizes the network, computing adjacency tables and validating
+    /// that every level `0..=L` is non-empty.
+    pub fn build(self) -> Result<LeveledNetwork, NetworkError> {
+        if self.level_of.is_empty() {
+            return Err(NetworkError::Empty);
+        }
+        let n = self.level_of.len();
+        let depth = *self.level_of.iter().max().expect("non-empty");
+
+        // Forward CSR (by tail) and backward CSR (by head), via counting sort.
+        let mut fwd_off = vec![0u32; n + 1];
+        let mut bwd_off = vec![0u32; n + 1];
+        for e in &self.edges {
+            fwd_off[e.tail.index() + 1] += 1;
+            bwd_off[e.head.index() + 1] += 1;
+        }
+        for i in 0..n {
+            fwd_off[i + 1] += fwd_off[i];
+            bwd_off[i + 1] += bwd_off[i];
+        }
+        let mut fwd_edges = vec![EdgeId(0); self.edges.len()];
+        let mut bwd_edges = vec![EdgeId(0); self.edges.len()];
+        let mut fcur = fwd_off.clone();
+        let mut bcur = bwd_off.clone();
+        for (i, e) in self.edges.iter().enumerate() {
+            let id = EdgeId(i as u32);
+            fwd_edges[fcur[e.tail.index()] as usize] = id;
+            fcur[e.tail.index()] += 1;
+            bwd_edges[bcur[e.head.index()] as usize] = id;
+            bcur[e.head.index()] += 1;
+        }
+
+        // Level CSR.
+        let nl = depth as usize + 1;
+        let mut lvl_off = vec![0u32; nl + 1];
+        for &l in &self.level_of {
+            lvl_off[l as usize + 1] += 1;
+        }
+        for l in 0..nl {
+            lvl_off[l + 1] += lvl_off[l];
+        }
+        let mut lvl_nodes = vec![NodeId(0); n];
+        let mut lcur = lvl_off.clone();
+        for (i, &l) in self.level_of.iter().enumerate() {
+            lvl_nodes[lcur[l as usize] as usize] = NodeId(i as u32);
+            lcur[l as usize] += 1;
+        }
+
+        let net = LeveledNetwork {
+            name: self.name,
+            level_of: self.level_of,
+            edges: self.edges,
+            fwd_off,
+            fwd_edges,
+            bwd_off,
+            bwd_edges,
+            lvl_off,
+            lvl_nodes,
+            depth,
+        };
+        net.validate()?;
+        Ok(net)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0 -- 1 -- 3
+    ///   \- 2 -/
+    fn diamond() -> LeveledNetwork {
+        let mut b = NetworkBuilder::new("diamond");
+        let n0 = b.add_node(0);
+        let n1 = b.add_node(1);
+        let n2 = b.add_node(1);
+        let n3 = b.add_node(2);
+        b.add_edge(n0, n1).unwrap();
+        b.add_edge(n0, n2).unwrap();
+        b.add_edge(n1, n3).unwrap();
+        b.add_edge(n3, n2).unwrap(); // reversed argument order: still oriented low->high
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn diamond_structure() {
+        let net = diamond();
+        assert_eq!(net.num_nodes(), 4);
+        assert_eq!(net.num_edges(), 4);
+        assert_eq!(net.depth(), 2);
+        assert_eq!(net.num_levels(), 3);
+        assert_eq!(net.level_widths(), vec![1, 2, 1]);
+        assert_eq!(net.fwd_edges(NodeId(0)).len(), 2);
+        assert_eq!(net.bwd_edges(NodeId(0)).len(), 0);
+        assert_eq!(net.fwd_edges(NodeId(3)).len(), 0);
+        assert_eq!(net.bwd_edges(NodeId(3)).len(), 2);
+        assert_eq!(net.degree(NodeId(1)), 2);
+        assert_eq!(net.max_degree(), 2);
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn edge_orientation_is_low_to_high_regardless_of_argument_order() {
+        let net = diamond();
+        // Edge 3 was added as (n3, n2) but must be oriented n2 -> n3.
+        let e = net.edge(EdgeId(3));
+        assert_eq!(e.tail, NodeId(2));
+        assert_eq!(e.head, NodeId(3));
+        assert_eq!(e.other(NodeId(2)), NodeId(3));
+        assert_eq!(e.other(NodeId(3)), NodeId(2));
+    }
+
+    #[test]
+    fn traversal_moves_between_endpoints() {
+        let net = diamond();
+        let mv = DirectedEdge::forward(EdgeId(0));
+        assert_eq!(net.move_origin(mv), NodeId(0));
+        assert_eq!(net.move_target(mv), NodeId(1));
+        assert_eq!(net.traverse(NodeId(0), mv), NodeId(1));
+        let back = mv.reversed();
+        assert_eq!(net.move_origin(back), NodeId(1));
+        assert_eq!(net.traverse(NodeId(1), back), NodeId(0));
+    }
+
+    #[test]
+    fn exits_enumerates_forward_then_backward() {
+        let net = diamond();
+        let exits: Vec<_> = net.exits(NodeId(1)).collect();
+        assert_eq!(exits.len(), 2);
+        assert_eq!(exits[0], DirectedEdge::forward(EdgeId(2)));
+        assert_eq!(exits[1], DirectedEdge::backward(EdgeId(0)));
+    }
+
+    #[test]
+    fn rejects_non_consecutive_edge() {
+        let mut b = NetworkBuilder::new("bad");
+        let a = b.add_node(0);
+        let c = b.add_node(2);
+        let err = b.add_edge(a, c).unwrap_err();
+        assert!(matches!(err, NetworkError::NotConsecutiveLevels { .. }));
+    }
+
+    #[test]
+    fn rejects_same_level_edge() {
+        let mut b = NetworkBuilder::new("bad");
+        let a = b.add_node(1);
+        let c = b.add_node(1);
+        assert!(b.add_edge(a, c).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_node() {
+        let mut b = NetworkBuilder::new("bad");
+        let a = b.add_node(0);
+        let err = b.add_edge(a, NodeId(99)).unwrap_err();
+        assert_eq!(err, NetworkError::UnknownNode(NodeId(99)));
+    }
+
+    #[test]
+    fn rejects_empty_network() {
+        let b = NetworkBuilder::new("empty");
+        assert_eq!(b.build().unwrap_err(), NetworkError::Empty);
+    }
+
+    #[test]
+    fn rejects_empty_level() {
+        let mut b = NetworkBuilder::new("gap");
+        b.add_node(0);
+        b.add_node(2); // level 1 left empty
+        assert_eq!(b.build().unwrap_err(), NetworkError::EmptyLevel(1));
+    }
+
+    #[test]
+    fn reachability_masks() {
+        let net = diamond();
+        let from0 = net.reachable_mask(NodeId(0));
+        assert!(from0.iter().all(|&x| x), "everything reachable from source");
+        let to3 = net.reaches_mask(NodeId(3));
+        assert!(to3.iter().all(|&x| x), "everything reaches the sink");
+        let to1 = net.reaches_mask(NodeId(1));
+        assert_eq!(to1, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn parallel_edges_are_allowed() {
+        let mut b = NetworkBuilder::new("multi");
+        let a = b.add_node(0);
+        let c = b.add_node(1);
+        b.add_edge(a, c).unwrap();
+        b.add_edge(a, c).unwrap();
+        let net = b.build().unwrap();
+        assert_eq!(net.num_edges(), 2);
+        assert_eq!(net.fwd_edges(a).len(), 2);
+        assert_eq!(net.bwd_edges(c).len(), 2);
+        net.validate().unwrap();
+    }
+}

@@ -1,0 +1,106 @@
+//! Textual renderings of leveled networks.
+//!
+//! These power the Figure 1 reproduction (`tables -- f1`): a compact
+//! per-level summary, an ASCII sketch of the level structure, and Graphviz
+//! DOT output for small instances.
+
+use crate::network::LeveledNetwork;
+use std::fmt::Write as _;
+
+/// One line per level: level number, node count, and edge count to the next
+/// level — the "leveled decomposition" of Figure 1.
+pub fn level_summary(net: &LeveledNetwork) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: {} nodes, {} edges, depth L = {}",
+        net.name(),
+        net.num_nodes(),
+        net.num_edges(),
+        net.depth()
+    );
+    let mut edges_from_level = vec![0usize; net.num_levels()];
+    for e in net.edge_ids() {
+        let tail = net.edge(e).tail;
+        edges_from_level[net.level(tail) as usize] += 1;
+    }
+    for l in 0..=net.depth() {
+        let width = net.nodes_at_level(l).len();
+        if l < net.depth() {
+            let _ = writeln!(
+                out,
+                "  level {l:>3}: {width:>6} nodes, {:>7} edges to level {}",
+                edges_from_level[l as usize],
+                l + 1
+            );
+        } else {
+            let _ = writeln!(out, "  level {l:>3}: {width:>6} nodes");
+        }
+    }
+    out
+}
+
+/// A one-line histogram of level widths, e.g. `1 2 3 4 3 2 1` for a 4x4
+/// mesh leveled from a corner.
+pub fn width_profile(net: &LeveledNetwork) -> String {
+    net.level_widths()
+        .iter()
+        .map(|w| w.to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Graphviz DOT output with nodes ranked by level. Intended for small
+/// networks (a few hundred nodes).
+pub fn to_dot(net: &LeveledNetwork) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", net.name());
+    let _ = writeln!(out, "  rankdir=LR;");
+    for l in 0..=net.depth() {
+        let _ = write!(out, "  {{ rank=same;");
+        for n in net.nodes_at_level(l) {
+            let _ = write!(out, " {};", n.0);
+        }
+        let _ = writeln!(out, " }}");
+    }
+    for e in net.edge_ids() {
+        let edge = net.edge(e);
+        let _ = writeln!(out, "  {} -> {};", edge.tail.0, edge.head.0);
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn summary_mentions_every_level() {
+        let net = builders::linear_array(4);
+        let s = level_summary(&net);
+        for l in 0..=3 {
+            assert!(s.contains(&format!("level   {l}")), "missing level {l}:\n{s}");
+        }
+        assert!(s.contains("depth L = 3"));
+    }
+
+    #[test]
+    fn width_profile_matches_mesh_diagonals() {
+        let (net, _) = builders::mesh(3, 3, builders::MeshCorner::TopLeft);
+        assert_eq!(width_profile(&net), "1 2 3 2 1");
+    }
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        let net = builders::butterfly(2);
+        let dot = to_dot(&net);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.trim_end().ends_with('}'));
+        // One arrow per edge.
+        assert_eq!(dot.matches(" -> ").count(), net.num_edges());
+        // One rank group per level.
+        assert_eq!(dot.matches("rank=same").count(), net.num_levels());
+    }
+}

@@ -1,0 +1,27 @@
+//! Routing-problem model for leveled networks.
+//!
+//! This crate defines the *static* side of a packet-routing problem in the
+//! sense of Busch (SPAA 2002, §2):
+//!
+//! * [`Path`] — a *valid path*: a chain of edges traversed forward, i.e.
+//!   visiting consecutive levels from a lower level to a higher one;
+//! * [`RoutingProblem`] — a set of packets with preselected valid paths,
+//!   at most one packet per source node (the paper's many-to-one setting),
+//!   with the two governing parameters **congestion `C`** (max packets per
+//!   edge) and **dilation `D`** (max path length);
+//! * [`paths`] — preselected-path strategies: uniformly random minimal
+//!   paths, deterministic first-fit minimal paths, bit-fixing paths on the
+//!   butterfly, dimension-order paths on the mesh;
+//! * [`workloads`] — problem generators: random pairs, level-to-level
+//!   permutations, hot spots, and the §5 mesh workload with
+//!   `C = D = Θ(n)`.
+
+pub mod dag;
+pub mod path;
+pub mod paths;
+pub mod problem;
+pub mod workloads;
+
+pub use dag::DagNetwork;
+pub use path::{Path, PathError};
+pub use problem::{PacketId, PacketSpec, ProblemError, RoutingProblem};

@@ -1,0 +1,305 @@
+//! Routing problems: packets with preselected paths, congestion, dilation.
+
+use crate::path::Path;
+use leveled_net::{LeveledNetwork, NodeId};
+use std::sync::Arc;
+
+/// Dense identifier of a packet within a [`RoutingProblem`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PacketId(pub u32);
+
+impl PacketId {
+    /// The identifier as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for PacketId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl std::fmt::Display for PacketId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A packet: its identifier and its preselected valid path. Source and
+/// destination are the path's endpoints.
+#[derive(Clone, Debug)]
+pub struct PacketSpec {
+    /// The packet identifier (equal to its index in the problem).
+    pub id: PacketId,
+    /// The preselected path from source to destination.
+    pub path: Path,
+}
+
+/// Errors detected while assembling a [`RoutingProblem`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProblemError {
+    /// Two packets share a source node, violating the many-to-one setting
+    /// of the paper (each node is the source of at most one packet).
+    DuplicateSource(NodeId),
+}
+
+impl std::fmt::Display for ProblemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProblemError::DuplicateSource(n) => {
+                write!(f, "node {n} is the source of more than one packet")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProblemError {}
+
+/// A many-to-one packet routing problem on a leveled network: `N` packets,
+/// each with a preselected valid path, at most one packet per source node.
+#[derive(Clone, Debug)]
+pub struct RoutingProblem {
+    net: Arc<LeveledNetwork>,
+    packets: Vec<PacketSpec>,
+    relaxed: bool,
+}
+
+impl RoutingProblem {
+    /// Assembles a problem from preselected paths, validating the
+    /// one-packet-per-source constraint (paths themselves are valid by
+    /// construction of [`Path`]).
+    pub fn new(net: Arc<LeveledNetwork>, paths: Vec<Path>) -> Result<Self, ProblemError> {
+        let mut seen = vec![false; net.num_nodes()];
+        for p in &paths {
+            let s = p.source();
+            if seen[s.index()] {
+                return Err(ProblemError::DuplicateSource(s));
+            }
+            seen[s.index()] = true;
+        }
+        let packets = Self::number(paths);
+        Ok(RoutingProblem {
+            net,
+            packets,
+            relaxed: false,
+        })
+    }
+
+    /// Assembles a *relaxed* (many-to-many) problem in which a node may be
+    /// the source of several packets — the setting of Borodin, Rabani and
+    /// Schieber (reference 7 in the paper). The paper's injection-isolation
+    /// analysis does not cover this case; the router handles it by
+    /// retrying injections and counting the isolation violations.
+    pub fn new_relaxed(net: Arc<LeveledNetwork>, paths: Vec<Path>) -> Self {
+        let packets = Self::number(paths);
+        RoutingProblem {
+            net,
+            packets,
+            relaxed: true,
+        }
+    }
+
+    /// Whether the problem permits several packets per source node.
+    pub fn is_relaxed(&self) -> bool {
+        self.relaxed
+    }
+
+    fn number(paths: Vec<Path>) -> Vec<PacketSpec> {
+        paths
+            .into_iter()
+            .enumerate()
+            .map(|(i, path)| PacketSpec {
+                id: PacketId(i as u32),
+                path,
+            })
+            .collect()
+    }
+
+    /// The underlying network.
+    #[inline]
+    pub fn network(&self) -> &LeveledNetwork {
+        &self.net
+    }
+
+    /// A shared handle to the underlying network.
+    pub fn network_arc(&self) -> Arc<LeveledNetwork> {
+        Arc::clone(&self.net)
+    }
+
+    /// The packets, indexed by [`PacketId`].
+    #[inline]
+    pub fn packets(&self) -> &[PacketSpec] {
+        &self.packets
+    }
+
+    /// Number of packets `N`.
+    #[inline]
+    pub fn num_packets(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// The packet with identifier `id`.
+    #[inline]
+    pub fn packet(&self, id: PacketId) -> &PacketSpec {
+        &self.packets[id.index()]
+    }
+
+    /// Per-edge congestion of the preselected paths: entry `e` counts the
+    /// packets whose path uses edge `e`.
+    pub fn edge_congestion(&self) -> Vec<u32> {
+        let mut cong = vec![0u32; self.net.num_edges()];
+        for p in &self.packets {
+            for &e in p.path.edges() {
+                cong[e.index()] += 1;
+            }
+        }
+        cong
+    }
+
+    /// The congestion `C`: the maximum number of preselected paths crossing
+    /// any single edge. Returns 0 for a problem with only trivial paths.
+    pub fn congestion(&self) -> u32 {
+        self.edge_congestion().into_iter().max().unwrap_or(0)
+    }
+
+    /// The dilation `D`: the maximum preselected path length.
+    pub fn dilation(&self) -> u32 {
+        self.packets
+            .iter()
+            .map(|p| p.path.len() as u32)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Per-set congestion under a packet-to-set `assignment` (one entry per
+    /// packet, values `< num_sets`): for each set, the maximum number of
+    /// its packets crossing any single edge — the paper's frontier-set
+    /// congestion `C_i` (§2.4).
+    pub fn per_set_congestion(&self, assignment: &[u32], num_sets: usize) -> Vec<u32> {
+        assert_eq!(assignment.len(), self.packets.len());
+        let ne = self.net.num_edges();
+        // One pass per edge-slot with set-tagged counting: a dense
+        // (num_sets x num_edges) matrix would be large, so count into a
+        // per-set sparse accumulation instead.
+        let mut per_set_edge: Vec<std::collections::HashMap<u32, u32>> =
+            vec![std::collections::HashMap::new(); num_sets];
+        for (p, &set) in self.packets.iter().zip(assignment) {
+            assert!((set as usize) < num_sets, "set id out of range");
+            let map = &mut per_set_edge[set as usize];
+            for &e in p.path.edges() {
+                debug_assert!(e.index() < ne);
+                *map.entry(e.0).or_insert(0) += 1;
+            }
+        }
+        per_set_edge
+            .into_iter()
+            .map(|m| m.into_values().max().unwrap_or(0))
+            .collect()
+    }
+
+    /// Histogram of path lengths (index = length).
+    pub fn path_length_histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.dilation() as usize + 1];
+        for p in &self.packets {
+            h[p.path.len()] += 1;
+        }
+        h
+    }
+
+    /// A compact one-line description: `N`, `C`, `D`, `L`.
+    pub fn describe(&self) -> String {
+        format!(
+            "{}: N={} C={} D={} L={}",
+            self.net.name(),
+            self.num_packets(),
+            self.congestion(),
+            self.dilation(),
+            self.net.depth()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::Path;
+    use leveled_net::builders;
+
+    fn line_problem() -> RoutingProblem {
+        let net = Arc::new(builders::linear_array(5));
+        let p0 = Path::from_nodes(&net, &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]).unwrap();
+        let p1 = Path::from_nodes(&net, &[NodeId(1), NodeId(2), NodeId(3), NodeId(4)]).unwrap();
+        let p2 = Path::from_nodes(&net, &[NodeId(2), NodeId(3)]).unwrap();
+        RoutingProblem::new(net, vec![p0, p1, p2]).unwrap()
+    }
+
+    #[test]
+    fn congestion_and_dilation() {
+        let prob = line_problem();
+        assert_eq!(prob.num_packets(), 3);
+        // Edge 2->3 is used by all three packets.
+        assert_eq!(prob.congestion(), 3);
+        assert_eq!(prob.dilation(), 3);
+    }
+
+    #[test]
+    fn edge_congestion_detail() {
+        let prob = line_problem();
+        let cong = prob.edge_congestion();
+        // Edges of linear(5) are 0:0-1, 1:1-2, 2:2-3, 3:3-4.
+        assert_eq!(cong, vec![1, 2, 3, 1]);
+    }
+
+    #[test]
+    fn duplicate_sources_rejected() {
+        let net = Arc::new(builders::linear_array(3));
+        let a = Path::from_nodes(&net, &[NodeId(0), NodeId(1)]).unwrap();
+        let b = Path::from_nodes(&net, &[NodeId(0), NodeId(1), NodeId(2)]).unwrap();
+        let err = RoutingProblem::new(net, vec![a, b]).unwrap_err();
+        assert_eq!(err, ProblemError::DuplicateSource(NodeId(0)));
+    }
+
+    #[test]
+    fn per_set_congestion_splits_counts() {
+        let prob = line_problem();
+        // All in one set: same as total congestion.
+        let one = prob.per_set_congestion(&[0, 0, 0], 1);
+        assert_eq!(one, vec![3]);
+        // Split the two long packets apart.
+        let split = prob.per_set_congestion(&[0, 1, 0], 2);
+        assert_eq!(split, vec![2, 1]);
+        // Sets may be empty.
+        let sparse = prob.per_set_congestion(&[2, 2, 2], 4);
+        assert_eq!(sparse, vec![0, 0, 3, 0]);
+    }
+
+    #[test]
+    fn trivial_paths_have_zero_congestion() {
+        let net = Arc::new(builders::linear_array(2));
+        let prob = RoutingProblem::new(net, vec![Path::trivial(NodeId(0))]).unwrap();
+        assert_eq!(prob.congestion(), 0);
+        assert_eq!(prob.dilation(), 0);
+    }
+
+    #[test]
+    fn path_length_histogram_counts_all() {
+        let prob = line_problem();
+        let h = prob.path_length_histogram();
+        assert_eq!(h.iter().sum::<usize>(), prob.num_packets());
+        assert_eq!(h[3], 2);
+        assert_eq!(h[1], 1);
+    }
+
+    #[test]
+    fn describe_contains_parameters() {
+        let prob = line_problem();
+        let d = prob.describe();
+        assert!(d.contains("N=3"));
+        assert!(d.contains("C=3"));
+        assert!(d.contains("D=3"));
+        assert!(d.contains("L=4"));
+    }
+}

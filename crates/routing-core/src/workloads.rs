@@ -1,0 +1,579 @@
+//! Routing-problem generators.
+//!
+//! Each generator produces a many-to-one [`RoutingProblem`] (at most one
+//! packet per source node) with preselected valid paths. The experiments
+//! use them to sweep the paper's two governing parameters independently:
+//! `C` via [`funnel`] (which concentrates a chosen number of paths on one
+//! edge), `L`/`D` via topology size, and `N` via packet count.
+
+use crate::path::Path;
+use crate::paths::{self, MeshAxis, MinimalPathSampler};
+use crate::problem::RoutingProblem;
+use leveled_net::builders::{ButterflyCoords, MeshCoords};
+use leveled_net::{Level, LeveledNetwork, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::sync::Arc;
+
+/// Errors raised by workload generators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WorkloadError {
+    /// The network cannot host the requested number of packets.
+    NotEnoughSources {
+        /// How many sources were requested.
+        requested: usize,
+        /// How many admissible sources exist.
+        available: usize,
+    },
+    /// A generator-specific precondition failed (e.g. mesh too small).
+    Unsupported(&'static str),
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::NotEnoughSources {
+                requested,
+                available,
+            } => write!(
+                f,
+                "requested {requested} packets but only {available} admissible sources exist"
+            ),
+            WorkloadError::Unsupported(msg) => write!(f, "unsupported workload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+/// `n` packets from distinct random sources, each to a uniformly random
+/// strictly-higher reachable destination, along a uniformly random valid
+/// path.
+pub fn random_pairs<R: Rng + ?Sized>(
+    net: &Arc<LeveledNetwork>,
+    n: usize,
+    rng: &mut R,
+) -> Result<RoutingProblem, WorkloadError> {
+    // Admissible sources: nodes with at least one forward edge.
+    let mut candidates: Vec<NodeId> = net
+        .nodes()
+        .filter(|&v| !net.fwd_edges(v).is_empty())
+        .collect();
+    if candidates.len() < n {
+        return Err(WorkloadError::NotEnoughSources {
+            requested: n,
+            available: candidates.len(),
+        });
+    }
+    candidates.shuffle(rng);
+    let mut paths_out = Vec::with_capacity(n);
+    for &src in candidates.iter().take(n) {
+        let mask = net.reachable_mask(src);
+        let lvl = net.level(src);
+        let dests: Vec<NodeId> = net
+            .nodes()
+            .filter(|&v| mask[v.index()] && net.level(v) > lvl)
+            .collect();
+        debug_assert!(!dests.is_empty(), "source has a forward edge");
+        let dst = *dests.choose(rng).expect("non-empty");
+        let p = paths::random_minimal(net, src, dst, rng).expect("dest is reachable");
+        paths_out.push(p);
+    }
+    RoutingProblem::new(Arc::clone(net), paths_out).map_err(|_| unreachable!("distinct sources"))
+}
+
+/// A random full permutation on a butterfly: every level-0 node sends to a
+/// distinct level-`k` node along its unique bit-fixing path.
+pub fn butterfly_permutation<R: Rng + ?Sized>(
+    net: &Arc<LeveledNetwork>,
+    coords: &ButterflyCoords,
+    rng: &mut R,
+) -> RoutingProblem {
+    let rows = coords.rows();
+    let mut perm: Vec<usize> = (0..rows).collect();
+    perm.shuffle(rng);
+    let paths_out = (0..rows)
+        .map(|r| paths::bit_fixing(net, coords, r, perm[r]))
+        .collect();
+    RoutingProblem::new(Arc::clone(net), paths_out).expect("level-0 sources are distinct")
+}
+
+/// The bit-reversal permutation on a butterfly: row `r` sends to row
+/// `reverse(r)`. With bit-fixing paths this is the classic adversarial
+/// permutation with congestion `Θ(√N)` — a `C ≫ L` stress workload.
+pub fn butterfly_bit_reversal(
+    net: &Arc<LeveledNetwork>,
+    coords: &ButterflyCoords,
+) -> RoutingProblem {
+    let k = coords.k;
+    let rows = coords.rows();
+    let rev = |r: usize| -> usize {
+        let mut out = 0usize;
+        for b in 0..k {
+            if r & (1 << b) != 0 {
+                out |= 1 << (k - 1 - b);
+            }
+        }
+        out
+    };
+    let paths_out = (0..rows)
+        .map(|r| paths::bit_fixing(net, coords, r, rev(r)))
+        .collect();
+    RoutingProblem::new(Arc::clone(net), paths_out).expect("level-0 sources are distinct")
+}
+
+/// A hot-spot workload: `num_sources` packets from distinct random sources,
+/// each aimed at one of `num_dests` randomly chosen destination nodes
+/// (many-to-one concentration).
+pub fn hotspot<R: Rng + ?Sized>(
+    net: &Arc<LeveledNetwork>,
+    num_sources: usize,
+    num_dests: usize,
+    rng: &mut R,
+) -> Result<RoutingProblem, WorkloadError> {
+    assert!(num_dests >= 1);
+    // Destinations: prefer nodes in the upper half of the network so they
+    // have many potential sources.
+    let mid = net.depth() / 2;
+    let mut dest_candidates: Vec<NodeId> = net
+        .nodes()
+        .filter(|&v| net.level(v) >= mid && net.level(v) >= 1)
+        .collect();
+    dest_candidates.shuffle(rng);
+    let dests: Vec<NodeId> = dest_candidates.into_iter().take(num_dests).collect();
+    if dests.is_empty() {
+        return Err(WorkloadError::Unsupported("network too shallow for hotspot"));
+    }
+    let samplers: Vec<MinimalPathSampler> = dests
+        .iter()
+        .map(|&d| MinimalPathSampler::new(net, d))
+        .collect();
+    // Sources: nodes that strictly reach at least one destination.
+    let mut sources: Vec<NodeId> = net
+        .nodes()
+        .filter(|&v| {
+            samplers
+                .iter()
+                .any(|s| v != s.dest() && s.reaches(v) && net.level(v) < net.level(s.dest()))
+        })
+        .collect();
+    if sources.len() < num_sources {
+        return Err(WorkloadError::NotEnoughSources {
+            requested: num_sources,
+            available: sources.len(),
+        });
+    }
+    sources.shuffle(rng);
+    let mut paths_out = Vec::with_capacity(num_sources);
+    for &src in sources.iter().take(num_sources) {
+        let viable: Vec<&MinimalPathSampler> = samplers
+            .iter()
+            .filter(|s| src != s.dest() && s.reaches(src) && net.level(src) < net.level(s.dest()))
+            .collect();
+        let s = viable.choose(rng).expect("source reaches a destination");
+        paths_out.push(s.sample(net, src, rng).expect("reachable"));
+    }
+    RoutingProblem::new(Arc::clone(net), paths_out).map_err(|_| unreachable!("distinct sources"))
+}
+
+/// The §5 mesh workload with `C = D = Θ(n)`: on an `n x n` top-left mesh,
+/// packet `i` travels from `(i, 0)` to `(n-1, i)` along the row-first
+/// dimension-order path (down column 0, then right along the bottom row).
+/// All packets share the lowest edge of column 0, so `C = n - 1`, and every
+/// path has length exactly `n - 1`, so `D = n - 1`, while `L = 2n - 2`.
+pub fn mesh_transpose(
+    net: &Arc<LeveledNetwork>,
+    coords: &MeshCoords,
+) -> Result<RoutingProblem, WorkloadError> {
+    let n = coords.rows;
+    if coords.cols != n {
+        return Err(WorkloadError::Unsupported("mesh_transpose needs a square mesh"));
+    }
+    if n < 2 {
+        return Err(WorkloadError::Unsupported("mesh too small"));
+    }
+    let mut paths_out = Vec::with_capacity(n);
+    for i in 0..n {
+        let p = paths::dimension_order_mesh(net, coords, (i, 0), (n - 1, i), MeshAxis::RowFirst)
+            .expect("monotone in the top-left orientation");
+        paths_out.push(p);
+    }
+    RoutingProblem::new(Arc::clone(net), paths_out).map_err(|_| unreachable!("distinct sources"))
+}
+
+/// Every node of `from_level` sends to a uniformly random reachable node of
+/// `to_level`, along a uniformly random valid path. Skips sources that
+/// reach no `to_level` node.
+pub fn level_to_level<R: Rng + ?Sized>(
+    net: &Arc<LeveledNetwork>,
+    from_level: Level,
+    to_level: Level,
+    rng: &mut R,
+) -> Result<RoutingProblem, WorkloadError> {
+    if from_level >= to_level || to_level > net.depth() {
+        return Err(WorkloadError::Unsupported("need from_level < to_level <= L"));
+    }
+    let dests: Vec<NodeId> = net.nodes_at_level(to_level).to_vec();
+    let samplers: Vec<MinimalPathSampler> = dests
+        .iter()
+        .map(|&d| MinimalPathSampler::new(net, d))
+        .collect();
+    let mut paths_out = Vec::new();
+    for &src in net.nodes_at_level(from_level) {
+        let viable: Vec<&MinimalPathSampler> =
+            samplers.iter().filter(|s| s.reaches(src)).collect();
+        if let Some(s) = viable.choose(rng) {
+            paths_out.push(s.sample(net, src, rng).expect("reachable"));
+        }
+    }
+    if paths_out.is_empty() {
+        return Err(WorkloadError::NotEnoughSources {
+            requested: net.nodes_at_level(from_level).len(),
+            available: 0,
+        });
+    }
+    RoutingProblem::new(Arc::clone(net), paths_out).map_err(|_| unreachable!("distinct sources"))
+}
+
+/// A congestion-dial workload: funnels up to `count` packets through a
+/// single pivot edge near the middle of the network, so the resulting
+/// problem has congestion `C ≈ count` independent of `L` and a dilation of
+/// `Θ(L)`. This is the workload the `T1` scaling experiment uses to sweep
+/// `C` while holding the topology fixed.
+///
+/// ```
+/// use leveled_net::builders;
+/// use rand::SeedableRng;
+/// use std::sync::Arc;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let net = Arc::new(builders::complete_leveled(10, 4));
+/// let prob = routing_core::workloads::funnel(&net, 12, &mut rng).unwrap();
+/// assert!(prob.congestion() >= 12); // all paths share the pivot edge
+/// ```
+///
+/// Each packet starts at a distinct node that reaches the pivot's tail,
+/// runs to the pivot along a random valid path, crosses the pivot, and
+/// continues to a random destination reachable from the pivot's head.
+pub fn funnel<R: Rng + ?Sized>(
+    net: &Arc<LeveledNetwork>,
+    count: usize,
+    rng: &mut R,
+) -> Result<RoutingProblem, WorkloadError> {
+    // Pick a pivot edge whose tail level is as close to L/2 as possible,
+    // maximizing the number of upstream sources.
+    let mid = net.depth() / 2;
+    let pivot = net
+        .edge_ids()
+        .min_by_key(|&e| {
+            let lt = net.level(net.edge(e).tail);
+            (lt as i64 - mid as i64).abs()
+        })
+        .ok_or(WorkloadError::Unsupported("network has no edges"))?;
+    let pt = net.edge(pivot).tail;
+    let ph = net.edge(pivot).head;
+
+    let upstream_sampler = MinimalPathSampler::new(net, pt);
+    let mut sources: Vec<NodeId> = net.nodes().filter(|&v| upstream_sampler.reaches(v)).collect();
+    if sources.len() < count {
+        return Err(WorkloadError::NotEnoughSources {
+            requested: count,
+            available: sources.len(),
+        });
+    }
+    sources.shuffle(rng);
+
+    let down_mask = net.reachable_mask(ph);
+    let dests: Vec<NodeId> = net
+        .nodes()
+        .filter(|&v| down_mask[v.index()])
+        .collect();
+    debug_assert!(!dests.is_empty());
+
+    let mut paths_out = Vec::with_capacity(count);
+    for &src in sources.iter().take(count) {
+        let up = upstream_sampler
+            .sample(net, src, rng)
+            .expect("source reaches pivot tail");
+        let dst = *dests.choose(rng).expect("non-empty");
+        let down = paths::random_minimal(net, ph, dst, rng).expect("reachable from pivot head");
+        let mut edges = up.edges().to_vec();
+        edges.push(pivot);
+        edges.extend_from_slice(down.edges());
+        paths_out.push(Path::new(net, src, edges).expect("segments chain through the pivot"));
+    }
+    RoutingProblem::new(Arc::clone(net), paths_out).map_err(|_| unreachable!("distinct sources"))
+}
+
+/// An adversarial concentration workload: every node of `from_level`
+/// routes to a node of `to_level` along its deterministic
+/// *lexicographically-first* path ([`paths::first_minimal`]), so traffic
+/// piles onto the lexicographically smallest edges — congestion close to
+/// the theoretical maximum for the pair of levels. Destinations are
+/// assigned round-robin among the `to_level` nodes each source reaches.
+pub fn first_fit_blast(
+    net: &Arc<LeveledNetwork>,
+    from_level: Level,
+    to_level: Level,
+) -> Result<RoutingProblem, WorkloadError> {
+    if from_level >= to_level || to_level > net.depth() {
+        return Err(WorkloadError::Unsupported("need from_level < to_level <= L"));
+    }
+    let dests = net.nodes_at_level(to_level);
+    let mut paths_out = Vec::new();
+    for (i, &src) in net.nodes_at_level(from_level).iter().enumerate() {
+        // Round-robin over destinations, skipping unreachable ones.
+        let mut chosen = None;
+        for off in 0..dests.len() {
+            let dst = dests[(i + off) % dests.len()];
+            if let Some(p) = paths::first_minimal(net, src, dst) {
+                chosen = Some(p);
+                break;
+            }
+        }
+        if let Some(p) = chosen {
+            paths_out.push(p);
+        }
+    }
+    if paths_out.is_empty() {
+        return Err(WorkloadError::NotEnoughSources {
+            requested: net.nodes_at_level(from_level).len(),
+            available: 0,
+        });
+    }
+    RoutingProblem::new(Arc::clone(net), paths_out).map_err(|_| unreachable!("distinct sources"))
+}
+
+/// A many-to-many workload (relaxed model, reference 7 in the paper): `total`
+/// packets whose sources are drawn **with replacement** from the nodes
+/// with forward edges, each to a uniformly random reachable higher-level
+/// destination along a random path. The same node may emit several
+/// packets; the returned problem reports `is_relaxed() == true`.
+pub fn many_to_many<R: Rng + ?Sized>(
+    net: &Arc<LeveledNetwork>,
+    total: usize,
+    rng: &mut R,
+) -> Result<RoutingProblem, WorkloadError> {
+    let candidates: Vec<NodeId> = net
+        .nodes()
+        .filter(|&v| !net.fwd_edges(v).is_empty())
+        .collect();
+    if candidates.is_empty() {
+        return Err(WorkloadError::NotEnoughSources {
+            requested: total,
+            available: 0,
+        });
+    }
+    let mut paths_out = Vec::with_capacity(total);
+    for _ in 0..total {
+        let src = *candidates.choose(rng).expect("non-empty");
+        let mask = net.reachable_mask(src);
+        let lvl = net.level(src);
+        let dests: Vec<NodeId> = net
+            .nodes()
+            .filter(|&v| mask[v.index()] && net.level(v) > lvl)
+            .collect();
+        let dst = *dests.choose(rng).expect("source has a forward edge");
+        paths_out.push(paths::random_minimal(net, src, dst, rng).expect("reachable"));
+    }
+    Ok(RoutingProblem::new_relaxed(Arc::clone(net), paths_out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leveled_net::builders::{self, MeshCorner};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn random_pairs_respects_count_and_validity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let net = Arc::new(builders::butterfly(4));
+        let prob = random_pairs(&net, 10, &mut rng).unwrap();
+        assert_eq!(prob.num_packets(), 10);
+        for p in prob.packets() {
+            p.path.validate(prob.network()).unwrap();
+            assert!(!p.path.is_empty());
+        }
+    }
+
+    #[test]
+    fn random_pairs_rejects_oversubscription() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let net = Arc::new(builders::linear_array(3));
+        // Only nodes 0 and 1 have forward edges.
+        let err = random_pairs(&net, 5, &mut rng).unwrap_err();
+        assert_eq!(
+            err,
+            WorkloadError::NotEnoughSources {
+                requested: 5,
+                available: 2
+            }
+        );
+    }
+
+    #[test]
+    fn butterfly_permutation_is_a_permutation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let net = Arc::new(builders::butterfly(4));
+        let coords = ButterflyCoords { k: 4 };
+        let prob = butterfly_permutation(&net, &coords, &mut rng);
+        assert_eq!(prob.num_packets(), 16);
+        let mut dest_rows: Vec<usize> = prob
+            .packets()
+            .iter()
+            .map(|p| coords.coords(p.path.dest(prob.network())).1)
+            .collect();
+        dest_rows.sort_unstable();
+        assert_eq!(dest_rows, (0..16).collect::<Vec<_>>());
+        assert_eq!(prob.dilation(), 4);
+    }
+
+    #[test]
+    fn bit_reversal_has_high_congestion() {
+        let k = 8;
+        let net = Arc::new(builders::butterfly(k));
+        let coords = ButterflyCoords { k };
+        let prob = butterfly_bit_reversal(&net, &coords);
+        // Bit reversal concentrates Θ(√N) = 2^(k/2 - 1) paths on middle edges.
+        assert!(
+            prob.congestion() >= 1 << (k / 2 - 1),
+            "C = {} too small",
+            prob.congestion()
+        );
+        assert_eq!(prob.dilation(), k);
+    }
+
+    #[test]
+    fn hotspot_concentrates_destinations() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let net = Arc::new(builders::complete_leveled(6, 6));
+        let prob = hotspot(&net, 12, 2, &mut rng).unwrap();
+        assert_eq!(prob.num_packets(), 12);
+        let mut dests: Vec<NodeId> = prob
+            .packets()
+            .iter()
+            .map(|p| p.path.dest(prob.network()))
+            .collect();
+        dests.sort_unstable();
+        dests.dedup();
+        assert!(dests.len() <= 2, "at most two destinations");
+    }
+
+    #[test]
+    fn mesh_transpose_parameters() {
+        for n in [4usize, 8, 12] {
+            let (raw, coords) = builders::mesh(n, n, MeshCorner::TopLeft);
+            let net = Arc::new(raw);
+            let prob = mesh_transpose(&net, &coords).unwrap();
+            assert_eq!(prob.num_packets(), n);
+            assert_eq!(prob.congestion() as usize, n - 1, "C = n - 1");
+            assert_eq!(prob.dilation() as usize, n - 1, "D = n - 1");
+            assert_eq!(prob.network().depth() as usize, 2 * n - 2);
+        }
+    }
+
+    #[test]
+    fn mesh_transpose_needs_square() {
+        let (raw, coords) = builders::mesh(3, 5, MeshCorner::TopLeft);
+        let net = Arc::new(raw);
+        assert!(mesh_transpose(&net, &coords).is_err());
+    }
+
+    #[test]
+    fn level_to_level_covers_sources() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let net = Arc::new(builders::butterfly(3));
+        let prob = level_to_level(&net, 0, 3, &mut rng).unwrap();
+        assert_eq!(prob.num_packets(), 8);
+        for p in prob.packets() {
+            assert_eq!(prob.network().level(p.path.source()), 0);
+            assert_eq!(prob.network().level(p.path.dest(prob.network())), 3);
+        }
+    }
+
+    #[test]
+    fn level_to_level_rejects_bad_levels() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let net = Arc::new(builders::butterfly(3));
+        assert!(level_to_level(&net, 2, 2, &mut rng).is_err());
+        assert!(level_to_level(&net, 0, 9, &mut rng).is_err());
+    }
+
+    #[test]
+    fn funnel_dials_congestion() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let net = Arc::new(builders::complete_leveled(10, 5));
+        for count in [4usize, 10, 20] {
+            let prob = funnel(&net, count, &mut rng).unwrap();
+            assert_eq!(prob.num_packets(), count);
+            // All paths cross the pivot, so C >= count; and C can't exceed N.
+            assert!(prob.congestion() as usize >= count);
+            for p in prob.packets() {
+                p.path.validate(prob.network()).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn first_fit_blast_concentrates_congestion() {
+        let net = Arc::new(builders::complete_leveled(6, 4));
+        let blast = first_fit_blast(&net, 0, 6).unwrap();
+        assert_eq!(blast.num_packets(), 4);
+        // Deterministic: same workload twice.
+        let again = first_fit_blast(&net, 0, 6).unwrap();
+        assert_eq!(blast.congestion(), again.congestion());
+        // First-fit concentrates: congestion beats a random assignment's
+        // typical spread (here: all four paths share the first edges).
+        assert!(
+            blast.congestion() >= 3,
+            "C = {} not concentrated",
+            blast.congestion()
+        );
+        for p in blast.packets() {
+            p.path.validate(blast.network()).unwrap();
+        }
+    }
+
+    #[test]
+    fn first_fit_blast_rejects_bad_levels() {
+        let net = Arc::new(builders::complete_leveled(4, 2));
+        assert!(first_fit_blast(&net, 2, 2).is_err());
+        assert!(first_fit_blast(&net, 0, 9).is_err());
+    }
+
+    #[test]
+    fn many_to_many_allows_shared_sources() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let net = Arc::new(builders::butterfly(3));
+        // Far more packets than nodes: sources must repeat.
+        let prob = many_to_many(&net, 100, &mut rng).unwrap();
+        assert!(prob.is_relaxed());
+        assert_eq!(prob.num_packets(), 100);
+        let mut sources: Vec<NodeId> =
+            prob.packets().iter().map(|p| p.path.source()).collect();
+        sources.sort_unstable();
+        sources.dedup();
+        assert!(sources.len() < 100, "sources repeat in a relaxed problem");
+        for p in prob.packets() {
+            p.path.validate(prob.network()).unwrap();
+        }
+    }
+
+    #[test]
+    fn strict_problems_are_not_relaxed() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let net = Arc::new(builders::butterfly(3));
+        let prob = random_pairs(&net, 5, &mut rng).unwrap();
+        assert!(!prob.is_relaxed());
+    }
+
+    #[test]
+    fn funnel_reports_capacity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let net = Arc::new(builders::linear_array(6));
+        let err = funnel(&net, 100, &mut rng).unwrap_err();
+        assert!(matches!(err, WorkloadError::NotEnoughSources { .. }));
+    }
+}

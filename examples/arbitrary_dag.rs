@@ -1,0 +1,73 @@
+//! The paper's §5 extension direction: routing on *arbitrary* (acyclic)
+//! topologies. A random DAG is levelized — longest-path layering plus
+//! subdivision dummies — and then Busch's leveled-network router runs on
+//! it verbatim.
+//!
+//! ```text
+//! cargo run --release --example arbitrary_dag [nodes] [edge_prob%] [seed]
+//! ```
+
+use hotpotato_routing::prelude::*;
+use leveled_net::levelize::Dag;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use routing_core::dag::{self, DagNetwork};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+    let prob_pct: u32 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let seed: u64 = std::env::args()
+        .nth(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+    // 1. A random DAG (edges only from lower to higher index: acyclic).
+    let mut dag = Dag::new(n);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            if rng.gen_bool(prob_pct as f64 / 100.0) {
+                dag.add_edge(u, v);
+            }
+        }
+    }
+    println!("DAG: {} nodes, {} edges", dag.num_nodes(), dag.num_edges());
+
+    // 2. Levelize it.
+    let dagnet = DagNetwork::new(&dag).expect("acyclic by construction");
+    let lz = dagnet.levelized();
+    println!(
+        "levelized: {} nodes ({} dummies), {} edges, depth L = {}",
+        dagnet.network().num_nodes(),
+        lz.num_dummies(),
+        dagnet.network().num_edges(),
+        dagnet.network().depth()
+    );
+
+    // 3. A routing problem between original nodes.
+    let problem = dag::random_dag_pairs(&dagnet, n / 3, &mut rng).expect("workload fits");
+    println!("problem: {}", problem.describe());
+
+    // 4. Route with the paper's algorithm — unchanged.
+    let outcome = BuschRouter::new(Params::auto(&problem)).route(&problem, &mut rng);
+    println!("busch:  {}", outcome.stats.summary());
+    println!("invariants: {}", outcome.invariants.summary());
+    assert!(outcome.stats.all_delivered());
+
+    // 5. Baseline for contrast.
+    let greedy = baselines::GreedyRouter::new().route(&problem, &mut rng);
+    println!("greedy: {}", greedy.stats.summary());
+
+    println!(
+        "\nSubdivision dummies have in/out degree 1, so every leveled path\n\
+         between original nodes corresponds to a unique DAG path: the\n\
+         leveled-network guarantee carries over to the arbitrary DAG."
+    );
+}

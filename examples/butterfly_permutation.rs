@@ -1,0 +1,93 @@
+//! Permutation routing on butterflies: every level-0 node sends to a
+//! distinct level-k node along its unique bit-fixing path — the classic
+//! multiprocessor workload the paper's introduction motivates.
+//!
+//! Routes a random permutation and the adversarial bit-reversal
+//! permutation (congestion Θ(√N)) with all four algorithms and prints a
+//! comparison table.
+//!
+//! ```text
+//! cargo run --release --example butterfly_permutation [k] [seed]
+//! ```
+
+use baselines::{GreedyRouter, RandomPriorityRouter, StoreForwardRouter};
+use hotpotato_routing::prelude::*;
+use leveled_net::builders::ButterflyCoords;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+fn main() {
+    let k: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6);
+    let seed: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+    let net = Arc::new(builders::butterfly(k));
+    let coords = ButterflyCoords { k };
+    println!(
+        "butterfly({k}): {} nodes, {} rows, L = {}",
+        net.num_nodes(),
+        coords.rows(),
+        net.depth()
+    );
+
+    let cases = [
+        (
+            "random permutation",
+            workloads::butterfly_permutation(&net, &coords, &mut rng),
+        ),
+        (
+            "bit-reversal (adversarial)",
+            workloads::butterfly_bit_reversal(&net, &coords),
+        ),
+    ];
+
+    for (name, problem) in cases {
+        let c = problem.congestion();
+        let d = problem.dilation();
+        println!("\n== {name}: N={} C={c} D={d} ==", problem.num_packets());
+        println!(
+            "{:<28} {:>9} {:>12} {:>12} {:>10}",
+            "algorithm", "makespan", "deflections", "max-deviate", "delivered"
+        );
+
+        let busch = BuschRouter::new(Params::auto(&problem)).route(&problem, &mut rng);
+        print_row("busch (paper)", &busch.stats);
+
+        let greedy = GreedyRouter::new().route(&problem, &mut rng);
+        print_row("greedy hot-potato", &greedy.stats);
+
+        let ranked = RandomPriorityRouter::new().route(&problem, &mut rng);
+        print_row("random-priority greedy", &ranked.stats);
+
+        let sf = StoreForwardRouter::random_rank(c as u64).route(&problem, &mut rng);
+        print_row("store-and-forward (buffered)", &sf.stats);
+
+        println!(
+            "{:<28} {:>9}",
+            "lower bound max(C, D)",
+            c.max(d)
+        );
+    }
+}
+
+fn print_row(name: &str, stats: &RouteStats) {
+    println!(
+        "{:<28} {:>9} {:>12} {:>12} {:>7}/{}",
+        name,
+        stats
+            .makespan()
+            .map(|m| m.to_string())
+            .unwrap_or_else(|| "-".into()),
+        stats.total_deflections(),
+        stats.max_deviation_overall(),
+        stats.delivered_count(),
+        stats.num_packets(),
+    );
+}

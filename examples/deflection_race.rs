@@ -1,0 +1,76 @@
+//! Deflection anatomy: route a hot-spot workload and dissect what the
+//! bufferless network actually did — deflections per packet, deviation
+//! depths (how far packets strayed from their preselected paths), wait
+//! oscillations, and the paper's invariant report.
+//!
+//! ```text
+//! cargo run --release --example deflection_race [seed]
+//! ```
+
+use baselines::GreedyRouter;
+use hotpotato_routing::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(17);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+    // Many-to-one pressure: 48 packets aimed at 3 destinations on a wide
+    // synthetic leveled network.
+    let net = Arc::new(builders::complete_leveled(14, 8));
+    let problem = workloads::hotspot(&net, 48, 3, &mut rng).expect("workload fits");
+    println!("problem: {}", problem.describe());
+
+    println!("\n--- Busch (paper) ---");
+    let params = Params::auto(&problem);
+    let outcome = BuschRouter::new(params).route(&problem, &mut rng);
+    dissect(&outcome.stats);
+    println!("invariants: {}", outcome.invariants.summary());
+    println!(
+        "excitations: {}, injection retries: {}",
+        outcome.stats.counter("excitations"),
+        outcome.stats.counter("injection_retries")
+    );
+
+    println!("\n--- Greedy hot-potato ---");
+    let greedy = GreedyRouter::new().route(&problem, &mut rng);
+    dissect(&greedy.stats);
+
+    println!(
+        "\nBusch trades earlier injection for *controlled* deflections: packets\n\
+         only ever ride inside their frontier-frame, so deviation depths stay\n\
+         small even under hot-spot pressure, which is exactly the paper's\n\
+         \"packets stay close to their preselected paths\" claim (§1.2)."
+    );
+}
+
+fn dissect(stats: &RouteStats) {
+    println!("{}", stats.summary());
+    let mut deflections: Vec<u32> = stats.deflections.clone();
+    deflections.sort_unstable();
+    let p = |q: f64| deflections[(q * (deflections.len() - 1) as f64) as usize];
+    println!(
+        "deflections per packet: p50={} p90={} max={}",
+        p(0.5),
+        p(0.9),
+        p(1.0)
+    );
+    let mut dev: Vec<u32> = stats.max_deviation.clone();
+    dev.sort_unstable();
+    let pd = |q: f64| dev[(q * (dev.len() - 1) as f64) as usize];
+    println!(
+        "deviation depth per packet: p50={} p90={} max={}",
+        pd(0.5),
+        pd(0.9),
+        pd(1.0)
+    );
+    println!(
+        "unsafe (fallback) deflections: {}",
+        stats.counter("fallback_deflections")
+    );
+}

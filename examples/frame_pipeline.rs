@@ -1,0 +1,69 @@
+//! Reproduce Figure 2: the frontier-frame pipeline.
+//!
+//! Draws, for a leveled network of depth `L` and frames of `m` inner
+//! levels, how the pipelined frontier-frames sweep across the levels phase
+//! by phase — frame `i`'s frontier is at level `phase − i·m`, frames never
+//! overlap, and all shift one level forward per phase. Also shows the
+//! receding target level within a phase.
+//!
+//! ```text
+//! cargo run --release --example frame_pipeline [L] [m] [sets]
+//! ```
+
+use busch_router::FrameSchedule;
+
+fn main() {
+    let l: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(11);
+    let m: u32 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let sets: u32 = std::env::args()
+        .nth(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+
+    let s = FrameSchedule::new(m, sets, l);
+    println!("Figure 2 reproduction: L = {l}, m = {m}, {sets} frontier-frames");
+    println!("(columns are levels 0..={l}; digit d marks a level inside frame F_d)\n");
+
+    print!("{:>8} ", "phase");
+    for level in 0..=l {
+        print!("{:>2}", level % 10);
+    }
+    println!("  frontiers");
+    for phase in 0..s.end_phase() {
+        print!("{:>8} ", phase);
+        for level in 0..=l {
+            let owner = (0..sets).find(|&i| s.contains(i, phase, level));
+            match owner {
+                Some(i) => print!("{:>2}", i % 10),
+                None => print!(" ."),
+            }
+        }
+        let fronts: Vec<String> = (0..sets)
+            .map(|i| format!("φ{}={}", i, s.frontier(i, phase)))
+            .collect();
+        println!("  {}", fronts.join(" "));
+    }
+
+    println!("\nTarget level within one phase (frame 0, phase {}):", m as u64 + 2);
+    let phase = m as u64 + 2;
+    for round in 0..m {
+        println!(
+            "  round {round}: target at inner level {} (network level {})",
+            s.target_inner_level(round),
+            s.target_level(0, phase, round)
+        );
+    }
+    println!(
+        "\nInjection phases for frame 0 (source level -> phase): {}",
+        (0..=l.min(6))
+            .map(|src| format!("{src}->{}", s.injection_phase(0, src)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+}

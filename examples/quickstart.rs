@@ -1,0 +1,68 @@
+//! Quickstart: route a random workload on a butterfly with the paper's
+//! algorithm.
+//!
+//! ```text
+//! cargo run --release --example quickstart [seed]
+//! ```
+
+use hotpotato_routing::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+    // 1. A leveled network: the 6-dimensional butterfly (Figure 1).
+    let net = Arc::new(builders::butterfly(6));
+    println!(
+        "network: {} ({} nodes, {} edges, depth L = {})",
+        net.name(),
+        net.num_nodes(),
+        net.num_edges(),
+        net.depth()
+    );
+
+    // 2. A routing problem: 128 random source/destination pairs with
+    //    uniformly random preselected paths.
+    let problem = workloads::random_pairs(&net, 128, &mut rng).expect("workload fits");
+    println!("problem: {}", problem.describe());
+    println!(
+        "lower bound max(C, D) = {}",
+        problem.congestion().max(problem.dilation())
+    );
+
+    // 3. Route it with Busch's algorithm under auto-scaled parameters.
+    let params = Params::auto(&problem);
+    println!(
+        "params: m={} w={} q={:.3} frontier sets={}",
+        params.m, params.w, params.q, params.num_sets
+    );
+    let outcome = BuschRouter::new(params).route(&problem, &mut rng);
+
+    // 4. Inspect the outcome.
+    println!("result: {}", outcome.stats.summary());
+    println!("invariants: {}", outcome.invariants.summary());
+    println!(
+        "phases: {} of {} scheduled",
+        outcome.phases_elapsed,
+        params.scheduled_phases(net.depth())
+    );
+    assert!(outcome.stats.all_delivered(), "routing must deliver everything");
+
+    // 5. Compare against the buffered store-and-forward baseline.
+    let sf = StoreForwardRouter::fifo().route(&problem, &mut rng);
+    println!(
+        "store-and-forward (buffered) makespan: {} steps, max queue {}",
+        sf.stats.makespan().unwrap(),
+        sf.max_queue
+    );
+    println!(
+        "bufferless / buffered makespan ratio: {:.2}x",
+        outcome.stats.makespan().unwrap() as f64 / sf.stats.makespan().unwrap() as f64
+    );
+}

@@ -1,0 +1,484 @@
+//! `hotpotato` — command-line front end for the library.
+//!
+//! ```text
+//! hotpotato topo <SPEC> [--dot]          describe a topology
+//! hotpotato route --topo <SPEC> --workload <WL> [--algo A] [--seed S]
+//!                 [--params m,w,q,sets] [--verify] [--json]
+//! hotpotato params <C> <L> <N>           paper §2.1 parameter calculator
+//! hotpotato frames <L> <m> <sets>        frontier-frame schedule (Fig. 2)
+//!
+//! topology SPEC:
+//!   butterfly:K | mesh:RxC[:tl|tr|bl|br] | linear:N | complete:LxW
+//!   hypercube:D | tree:H | fattree:H[:CAP] | shuffle:K | benes:K
+//!   random:L[:WMAX[:PROB[:SEED]]]
+//!
+//! workload WL:
+//!   pairs:N | m2m:N | permutation | bitrev | transpose
+//!   hotspot:N:D | funnel:N | level:FROM:TO | blast:FROM:TO
+//!
+//! algorithms: busch (default) | greedy | ftg | rank | sf | sfrank
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! hotpotato topo butterfly:5
+//! hotpotato route --topo butterfly:6 --workload bitrev --algo busch --verify
+//! hotpotato route --topo mesh:16x16 --workload transpose --algo sf
+//! hotpotato params 64 32 1024
+//! ```
+
+use baselines::{GreedyConfig, GreedyPriority, GreedyRouter, RandomPriorityRouter, StoreForwardRouter};
+use busch_router::{BuschConfig, BuschRouter, FrameSchedule, PaperParams, Params};
+use hotpotato_routing::prelude::*;
+use leveled_net::builders::{ButterflyCoords, MeshCoords, MeshCorner};
+use leveled_net::{render, LeveledNetwork};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::process::exit;
+use std::sync::Arc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(|s| s.as_str()) {
+        Some("topo") => cmd_topo(&args[1..]),
+        Some("route") => cmd_route(&args[1..]),
+        Some("params") => cmd_params(&args[1..]),
+        Some("frames") => cmd_frames(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print_usage();
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown command '{other}'");
+            print_usage();
+            2
+        }
+    };
+    exit(code);
+}
+
+fn print_usage() {
+    eprintln!(
+        "hotpotato — Busch's Õ(C+L) hot-potato routing on leveled networks\n\
+         \n\
+         usage:\n\
+         \u{20}  hotpotato topo <SPEC> [--dot]\n\
+         \u{20}  hotpotato route --topo <SPEC> --workload <WL> [--algo A] [--seed S]\n\
+         \u{20}                  [--params m,w,q,sets] [--verify]\n\
+         \u{20}  hotpotato params <C> <L> <N>\n\
+         \u{20}  hotpotato frames <L> <m> <sets>\n\
+         \n\
+         topologies: butterfly:K mesh:RxC[:tl|tr|bl|br] linear:N complete:LxW\n\
+         \u{20}           hypercube:D tree:H fattree:H[:CAP] shuffle:K benes:K\n\
+         \u{20}           random:L[:WMAX[:PROB[:SEED]]]\n\
+         workloads:  pairs:N m2m:N permutation bitrev transpose hotspot:N:D\n\
+         \u{20}           funnel:N level:FROM:TO blast:FROM:TO\n\
+         algorithms: busch greedy ftg rank sf sfrank"
+    );
+}
+
+/// The parsed topology plus coordinate helpers some workloads need.
+struct Topo {
+    net: Arc<LeveledNetwork>,
+    butterfly: Option<ButterflyCoords>,
+    mesh: Option<MeshCoords>,
+}
+
+fn parse_topo(spec: &str) -> Result<Topo, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let kind = parts[0];
+    let arg = |i: usize| -> Result<&str, String> {
+        parts
+            .get(i)
+            .copied()
+            .ok_or_else(|| format!("topology '{kind}' needs an argument at position {i}"))
+    };
+    let num = |s: &str| -> Result<u32, String> {
+        s.parse::<u32>().map_err(|_| format!("bad number '{s}'"))
+    };
+    let plain = |net: LeveledNetwork| Topo {
+        net: Arc::new(net),
+        butterfly: None,
+        mesh: None,
+    };
+    match kind {
+        "butterfly" | "bf" => {
+            let k = num(arg(1)?)?;
+            if !(1..28).contains(&k) {
+                return Err(format!("butterfly dimension {k} out of range (1..=27)"));
+            }
+            Ok(Topo {
+                net: Arc::new(builders::butterfly(k)),
+                butterfly: Some(ButterflyCoords { k }),
+                mesh: None,
+            })
+        }
+        "mesh" => {
+            let dims: Vec<&str> = arg(1)?.split('x').collect();
+            if dims.len() != 2 {
+                return Err("mesh needs RxC, e.g. mesh:8x8".into());
+            }
+            let (r, c) = (num(dims[0])? as usize, num(dims[1])? as usize);
+            let corner = match parts.get(2).copied().unwrap_or("tl") {
+                "tl" => MeshCorner::TopLeft,
+                "tr" => MeshCorner::TopRight,
+                "bl" => MeshCorner::BottomLeft,
+                "br" => MeshCorner::BottomRight,
+                other => return Err(format!("unknown mesh corner '{other}'")),
+            };
+            let (net, coords) = builders::mesh(r, c, corner);
+            Ok(Topo {
+                net: Arc::new(net),
+                butterfly: None,
+                mesh: Some(coords),
+            })
+        }
+        "linear" => Ok(plain(builders::linear_array(num(arg(1)?)? as usize))),
+        "complete" => {
+            let dims: Vec<&str> = arg(1)?.split('x').collect();
+            if dims.len() != 2 {
+                return Err("complete needs LxW, e.g. complete:10x4".into());
+            }
+            Ok(plain(builders::complete_leveled(
+                num(dims[0])?,
+                num(dims[1])? as usize,
+            )))
+        }
+        "hypercube" => Ok(plain(builders::hypercube(num(arg(1)?)?).0)),
+        "tree" => Ok(plain(builders::binary_tree(num(arg(1)?)?))),
+        "fattree" => {
+            let h = num(arg(1)?)?;
+            let cap = parts.get(2).map(|s| num(s)).transpose()?.unwrap_or(4) as usize;
+            Ok(plain(builders::fat_tree(h, cap)))
+        }
+        "shuffle" => {
+            let k = num(arg(1)?)?;
+            if !(1..28).contains(&k) {
+                return Err(format!("shuffle-exchange dimension {k} out of range (1..=27)"));
+            }
+            Ok(plain(builders::shuffle_exchange_unrolled(k)))
+        }
+        "benes" => {
+            let k = num(arg(1)?)?;
+            if !(1..27).contains(&k) {
+                return Err(format!("Beneš dimension {k} out of range (1..=26)"));
+            }
+            Ok(plain(builders::benes(k).0))
+        }
+        "random" => {
+            let l = num(arg(1)?)?;
+            let wmax = parts.get(2).map(|s| num(s)).transpose()?.unwrap_or(4) as usize;
+            let prob = parts
+                .get(3)
+                .map(|s| s.parse::<f64>().map_err(|_| format!("bad probability '{s}'")))
+                .transpose()?
+                .unwrap_or(0.3);
+            let seed = parts.get(4).map(|s| num(s)).transpose()?.unwrap_or(1) as u64;
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            Ok(plain(builders::random_leveled(l, 1..=wmax, prob, &mut rng)))
+        }
+        other => Err(format!("unknown topology '{other}'")),
+    }
+}
+
+fn parse_workload(
+    spec: &str,
+    topo: &Topo,
+    rng: &mut ChaCha8Rng,
+) -> Result<routing_core::RoutingProblem, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let num = |i: usize| -> Result<usize, String> {
+        parts
+            .get(i)
+            .ok_or_else(|| format!("workload '{}' needs an argument", parts[0]))?
+            .parse::<usize>()
+            .map_err(|e| format!("bad number: {e}"))
+    };
+    let net = &topo.net;
+    match parts[0] {
+        "pairs" => workloads::random_pairs(net, num(1)?, rng).map_err(|e| e.to_string()),
+        "m2m" => workloads::many_to_many(net, num(1)?, rng).map_err(|e| e.to_string()),
+        "permutation" | "perm" => {
+            let coords = topo
+                .butterfly
+                .ok_or("permutation needs a butterfly topology")?;
+            Ok(workloads::butterfly_permutation(net, &coords, rng))
+        }
+        "bitrev" => {
+            let coords = topo
+                .butterfly
+                .ok_or("bitrev needs a butterfly topology")?;
+            Ok(workloads::butterfly_bit_reversal(net, &coords))
+        }
+        "transpose" => {
+            let coords = topo.mesh.ok_or("transpose needs a mesh topology")?;
+            workloads::mesh_transpose(net, &coords).map_err(|e| e.to_string())
+        }
+        "hotspot" => workloads::hotspot(net, num(1)?, num(2)?, rng).map_err(|e| e.to_string()),
+        "funnel" => workloads::funnel(net, num(1)?, rng).map_err(|e| e.to_string()),
+        "level" => {
+            workloads::level_to_level(net, num(1)? as u32, num(2)? as u32, rng)
+                .map_err(|e| e.to_string())
+        }
+        "blast" => workloads::first_fit_blast(net, num(1)? as u32, num(2)? as u32)
+            .map_err(|e| e.to_string()),
+        other => Err(format!("unknown workload '{other}'")),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn cmd_topo(args: &[String]) -> i32 {
+    let Some(spec) = args.first() else {
+        eprintln!("usage: hotpotato topo <SPEC> [--dot]");
+        return 2;
+    };
+    match parse_topo(spec) {
+        Ok(topo) => {
+            if args.iter().any(|a| a == "--dot") {
+                print!("{}", render::to_dot(&topo.net));
+            } else {
+                print!("{}", render::level_summary(&topo.net));
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    }
+}
+
+fn cmd_route(args: &[String]) -> i32 {
+    let Some(topo_spec) = flag_value(args, "--topo") else {
+        eprintln!("route needs --topo <SPEC>");
+        return 2;
+    };
+    let Some(wl_spec) = flag_value(args, "--workload") else {
+        eprintln!("route needs --workload <WL>");
+        return 2;
+    };
+    let algo = flag_value(args, "--algo").unwrap_or("busch");
+    let seed: u64 = flag_value(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let verify = args.iter().any(|a| a == "--verify");
+    let json = args.iter().any(|a| a == "--json");
+
+    let topo = match parse_topo(topo_spec) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let problem = match parse_workload(wl_spec, &topo, &mut rng) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    if !json {
+        println!("problem:  {}", problem.describe());
+        println!(
+            "lower bound max(C, D) = {}",
+            problem.congestion().max(problem.dilation())
+        );
+    }
+
+    match algo {
+        "busch" => {
+            let params = match flag_value(args, "--params") {
+                Some(spec) => {
+                    let v: Vec<&str> = spec.split(',').collect();
+                    if v.len() != 4 {
+                        eprintln!("--params wants m,w,q,sets (e.g. 6,48,0.1,4)");
+                        return 2;
+                    }
+                    let (m, w, q, sets): (u32, u32, f64, u32) = (
+                        v[0].parse().unwrap_or(6),
+                        v[1].parse().unwrap_or(48),
+                        v[2].parse().unwrap_or(0.1),
+                        v[3].parse().unwrap_or(1),
+                    );
+                    if m < 3 || w < 1 || !(0.0..=1.0).contains(&q) || sets < 1 {
+                        eprintln!(
+                            "--params out of range: need m ≥ 3, w ≥ 1, 0 ≤ q ≤ 1, sets ≥ 1"
+                        );
+                        return 2;
+                    }
+                    Params::scaled(m, w, q, sets)
+                }
+                None => Params::auto(&problem),
+            };
+            if !json {
+                println!(
+                    "params:   m={} w={} q={:.3} sets={} (scheduled {} steps)",
+                    params.m,
+                    params.w,
+                    params.q,
+                    params.num_sets,
+                    params.scheduled_steps(topo.net.depth())
+                );
+            }
+            let cfg = BuschConfig {
+                record: verify,
+                ..BuschConfig::new(params)
+            };
+            let out = BuschRouter::with_config(cfg).route(&problem, &mut rng);
+            if json {
+                let doc = serde_json::json!({
+                    "algorithm": "busch",
+                    "problem": problem.describe(),
+                    "params": params,
+                    "stats": out.stats,
+                    "latency": out.stats.latency_summary(),
+                    "invariants": out.invariants,
+                    "phases_elapsed": out.phases_elapsed,
+                });
+                println!("{}", serde_json::to_string_pretty(&doc).expect("serialize"));
+                return i32::from(!out.stats.all_delivered());
+            }
+            println!("busch:    {}", out.stats.summary());
+            println!("latency:  {}", out.stats.latency_summary());
+            println!("invariants: {}", out.invariants.summary());
+            if verify {
+                match hotpotato_sim::replay::verify(
+                    &problem,
+                    out.record.as_ref().expect("recording on"),
+                    &out.stats,
+                ) {
+                    Ok(rep) => println!(
+                        "replay:   VERIFIED ({} moves, {} fwd / {} bwd)",
+                        rep.moves, rep.forward, rep.backward
+                    ),
+                    Err(e) => {
+                        eprintln!("replay:   FAILED: {e}");
+                        return 1;
+                    }
+                }
+            }
+            i32::from(!out.stats.all_delivered())
+        }
+        "greedy" | "ftg" => {
+            let cfg = GreedyConfig {
+                priority: if algo == "ftg" {
+                    GreedyPriority::FurthestToGo
+                } else {
+                    GreedyPriority::Uniform
+                },
+                record: verify,
+                ..Default::default()
+            };
+            let out = GreedyRouter::with_config(cfg).route(&problem, &mut rng);
+            if json {
+                let doc = serde_json::json!({
+                    "algorithm": algo,
+                    "problem": problem.describe(),
+                    "stats": out.stats,
+                    "latency": out.stats.latency_summary(),
+                });
+                println!("{}", serde_json::to_string_pretty(&doc).expect("serialize"));
+                return i32::from(!out.stats.all_delivered());
+            }
+            println!("{algo}:   {}", out.stats.summary());
+            println!("latency:  {}", out.stats.latency_summary());
+            if verify {
+                match hotpotato_sim::replay::verify(
+                    &problem,
+                    out.record.as_ref().expect("recording on"),
+                    &out.stats,
+                ) {
+                    Ok(rep) => println!("replay:   VERIFIED ({} moves)", rep.moves),
+                    Err(e) => {
+                        eprintln!("replay:   FAILED: {e}");
+                        return 1;
+                    }
+                }
+            }
+            i32::from(!out.stats.all_delivered())
+        }
+        "rank" => {
+            let out = RandomPriorityRouter::new().route(&problem, &mut rng);
+            println!("rank:     {}", out.stats.summary());
+            i32::from(!out.stats.all_delivered())
+        }
+        "sf" => {
+            let out = StoreForwardRouter::fifo().route(&problem, &mut rng);
+            println!("sf:       {} (max queue {})", out.stats.summary(), out.max_queue);
+            i32::from(!out.stats.all_delivered())
+        }
+        "sfrank" => {
+            let out = StoreForwardRouter::random_rank(problem.congestion() as u64)
+                .route(&problem, &mut rng);
+            println!("sfrank:   {} (max queue {})", out.stats.summary(), out.max_queue);
+            i32::from(!out.stats.all_delivered())
+        }
+        other => {
+            eprintln!("unknown algorithm '{other}'");
+            2
+        }
+    }
+}
+
+fn cmd_params(args: &[String]) -> i32 {
+    let vals: Vec<u64> = args.iter().filter_map(|s| s.parse().ok()).collect();
+    let [c, l, n] = vals[..] else {
+        eprintln!("usage: hotpotato params <C> <L> <N>");
+        return 2;
+    };
+    let p = PaperParams::new(c, l, n);
+    println!("paper parameters for C={c}, L={l}, N={n} (ln(LN) = {:.3}):", p.ln_ln);
+    println!("  a      = {:.6}  (frontier sets ⌈aC⌉ = {})", p.a, p.num_sets());
+    println!("  m      = {:.1}", p.m);
+    println!("  q      = {:.3e}", p.q);
+    println!("  w      = {:.3e}", p.w);
+    println!("  p0     = {:.12}", p.p0);
+    println!("  p1     = {:.3e}", p.p1);
+    println!("  phases = {:.3e}  (⌈aC⌉·m + L)", p.total_phases());
+    println!("  time   = {:.3e}  steps  (phases · m · w)", p.total_time());
+    println!("  Õ      = {:.3e}  = time/(C+L);   ln⁹(LN) = {:.3e}", p.polylog_factor(), p.ln_ln.powi(9));
+    println!(
+        "  success ≥ {:.9}  (Theorem 2.6 bound 1 − 1/LN = {:.9})",
+        p.success_probability(),
+        p.success_lower_bound()
+    );
+    0
+}
+
+fn cmd_frames(args: &[String]) -> i32 {
+    let vals: Vec<u32> = args.iter().filter_map(|s| s.parse().ok()).collect();
+    let [l, m, sets] = vals[..] else {
+        eprintln!("usage: hotpotato frames <L> <m> <sets>");
+        return 2;
+    };
+    if m < 3 {
+        eprintln!("frames need at least 3 inner levels (got m = {m})");
+        return 2;
+    }
+    if sets < 1 {
+        eprintln!("need at least one frontier set");
+        return 2;
+    }
+    let s = FrameSchedule::new(m, sets, l);
+    for phase in 0..s.end_phase() {
+        print!("phase {phase:>4}  ");
+        for level in 0..=l {
+            match (0..sets).find(|&i| s.contains(i, phase, level)) {
+                Some(i) => print!("{}", i % 10),
+                None => print!("."),
+            }
+        }
+        println!();
+    }
+    println!("(all frames gone at phase {})", s.end_phase());
+    0
+}

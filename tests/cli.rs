@@ -1,0 +1,194 @@
+//! Integration tests of the `hotpotato` CLI binary.
+
+use std::process::Command;
+
+fn hotpotato(args: &[&str]) -> (String, String, i32) {
+    let out = Command::new(env!("CARGO_BIN_EXE_hotpotato"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+#[test]
+fn help_prints_usage() {
+    let (_, err, code) = hotpotato(&["--help"]);
+    assert_eq!(code, 0);
+    assert!(err.contains("usage:"));
+    assert!(err.contains("butterfly:K"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let (_, err, code) = hotpotato(&["frobnicate"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn topo_summary_and_dot() {
+    let (out, _, code) = hotpotato(&["topo", "butterfly:3"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("butterfly(3): 32 nodes, 48 edges, depth L = 3"));
+
+    let (dot, _, code) = hotpotato(&["topo", "linear:4", "--dot"]);
+    assert_eq!(code, 0);
+    assert!(dot.starts_with("digraph"));
+    assert_eq!(dot.matches(" -> ").count(), 3);
+}
+
+#[test]
+fn topo_rejects_bad_specs() {
+    for bad in ["nosuch:3", "mesh:8", "mesh:4x4:xx", "butterfly"] {
+        let (_, err, code) = hotpotato(&["topo", bad]);
+        assert_eq!(code, 2, "spec {bad}");
+        assert!(err.contains("error:"), "spec {bad}: {err}");
+    }
+}
+
+#[test]
+fn route_busch_with_verify() {
+    let (out, err, code) = hotpotato(&[
+        "route",
+        "--topo",
+        "butterfly:4",
+        "--workload",
+        "permutation",
+        "--algo",
+        "busch",
+        "--seed",
+        "7",
+        "--verify",
+    ]);
+    assert_eq!(code, 0, "stderr: {err}");
+    assert!(out.contains("delivered 16/16"), "{out}");
+    assert!(out.contains("replay:   VERIFIED"), "{out}");
+    assert!(out.contains("invariants: Ia=0"), "{out}");
+}
+
+#[test]
+fn route_with_explicit_params() {
+    let (out, _, code) = hotpotato(&[
+        "route",
+        "--topo",
+        "linear:8",
+        "--workload",
+        "level:0:7",
+        "--algo",
+        "busch",
+        "--params",
+        "3,9,0.1,1",
+    ]);
+    assert_eq!(code, 0);
+    assert!(out.contains("m=3 w=9"), "{out}");
+    assert!(out.contains("delivered 1/1"), "{out}");
+}
+
+#[test]
+fn route_all_baselines() {
+    for algo in ["greedy", "ftg", "rank", "sf", "sfrank"] {
+        let (out, err, code) = hotpotato(&[
+            "route",
+            "--topo",
+            "complete:6x3",
+            "--workload",
+            "pairs:6",
+            "--algo",
+            algo,
+        ]);
+        assert_eq!(code, 0, "algo {algo}: {err}");
+        assert!(out.contains("delivered 6/6"), "algo {algo}: {out}");
+    }
+}
+
+#[test]
+fn route_workload_topology_mismatch() {
+    let (_, err, code) = hotpotato(&[
+        "route",
+        "--topo",
+        "linear:5",
+        "--workload",
+        "permutation",
+    ]);
+    assert_eq!(code, 2);
+    assert!(err.contains("butterfly"), "{err}");
+}
+
+#[test]
+fn params_calculator_matches_theorem() {
+    let (out, _, code) = hotpotato(&["params", "64", "32", "1024"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("paper parameters for C=64, L=32, N=1024"));
+    assert!(out.contains("success ≥"));
+    // The Õ factor line mentions ln⁹.
+    assert!(out.contains("ln⁹(LN)"));
+}
+
+#[test]
+fn frames_renders_pipeline() {
+    let (out, _, code) = hotpotato(&["frames", "6", "3", "2"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("phase    0"));
+    assert!(out.contains("(all frames gone at phase 12)"));
+}
+
+#[test]
+fn out_of_range_inputs_get_clean_errors_not_panics() {
+    let cases: &[&[&str]] = &[
+        &["topo", "butterfly:30"],
+        &["topo", "benes:0"],
+        &["frames", "6", "2", "1"],
+        &["frames", "6", "4", "0"],
+        &[
+            "route", "--topo", "linear:5", "--workload", "level:0:4",
+            "--params", "2,9,0.1,1",
+        ],
+    ];
+    for args in cases {
+        let (_, err, code) = hotpotato(args);
+        assert_eq!(code, 2, "args {args:?} must fail cleanly, got: {err}");
+        assert!(
+            !err.contains("panicked"),
+            "args {args:?} panicked instead of erroring: {err}"
+        );
+    }
+}
+
+#[test]
+fn route_json_output_is_machine_readable() {
+    let (out, err, code) = hotpotato(&[
+        "route",
+        "--topo",
+        "butterfly:4",
+        "--workload",
+        "pairs:6",
+        "--json",
+    ]);
+    assert_eq!(code, 0, "stderr: {err}");
+    let doc: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+    assert_eq!(doc["algorithm"], "busch");
+    assert_eq!(doc["stats"]["deflections"].as_array().unwrap().len(), 6);
+    assert!(doc["invariants"]["phase_checks"].as_u64().unwrap() > 0);
+    assert!(doc["params"]["m"].as_u64().unwrap() >= 3);
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let run = || {
+        hotpotato(&[
+            "route",
+            "--topo",
+            "butterfly:4",
+            "--workload",
+            "pairs:8",
+            "--seed",
+            "123",
+        ])
+        .0
+    };
+    assert_eq!(run(), run());
+}

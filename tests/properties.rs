@@ -1,0 +1,232 @@
+//! Property-based tests (proptest) for structural invariants across the
+//! whole stack: topology builders, frame schedules, path kinematics,
+//! conflict resolution, and engine conservation laws.
+
+use baselines::GreedyRouter;
+use busch_router::BuschConfig;
+use hotpotato_routing::prelude::*;
+use hotpotato_sim::replay;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random leveled networks are valid and routable (no dead ends).
+    #[test]
+    fn random_leveled_networks_are_valid(
+        seed in 0u64..10_000,
+        depth in 1u32..14,
+        max_w in 1usize..7,
+        prob in 0.0f64..1.0,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let net = builders::random_leveled(depth, 1..=max_w, prob, &mut rng);
+        prop_assert!(net.validate().is_ok());
+        prop_assert_eq!(net.depth(), depth);
+        for v in net.nodes() {
+            if net.level(v) < depth {
+                prop_assert!(!net.fwd_edges(v).is_empty());
+            }
+            if net.level(v) > 0 {
+                prop_assert!(!net.bwd_edges(v).is_empty());
+            }
+        }
+    }
+
+    /// Frame schedules never overlap, shift one level per phase, and place
+    /// injections at the rear inner level.
+    #[test]
+    fn frame_schedules_are_sound(
+        m in 3u32..12,
+        sets in 1u32..8,
+        depth in 1u32..40,
+    ) {
+        let s = busch_router::FrameSchedule::new(m, sets, depth);
+        for phase in 0..s.end_phase() {
+            for i in 0..sets {
+                // Shift: exactly one level per phase.
+                prop_assert_eq!(s.frontier(i, phase + 1), s.frontier(i, phase) + 1);
+                // Non-overlap with every other frame.
+                for j in (i + 1)..sets {
+                    let (lo_i, _) = s.frame_range(i, phase);
+                    let (_, hi_j) = s.frame_range(j, phase);
+                    prop_assert!(hi_j < lo_i);
+                }
+            }
+        }
+        for i in 0..sets {
+            for level in 0..=depth {
+                let inj = s.injection_phase(i, level);
+                prop_assert_eq!(s.inner_level(i, inj, level), Some(m - 1));
+                prop_assert!(inj < s.end_phase());
+            }
+            prop_assert!(!s.frame_in_network(i, s.end_phase()));
+        }
+    }
+
+    /// Uniformly sampled minimal paths are valid, minimal, and end at the
+    /// requested destination.
+    #[test]
+    fn sampled_paths_are_valid_minimal(
+        seed in 0u64..10_000,
+        depth in 2u32..10,
+        width in 1usize..5,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let net = builders::complete_leveled(depth, width);
+        let src = net.nodes_at_level(0)[0];
+        let dst = *net.nodes_at_level(depth).last().unwrap();
+        let p = paths::random_minimal(&net, src, dst, &mut rng).unwrap();
+        prop_assert!(p.validate(&net).is_ok());
+        prop_assert_eq!(p.source(), src);
+        prop_assert_eq!(p.dest(&net), dst);
+        prop_assert_eq!(p.len() as u32, depth);
+    }
+
+    /// Single-set partitioning reproduces total congestion; any partition
+    /// stays below it.
+    #[test]
+    fn per_set_congestion_bounds(
+        seed in 0u64..10_000,
+        sets in 1u32..9,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let net = Arc::new(builders::butterfly(4));
+        let prob = workloads::random_pairs(&net, 16, &mut rng).unwrap();
+        let c = prob.congestion();
+        let one = prob.per_set_congestion(&[0; 16], 1);
+        prop_assert_eq!(one[0], c);
+        let assignment = busch_router::schedule::assign_sets(16, sets, &mut rng);
+        let per = prob.per_set_congestion(&assignment, sets as usize);
+        prop_assert_eq!(per.len(), sets as usize);
+        for &ci in &per {
+            prop_assert!(ci <= c);
+        }
+        // The per-set maxima cover the full congestion: some edge attains C,
+        // and its per-set parts sum to C, so sum of maxima >= C.
+        let sum: u32 = per.iter().sum();
+        prop_assert!(sum >= c);
+    }
+
+    /// Engine conservation under greedy routing: every packet is injected
+    /// exactly once, delivered exactly once, after its injection.
+    #[test]
+    fn greedy_conserves_packets(
+        seed in 0u64..10_000,
+        n in 1usize..24,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let net = Arc::new(builders::butterfly(4));
+        let prob = workloads::random_pairs(&net, n, &mut rng).unwrap();
+        let out = GreedyRouter::new().route(&prob, &mut rng);
+        prop_assert!(out.stats.all_delivered());
+        prop_assert_eq!(out.stats.delivered_count(), n);
+        for (inj, del) in out.stats.injected_at.iter().zip(&out.stats.delivered_at) {
+            let (i, d) = (inj.unwrap(), del.unwrap());
+            prop_assert!(d >= i);
+            prop_assert!(d <= out.stats.steps_run);
+        }
+    }
+
+    /// The bufferless lower bound: no algorithm beats the longest path.
+    #[test]
+    fn makespan_at_least_longest_path(
+        seed in 0u64..10_000,
+        n in 1usize..16,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let net = Arc::new(builders::complete_leveled(6, 3));
+        let prob = workloads::random_pairs(&net, n, &mut rng).unwrap();
+        let longest = prob.packets().iter().map(|p| p.path.len()).max().unwrap() as u64;
+        let g = GreedyRouter::new().route(&prob, &mut rng);
+        prop_assert!(g.stats.makespan().unwrap() >= longest);
+        let sf = StoreForwardRouter::fifo().route(&prob, &mut rng);
+        prop_assert!(sf.stats.makespan().unwrap() >= longest);
+    }
+
+    /// Busch routing delivers everything within its schedule bound for any
+    /// structurally valid scaled parameters.
+    #[test]
+    fn busch_delivers_for_arbitrary_scaled_params(
+        seed in 0u64..1_000,
+        m in 3u32..8,
+        w_mult in 4u32..10,
+        sets in 1u32..5,
+        q_t in 0u32..20,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let net = Arc::new(builders::butterfly(3));
+        let prob = workloads::random_pairs(&net, 6, &mut rng).unwrap();
+        let q = q_t as f64 / 20.0;
+        let params = Params::scaled(m, w_mult * m, q, sets);
+        let out = BuschRouter::new(params).route(&prob, &mut rng);
+        prop_assert!(
+            out.stats.all_delivered(),
+            "params {:?}: {}", params, out.stats.summary()
+        );
+        prop_assert!(out.stats.makespan().unwrap() <= params.max_steps(net.depth()));
+    }
+
+    /// Every Busch run, under arbitrary structurally-valid parameters,
+    /// produces a record the independent replay auditor certifies.
+    #[test]
+    fn busch_always_replays_cleanly(
+        seed in 0u64..500,
+        m in 3u32..7,
+        w_mult in 3u32..8,
+        sets in 1u32..4,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let net = Arc::new(builders::butterfly(3));
+        let prob = workloads::random_pairs(&net, 6, &mut rng).unwrap();
+        let cfg = BuschConfig {
+            record: true,
+            ..BuschConfig::new(Params::scaled(m, w_mult * m, 0.1, sets))
+        };
+        let out = busch_router::BuschRouter::with_config(cfg).route(&prob, &mut rng);
+        let record = out.record.as_ref().expect("recording on");
+        let report = replay::verify(&prob, record, &out.stats);
+        prop_assert!(report.is_ok(), "replay failed: {:?}", report.err());
+    }
+
+    /// Store-and-forward with bounded buffers of any capacity delivers and
+    /// respects the capacity bound.
+    #[test]
+    fn bounded_store_forward_respects_capacity(
+        seed in 0u64..10_000,
+        cap in 1usize..6,
+        n in 1usize..16,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let net = Arc::new(builders::butterfly(4));
+        let prob = workloads::random_pairs(&net, n, &mut rng).unwrap();
+        let cfg = hotpotato_sim::store_forward::StoreForwardConfig {
+            buffer_cap: cap,
+            ..Default::default()
+        };
+        let out = hotpotato_sim::store_forward::route(&prob, cfg, &mut rng);
+        prop_assert!(out.stats.all_delivered());
+        prop_assert!(out.max_queue <= cap, "queue {} exceeded cap {}", out.max_queue, cap);
+    }
+
+    /// Store-and-forward with FIFO takes at most (roughly) C·D + C + D
+    /// steps on any instance — queues can't hold a packet longer than the
+    /// traffic crossing its path.
+    #[test]
+    fn store_forward_is_politely_bounded(
+        seed in 0u64..10_000,
+        n in 1usize..20,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let net = Arc::new(builders::butterfly(4));
+        let prob = workloads::random_pairs(&net, n, &mut rng).unwrap();
+        let out = StoreForwardRouter::fifo().route(&prob, &mut rng);
+        prop_assert!(out.stats.all_delivered());
+        let c = prob.congestion() as u64;
+        let d = prob.dilation() as u64;
+        prop_assert!(out.stats.makespan().unwrap() <= c * d + c + d + 1);
+    }
+}
