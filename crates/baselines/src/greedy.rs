@@ -85,9 +85,15 @@ impl GreedyRouter {
     }
 
     /// Routes `problem` greedily. Deterministic given the rng state.
-    pub fn route<R: Rng + ?Sized>(&self, problem: &RoutingProblem, rng: &mut R) -> GreedyOutcome {
+    /// Takes the problem behind an `Arc` so the engine shares it without
+    /// deep-cloning the paths.
+    pub fn route<R: Rng + ?Sized>(
+        &self,
+        problem: &Arc<RoutingProblem>,
+        rng: &mut R,
+    ) -> GreedyOutcome {
         let mut sim: Simulation<()> = Simulation::new(
-            Arc::new(problem.clone()),
+            Arc::clone(problem),
             vec![(); problem.num_packets()],
             self.cfg.trace,
         );
@@ -97,9 +103,12 @@ impl GreedyRouter {
         let mut pending: Vec<u32> = (0..problem.num_packets() as u32).collect();
         let mut arrivals_buf: Vec<u32> = Vec::new();
         let mut contenders: Vec<Contender> = Vec::new();
+        let mut nodes_buf: Vec<leveled_net::NodeId> = Vec::new();
+        let mut scratch = conflict::ConflictScratch::default();
 
         while !sim.is_done() && sim.now() < self.cfg.max_steps {
-            for v in sim.occupied_nodes() {
+            sim.occupied_nodes_into(&mut nodes_buf);
+            for &v in &nodes_buf {
                 arrivals_buf.clear();
                 arrivals_buf.extend_from_slice(sim.arrivals(v));
                 contenders.clear();
@@ -111,8 +120,8 @@ impl GreedyRouter {
                         GreedyPriority::Uniform => 0,
                         GreedyPriority::FurthestToGo => {
                             let pkt = sim.packet(p);
-                            let remaining = pkt.deviation_depth()
-                                + (sim.path_of(p).len() - pkt.base_idx());
+                            let remaining =
+                                pkt.deviation_depth() + (sim.path_of(p).len() - pkt.base_idx());
                             remaining as u32
                         }
                         GreedyPriority::Aging => sim.packet(p).deflections(),
@@ -130,9 +139,18 @@ impl GreedyRouter {
                         .expect("lone desired slot is free");
                     continue;
                 }
-                let exits = conflict::resolve(&sim, v, &contenders, true, rng)
-                    .expect("fallback resolution cannot fail within degree bound");
-                for e in exits {
+                let exits = conflict::resolve_into(
+                    &sim,
+                    v,
+                    &contenders,
+                    conflict::DeflectRule::SafeBackward {
+                        allow_fallback: true,
+                    },
+                    rng,
+                    &mut scratch,
+                )
+                .expect("fallback resolution cannot fail within degree bound");
+                for &e in exits {
                     let kind = if e.won {
                         ExitKind::Advance
                     } else {

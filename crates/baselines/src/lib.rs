@@ -19,9 +19,7 @@ pub mod greedy;
 pub mod random_priority;
 
 pub use greedy::{GreedyConfig, GreedyOutcome, GreedyPriority, GreedyRouter};
-pub use hotpotato_sim::store_forward::{
-    QueueDiscipline, StoreForwardConfig, StoreForwardOutcome,
-};
+pub use hotpotato_sim::store_forward::{QueueDiscipline, StoreForwardConfig, StoreForwardOutcome};
 pub use random_priority::RandomPriorityRouter;
 
 /// Convenience façade over [`hotpotato_sim::store_forward::route`] with the

@@ -35,10 +35,11 @@ impl RandomPriorityRouter {
         RandomPriorityRouter::default()
     }
 
-    /// Routes `problem`; deterministic given the rng state.
+    /// Routes `problem`; deterministic given the rng state. Takes the
+    /// problem behind an `Arc` so the engine shares it without cloning.
     pub fn route<R: Rng + ?Sized>(
         &self,
-        problem: &RoutingProblem,
+        problem: &Arc<RoutingProblem>,
         rng: &mut R,
     ) -> crate::greedy::GreedyOutcome {
         let n = problem.num_packets();
@@ -46,13 +47,16 @@ impl RandomPriorityRouter {
         let mut ranks: Vec<u32> = (0..n as u32).collect();
         ranks.shuffle(rng);
 
-        let mut sim: Simulation<u32> = Simulation::new(Arc::new(problem.clone()), ranks, false);
+        let mut sim: Simulation<u32> = Simulation::new(Arc::clone(problem), ranks, false);
         let mut pending: Vec<u32> = (0..n as u32).collect();
         let mut arrivals_buf: Vec<u32> = Vec::new();
         let mut contenders: Vec<Contender> = Vec::new();
+        let mut nodes_buf: Vec<leveled_net::NodeId> = Vec::new();
+        let mut scratch = conflict::ConflictScratch::default();
 
         while !sim.is_done() && sim.now() < self.max_steps {
-            for v in sim.occupied_nodes() {
+            sim.occupied_nodes_into(&mut nodes_buf);
+            for &v in &nodes_buf {
                 arrivals_buf.clear();
                 arrivals_buf.extend_from_slice(sim.arrivals(v));
                 contenders.clear();
@@ -72,9 +76,18 @@ impl RandomPriorityRouter {
                         .expect("lone desired slot is free");
                     continue;
                 }
-                let exits = conflict::resolve(&sim, v, &contenders, true, rng)
-                    .expect("fallback resolution cannot fail within degree bound");
-                for e in exits {
+                let exits = conflict::resolve_into(
+                    &sim,
+                    v,
+                    &contenders,
+                    conflict::DeflectRule::SafeBackward {
+                        allow_fallback: true,
+                    },
+                    rng,
+                    &mut scratch,
+                )
+                .expect("fallback resolution cannot fail within degree bound");
+                for &e in exits {
                     let kind = if e.won {
                         ExitKind::Advance
                     } else {

@@ -122,7 +122,11 @@ fn bench_store_forward(c: &mut Criterion) {
     g.bench_function("bit_reversal_bf8", |b| {
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         b.iter(|| {
-            let out = store_forward::route(&prob, store_forward::StoreForwardConfig::default(), &mut rng);
+            let out = store_forward::route(
+                &prob,
+                store_forward::StoreForwardConfig::default(),
+                &mut rng,
+            );
             assert!(out.stats.all_delivered());
             out.stats.steps_run
         })

@@ -43,7 +43,12 @@ fn bench_t4_comparison(c: &mut Criterion) {
 
     g.bench_function("busch", |b| {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        b.iter(|| BuschRouter::new(params).route(&prob, &mut rng).stats.steps_run)
+        b.iter(|| {
+            BuschRouter::new(params)
+                .route(&prob, &mut rng)
+                .stats
+                .steps_run
+        })
     });
     g.bench_function("greedy", |b| {
         let mut rng = ChaCha8Rng::seed_from_u64(4);
@@ -51,11 +56,21 @@ fn bench_t4_comparison(c: &mut Criterion) {
     });
     g.bench_function("random_priority", |b| {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
-        b.iter(|| RandomPriorityRouter::new().route(&prob, &mut rng).stats.steps_run)
+        b.iter(|| {
+            RandomPriorityRouter::new()
+                .route(&prob, &mut rng)
+                .stats
+                .steps_run
+        })
     });
     g.bench_function("store_forward_fifo", |b| {
         let mut rng = ChaCha8Rng::seed_from_u64(6);
-        b.iter(|| StoreForwardRouter::fifo().route(&prob, &mut rng).stats.steps_run)
+        b.iter(|| {
+            StoreForwardRouter::fifo()
+                .route(&prob, &mut rng)
+                .stats
+                .steps_run
+        })
     });
     g.finish();
 }

@@ -63,9 +63,7 @@ fn bench_levelize(c: &mut Criterion) {
     g.bench_function("random_dag_400", |b| {
         b.iter(|| leveled_net::levelize(&dag).unwrap().net.num_edges())
     });
-    g.bench_function("benes_8", |b| {
-        b.iter(|| builders::benes(8).0.num_edges())
-    });
+    g.bench_function("benes_8", |b| b.iter(|| builders::benes(8).0.num_edges()));
     g.finish();
 }
 
@@ -79,7 +77,11 @@ fn bench_workloads(c: &mut Criterion) {
     });
     g.bench_function("random_pairs_64_on_bf8", |b| {
         let mut rng = ChaCha8Rng::seed_from_u64(4);
-        b.iter(|| workloads::random_pairs(&net, 64, &mut rng).unwrap().congestion())
+        b.iter(|| {
+            workloads::random_pairs(&net, 64, &mut rng)
+                .unwrap()
+                .congestion()
+        })
     });
     g.finish();
 }

@@ -5,15 +5,81 @@
 //! cargo run -p bench --release --bin tables -- t1 t4          # selected
 //! cargo run -p bench --release --bin tables -- all --quick    # smaller sweeps
 //! cargo run -p bench --release --bin tables -- all --json out.json
+//! cargo run -p bench --release --bin tables -- perfjson       # BENCH_PR1.json
 //! ```
 
 use bench::experiments;
 use bench::table::sink;
 use std::time::Instant;
 
+/// `perfjson` mode: runs the PERF suite `repeats` times, keeps each
+/// component's best (fastest) run, and writes a machine-readable baseline.
+fn perfjson(quick: bool, out_path: &str) {
+    let repeats = if quick { 1 } else { 3 };
+    let mut best: Option<experiments::perf::PerfReport> = None;
+    for i in 0..repeats {
+        eprintln!("perfjson: measuring pass {}/{repeats}...", i + 1);
+        let rep = experiments::perf::measure(quick);
+        best = Some(match best.take() {
+            None => rep,
+            Some(mut acc) => {
+                for (a, b) in acc.rows.iter_mut().zip(rep.rows) {
+                    assert_eq!(a.component, b.component);
+                    if b.wall_s < a.wall_s {
+                        *a = b;
+                    }
+                }
+                acc
+            }
+        });
+    }
+    let rep = best.expect("at least one pass");
+    let rows: Vec<serde_json::Value> = rep
+        .rows
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "component": r.component,
+                "wall_s": r.wall_s,
+                "steps": r.steps,
+                "steps_per_s": r.steps_per_s(),
+                "moves": r.moves,
+                "moves_per_s": r.moves_per_s(),
+            })
+        })
+        .collect();
+    let doc = serde_json::json!({
+        "suite": "hotpotato-routing perf baseline",
+        "instance": "butterfly bit-reversal",
+        "quick": quick,
+        "k": rep.k,
+        "packets": rep.n,
+        "nodes": rep.nodes,
+        "edges": rep.edges,
+        "repeats": repeats,
+        "policy": "best of repeats per component",
+        "rows": rows,
+    });
+    std::fs::write(
+        out_path,
+        serde_json::to_string_pretty(&doc).expect("serialize"),
+    )
+    .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("wrote perf baseline to {out_path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    if args.iter().any(|a| a == "perfjson") {
+        let out = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+            .map_or("BENCH_PR1.json", |s| s.as_str());
+        perfjson(quick, out);
+        return;
+    }
     let json_path = args
         .iter()
         .position(|a| a == "--json")
@@ -66,8 +132,11 @@ fn main() {
             "experiments": ids,
             "tables": tables,
         });
-        std::fs::write(&path, serde_json::to_string_pretty(&doc).expect("serialize"))
-            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&doc).expect("serialize"),
+        )
+        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
         println!("wrote JSON results to {path}");
     }
 }

@@ -26,12 +26,16 @@ pub fn run(quick: bool) {
     let c = prob.congestion();
 
     let mut t = Table::new(
-        format!(
-            "A1: excitation probability sweep on bf({k}) bit-reversal (C={c}), {seeds} seeds"
-        ),
+        format!("A1: excitation probability sweep on bf({k}) bit-reversal (C={c}), {seeds} seeds"),
         &[
-            "q", "delivered", "makespan", "mean latency", "excitations",
-            "deflections", "If viol", "all viol",
+            "q",
+            "delivered",
+            "makespan",
+            "mean latency",
+            "excitations",
+            "deflections",
+            "If viol",
+            "all viol",
         ],
     );
     // A single frontier set carrying the full congestion C, with tight

@@ -15,7 +15,7 @@ use rand_chacha::ChaCha8Rng;
 use routing_core::{workloads, RoutingProblem};
 use std::sync::Arc;
 
-fn sweep_row(t: &mut Table, label: String, prob: &RoutingProblem, params: Params, seeds: u64) {
+fn sweep_row(t: &mut Table, label: String, prob: &Arc<RoutingProblem>, params: Params, seeds: u64) {
     let runs = parallel_map((0..seeds).collect::<Vec<u64>>(), |s| {
         let mut rng = ChaCha8Rng::seed_from_u64(7000 + s);
         let out = BuschRouter::new(params).route(prob, &mut rng);
@@ -54,7 +54,14 @@ pub fn run(quick: bool) {
     let sets = (prob.congestion() / 4).max(1);
 
     let header: &[&str] = &[
-        "sweep", "m", "w", "delivered", "makespan", "If viol", "Ic viol", "all viol",
+        "sweep",
+        "m",
+        "w",
+        "delivered",
+        "makespan",
+        "If viol",
+        "Ic viol",
+        "all viol",
     ];
 
     let mut t = Table::new(
@@ -62,7 +69,13 @@ pub fn run(quick: bool) {
         header,
     );
     for &w in &[6u32, 12, 24, 48, 96] {
-        sweep_row(&mut t, format!("w={w}"), &prob, Params::scaled(6, w, 0.1, sets), seeds);
+        sweep_row(
+            &mut t,
+            format!("w={w}"),
+            &prob,
+            Params::scaled(6, w, 0.1, sets),
+            seeds,
+        );
     }
     t.note("short rounds leave packets unparked at round ends: If violations,");
     t.note("then frame escapes; beyond ~6m the extra length is pure overhead");
@@ -73,7 +86,13 @@ pub fn run(quick: bool) {
         header,
     );
     for &m in &[3u32, 4, 6, 8, 12] {
-        sweep_row(&mut t, format!("m={m}"), &prob, Params::scaled(m, 8 * m, 0.1, sets), seeds);
+        sweep_row(
+            &mut t,
+            format!("m={m}"),
+            &prob,
+            Params::scaled(m, 8 * m, 0.1, sets),
+            seeds,
+        );
     }
     t.note("small frames have too few rounds/target levels to park everyone;");
     t.note("the paper's m = ln²(LN)+5 is generous — m ≈ ln(LN) suffices here");

@@ -27,8 +27,13 @@ pub fn run(quick: bool) {
     let mut t = Table::new(
         format!("A3: frontier-set count sweep (bf({k}) bit-reversal, C={c}, {seeds} seeds)"),
         &[
-            "sets", "mean max C_i", "sched phases", "delivered", "makespan",
-            "deflections", "viol",
+            "sets",
+            "mean max C_i",
+            "sched phases",
+            "delivered",
+            "makespan",
+            "deflections",
+            "viol",
         ],
     );
     let mut choices: Vec<u32> = vec![1, (c / 4).max(1), (c / 2).max(1), c, 2 * c];

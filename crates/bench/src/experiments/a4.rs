@@ -27,15 +27,22 @@ pub fn run(quick: bool) {
     let params = Params::scaled(6, 36, 0.1, sets);
 
     let mut t = Table::new(
-        format!(
-            "A4: safe backward vs arbitrary deflection (bf({k}) bit-reversal, {seeds} seeds)"
-        ),
+        format!("A4: safe backward vs arbitrary deflection (bf({k}) bit-reversal, {seeds} seeds)"),
         &[
-            "deflection rule", "delivered", "makespan", "max dev", "unsafe defl",
-            "Ib paths", "Ie viol", "Ic viol",
+            "deflection rule",
+            "delivered",
+            "makespan",
+            "max dev",
+            "unsafe defl",
+            "Ib paths",
+            "Ie viol",
+            "Ic viol",
         ],
     );
-    for (label, arbitrary) in [("safe backward (paper)", false), ("arbitrary free link", true)] {
+    for (label, arbitrary) in [
+        ("safe backward (paper)", false),
+        ("arbitrary free link", true),
+    ] {
         let cfg = BuschConfig {
             arbitrary_deflections: arbitrary,
             ..BuschConfig::new(params)

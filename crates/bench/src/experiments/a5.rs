@@ -28,12 +28,16 @@ pub fn run(quick: bool) {
     let params = Params::scaled(6, 36, 0.1, (prob.congestion() / 2).max(1));
 
     let mut t = Table::new(
-        format!(
-            "A5: scheduled vs eager injection (bf({k}) bit-reversal, {seeds} seeds)"
-        ),
+        format!("A5: scheduled vs eager injection (bf({k}) bit-reversal, {seeds} seeds)"),
         &[
-            "injection rule", "delivered", "makespan", "Ia viol", "Id viol",
-            "Ic viol", "unsafe defl", "mean latency",
+            "injection rule",
+            "delivered",
+            "makespan",
+            "Ia viol",
+            "Id viol",
+            "Ic viol",
+            "unsafe defl",
+            "mean latency",
         ],
     );
     for (label, eager) in [("frame-scheduled (paper)", false), ("eager (step 0)", true)] {

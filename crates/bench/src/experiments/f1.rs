@@ -36,7 +36,8 @@ pub fn run(_quick: bool) {
         &["network", "nodes", "edges", "L", "max deg", "width profile"],
     );
     for net in &nets {
-        net.validate().expect("every builder yields a valid leveled network");
+        net.validate()
+            .expect("every builder yields a valid leveled network");
         t.row(vec![
             net.name().to_string(),
             net.num_nodes().to_string(),

@@ -18,7 +18,11 @@ pub fn run(quick: bool) {
         format!("F2: frontier-frame pipeline (Figure 2; L={l}, m={m}, {sets} frames)"),
         &["phase", "levels 0..=L (digit = frame id)", "frontiers φ_i"],
     );
-    let end = if quick { s.end_phase().min(16) } else { s.end_phase() };
+    let end = if quick {
+        s.end_phase().min(16)
+    } else {
+        s.end_phase()
+    };
     for phase in 0..end {
         let mut cells = String::new();
         for level in 0..=l {
@@ -39,12 +43,19 @@ pub fn run(quick: bool) {
         }
     }
     t.note("frames shift exactly one level forward per phase and never overlap");
-    t.note(format!("all frames leave the network at phase {}", s.end_phase()));
+    t.note(format!(
+        "all frames leave the network at phase {}",
+        s.end_phase()
+    ));
     t.print();
 
     let mut tt = Table::new(
         "F2b: target level within a phase (recedes one inner level per round)",
-        &["round", "target inner level", "target network level (frame 0, phase 5)"],
+        &[
+            "round",
+            "target inner level",
+            "target network level (frame 0, phase 5)",
+        ],
     );
     for round in 0..m {
         tt.row(vec![

@@ -8,8 +8,8 @@ pub mod a3;
 pub mod a4;
 pub mod a5;
 pub mod f1;
-pub mod perf;
 pub mod f2;
+pub mod perf;
 pub mod t1;
 pub mod t2;
 pub mod t3;
@@ -21,7 +21,8 @@ pub mod t8;
 
 /// All experiment ids in canonical order.
 pub const ALL: &[&str] = &[
-    "f1", "f2", "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "a1", "a2", "a3", "a4", "a5", "perf",
+    "f1", "f2", "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "a1", "a2", "a3", "a4", "a5",
+    "perf",
 ];
 
 /// Dispatches one experiment by id; returns false for unknown ids.

@@ -5,6 +5,10 @@
 //! throughput. Complements the Criterion micro-benchmarks with
 //! human-readable end-to-end numbers for capacity planning of experiment
 //! sweeps.
+//!
+//! [`measure`] returns the raw numbers; [`run`] renders them as a table.
+//! The `tables` binary's `perfjson` mode serializes [`measure`]'s output
+//! to `BENCH_PR1.json` so perf regressions are machine-checkable.
 
 use crate::table::{f, Table};
 use baselines::{GreedyConfig, GreedyRouter, StoreForwardRouter};
@@ -16,25 +20,55 @@ use routing_core::workloads;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Runs PERF.
-pub fn run(quick: bool) {
+/// One timed component of the PERF suite.
+#[derive(Clone, Debug)]
+pub struct PerfMeasurement {
+    /// Component label ("busch (audited)", "replay audit", ...).
+    pub component: &'static str,
+    /// Wall time in seconds.
+    pub wall_s: f64,
+    /// Engine steps executed (`None` for non-stepped components).
+    pub steps: Option<u64>,
+    /// Packet moves performed (real counts, not estimates).
+    pub moves: u64,
+}
+
+impl PerfMeasurement {
+    /// Steps per wall-clock second (`None` for non-stepped components).
+    pub fn steps_per_s(&self) -> Option<f64> {
+        self.steps.map(|s| s as f64 / self.wall_s)
+    }
+
+    /// Moves per wall-clock second.
+    pub fn moves_per_s(&self) -> f64 {
+        self.moves as f64 / self.wall_s
+    }
+}
+
+/// The full PERF report: the fixed instance plus one row per component.
+#[derive(Clone, Debug)]
+pub struct PerfReport {
+    /// Butterfly order of the instance.
+    pub k: u32,
+    /// Number of packets.
+    pub n: u64,
+    /// Nodes in the network.
+    pub nodes: usize,
+    /// Edges in the network.
+    pub edges: usize,
+    /// Timed components.
+    pub rows: Vec<PerfMeasurement>,
+}
+
+/// Times every component on the fixed bf(k) bit-reversal instance
+/// (k = 10 quick, 12 full) and returns the raw numbers.
+pub fn measure(quick: bool) -> PerfReport {
     let k = if quick { 10 } else { 12 };
     let net = Arc::new(builders::butterfly(k));
     let coords = ButterflyCoords { k };
     let prob = workloads::butterfly_bit_reversal(&net, &coords);
     let n = prob.num_packets() as u64;
-
-    let mut t = Table::new(
-        format!(
-            "PERF: end-to-end throughput on bf({k}) bit-reversal \
-             (N={n}, {} nodes, {} edges)",
-            net.num_nodes(),
-            net.num_edges()
-        ),
-        &[
-            "component", "wall time (s)", "steps", "steps/s", "moves", "moves/s",
-        ],
-    );
+    let mut rows = Vec::new();
 
     // Busch router (invariant audits on, as in the experiments).
     {
@@ -44,18 +78,12 @@ pub fn run(quick: bool) {
         let out = BuschRouter::new(params).route(&prob, &mut rng);
         let dt = t0.elapsed().as_secs_f64();
         assert!(out.stats.all_delivered());
-        let steps = out.stats.steps_run;
-        // Estimate moves: every delivered packet moves once per in-flight
-        // step; the record is off here, so use latency * N as the measure.
-        let moves = (out.stats.mean_latency() * n as f64) as u64;
-        t.row(vec![
-            "busch (audited)".into(),
-            f(dt),
-            steps.to_string(),
-            f(steps as f64 / dt),
-            moves.to_string(),
-            f(moves as f64 / dt),
-        ]);
+        rows.push(PerfMeasurement {
+            component: "busch (audited)",
+            wall_s: dt,
+            steps: Some(out.stats.steps_run),
+            moves: out.stats.counter("moves"),
+        });
     }
 
     // Greedy with recording, then the replay audit itself.
@@ -70,30 +98,26 @@ pub fn run(quick: bool) {
         let dt = t0.elapsed().as_secs_f64();
         assert!(out.stats.all_delivered());
         let record = out.record.as_ref().expect("recording on");
-        let moves = record.len() as u64;
-        t.row(vec![
-            "greedy (recorded)".into(),
-            f(dt),
-            out.stats.steps_run.to_string(),
-            f(out.stats.steps_run as f64 / dt),
-            moves.to_string(),
-            f(moves as f64 / dt),
-        ]);
+        rows.push(PerfMeasurement {
+            component: "greedy (recorded)",
+            wall_s: dt,
+            steps: Some(out.stats.steps_run),
+            moves: record.len() as u64,
+        });
 
         let t0 = Instant::now();
         let rep = hotpotato_sim::replay::verify(&prob, record, &out.stats).expect("clean");
         let dt = t0.elapsed().as_secs_f64();
-        t.row(vec![
-            "replay audit".into(),
-            f(dt),
-            "-".into(),
-            "-".into(),
-            rep.moves.to_string(),
-            f(rep.moves as f64 / dt),
-        ]);
+        rows.push(PerfMeasurement {
+            component: "replay audit",
+            wall_s: dt,
+            steps: None,
+            moves: rep.moves,
+        });
     }
 
-    // Store-and-forward.
+    // Store-and-forward (moves = sum of path lengths: every packet
+    // traverses exactly its path, no deflections).
     {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let t0 = Instant::now();
@@ -101,16 +125,51 @@ pub fn run(quick: bool) {
         let dt = t0.elapsed().as_secs_f64();
         assert!(out.stats.all_delivered());
         let moves: u64 = prob.packets().iter().map(|p| p.path.len() as u64).sum();
-        t.row(vec![
-            "store-and-forward".into(),
-            f(dt),
-            out.stats.steps_run.to_string(),
-            f(out.stats.steps_run as f64 / dt),
-            moves.to_string(),
-            f(moves as f64 / dt),
-        ]);
+        rows.push(PerfMeasurement {
+            component: "store-and-forward",
+            wall_s: dt,
+            steps: Some(out.stats.steps_run),
+            moves,
+        });
     }
 
+    PerfReport {
+        k,
+        n,
+        nodes: net.num_nodes(),
+        edges: net.num_edges(),
+        rows,
+    }
+}
+
+/// Runs PERF.
+pub fn run(quick: bool) {
+    let report = measure(quick);
+    let mut t = Table::new(
+        format!(
+            "PERF: end-to-end throughput on bf({}) bit-reversal \
+             (N={}, {} nodes, {} edges)",
+            report.k, report.n, report.nodes, report.edges
+        ),
+        &[
+            "component",
+            "wall time (s)",
+            "steps",
+            "steps/s",
+            "moves",
+            "moves/s",
+        ],
+    );
+    for row in &report.rows {
+        t.row(vec![
+            row.component.into(),
+            f(row.wall_s),
+            row.steps.map_or_else(|| "-".into(), |s| s.to_string()),
+            row.steps_per_s().map_or_else(|| "-".into(), f),
+            row.moves.to_string(),
+            f(row.moves_per_s()),
+        ]);
+    }
     t.note("single-threaded; experiment sweeps parallelize across seeds/instances");
     t.print();
 }

@@ -15,12 +15,12 @@ use crate::runner::{self, average, parallel_map};
 use crate::table::{f, Table};
 use busch_router::Params;
 use leveled_net::builders;
-use routing_core::{workloads, RoutingProblem};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use routing_core::{workloads, RoutingProblem};
 use std::sync::Arc;
 
-fn row_for(t: &mut Table, label: &str, prob: &RoutingProblem, params: Params, seeds: u64) {
+fn row_for(t: &mut Table, label: &str, prob: &Arc<RoutingProblem>, params: Params, seeds: u64) {
     let runs = parallel_map((0..seeds).collect::<Vec<u64>>(), |seed| {
         runner::run_busch(prob, params, 1000 + seed)
     });
@@ -43,7 +43,16 @@ fn row_for(t: &mut Table, label: &str, prob: &RoutingProblem, params: Params, se
 }
 
 const HEADER: &[&str] = &[
-    "instance", "N", "C", "D", "L", "sets/m", "T (steps)", "T/(C+L)", "delivered", "viol",
+    "instance",
+    "N",
+    "C",
+    "D",
+    "L",
+    "sets/m",
+    "T (steps)",
+    "T/(C+L)",
+    "delivered",
+    "viol",
 ];
 
 /// Runs T1.
@@ -56,7 +65,11 @@ pub fn run(quick: bool) {
         HEADER,
     );
     let net = Arc::new(builders::complete_leveled(16, 8));
-    let counts: &[usize] = if quick { &[4, 16, 48] } else { &[4, 8, 16, 32, 64] };
+    let counts: &[usize] = if quick {
+        &[4, 16, 48]
+    } else {
+        &[4, 8, 16, 32, 64]
+    };
     for &count in counts {
         let mut rng = ChaCha8Rng::seed_from_u64(42);
         let prob = workloads::funnel(&net, count, &mut rng).expect("fits");

@@ -15,7 +15,7 @@ use rand_chacha::ChaCha8Rng;
 use routing_core::{workloads, RoutingProblem};
 use std::sync::Arc;
 
-fn measure(t: &mut Table, label: &str, prob: &RoutingProblem, trials: u64) {
+fn measure(t: &mut Table, label: &str, prob: &Arc<RoutingProblem>, trials: u64) {
     let c = prob.congestion();
     let l = prob.network().depth() as f64;
     let n = prob.num_packets() as f64;

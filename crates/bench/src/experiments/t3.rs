@@ -15,14 +15,18 @@ use rand_chacha::ChaCha8Rng;
 use routing_core::{workloads, RoutingProblem};
 use std::sync::Arc;
 
-fn sum_invariants(prob: &RoutingProblem, seeds: u64) -> (InvariantReport, usize, usize) {
+fn sum_invariants(prob: &Arc<RoutingProblem>, seeds: u64) -> (InvariantReport, usize, usize) {
     // Congestion-matched parameters: one set per two congestion units,
     // frames of 8 levels, long rounds.
     let params = Params::scaled(8, 96, 0.1, (prob.congestion() / 2).max(1));
     let outs = parallel_map((0..seeds).collect::<Vec<u64>>(), |seed| {
         let mut rng = ChaCha8Rng::seed_from_u64(2000 + seed);
         let out = BuschRouter::new(params).route(prob, &mut rng);
-        (out.invariants, out.stats.delivered_count(), out.stats.num_packets())
+        (
+            out.invariants,
+            out.stats.delivered_count(),
+            out.stats.num_packets(),
+        )
     });
     let mut total = InvariantReport::default();
     let mut delivered = 0;
@@ -48,12 +52,20 @@ pub fn run(quick: bool) {
     let mut t = Table::new(
         format!("T3: invariant violations summed over {seeds} seeds (paper §4: all zero w.h.p.)"),
         &[
-            "workload", "Ia", "Ib unsafe", "Ib paths", "Ic", "Id", "Ie", "If",
-            "checks", "delivered",
+            "workload",
+            "Ia",
+            "Ib unsafe",
+            "Ib paths",
+            "Ic",
+            "Id",
+            "Ie",
+            "If",
+            "checks",
+            "delivered",
         ],
     );
 
-    let mut wl: Vec<(String, RoutingProblem)> = Vec::new();
+    let mut wl: Vec<(String, Arc<RoutingProblem>)> = Vec::new();
     {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let net = Arc::new(builders::butterfly(5));

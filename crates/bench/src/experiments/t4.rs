@@ -20,9 +20,9 @@ use rand_chacha::ChaCha8Rng;
 use routing_core::{workloads, RoutingProblem};
 use std::sync::Arc;
 
-type Algo = (&'static str, fn(&RoutingProblem, u64) -> RunSummary);
+type Algo = (&'static str, fn(&Arc<RoutingProblem>, u64) -> RunSummary);
 
-fn busch_auto(prob: &RoutingProblem, seed: u64) -> RunSummary {
+fn busch_auto(prob: &Arc<RoutingProblem>, seed: u64) -> RunSummary {
     runner::run_busch(prob, Params::auto(prob), seed)
 }
 
@@ -39,7 +39,7 @@ const ALGOS: &[Algo] = &[
 pub fn run(quick: bool) {
     let seeds: u64 = if quick { 2 } else { 5 };
 
-    let mut instances: Vec<(String, RoutingProblem)> = Vec::new();
+    let mut instances: Vec<(String, Arc<RoutingProblem>)> = Vec::new();
     {
         let k = 6;
         let net = Arc::new(builders::butterfly(k));
@@ -93,14 +93,17 @@ pub fn run(quick: bool) {
                 n = prob.num_packets()
             ),
             &[
-                "algorithm", "makespan", "T/lower", "mean latency", "deflections",
-                "max dev", "delivered",
+                "algorithm",
+                "makespan",
+                "T/lower",
+                "mean latency",
+                "deflections",
+                "max dev",
+                "delivered",
             ],
         );
         for (aname, algo) in ALGOS {
-            let runs = parallel_map((0..seeds).collect::<Vec<u64>>(), |s| {
-                algo(prob, 3000 + s)
-            });
+            let runs = parallel_map((0..seeds).collect::<Vec<u64>>(), |s| algo(prob, 3000 + s));
             let avg = average(&runs);
             t.row(vec![
                 aname.to_string(),

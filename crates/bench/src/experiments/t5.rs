@@ -22,8 +22,16 @@ pub fn run(quick: bool) {
     let mut t = Table::new(
         "T5: n x n mesh, C = D = n - 1 (paper §5); expected T = Õ(n)",
         &[
-            "n", "C", "D", "L", "lower", "busch T", "Õ factor", "greedy T",
-            "store-fwd T", "delivered",
+            "n",
+            "C",
+            "D",
+            "L",
+            "lower",
+            "busch T",
+            "Õ factor",
+            "greedy T",
+            "store-fwd T",
+            "delivered",
         ],
     );
     let mut factors: Vec<f64> = Vec::new();

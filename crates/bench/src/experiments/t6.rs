@@ -25,8 +25,15 @@ pub fn run(quick: bool) {
     let mut t = Table::new(
         "T6: deviation from preselected paths (paper §1.2: polylog distance)",
         &[
-            "instance", "N", "L", "m (frame)", "busch max dev", "busch defl/pkt",
-            "greedy max dev", "greedy defl/pkt", "dev ≤ m?",
+            "instance",
+            "N",
+            "L",
+            "m (frame)",
+            "busch max dev",
+            "busch defl/pkt",
+            "greedy max dev",
+            "greedy defl/pkt",
+            "dev ≤ m?",
         ],
     );
     for &k in ks {

@@ -15,8 +15,19 @@ pub fn run(_quick: bool) {
     let mut t = Table::new(
         "T7: the paper's literal parameters over a (C, L, N) grid (§2.1, §4.4)",
         &[
-            "C", "L", "N", "ln(LN)", "sets ⌈aC⌉", "m", "q", "w",
-            "phases", "total time", "T/(C+L)", "ln⁹(LN)", "succ ≥ 1-1/LN",
+            "C",
+            "L",
+            "N",
+            "ln(LN)",
+            "sets ⌈aC⌉",
+            "m",
+            "q",
+            "w",
+            "phases",
+            "total time",
+            "T/(C+L)",
+            "ln⁹(LN)",
+            "succ ≥ 1-1/LN",
         ],
     );
     let grid: &[(u64, u64, u64)] = &[

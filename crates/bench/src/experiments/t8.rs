@@ -26,13 +26,18 @@ use routing_core::{workloads, RoutingProblem};
 use std::sync::Arc;
 
 const HEADER: &[&str] = &[
-    "m", "w", "sched steps", "clean-run rate", "mean viol", "delivered",
+    "m",
+    "w",
+    "sched steps",
+    "clean-run rate",
+    "mean viol",
+    "delivered",
     "mean makespan",
 ];
 
 fn sweep_row(
     t: &mut Table,
-    prob: &RoutingProblem,
+    prob: &Arc<RoutingProblem>,
     params: Params,
     trials: u64,
     seed_base: u64,

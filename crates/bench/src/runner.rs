@@ -1,5 +1,5 @@
-//! Run helpers: condensed per-run summaries, seed averaging, and a small
-//! crossbeam-scoped parallel map for sweeps.
+//! Run helpers: condensed per-run summaries, seed averaging, and a
+//! persistent worker pool behind [`parallel_map`] for sweeps.
 
 use baselines::{GreedyRouter, RandomPriorityRouter, StoreForwardRouter};
 use busch_router::{BuschOutcome, BuschRouter, Params};
@@ -7,6 +7,7 @@ use hotpotato_sim::RouteStats;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use routing_core::RoutingProblem;
+use std::sync::Arc;
 
 /// A condensed view of one routing run, sufficient for every table.
 #[derive(Clone, Debug)]
@@ -78,107 +79,229 @@ pub fn average(runs: &[RunSummary]) -> RunSummary {
 }
 
 /// Routes with the paper's algorithm under `params`; one seed.
-pub fn run_busch(problem: &RoutingProblem, params: Params, seed: u64) -> RunSummary {
+pub fn run_busch(problem: &Arc<RoutingProblem>, params: Params, seed: u64) -> RunSummary {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let out = BuschRouter::new(params).route(problem, &mut rng);
     RunSummary::from_busch(&out)
 }
 
 /// Routes with the greedy hot-potato baseline; one seed.
-pub fn run_greedy(problem: &RoutingProblem, seed: u64) -> RunSummary {
+pub fn run_greedy(problem: &Arc<RoutingProblem>, seed: u64) -> RunSummary {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let out = GreedyRouter::new().route(problem, &mut rng);
     RunSummary::from_stats(&out.stats, 0)
 }
 
 /// Routes with the random-priority greedy baseline; one seed.
-pub fn run_random_priority(problem: &RoutingProblem, seed: u64) -> RunSummary {
+pub fn run_random_priority(problem: &Arc<RoutingProblem>, seed: u64) -> RunSummary {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let out = RandomPriorityRouter::new().route(problem, &mut rng);
     RunSummary::from_stats(&out.stats, 0)
 }
 
 /// Routes with buffered FIFO store-and-forward; one seed.
-pub fn run_store_forward(problem: &RoutingProblem, seed: u64) -> RunSummary {
+pub fn run_store_forward(problem: &Arc<RoutingProblem>, seed: u64) -> RunSummary {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let out = StoreForwardRouter::fifo().route(problem, &mut rng);
     RunSummary::from_stats(&out.stats, 0)
 }
 
 /// Routes with buffered random-rank store-and-forward (`Θ(C)` delays).
-pub fn run_store_forward_ranked(problem: &RoutingProblem, seed: u64) -> RunSummary {
+pub fn run_store_forward_ranked(problem: &Arc<RoutingProblem>, seed: u64) -> RunSummary {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let out =
-        StoreForwardRouter::random_rank(problem.congestion() as u64).route(problem, &mut rng);
+    let out = StoreForwardRouter::random_rank(problem.congestion() as u64).route(problem, &mut rng);
     RunSummary::from_stats(&out.stats, 0)
 }
 
 /// Routes with store-and-forward under constant (size-2) buffers — the
 /// bounded-buffer regime of reference 16.
-pub fn run_store_forward_bounded(problem: &RoutingProblem, seed: u64) -> RunSummary {
+pub fn run_store_forward_bounded(problem: &Arc<RoutingProblem>, seed: u64) -> RunSummary {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let out = StoreForwardRouter::bounded(2).route(problem, &mut rng);
     RunSummary::from_stats(&out.stats, 0)
 }
 
-/// Runs `f` over `items` on up to `threads` scoped worker threads,
-/// preserving order. Used to fan seed/parameter sweeps across cores.
+/// The sweep thread budget: the `HOTPOTATO_THREADS` environment variable
+/// when set to a positive integer, otherwise the machine's available
+/// parallelism. Read on every call, so tests and operators can retune a
+/// running process.
+pub fn configured_threads() -> usize {
+    match std::env::var("HOTPOTATO_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4),
+    }
+}
+
+/// The persistent worker pool. Workers are spawned once (at first use) and
+/// reused by every sweep for the life of the process, so per-call cost is
+/// queue traffic rather than thread spawns.
+mod pool {
+    use std::sync::{mpsc, Arc, Mutex, OnceLock};
+
+    /// A unit of work shipped to a worker.
+    pub(super) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+    struct Pool {
+        sender: mpsc::Sender<Job>,
+    }
+
+    static POOL: OnceLock<Pool> = OnceLock::new();
+
+    thread_local! {
+        /// Set on pool workers so nested sweeps run inline instead of
+        /// deadlocking the pool waiting on itself.
+        static IS_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    }
+
+    /// Whether the current thread is one of the pool's workers.
+    pub(super) fn on_worker_thread() -> bool {
+        IS_WORKER.with(|w| w.get())
+    }
+
+    fn pool() -> &'static Pool {
+        POOL.get_or_init(|| {
+            let workers = std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4);
+            let (sender, receiver) = mpsc::channel::<Job>();
+            let receiver = Arc::new(Mutex::new(receiver));
+            for i in 0..workers {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("hotpotato-sweep-{i}"))
+                    .spawn(move || {
+                        IS_WORKER.with(|w| w.set(true));
+                        loop {
+                            // Hold the lock only while dequeueing.
+                            let job = match receiver.lock() {
+                                Ok(rx) => rx.recv(),
+                                Err(_) => break,
+                            };
+                            match job {
+                                Ok(job) => job(),
+                                Err(_) => break, // channel closed: shut down
+                            }
+                        }
+                    })
+                    .expect("spawn sweep worker");
+            }
+            Pool { sender }
+        })
+    }
+
+    /// Enqueues a job on the persistent pool.
+    pub(super) fn submit(job: Job) {
+        pool().sender.send(job).expect("worker pool alive");
+    }
+}
+
+/// Runs `f` over `items` on the persistent worker pool, preserving input
+/// order in the output. Work is distributed as contiguous chunks, one per
+/// requested thread; results are written back by index, so the output is
+/// identical for every thread count (including 1). Thread budget comes
+/// from [`configured_threads`] (`HOTPOTATO_THREADS` override respected).
 pub fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
 where
     T: Send,
     U: Send,
     F: Fn(T) -> U + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(items.len().max(1));
-    if threads <= 1 {
+    parallel_map_with_threads(items, f, configured_threads())
+}
+
+/// [`parallel_map`] with an explicit thread budget.
+pub fn parallel_map_with_threads<T, U, F>(items: Vec<T>, f: F, threads: usize) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = threads.max(1).min(n.max(1));
+    // Inline on trivial budgets and on pool workers themselves (a nested
+    // sweep waiting on the pool from inside the pool would deadlock).
+    if threads <= 1 || n <= 1 || pool::on_worker_thread() {
         return items.into_iter().map(f).collect();
     }
-    // Jobs are handed out by an atomic cursor; each worker takes ownership
-    // of its item through the per-slot mutex (taken exactly once).
-    let jobs: Vec<std::sync::Mutex<Option<T>>> = items
-        .into_iter()
-        .map(|t| std::sync::Mutex::new(Some(t)))
-        .collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut slots: Vec<Option<U>> = (0..jobs.len()).map(|_| None).collect();
-    let mut piles: Vec<Vec<(usize, U)>> = Vec::new();
-    crossbeam::scope(|s| {
-        let mut handles = Vec::new();
-        for _ in 0..threads {
-            let next = &next;
-            let f = &f;
-            let jobs = &jobs;
-            handles.push(s.spawn(move |_| {
-                let mut pile = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= jobs.len() {
-                        break;
+
+    // Contiguous chunks, sized as evenly as possible.
+    let per = n / threads;
+    let extra = n % threads;
+    let mut chunks: Vec<(usize, Vec<T>)> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    let mut start = 0;
+    for c in 0..threads {
+        let len = per + usize::from(c < extra);
+        if len == 0 {
+            continue;
+        }
+        chunks.push((start, it.by_ref().take(len).collect()));
+        start += len;
+    }
+
+    let pending = chunks.len();
+    let slots: std::sync::Mutex<Vec<Option<U>>> =
+        std::sync::Mutex::new((0..n).map(|_| None).collect());
+    let panic_payload: std::sync::Mutex<Option<Box<dyn std::any::Any + Send>>> =
+        std::sync::Mutex::new(None);
+    let done = (std::sync::Mutex::new(0usize), std::sync::Condvar::new());
+
+    {
+        let f = &f;
+        let slots = &slots;
+        let panic_payload = &panic_payload;
+        let done = &done;
+        for (chunk_start, chunk) in chunks {
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let out: Vec<U> = chunk.into_iter().map(f).collect();
+                    let mut guard = slots.lock().expect("result slots");
+                    for (offset, u) in out.into_iter().enumerate() {
+                        guard[chunk_start + offset] = Some(u);
                     }
-                    let item = jobs[i]
+                }));
+                if let Err(payload) = result {
+                    panic_payload
                         .lock()
-                        .expect("job mutex")
-                        .take()
-                        .expect("each job is taken once");
-                    pile.push((i, f(item)));
+                        .expect("panic slot")
+                        .get_or_insert(payload);
                 }
-                pile
-            }));
+                let (lock, cvar) = done;
+                *lock.lock().expect("done counter") += 1;
+                cvar.notify_all();
+            });
+            // SAFETY: the job borrows `f`, `slots`, `panic_payload` and
+            // `done` from this stack frame. The wait below does not return
+            // until every submitted job has run to completion (the
+            // completion count is incremented even when the closure
+            // panics), so the borrows outlive every use. Erasing the
+            // lifetime is what lets the jobs ride a persistent pool.
+            let job: pool::Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, pool::Job>(job) };
+            pool::submit(job);
         }
-        for h in handles {
-            piles.push(h.join().expect("worker panicked"));
-        }
-    })
-    .expect("scope");
-    for pile in piles {
-        for (i, u) in pile {
-            slots[i] = Some(u);
+
+        let (lock, cvar) = &done;
+        let mut finished = lock.lock().expect("done counter");
+        while *finished < pending {
+            finished = cvar.wait(finished).expect("done counter");
         }
     }
-    slots.into_iter().map(|s| s.expect("all jobs ran")).collect()
+
+    if let Some(payload) = panic_payload.into_inner().expect("panic slot") {
+        std::panic::resume_unwind(payload);
+    }
+    slots
+        .into_inner()
+        .expect("result slots")
+        .into_iter()
+        .map(|s| s.expect("all chunks ran"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -202,6 +325,55 @@ mod tests {
         let items: Vec<MoveOnly> = (0..50).map(MoveOnly).collect();
         let out = parallel_map(items, |m| m.0 + 1);
         assert_eq!(out, (1..=50).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn identical_results_for_every_thread_count() {
+        let work = |x: u64| x.wrapping_mul(0x9e3779b97f4a7c15) >> 7;
+        let expect: Vec<u64> = (0..97).map(work).collect();
+        let max = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4);
+        for threads in [1, 2, 3, max, max + 5] {
+            let out = parallel_map_with_threads((0..97).collect(), work, threads);
+            assert_eq!(out, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn pool_survives_repeated_sweeps() {
+        for round in 0..20 {
+            let out = parallel_map((0..16u64).collect(), |x| x + round);
+            assert_eq!(out[0], round);
+            assert_eq!(out[15], 15 + round);
+        }
+    }
+
+    #[test]
+    fn nested_sweeps_run_inline_without_deadlock() {
+        let out = parallel_map((0..8u64).collect(), |x| {
+            parallel_map((0..4u64).collect(), move |y| x * 10 + y)
+                .into_iter()
+                .sum::<u64>()
+        });
+        assert_eq!(out[1], 10 * 4 + 6);
+        assert_eq!(out.len(), 8);
+    }
+
+    #[test]
+    fn panics_propagate_after_sweep_completes() {
+        let result = std::panic::catch_unwind(|| {
+            parallel_map((0..32u64).collect(), |x| {
+                if x == 17 {
+                    panic!("boom");
+                }
+                x
+            })
+        });
+        assert!(result.is_err());
+        // The pool is still usable afterwards.
+        let ok = parallel_map((0..8u64).collect(), |x| x);
+        assert_eq!(ok.len(), 8);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::fmt::Write as _;
 
 /// A titled table with a header row and string cells; renders with
 /// right-aligned, width-fitted columns.
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Table {
     /// Table title, printed above the header.
     pub title: String,
@@ -16,6 +16,17 @@ pub struct Table {
     pub rows: Vec<Vec<String>>,
     /// Free-form notes printed under the table.
     pub notes: Vec<String>,
+}
+
+impl Serialize for Table {
+    fn to_json(&self) -> serde::Value {
+        serde::Value::object([
+            ("title", self.title.to_json()),
+            ("header", self.header.to_json()),
+            ("rows", self.rows.to_json()),
+            ("notes", self.notes.to_json()),
+        ])
+    }
 }
 
 impl Table {
@@ -147,7 +158,11 @@ mod tests {
         let lines: Vec<&str> = s.lines().skip(1).take(4).collect();
         assert_eq!(
             lines[0].chars().count(),
-            lines[2].trim_end().chars().count().max(lines[0].chars().count()) // header >= rows
+            lines[2]
+                .trim_end()
+                .chars()
+                .count()
+                .max(lines[0].chars().count()) // header >= rows
         );
     }
 

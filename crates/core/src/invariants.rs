@@ -19,11 +19,10 @@
 
 use crate::schedule::FrameSchedule;
 use hotpotato_sim::Simulation;
-use std::collections::HashMap;
 
 /// Violation counters for `I_a..I_f` (see module docs). All-zero means the
 /// run satisfied every invariant the paper proves w.h.p.
-#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct InvariantReport {
     /// `I_a`: injections that happened while other packets were present at
     /// the source node.
@@ -46,6 +45,24 @@ pub struct InvariantReport {
     pub rear_levels_occupied: u64,
     /// Number of phase-end audits performed.
     pub phase_checks: u64,
+}
+
+impl serde::Serialize for InvariantReport {
+    fn to_json(&self) -> serde::Value {
+        serde::Value::object([
+            ("isolation_violations", self.isolation_violations.to_json()),
+            ("unsafe_deflections", self.unsafe_deflections.to_json()),
+            (
+                "invalid_current_paths",
+                self.invalid_current_paths.to_json(),
+            ),
+            ("frame_escapes", self.frame_escapes.to_json()),
+            ("cross_set_meetings", self.cross_set_meetings.to_json()),
+            ("congestion_exceeded", self.congestion_exceeded.to_json()),
+            ("rear_levels_occupied", self.rear_levels_occupied.to_json()),
+            ("phase_checks", self.phase_checks.to_json()),
+        ])
+    }
 }
 
 impl InvariantReport {
@@ -83,12 +100,39 @@ impl InvariantReport {
 
 /// Initial per-set congestion of the preselected paths (the baseline for
 /// the `I_e` non-increase check and the subject of Lemma 2.2).
-pub fn initial_per_set_congestion<M>(
-    sim: &Simulation<M>,
-    sets: &[u32],
-    num_sets: u32,
-) -> Vec<u32> {
+pub fn initial_per_set_congestion<M>(sim: &Simulation<M>, sets: &[u32], num_sets: u32) -> Vec<u32> {
     sim.problem().per_set_congestion(sets, num_sets as usize)
+}
+
+/// Reusable buffers for [`check_phase_end`]: a flat per-(set, edge)
+/// congestion counter array plus the list of indices touched this check.
+/// The counters are zeroed via the touched list, so a check costs O(paths),
+/// not O(sets × edges) — and nothing allocates after the first check.
+#[derive(Default)]
+pub struct PhaseAuditScratch {
+    /// Counter for (set, edge) at index `set * num_edges + edge`.
+    counts: Vec<u32>,
+    /// Indices of `counts` with a non-zero value.
+    touched: Vec<u32>,
+}
+
+impl PhaseAuditScratch {
+    fn reserve(&mut self, num_sets: usize, num_edges: usize) {
+        let want = num_sets * num_edges;
+        if self.counts.len() < want {
+            self.counts.resize(want, 0);
+        }
+        debug_assert!(self.touched.is_empty());
+    }
+
+    #[inline]
+    fn bump(&mut self, set: u32, num_edges: usize, edge: u32) {
+        let i = set as usize * num_edges + edge as usize;
+        if self.counts[i] == 0 {
+            self.touched.push(i as u32);
+        }
+        self.counts[i] += 1;
+    }
 }
 
 /// Runs the phase-end audits (`I_b` path validity, `I_c`, `I_e`, `I_f`)
@@ -99,6 +143,7 @@ pub fn initial_per_set_congestion<M>(
 /// endpoint of a wait packet's oscillation edge, since the paper treats an
 /// oscillating packet as sitting at its target node (the oscillation
 /// parity at the exact phase boundary is immaterial to the analysis).
+#[allow(clippy::too_many_arguments)]
 pub fn check_phase_end<M>(
     sim: &Simulation<M>,
     schedule: &FrameSchedule,
@@ -106,17 +151,21 @@ pub fn check_phase_end<M>(
     phase: u64,
     initial_per_set: &[u32],
     effective_level: impl Fn(u32, leveled_net::Level) -> leveled_net::Level,
+    scratch: &mut PhaseAuditScratch,
     report: &mut InvariantReport,
 ) {
     report.phase_checks += 1;
     let net = sim.network();
+    let num_edges = net.num_edges();
 
     // Per-(set, edge) congestion of current paths, counting active packets
     // (by their current paths) and pending packets (by their preselected
-    // paths), as in the paper's definition (§2.4).
-    let mut per_set_edge: HashMap<(u32, u32), u32> = HashMap::new();
+    // paths), as in the paper's definition (§2.4). Flat counters with a
+    // touched list — the audits only ever sum per (set, edge), so the
+    // enumeration order of the maintained lists is immaterial.
+    scratch.reserve(initial_per_set.len().max(1), num_edges);
 
-    for idx in sim.active_indices() {
+    for &idx in sim.active_slice() {
         let pkt = sim.packet(idx);
         let path = sim.path_of(idx);
         let set = sets[idx as usize];
@@ -130,9 +179,7 @@ pub fn check_phase_end<M>(
         let level = net.level(pkt.node());
         if !schedule.contains(set, phase, level) {
             report.frame_escapes += 1;
-        } else if let Some(inner) =
-            schedule.inner_level(set, phase, effective_level(idx, level))
-        {
+        } else if let Some(inner) = schedule.inner_level(set, phase, effective_level(idx, level)) {
             // I_f: rear three inner levels empty at phase end (packets at
             // inner level ≤ m − 4, so the frame can shift and inject).
             if inner + 3 >= schedule.m {
@@ -141,23 +188,26 @@ pub fn check_phase_end<M>(
         }
 
         for e in pkt.current_path_edges(path) {
-            *per_set_edge.entry((set, e.0)).or_insert(0) += 1;
+            scratch.bump(set, num_edges, e.0);
         }
     }
-    for idx in sim.pending_indices() {
+    for &idx in sim.pending_slice() {
         let path = sim.path_of(idx);
         let set = sets[idx as usize];
         for &e in path.edges() {
-            *per_set_edge.entry((set, e.0)).or_insert(0) += 1;
+            scratch.bump(set, num_edges, e.0);
         }
     }
 
-    // I_e: per-set congestion must not exceed its initial value.
+    // I_e: per-set congestion must not exceed its initial value. Zero the
+    // counters on the way out so the scratch is clean for the next check.
     let mut per_set_max = vec![0u32; initial_per_set.len()];
-    for (&(set, _), &count) in per_set_edge.iter() {
-        let s = set as usize;
-        per_set_max[s] = per_set_max[s].max(count);
+    for &i in &scratch.touched {
+        let s = i as usize / num_edges;
+        per_set_max[s] = per_set_max[s].max(scratch.counts[i as usize]);
+        scratch.counts[i as usize] = 0;
     }
+    scratch.touched.clear();
     for (&now_max, &init) in per_set_max.iter().zip(initial_per_set) {
         if now_max > init {
             report.congestion_exceeded += 1;

@@ -26,7 +26,7 @@ use routing_core::RoutingProblem;
 /// The literal paper parameters for a problem with congestion `C`, depth
 /// `L` and `N` packets. All values `f64` because they are astronomically
 /// large for any interesting instance.
-#[derive(Clone, Copy, Debug, serde::Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct PaperParams {
     /// Problem congestion `C`.
     pub c: f64,
@@ -48,6 +48,23 @@ pub struct PaperParams {
     pub p0: f64,
     /// Per-phase failure quantum `p₁`.
     pub p1: f64,
+}
+
+impl serde::Serialize for PaperParams {
+    fn to_json(&self) -> serde::Value {
+        serde::Value::object([
+            ("c", self.c.to_json()),
+            ("l", self.l.to_json()),
+            ("n", self.n.to_json()),
+            ("ln_ln", self.ln_ln.to_json()),
+            ("a", self.a.to_json()),
+            ("m", self.m.to_json()),
+            ("q", self.q.to_json()),
+            ("w", self.w.to_json()),
+            ("p0", self.p0.to_json()),
+            ("p1", self.p1.to_json()),
+        ])
+    }
 }
 
 impl PaperParams {
@@ -138,7 +155,7 @@ impl PaperParams {
 /// Simulation-scale parameters: the same algorithm structure with tunable
 /// constants. [`Params::auto`] picks values that deliver reliably at
 /// laptop scale; the ablation experiments (`A1`–`A3`) sweep them.
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Params {
     /// Inner levels per frontier-frame = rounds per phase (paper `m`,
     /// must be ≥ 3: injections happen at inner level `m−1`, targets recede
@@ -154,6 +171,18 @@ pub struct Params {
     /// their destinations directly) for at most this many extra scheduled
     /// lengths before giving up.
     pub grace_factor: u32,
+}
+
+impl serde::Serialize for Params {
+    fn to_json(&self) -> serde::Value {
+        serde::Value::object([
+            ("m", self.m.to_json()),
+            ("w", self.w.to_json()),
+            ("q", self.q.to_json()),
+            ("num_sets", self.num_sets.to_json()),
+            ("grace_factor", self.grace_factor.to_json()),
+        ])
+    }
 }
 
 impl Params {
@@ -300,8 +329,16 @@ mod tests {
             let ln = p.ln_ln;
             // The factor is Θ(ln⁹(LN)) up to constants and lower-order
             // ln(C), ln(1/p₁) terms: sandwich it generously.
-            assert!(f > ln.powi(6), "factor {f} too small vs ln^6 {}", ln.powi(6));
-            assert!(f < ln.powi(14), "factor {f} too large vs ln^14 {}", ln.powi(14));
+            assert!(
+                f > ln.powi(6),
+                "factor {f} too small vs ln^6 {}",
+                ln.powi(6)
+            );
+            assert!(
+                f < ln.powi(14),
+                "factor {f} too large vs ln^14 {}",
+                ln.powi(14)
+            );
         }
     }
 

@@ -25,7 +25,9 @@
 //! network, targets degenerate to destinations, so stragglers chase their
 //! destinations directly with the same conflict rules).
 
-use crate::invariants::{check_phase_end, initial_per_set_congestion, InvariantReport};
+use crate::invariants::{
+    check_phase_end, initial_per_set_congestion, InvariantReport, PhaseAuditScratch,
+};
 use crate::params::Params;
 use crate::schedule::{assign_sets, FrameSchedule};
 use hotpotato_sim::conflict::{self, Contender, DeflectRule};
@@ -163,7 +165,14 @@ impl BuschRouter {
 
     /// Routes `problem`, consuming randomness from `rng` (set assignment,
     /// excitation, tie-breaking). Deterministic given the rng state.
-    pub fn route<R: Rng + ?Sized>(&self, problem: &RoutingProblem, rng: &mut R) -> BuschOutcome {
+    ///
+    /// Takes the problem behind an `Arc` so the engine can share it
+    /// without deep-cloning the paths (problems are immutable).
+    pub fn route<R: Rng + ?Sized>(
+        &self,
+        problem: &Arc<RoutingProblem>,
+        rng: &mut R,
+    ) -> BuschOutcome {
         let params = self.cfg.params;
         let net = problem.network_arc();
         let depth = net.depth();
@@ -181,7 +190,7 @@ impl BuschRouter {
             })
             .collect();
 
-        let mut sim = Simulation::new(Arc::new(problem.clone()), metas, self.cfg.trace);
+        let mut sim = Simulation::new(Arc::clone(problem), metas, self.cfg.trace);
         if self.cfg.record {
             sim.enable_recording();
         }
@@ -210,6 +219,10 @@ impl BuschRouter {
         // Scratch buffers reused across steps.
         let mut arrivals_buf: Vec<u32> = Vec::new();
         let mut contenders: Vec<Contender> = Vec::new();
+        let mut nodes_buf: Vec<leveled_net::NodeId> = Vec::new();
+        let mut conflict_scratch = conflict::ConflictScratch::default();
+        let mut audit_scratch = PhaseAuditScratch::default();
+        let mut total_moves = 0u64;
 
         while !sim.is_done() && sim.now() < max_steps {
             let t = sim.now();
@@ -226,7 +239,8 @@ impl BuschRouter {
             // fold is equivalent to separate passes while avoiding two
             // O(N) status scans per step.
             let mut excitations = 0u64;
-            for v in sim.occupied_nodes() {
+            sim.occupied_nodes_into(&mut nodes_buf);
+            for &v in &nodes_buf {
                 arrivals_buf.clear();
                 arrivals_buf.extend_from_slice(sim.arrivals(v));
 
@@ -245,9 +259,7 @@ impl BuschRouter {
                     }
                     // Each normal packet turns excited with probability q,
                     // every step.
-                    if params.q > 0.0
-                        && meta.state == PacketState::Normal
-                        && rng.gen_bool(params.q)
+                    if params.q > 0.0 && meta.state == PacketState::Normal && rng.gen_bool(params.q)
                     {
                         meta.state = PacketState::Excited;
                         excitations += 1;
@@ -333,9 +345,10 @@ impl BuschRouter {
                         allow_fallback: self.cfg.allow_fallback,
                     }
                 };
-                let exits = conflict::resolve_with(&sim, v, &contenders, rule, rng)
-                    .expect("hot-potato assignment failed: arrival bound violated");
-                for exit in exits {
+                let exits =
+                    conflict::resolve_into(&sim, v, &contenders, rule, rng, &mut conflict_scratch)
+                        .expect("hot-potato assignment failed: arrival bound violated");
+                for &exit in exits {
                     let kind = if exit.won {
                         match sim.packet(exit.pkt).meta.state {
                             PacketState::Wait { .. } => ExitKind::Oscillate,
@@ -386,16 +399,18 @@ impl BuschRouter {
                 }
             });
 
-            sim.finish_step().expect("all arrivals staged");
+            let report = sim.finish_step().expect("all arrivals staged");
+            total_moves += report.moved as u64;
 
             // Phase-end audits (the paper states I_a..I_f at phase ends).
             if self.cfg.check_invariants && (t + 1).is_multiple_of(phase_len) {
                 // Wait packets count at their target node (the head of
                 // their oscillation edge), regardless of oscillation parity.
-                let effective = |idx: u32, actual: leveled_net::Level| match sim.packet(idx).meta.state {
-                    PacketState::Wait { edge } => net.level(net.edge(edge).head),
-                    _ => actual,
-                };
+                let effective =
+                    |idx: u32, actual: leveled_net::Level| match sim.packet(idx).meta.state {
+                        PacketState::Wait { edge } => net.level(net.edge(edge).head),
+                        _ => actual,
+                    };
                 check_phase_end(
                     &sim,
                     &schedule,
@@ -403,6 +418,7 @@ impl BuschRouter {
                     phase,
                     &initial_per_set,
                     effective,
+                    &mut audit_scratch,
                     &mut invariants,
                 );
             }
@@ -414,6 +430,7 @@ impl BuschRouter {
             .unsafe_deflections
             .max(stats.counter("fallback_deflections"));
         stats.counters.insert("phases", phases_elapsed);
+        stats.counters.insert("moves", total_moves);
         BuschOutcome {
             stats,
             invariants,

@@ -75,10 +75,16 @@ impl std::fmt::Display for ConflictError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ConflictError::NoSafeExit { pkt } => {
-                write!(f, "packet #{pkt}: no safe backward deflection edge available")
+                write!(
+                    f,
+                    "packet #{pkt}: no safe backward deflection edge available"
+                )
             }
             ConflictError::NoExitAtAll { pkt } => {
-                write!(f, "packet #{pkt}: node has no free exits (arrival bound violated?)")
+                write!(
+                    f,
+                    "packet #{pkt}: node has no free exits (arrival bound violated?)"
+                )
             }
         }
     }
@@ -102,6 +108,29 @@ pub enum DeflectRule {
     Arbitrary,
 }
 
+/// Reusable buffers for [`resolve_into`]. One instance per step loop
+/// amortizes every per-resolution allocation away; the contents carry no
+/// state between calls.
+#[derive(Default)]
+pub struct ConflictScratch {
+    /// Slots claimed during this resolution (on top of engine state).
+    local_used: Vec<usize>,
+    /// Contender index permutation, grouped by desired slot.
+    order: Vec<usize>,
+    /// Per-contender assignment, filled out of order.
+    out: Vec<Option<ResolvedExit>>,
+    /// Contender indices that lost their group.
+    losers: Vec<usize>,
+    /// Highest-priority members of the current group (tie candidates).
+    top: Vec<usize>,
+    /// Safe-deflection pool: forward arrivals into the node, reversed.
+    safe_pool: Vec<DirectedEdge>,
+    /// Free exits (Arbitrary rule only).
+    frees: Vec<DirectedEdge>,
+    /// The in-order result handed back to the caller.
+    result: Vec<ResolvedExit>,
+}
+
 /// Resolves all conflicts at `node` for this step. Returns one exit per
 /// contender, in the order given.
 ///
@@ -109,6 +138,8 @@ pub enum DeflectRule {
 /// safe backward edge is available — required for baselines that inject
 /// without isolation, and for scaled-parameter runs of the paper's
 /// algorithm where the w.h.p. preconditions can fail.
+///
+/// Allocating convenience wrapper around [`resolve_into`].
 pub fn resolve<M, R: Rng + ?Sized>(
     sim: &Simulation<M>,
     node: NodeId,
@@ -126,7 +157,7 @@ pub fn resolve<M, R: Rng + ?Sized>(
 }
 
 /// [`resolve`] with an explicit [`DeflectRule`] (used by the safe-deflection
-/// ablation).
+/// ablation). Allocating convenience wrapper around [`resolve_into`].
 pub fn resolve_with<M, R: Rng + ?Sized>(
     sim: &Simulation<M>,
     node: NodeId,
@@ -134,23 +165,49 @@ pub fn resolve_with<M, R: Rng + ?Sized>(
     rule: DeflectRule,
     rng: &mut R,
 ) -> Result<Vec<ResolvedExit>, ConflictError> {
+    let mut scratch = ConflictScratch::default();
+    resolve_into(sim, node, contenders, rule, rng, &mut scratch).map(<[_]>::to_vec)
+}
+
+/// The allocation-free resolution core: like [`resolve_with`], but all
+/// working memory lives in the caller's [`ConflictScratch`], and the
+/// result is a borrow of the scratch rather than a fresh `Vec`. Step
+/// loops call this once per occupied node with a single scratch instance.
+///
+/// Consumes randomness identically to [`resolve_with`] (one draw per
+/// contested group with a free slot, plus one per loser under
+/// [`DeflectRule::Arbitrary`]).
+pub fn resolve_into<'s, M, R: Rng + ?Sized>(
+    sim: &Simulation<M>,
+    node: NodeId,
+    contenders: &[Contender],
+    rule: DeflectRule,
+    rng: &mut R,
+    scratch: &'s mut ConflictScratch,
+) -> Result<&'s [ResolvedExit], ConflictError> {
     let net = sim.network();
     debug_assert!(contenders
         .iter()
         .all(|c| net.move_origin(c.desired) == node));
 
     // Locally-claimed slots this resolution (on top of engine-level state).
-    let mut local_used: Vec<usize> = Vec::with_capacity(contenders.len());
+    let local_used = &mut scratch.local_used;
+    local_used.clear();
     let free = |local_used: &[usize], mv: DirectedEdge, sim: &Simulation<M>| -> bool {
         sim.slot_free(mv) && !local_used.contains(&mv.slot_index())
     };
 
     // Group contenders by desired slot (sort a local index permutation).
-    let mut order: Vec<usize> = (0..contenders.len()).collect();
+    let order = &mut scratch.order;
+    order.clear();
+    order.extend(0..contenders.len());
     order.sort_by_key(|&i| (contenders[i].desired.slot_index(), i));
 
-    let mut out: Vec<Option<ResolvedExit>> = vec![None; contenders.len()];
-    let mut losers: Vec<usize> = Vec::new();
+    let out = &mut scratch.out;
+    out.clear();
+    out.resize(contenders.len(), None);
+    let losers = &mut scratch.losers;
+    losers.clear();
 
     let mut g = 0;
     while g < order.len() {
@@ -162,17 +219,20 @@ pub fn resolve_with<M, R: Rng + ?Sized>(
         let group = &order[g..h];
         // The slot could already be taken at the engine level (e.g. by an
         // exit staged at this node earlier); then everyone loses.
-        let winner = if free(&local_used, contenders[group[0]].desired, sim) {
+        let winner = if free(local_used, contenders[group[0]].desired, sim) {
             let best = group
                 .iter()
                 .map(|&i| contenders[i].priority)
                 .max()
                 .expect("non-empty group");
-            let top: Vec<usize> = group
-                .iter()
-                .copied()
-                .filter(|&i| contenders[i].priority == best)
-                .collect();
+            let top = &mut scratch.top;
+            top.clear();
+            top.extend(
+                group
+                    .iter()
+                    .copied()
+                    .filter(|&i| contenders[i].priority == best),
+            );
             Some(top[rng.gen_range(0..top.len())])
         } else {
             None
@@ -195,16 +255,14 @@ pub fn resolve_with<M, R: Rng + ?Sized>(
     }
 
     // Safe-deflection pool: forward arrivals into this node, reversed.
-    let safe_pool: Vec<(usize, DirectedEdge)> = contenders
-        .iter()
-        .enumerate()
-        .filter_map(|(i, c)| match c.arrival {
-            Some(a) if a.dir == Direction::Forward => Some((i, a.reversed())),
-            _ => None,
-        })
-        .collect();
+    let safe_pool = &mut scratch.safe_pool;
+    safe_pool.clear();
+    safe_pool.extend(contenders.iter().filter_map(|c| match c.arrival {
+        Some(a) if a.dir == Direction::Forward => Some(a.reversed()),
+        _ => None,
+    }));
 
-    for &i in &losers {
+    for &i in losers.iter() {
         let c = &contenders[i];
         let mut chosen: Option<(DirectedEdge, bool)> = None;
         match rule {
@@ -215,14 +273,14 @@ pub fn resolve_with<M, R: Rng + ?Sized>(
                     _ => None,
                 };
                 if let Some(mv) = own {
-                    if free(&local_used, mv, sim) {
+                    if free(local_used, mv, sim) {
                         chosen = Some((mv, true));
                     }
                 }
                 // 2. Any other free safe edge.
                 if chosen.is_none() {
-                    for &(_, mv) in &safe_pool {
-                        if free(&local_used, mv, sim) {
+                    for &mv in safe_pool.iter() {
+                        if free(local_used, mv, sim) {
                             chosen = Some((mv, true));
                             break;
                         }
@@ -231,10 +289,9 @@ pub fn resolve_with<M, R: Rng + ?Sized>(
             }
             DeflectRule::Arbitrary => {
                 // Ablation: a uniformly random free exit, any direction.
-                let frees: Vec<DirectedEdge> = net
-                    .exits(node)
-                    .filter(|&mv| free(&local_used, mv, sim))
-                    .collect();
+                let frees = &mut scratch.frees;
+                frees.clear();
+                frees.extend(net.exits(node).filter(|&mv| free(local_used, mv, sim)));
                 if !frees.is_empty() {
                     chosen = Some((frees[rng.gen_range(0..frees.len())], false));
                 }
@@ -242,11 +299,15 @@ pub fn resolve_with<M, R: Rng + ?Sized>(
         }
         // 3. Fallback: any free exit.
         if chosen.is_none() {
-            if rule == (DeflectRule::SafeBackward { allow_fallback: false }) {
+            if rule
+                == (DeflectRule::SafeBackward {
+                    allow_fallback: false,
+                })
+            {
                 return Err(ConflictError::NoSafeExit { pkt: c.pkt });
             }
             for mv in net.exits(node) {
-                if free(&local_used, mv, sim) {
+                if free(local_used, mv, sim) {
                     chosen = Some((mv, false));
                     break;
                 }
@@ -266,7 +327,10 @@ pub fn resolve_with<M, R: Rng + ?Sized>(
         }
     }
 
-    Ok(out.into_iter().map(|e| e.expect("all assigned")).collect())
+    let result = &mut scratch.result;
+    result.clear();
+    result.extend(out.iter().map(|e| e.expect("all assigned")));
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -470,7 +534,8 @@ mod tests {
         // Claim e2-forward at the engine level using packet 0 itself, then
         // resolve only packet 1: it must lose and deflect safely.
         let mv = sim.next_move_of(0).unwrap();
-        sim.stage_exit(0, mv, crate::engine::ExitKind::Advance).unwrap();
+        sim.stage_exit(0, mv, crate::engine::ExitKind::Advance)
+            .unwrap();
         let cs = vec![contender(&sim, 1, 3)];
         let exits = resolve(&sim, NodeId(2), &cs, false, &mut rng).unwrap();
         assert!(!exits[0].won, "engine-level slot already taken");

@@ -132,23 +132,73 @@ pub struct StepReport {
 
 /// The bufferless simulation engine; `M` is the per-packet metadata type of
 /// the driving algorithm.
+///
+/// # Internals
+///
+/// The per-step hot state is allocation-free after construction:
+///
+/// * Arrivals live in a single flat arena (`arrivals_flat`), grouped by
+///   node via `bucket_start`/`bucket_len`, rebuilt in place by
+///   [`Simulation::finish_step`] with a stable counting sort — no
+///   per-node `Vec`s, no per-step allocation.
+/// * `occupied` is the ascending-sorted list of nodes with arrivals,
+///   maintained by `finish_step`; [`Simulation::occupied_nodes_into`]
+///   copies it into a caller-owned scratch buffer.
+/// * Active and pending packet sets are maintained as swap-remove lists
+///   (`active_list`/`pending_list` indexed by `list_pos`), so membership
+///   updates are O(1) and enumeration is O(set size), not O(N).
 pub struct Simulation<M> {
     problem: Arc<RoutingProblem>,
     net: Arc<LeveledNetwork>,
     packets: Vec<SimPacket<M>>,
     status: Vec<PacketStatus>,
     now: Time,
-    buckets: Vec<Vec<u32>>,
+    /// Packet indices of every arrival this step, grouped by node.
+    arrivals_flat: Vec<u32>,
+    /// Per node: offset of its group in `arrivals_flat` (valid only while
+    /// `bucket_len` is non-zero).
+    bucket_start: Vec<u32>,
+    /// Per node: arrivals this step (zeroed via `occupied` at step end).
+    bucket_len: Vec<u32>,
+    /// Nodes with at least one arrival this step, ascending.
     occupied: Vec<u32>,
-    next_buckets: Vec<Vec<u32>>,
-    next_occupied: Vec<u32>,
-    slot_stamp: Vec<Time>,
+    /// `finish_step` scratch: (node, packet) pairs in staged order.
+    incoming: Vec<(u32, u32)>,
+    /// Per (edge, direction): stamp of the step that claimed the slot.
+    slot_stamp: Vec<u32>,
     staged: Vec<(u32, DirectedEdge, ExitKind)>,
-    staged_stamp: Vec<Time>,
+    /// Per packet: stamp of the step it was staged in.
+    staged_stamp: Vec<u32>,
+    /// Stamp of the current step. Wraps every 2^32 steps, at which point
+    /// both stamp arrays are cleared (so stale stamps can never collide).
+    stamp: u32,
+    /// Packets staged via [`Simulation::stage_exit`] this step — exactly
+    /// the arrivals that have been given an exit (injections go through
+    /// [`Simulation::try_inject`] and are not arrivals).
+    staged_arrivals: u32,
+    /// In-flight packet indices (unordered; `list_pos` locates members).
+    active_list: Vec<u32>,
+    /// Not-yet-injected packet indices (unordered).
+    pending_list: Vec<u32>,
+    /// Position of each packet in whichever list currently holds it.
+    list_pos: Vec<u32>,
+    /// Destination node of each packet, precomputed from its path.
+    dest: Vec<u32>,
     delivered: usize,
-    pending: usize,
     stats: RouteStats,
     record: Option<RunRecord>,
+}
+
+/// Removes `idx` from a swap-remove list, patching the moved element's
+/// position entry.
+#[inline]
+fn list_remove(list: &mut Vec<u32>, pos: &mut [u32], idx: u32) {
+    let p = pos[idx as usize] as usize;
+    debug_assert_eq!(list[p], idx);
+    list.swap_remove(p);
+    if let Some(&moved) = list.get(p) {
+        pos[moved as usize] = p as u32;
+    }
 }
 
 impl<M> Simulation<M> {
@@ -168,21 +218,32 @@ impl<M> Simulation<M> {
             .collect();
         let nv = net.num_nodes();
         let ne = net.num_edges();
+        let dest = problem
+            .packets()
+            .iter()
+            .map(|spec| spec.path.dest(&net).0)
+            .collect();
         Simulation {
             problem,
             net,
             packets,
             status: vec![PacketStatus::Pending; n],
             now: 0,
-            buckets: vec![Vec::new(); nv],
+            arrivals_flat: Vec::with_capacity(n),
+            bucket_start: vec![0; nv],
+            bucket_len: vec![0; nv],
             occupied: Vec::new(),
-            next_buckets: vec![Vec::new(); nv],
-            next_occupied: Vec::new(),
+            incoming: Vec::with_capacity(n),
             slot_stamp: vec![0; 2 * ne],
             staged: Vec::new(),
             staged_stamp: vec![0; n],
+            stamp: 1,
+            staged_arrivals: 0,
+            active_list: Vec::with_capacity(n),
+            pending_list: (0..n as u32).collect(),
+            list_pos: (0..n as u32).collect(),
+            dest,
             delivered: 0,
-            pending: n,
             stats: RouteStats::new(n, trace),
             record: None,
         }
@@ -215,16 +276,37 @@ impl<M> Simulation<M> {
     }
 
     /// Nodes with at least one arriving packet this step, ascending.
+    ///
+    /// Allocates a fresh `Vec`; step loops should prefer
+    /// [`Simulation::occupied_nodes_into`] with a reused scratch buffer.
     pub fn occupied_nodes(&self) -> Vec<NodeId> {
-        let mut v: Vec<u32> = self.occupied.clone();
-        v.sort_unstable();
-        v.into_iter().map(NodeId).collect()
+        self.occupied.iter().map(|&v| NodeId(v)).collect()
     }
 
-    /// Packet indices that arrived at `node` this step.
+    /// Copies the ascending occupied-node list into `out` (cleared first).
+    /// The engine maintains the list sorted, so this is a plain copy.
+    #[inline]
+    pub fn occupied_nodes_into(&self, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend(self.occupied.iter().map(|&v| NodeId(v)));
+    }
+
+    /// Number of nodes with arrivals this step.
+    #[inline]
+    pub fn occupied_count(&self) -> usize {
+        self.occupied.len()
+    }
+
+    /// Packet indices that arrived at `node` this step, in staged order.
     #[inline]
     pub fn arrivals(&self, node: NodeId) -> &[u32] {
-        &self.buckets[node.index()]
+        let i = node.index();
+        let len = self.bucket_len[i] as usize;
+        if len == 0 {
+            return &[];
+        }
+        let start = self.bucket_start[i] as usize;
+        &self.arrivals_flat[start..start + len]
     }
 
     /// The dynamic state of packet `idx`.
@@ -259,7 +341,7 @@ impl<M> Simulation<M> {
     /// Whether the (edge, direction) slot is still free this step.
     #[inline]
     pub fn slot_free(&self, mv: DirectedEdge) -> bool {
-        self.slot_stamp[mv.slot_index()] != self.now + 1
+        self.slot_stamp[mv.slot_index()] != self.stamp
     }
 
     /// Number of delivered packets.
@@ -271,13 +353,13 @@ impl<M> Simulation<M> {
     /// Number of in-flight packets.
     #[inline]
     pub fn active_count(&self) -> usize {
-        self.packets.len() - self.delivered - self.pending
+        self.active_list.len()
     }
 
     /// Number of packets still waiting to be injected.
     #[inline]
     pub fn pending_count(&self) -> usize {
-        self.pending
+        self.pending_list.len()
     }
 
     /// Whether every packet has been delivered.
@@ -286,24 +368,37 @@ impl<M> Simulation<M> {
         self.delivered == self.packets.len()
     }
 
-    /// Indices of all active packets (ascending).
+    /// Indices of all active packets (ascending). Backed by a maintained
+    /// list: costs O(A log A) in the number of in-flight packets, not
+    /// O(N) in the number of packets.
     pub fn active_indices(&self) -> Vec<u32> {
-        self.status
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| **s == PacketStatus::Active)
-            .map(|(i, _)| i as u32)
-            .collect()
+        let mut v = self.active_list.clone();
+        v.sort_unstable();
+        v
     }
 
     /// Indices of all pending (not yet injected) packets (ascending).
+    /// Backed by a maintained list, like [`Simulation::active_indices`].
     pub fn pending_indices(&self) -> Vec<u32> {
-        self.status
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| **s == PacketStatus::Pending)
-            .map(|(i, _)| i as u32)
-            .collect()
+        let mut v = self.pending_list.clone();
+        v.sort_unstable();
+        v
+    }
+
+    /// The maintained active-packet list, in *unspecified* order and
+    /// without allocating. For order-insensitive consumers (auditors
+    /// summing over the set); use [`Simulation::active_indices`] when
+    /// iteration order must be deterministic.
+    #[inline]
+    pub fn active_slice(&self) -> &[u32] {
+        &self.active_list
+    }
+
+    /// The maintained pending-packet list, in *unspecified* order and
+    /// without allocating (see [`Simulation::active_slice`]).
+    #[inline]
+    pub fn pending_slice(&self) -> &[u32] {
+        &self.pending_list
     }
 
     /// Mutable handle to the run statistics (for algorithm counters).
@@ -317,12 +412,17 @@ impl<M> Simulation<M> {
     }
 
     /// Stages the exit of active packet `idx` along `mv` this step.
-    pub fn stage_exit(&mut self, idx: u32, mv: DirectedEdge, kind: ExitKind) -> Result<(), SimError> {
+    pub fn stage_exit(
+        &mut self,
+        idx: u32,
+        mv: DirectedEdge,
+        kind: ExitKind,
+    ) -> Result<(), SimError> {
         let i = idx as usize;
         if self.status[i] != PacketStatus::Active {
             return Err(SimError::NotActive);
         }
-        if self.staged_stamp[i] == self.now + 1 {
+        if self.staged_stamp[i] == self.stamp {
             return Err(SimError::AlreadyStaged);
         }
         if self.net.move_origin(mv) != self.packets[i].node() {
@@ -331,8 +431,9 @@ impl<M> Simulation<M> {
         if !self.slot_free(mv) {
             return Err(SimError::SlotBusy);
         }
-        self.slot_stamp[mv.slot_index()] = self.now + 1;
-        self.staged_stamp[i] = self.now + 1;
+        self.slot_stamp[mv.slot_index()] = self.stamp;
+        self.staged_stamp[i] = self.stamp;
+        self.staged_arrivals += 1;
         self.staged.push((idx, mv, kind));
         Ok(())
     }
@@ -353,7 +454,7 @@ impl<M> Simulation<M> {
         if path.is_empty() {
             self.status[i] = PacketStatus::Delivered;
             self.delivered += 1;
-            self.pending -= 1;
+            list_remove(&mut self.pending_list, &mut self.list_pos, idx);
             self.stats.injected_at[i] = Some(self.now);
             self.stats.delivered_at[i] = Some(self.now);
             if let Some(rec) = self.record.as_mut() {
@@ -368,10 +469,12 @@ impl<M> Simulation<M> {
         if !self.slot_free(mv) {
             return Ok(InjectOutcome::Blocked);
         }
-        self.slot_stamp[mv.slot_index()] = self.now + 1;
-        self.staged_stamp[i] = self.now + 1;
+        self.slot_stamp[mv.slot_index()] = self.stamp;
+        self.staged_stamp[i] = self.stamp;
         self.status[i] = PacketStatus::Active;
-        self.pending -= 1;
+        list_remove(&mut self.pending_list, &mut self.list_pos, idx);
+        self.list_pos[i] = self.active_list.len() as u32;
+        self.active_list.push(idx);
         self.staged.push((idx, mv, ExitKind::Inject));
         Ok(InjectOutcome::Injected)
     }
@@ -381,16 +484,25 @@ impl<M> Simulation<M> {
     /// at destinations, and advances the clock.
     pub fn finish_step(&mut self) -> Result<StepReport, SimError> {
         // Bufferless check: every packet that arrived this step must leave.
-        for &v in &self.occupied {
-            for &p in &self.buckets[v as usize] {
-                if self.staged_stamp[p as usize] != self.now + 1 {
-                    return Err(SimError::PacketRested(PacketId(p)));
+        // Every `stage_exit` stages a distinct arrival (injections cannot
+        // be re-staged, non-arrivals are not active), so a count comparison
+        // suffices; the full scan only runs to name the offender.
+        if self.staged_arrivals as usize != self.arrivals_flat.len() {
+            for &v in &self.occupied {
+                let start = self.bucket_start[v as usize] as usize;
+                let len = self.bucket_len[v as usize] as usize;
+                for &p in &self.arrivals_flat[start..start + len] {
+                    if self.staged_stamp[p as usize] != self.stamp {
+                        return Err(SimError::PacketRested(PacketId(p)));
+                    }
                 }
             }
+            unreachable!("staged-arrival count mismatch without a resting packet");
         }
 
         let mut report = StepReport::default();
         let staged = std::mem::take(&mut self.staged);
+        debug_assert!(self.incoming.is_empty());
         for (idx, mv, kind) in &staged {
             let i = *idx as usize;
             if let Some(rec) = self.record.as_mut() {
@@ -411,7 +523,6 @@ impl<M> Simulation<M> {
                     report.deflections += 1;
                     if !safe {
                         report.fallback_deflections += 1;
-                        self.stats.bump("fallback_deflections");
                     }
                 }
                 ExitKind::Oscillate => report.oscillations += 1,
@@ -424,35 +535,69 @@ impl<M> Simulation<M> {
             self.stats.max_deviation[i] = pkt.max_deviation();
             self.stats.deflections[i] = pkt.deflections();
 
-            let dest = path.dest(&self.net);
             let arrived_at = pkt.node();
-            if arrived_at == dest {
+            if arrived_at.0 == self.dest[i] {
                 self.status[i] = PacketStatus::Delivered;
                 self.delivered += 1;
+                list_remove(&mut self.active_list, &mut self.list_pos, *idx);
                 self.stats.delivered_at[i] = Some(self.now + 1);
                 report.absorbed += 1;
             } else {
-                let b = &mut self.next_buckets[arrived_at.index()];
-                if b.is_empty() {
-                    self.next_occupied.push(arrived_at.0);
-                }
-                b.push(*idx);
+                self.incoming.push((arrived_at.0, *idx));
             }
         }
         self.staged = staged;
         self.staged.clear();
+        if report.fallback_deflections > 0 {
+            self.stats
+                .bump_by("fallback_deflections", report.fallback_deflections as u64);
+        }
 
-        // Swap arrival buffers: clear the old ones for reuse next step.
+        // Rebuild the arrival arena in place (the old contents were fully
+        // consumed by the check above). Stable counting sort: group the
+        // (node, packet) pairs by node, preserving staged order within
+        // each node, and keep `occupied` ascending.
         for &v in &self.occupied {
-            self.buckets[v as usize].clear();
+            self.bucket_len[v as usize] = 0;
         }
         self.occupied.clear();
-        std::mem::swap(&mut self.buckets, &mut self.next_buckets);
-        std::mem::swap(&mut self.occupied, &mut self.next_occupied);
+        for &(node, _) in &self.incoming {
+            let c = &mut self.bucket_len[node as usize];
+            if *c == 0 {
+                self.occupied.push(node);
+            }
+            *c += 1;
+        }
+        self.occupied.sort_unstable();
+        let mut off = 0u32;
+        for &v in &self.occupied {
+            self.bucket_start[v as usize] = off;
+            off += self.bucket_len[v as usize];
+        }
+        self.arrivals_flat.resize(self.incoming.len(), 0);
+        // Scatter, using `bucket_start` as the fill cursor; restore after.
+        for &(node, pkt) in &self.incoming {
+            let cursor = &mut self.bucket_start[node as usize];
+            self.arrivals_flat[*cursor as usize] = pkt;
+            *cursor += 1;
+        }
+        for &v in &self.occupied {
+            self.bucket_start[v as usize] -= self.bucket_len[v as usize];
+        }
+        self.incoming.clear();
 
         self.now += 1;
+        self.staged_arrivals = 0;
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            // Stamp epoch rollover (every 2^32 steps): clear the stale
+            // stamps so they cannot collide with the new epoch.
+            self.slot_stamp.fill(0);
+            self.staged_stamp.fill(0);
+            self.stamp = 1;
+        }
         if let Some(trace) = self.stats.active_trace.as_mut() {
-            trace.push((self.packets.len() - self.delivered - self.pending) as u32);
+            trace.push(self.active_list.len() as u32);
         }
         Ok(report)
     }
@@ -582,8 +727,12 @@ mod tests {
         let fwd = sim.next_move_of(1).unwrap();
         assert_eq!(fwd, DirectedEdge::forward(EdgeId(1)));
         sim.stage_exit(1, fwd, ExitKind::Advance).unwrap();
-        sim.stage_exit(0, DirectedEdge::backward(EdgeId(1)), ExitKind::Deflect { safe: true })
-            .unwrap();
+        sim.stage_exit(
+            0,
+            DirectedEdge::backward(EdgeId(1)),
+            ExitKind::Deflect { safe: true },
+        )
+        .unwrap();
         sim.finish_step().unwrap();
         assert_eq!(sim.packet(0).node(), NodeId(1));
         assert_eq!(sim.packet(0).deflections(), 1);
@@ -638,8 +787,12 @@ mod tests {
         sim.try_inject(0).unwrap();
         sim.finish_step().unwrap();
         // Deflect backward (unsafe), then advance twice, then resume.
-        sim.stage_exit(0, DirectedEdge::backward(EdgeId(0)), ExitKind::Deflect { safe: false })
-            .unwrap();
+        sim.stage_exit(
+            0,
+            DirectedEdge::backward(EdgeId(0)),
+            ExitKind::Deflect { safe: false },
+        )
+        .unwrap();
         let report = sim.finish_step().unwrap();
         assert_eq!(report.deflections, 1);
         assert_eq!(report.fallback_deflections, 1);

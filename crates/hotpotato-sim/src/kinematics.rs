@@ -160,19 +160,16 @@ impl<M> SimPacket<M> {
         path: &Path,
     ) -> Result<NodeId, String> {
         let mut at = self.node;
-        for mv in self
-            .deviation
-            .iter()
-            .rev()
-            .copied()
-            .chain(
-                path.edges()[self.base_idx..]
-                    .iter()
-                    .map(|&e| DirectedEdge::forward(e)),
-            )
-        {
+        for mv in self.deviation.iter().rev().copied().chain(
+            path.edges()[self.base_idx..]
+                .iter()
+                .map(|&e| DirectedEdge::forward(e)),
+        ) {
             if mv.dir != leveled_net::Direction::Forward {
-                return Err(format!("{}: current path contains a backward move", self.id));
+                return Err(format!(
+                    "{}: current path contains a backward move",
+                    self.id
+                ));
             }
             if net.move_origin(mv) != at {
                 return Err(format!("{}: current path breaks at node {at}", self.id));

@@ -168,14 +168,24 @@ pub mod replay {
                 ReplayError::CapacityViolation { time, pkt } => {
                     write!(f, "t={time}: {pkt} reused an occupied edge-direction slot")
                 }
-                ReplayError::Teleport { time, pkt, expected } => {
-                    write!(f, "t={time}: {pkt} moved from a node it was not at (expected {expected:?})")
+                ReplayError::Teleport {
+                    time,
+                    pkt,
+                    expected,
+                } => {
+                    write!(
+                        f,
+                        "t={time}: {pkt} moved from a node it was not at (expected {expected:?})"
+                    )
                 }
                 ReplayError::NotInFlight { time, pkt } => {
                     write!(f, "t={time}: {pkt} moved while not in flight")
                 }
                 ReplayError::BadInjection { time, pkt } => {
-                    write!(f, "t={time}: {pkt} injected away from its source/first edge")
+                    write!(
+                        f,
+                        "t={time}: {pkt} injected away from its source/first edge"
+                    )
                 }
                 ReplayError::Rested { time, pkt } => {
                     write!(f, "t={time}: {pkt} rested (hot-potato violation)")
@@ -304,22 +314,34 @@ pub mod replay {
                 match (ev.kind, pos[i]) {
                     (ExitKind::Inject, None) => {
                         if injected[i] {
-                            return Err(ReplayError::NotInFlight { time: t, pkt: ev.pkt });
+                            return Err(ReplayError::NotInFlight {
+                                time: t,
+                                pkt: ev.pkt,
+                            });
                         }
                         let path = &problem.packets()[i].path;
                         let ok = !path.is_empty()
                             && origin == path.source()
                             && ev.mv == DirectedEdge::forward(path.edges()[0]);
                         if !ok {
-                            return Err(ReplayError::BadInjection { time: t, pkt: ev.pkt });
+                            return Err(ReplayError::BadInjection {
+                                time: t,
+                                pkt: ev.pkt,
+                            });
                         }
                         injected[i] = true;
                     }
                     (ExitKind::Inject, Some(_)) => {
-                        return Err(ReplayError::NotInFlight { time: t, pkt: ev.pkt });
+                        return Err(ReplayError::NotInFlight {
+                            time: t,
+                            pkt: ev.pkt,
+                        });
                     }
                     (_, None) => {
-                        return Err(ReplayError::NotInFlight { time: t, pkt: ev.pkt });
+                        return Err(ReplayError::NotInFlight {
+                            time: t,
+                            pkt: ev.pkt,
+                        });
                     }
                     (_, Some(at)) => {
                         if at != origin {
@@ -365,7 +387,9 @@ pub mod replay {
         for (i, &was_delivered) in delivered.iter().enumerate() {
             let stats_delivered = stats.delivered_at[i].is_some();
             if was_delivered != stats_delivered {
-                return Err(ReplayError::DeliveryMismatch { pkt: PacketId(i as u32) });
+                return Err(ReplayError::DeliveryMismatch {
+                    pkt: PacketId(i as u32),
+                });
             }
         }
         report.delivered = delivered.iter().filter(|&&d| d).count();
@@ -523,8 +547,7 @@ mod tests {
     #[test]
     fn trivial_deliveries_counted() {
         let net = Arc::new(builders::linear_array(2));
-        let prob =
-            RoutingProblem::new(Arc::clone(&net), vec![Path::trivial(NodeId(1))]).unwrap();
+        let prob = RoutingProblem::new(Arc::clone(&net), vec![Path::trivial(NodeId(1))]).unwrap();
         let rec = RunRecord {
             moves: vec![],
             trivial: vec![TrivialDelivery {

@@ -9,7 +9,7 @@ pub type Time = u64;
 /// Per-run statistics: injection/delivery times per packet, deflection and
 /// deviation counts, and named counters algorithms use for their own
 /// bookkeeping (e.g. invariant-violation counts).
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct RouteStats {
     /// Step at which each packet was injected (`None` = never injected).
     pub injected_at: Vec<Option<Time>>,
@@ -27,6 +27,20 @@ pub struct RouteStats {
     pub counters: BTreeMap<&'static str, u64>,
     /// Optional per-step trace of the number of in-flight packets.
     pub active_trace: Option<Vec<u32>>,
+}
+
+impl serde::Serialize for RouteStats {
+    fn to_json(&self) -> serde::Value {
+        serde::Value::object([
+            ("injected_at", self.injected_at.to_json()),
+            ("delivered_at", self.delivered_at.to_json()),
+            ("deflections", self.deflections.to_json()),
+            ("max_deviation", self.max_deviation.to_json()),
+            ("steps_run", self.steps_run.to_json()),
+            ("counters", self.counters.to_json()),
+            ("active_trace", self.active_trace.to_json()),
+        ])
+    }
 }
 
 impl RouteStats {

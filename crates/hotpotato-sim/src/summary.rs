@@ -13,7 +13,7 @@
 /// assert_eq!(s.p50, 2.0);
 /// assert_eq!(s.max, 4.0);
 /// ```
-#[derive(Clone, Copy, PartialEq, Debug, Default, serde::Serialize)]
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
 pub struct Summary {
     /// Sample size.
     pub count: usize,
@@ -31,6 +31,21 @@ pub struct Summary {
     pub p90: f64,
     /// 99th percentile (nearest rank).
     pub p99: f64,
+}
+
+impl serde::Serialize for Summary {
+    fn to_json(&self) -> serde::Value {
+        serde::Value::object([
+            ("count", self.count.to_json()),
+            ("mean", self.mean.to_json()),
+            ("std", self.std.to_json()),
+            ("min", self.min.to_json()),
+            ("max", self.max.to_json()),
+            ("p50", self.p50.to_json()),
+            ("p90", self.p90.to_json()),
+            ("p99", self.p99.to_json()),
+        ])
+    }
 }
 
 impl Summary {
@@ -128,7 +143,10 @@ mod tests {
         assert_eq!(s.count, 1);
         assert_eq!(s.mean, 7.0);
         assert_eq!(s.std, 0.0);
-        assert_eq!((s.min, s.p50, s.p90, s.p99, s.max), (7.0, 7.0, 7.0, 7.0, 7.0));
+        assert_eq!(
+            (s.min, s.p50, s.p90, s.p99, s.max),
+            (7.0, 7.0, 7.0, 7.0, 7.0)
+        );
     }
 
     #[test]

@@ -492,7 +492,10 @@ impl LayeredCoords {
     /// The `(level, row)` of `node`.
     #[inline]
     pub fn coords(&self, node: NodeId) -> (Level, usize) {
-        ((node.index() / self.rows) as Level, node.index() % self.rows)
+        (
+            (node.index() / self.rows) as Level,
+            node.index() % self.rows,
+        )
     }
 }
 
@@ -786,7 +789,7 @@ mod tests {
         // Root (level 0) to each child: 2^(3-1-0) = 4 parallel edges.
         let root = NodeId(0);
         assert_eq!(net.fwd_edges(root).len(), 8); // two children x 4 copies
-        // A leaf's parent link: 2^(3-1-2) = 1 copy.
+                                                  // A leaf's parent link: 2^(3-1-2) = 1 copy.
         let leaf_parent_level = 2u32;
         let some_l2 = net.nodes_at_level(leaf_parent_level)[0];
         assert_eq!(net.fwd_edges(some_l2).len(), 2); // two children x 1 copy
@@ -830,11 +833,7 @@ mod tests {
 
     /// Local forward path-count DP (mirror of routing-core's count_paths,
     /// inlined here to avoid a dev-dependency cycle).
-    fn crate_count_paths(
-        net: &LeveledNetwork,
-        src: NodeId,
-        dst: NodeId,
-    ) -> f64 {
+    fn crate_count_paths(net: &LeveledNetwork, src: NodeId, dst: NodeId) -> f64 {
         let mut count = vec![0.0f64; net.num_nodes()];
         count[dst.index()] = 1.0;
         let (sl, dl) = (net.level(src), net.level(dst));

@@ -290,11 +290,7 @@ mod tests {
         for v in 0..4 {
             assert!(!lz.is_dummy(lz.node(v)));
         }
-        let dummies: Vec<NodeId> = lz
-            .net
-            .nodes()
-            .filter(|&nd| lz.is_dummy(nd))
-            .collect();
+        let dummies: Vec<NodeId> = lz.net.nodes().filter(|&nd| lz.is_dummy(nd)).collect();
         assert_eq!(dummies.len(), 2);
         // Dummies sit on levels 1 and 2.
         let mut lv: Vec<Level> = dummies.iter().map(|&d| lz.net.level(d)).collect();

@@ -39,5 +39,5 @@ pub mod network;
 pub mod render;
 
 pub use ids::{Direction, EdgeId, Level, NodeId};
-pub use levelize::{levelize, Dag, Levelized, LevelizeError};
+pub use levelize::{levelize, Dag, LevelizeError, Levelized};
 pub use network::{Edge, LeveledNetwork, NetworkBuilder, NetworkError};

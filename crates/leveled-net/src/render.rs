@@ -81,7 +81,10 @@ mod tests {
         let net = builders::linear_array(4);
         let s = level_summary(&net);
         for l in 0..=3 {
-            assert!(s.contains(&format!("level   {l}")), "missing level {l}:\n{s}");
+            assert!(
+                s.contains(&format!("level   {l}")),
+                "missing level {l}:\n{s}"
+            );
         }
         assert!(s.contains("depth L = 3"));
     }

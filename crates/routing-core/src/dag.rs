@@ -50,10 +50,7 @@ impl DagNetwork {
 
     /// Original (non-dummy) nodes in the leveled network.
     pub fn original_nodes(&self) -> Vec<NodeId> {
-        self.net
-            .nodes()
-            .filter(|&n| !self.lz.is_dummy(n))
-            .collect()
+        self.net.nodes().filter(|&n| !self.lz.is_dummy(n)).collect()
     }
 
     /// Builds the path for an original-edge-index sequence.
@@ -70,7 +67,7 @@ pub fn random_dag_pairs<R: Rng + ?Sized>(
     dagnet: &DagNetwork,
     n: usize,
     rng: &mut R,
-) -> Result<RoutingProblem, WorkloadError> {
+) -> Result<Arc<RoutingProblem>, WorkloadError> {
     let originals = dagnet.original_nodes();
     let mut candidates: Vec<NodeId> = originals
         .iter()
@@ -108,7 +105,9 @@ pub fn random_dag_pairs<R: Rng + ?Sized>(
             available: paths_out.len(),
         });
     }
-    RoutingProblem::new(Arc::clone(net), paths_out).map_err(|_| unreachable!("distinct sources"))
+    RoutingProblem::new(Arc::clone(net), paths_out)
+        .map(Arc::new)
+        .map_err(|_| unreachable!("distinct sources"))
 }
 
 #[cfg(test)]

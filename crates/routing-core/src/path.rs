@@ -33,7 +33,10 @@ impl std::fmt::Display for PathError {
             }
             PathError::SourceMismatch => write!(f, "source is not the tail of the first edge"),
             PathError::NotAdjacent { at } => {
-                write!(f, "node #{at} is not a forward neighbour of its predecessor")
+                write!(
+                    f,
+                    "node #{at} is not a forward neighbour of its predecessor"
+                )
             }
         }
     }
@@ -61,7 +64,11 @@ impl Path {
 
     /// Builds a path from `source` along `edges`, validating the forward
     /// chaining against `net`.
-    pub fn new(net: &LeveledNetwork, source: NodeId, edges: Vec<EdgeId>) -> Result<Self, PathError> {
+    pub fn new(
+        net: &LeveledNetwork,
+        source: NodeId,
+        edges: Vec<EdgeId>,
+    ) -> Result<Self, PathError> {
         let mut at = source;
         for (i, &e) in edges.iter().enumerate() {
             let edge = net.edge(e);
@@ -212,12 +219,7 @@ mod tests {
     fn path_length_equals_level_difference() {
         let net = builders::butterfly(4);
         // Any valid path spans exactly level(dest) - level(src) edges.
-        let p = Path::new(
-            &net,
-            net.edge(EdgeId(0)).tail,
-            vec![EdgeId(0)],
-        )
-        .unwrap();
+        let p = Path::new(&net, net.edge(EdgeId(0)).tail, vec![EdgeId(0)]).unwrap();
         let diff = net.level(p.dest(&net)) - net.level(p.source());
         assert_eq!(p.len() as u32, diff);
     }

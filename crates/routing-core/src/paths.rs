@@ -74,7 +74,12 @@ impl MinimalPathSampler {
 
     /// Samples a uniformly-random valid path from `src` to the destination,
     /// or `None` if unreachable.
-    pub fn sample<R: Rng + ?Sized>(&self, net: &LeveledNetwork, src: NodeId, rng: &mut R) -> Option<Path> {
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        net: &LeveledNetwork,
+        src: NodeId,
+        rng: &mut R,
+    ) -> Option<Path> {
         if src == self.dest {
             return Some(Path::trivial(src));
         }

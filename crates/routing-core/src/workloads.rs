@@ -53,7 +53,7 @@ pub fn random_pairs<R: Rng + ?Sized>(
     net: &Arc<LeveledNetwork>,
     n: usize,
     rng: &mut R,
-) -> Result<RoutingProblem, WorkloadError> {
+) -> Result<Arc<RoutingProblem>, WorkloadError> {
     // Admissible sources: nodes with at least one forward edge.
     let mut candidates: Vec<NodeId> = net
         .nodes()
@@ -79,7 +79,9 @@ pub fn random_pairs<R: Rng + ?Sized>(
         let p = paths::random_minimal(net, src, dst, rng).expect("dest is reachable");
         paths_out.push(p);
     }
-    RoutingProblem::new(Arc::clone(net), paths_out).map_err(|_| unreachable!("distinct sources"))
+    RoutingProblem::new(Arc::clone(net), paths_out)
+        .map(Arc::new)
+        .map_err(|_| unreachable!("distinct sources"))
 }
 
 /// A random full permutation on a butterfly: every level-0 node sends to a
@@ -88,14 +90,14 @@ pub fn butterfly_permutation<R: Rng + ?Sized>(
     net: &Arc<LeveledNetwork>,
     coords: &ButterflyCoords,
     rng: &mut R,
-) -> RoutingProblem {
+) -> Arc<RoutingProblem> {
     let rows = coords.rows();
     let mut perm: Vec<usize> = (0..rows).collect();
     perm.shuffle(rng);
     let paths_out = (0..rows)
         .map(|r| paths::bit_fixing(net, coords, r, perm[r]))
         .collect();
-    RoutingProblem::new(Arc::clone(net), paths_out).expect("level-0 sources are distinct")
+    Arc::new(RoutingProblem::new(Arc::clone(net), paths_out).expect("level-0 sources are distinct"))
 }
 
 /// The bit-reversal permutation on a butterfly: row `r` sends to row
@@ -104,7 +106,7 @@ pub fn butterfly_permutation<R: Rng + ?Sized>(
 pub fn butterfly_bit_reversal(
     net: &Arc<LeveledNetwork>,
     coords: &ButterflyCoords,
-) -> RoutingProblem {
+) -> Arc<RoutingProblem> {
     let k = coords.k;
     let rows = coords.rows();
     let rev = |r: usize| -> usize {
@@ -119,7 +121,7 @@ pub fn butterfly_bit_reversal(
     let paths_out = (0..rows)
         .map(|r| paths::bit_fixing(net, coords, r, rev(r)))
         .collect();
-    RoutingProblem::new(Arc::clone(net), paths_out).expect("level-0 sources are distinct")
+    Arc::new(RoutingProblem::new(Arc::clone(net), paths_out).expect("level-0 sources are distinct"))
 }
 
 /// A hot-spot workload: `num_sources` packets from distinct random sources,
@@ -130,7 +132,7 @@ pub fn hotspot<R: Rng + ?Sized>(
     num_sources: usize,
     num_dests: usize,
     rng: &mut R,
-) -> Result<RoutingProblem, WorkloadError> {
+) -> Result<Arc<RoutingProblem>, WorkloadError> {
     assert!(num_dests >= 1);
     // Destinations: prefer nodes in the upper half of the network so they
     // have many potential sources.
@@ -142,7 +144,9 @@ pub fn hotspot<R: Rng + ?Sized>(
     dest_candidates.shuffle(rng);
     let dests: Vec<NodeId> = dest_candidates.into_iter().take(num_dests).collect();
     if dests.is_empty() {
-        return Err(WorkloadError::Unsupported("network too shallow for hotspot"));
+        return Err(WorkloadError::Unsupported(
+            "network too shallow for hotspot",
+        ));
     }
     let samplers: Vec<MinimalPathSampler> = dests
         .iter()
@@ -173,7 +177,9 @@ pub fn hotspot<R: Rng + ?Sized>(
         let s = viable.choose(rng).expect("source reaches a destination");
         paths_out.push(s.sample(net, src, rng).expect("reachable"));
     }
-    RoutingProblem::new(Arc::clone(net), paths_out).map_err(|_| unreachable!("distinct sources"))
+    RoutingProblem::new(Arc::clone(net), paths_out)
+        .map(Arc::new)
+        .map_err(|_| unreachable!("distinct sources"))
 }
 
 /// The §5 mesh workload with `C = D = Θ(n)`: on an `n x n` top-left mesh,
@@ -184,10 +190,12 @@ pub fn hotspot<R: Rng + ?Sized>(
 pub fn mesh_transpose(
     net: &Arc<LeveledNetwork>,
     coords: &MeshCoords,
-) -> Result<RoutingProblem, WorkloadError> {
+) -> Result<Arc<RoutingProblem>, WorkloadError> {
     let n = coords.rows;
     if coords.cols != n {
-        return Err(WorkloadError::Unsupported("mesh_transpose needs a square mesh"));
+        return Err(WorkloadError::Unsupported(
+            "mesh_transpose needs a square mesh",
+        ));
     }
     if n < 2 {
         return Err(WorkloadError::Unsupported("mesh too small"));
@@ -198,7 +206,9 @@ pub fn mesh_transpose(
             .expect("monotone in the top-left orientation");
         paths_out.push(p);
     }
-    RoutingProblem::new(Arc::clone(net), paths_out).map_err(|_| unreachable!("distinct sources"))
+    RoutingProblem::new(Arc::clone(net), paths_out)
+        .map(Arc::new)
+        .map_err(|_| unreachable!("distinct sources"))
 }
 
 /// Every node of `from_level` sends to a uniformly random reachable node of
@@ -209,9 +219,11 @@ pub fn level_to_level<R: Rng + ?Sized>(
     from_level: Level,
     to_level: Level,
     rng: &mut R,
-) -> Result<RoutingProblem, WorkloadError> {
+) -> Result<Arc<RoutingProblem>, WorkloadError> {
     if from_level >= to_level || to_level > net.depth() {
-        return Err(WorkloadError::Unsupported("need from_level < to_level <= L"));
+        return Err(WorkloadError::Unsupported(
+            "need from_level < to_level <= L",
+        ));
     }
     let dests: Vec<NodeId> = net.nodes_at_level(to_level).to_vec();
     let samplers: Vec<MinimalPathSampler> = dests
@@ -220,8 +232,7 @@ pub fn level_to_level<R: Rng + ?Sized>(
         .collect();
     let mut paths_out = Vec::new();
     for &src in net.nodes_at_level(from_level) {
-        let viable: Vec<&MinimalPathSampler> =
-            samplers.iter().filter(|s| s.reaches(src)).collect();
+        let viable: Vec<&MinimalPathSampler> = samplers.iter().filter(|s| s.reaches(src)).collect();
         if let Some(s) = viable.choose(rng) {
             paths_out.push(s.sample(net, src, rng).expect("reachable"));
         }
@@ -232,7 +243,9 @@ pub fn level_to_level<R: Rng + ?Sized>(
             available: 0,
         });
     }
-    RoutingProblem::new(Arc::clone(net), paths_out).map_err(|_| unreachable!("distinct sources"))
+    RoutingProblem::new(Arc::clone(net), paths_out)
+        .map(Arc::new)
+        .map_err(|_| unreachable!("distinct sources"))
 }
 
 /// A congestion-dial workload: funnels up to `count` packets through a
@@ -259,7 +272,7 @@ pub fn funnel<R: Rng + ?Sized>(
     net: &Arc<LeveledNetwork>,
     count: usize,
     rng: &mut R,
-) -> Result<RoutingProblem, WorkloadError> {
+) -> Result<Arc<RoutingProblem>, WorkloadError> {
     // Pick a pivot edge whose tail level is as close to L/2 as possible,
     // maximizing the number of upstream sources.
     let mid = net.depth() / 2;
@@ -274,7 +287,10 @@ pub fn funnel<R: Rng + ?Sized>(
     let ph = net.edge(pivot).head;
 
     let upstream_sampler = MinimalPathSampler::new(net, pt);
-    let mut sources: Vec<NodeId> = net.nodes().filter(|&v| upstream_sampler.reaches(v)).collect();
+    let mut sources: Vec<NodeId> = net
+        .nodes()
+        .filter(|&v| upstream_sampler.reaches(v))
+        .collect();
     if sources.len() < count {
         return Err(WorkloadError::NotEnoughSources {
             requested: count,
@@ -284,10 +300,7 @@ pub fn funnel<R: Rng + ?Sized>(
     sources.shuffle(rng);
 
     let down_mask = net.reachable_mask(ph);
-    let dests: Vec<NodeId> = net
-        .nodes()
-        .filter(|&v| down_mask[v.index()])
-        .collect();
+    let dests: Vec<NodeId> = net.nodes().filter(|&v| down_mask[v.index()]).collect();
     debug_assert!(!dests.is_empty());
 
     let mut paths_out = Vec::with_capacity(count);
@@ -302,7 +315,9 @@ pub fn funnel<R: Rng + ?Sized>(
         edges.extend_from_slice(down.edges());
         paths_out.push(Path::new(net, src, edges).expect("segments chain through the pivot"));
     }
-    RoutingProblem::new(Arc::clone(net), paths_out).map_err(|_| unreachable!("distinct sources"))
+    RoutingProblem::new(Arc::clone(net), paths_out)
+        .map(Arc::new)
+        .map_err(|_| unreachable!("distinct sources"))
 }
 
 /// An adversarial concentration workload: every node of `from_level`
@@ -315,9 +330,11 @@ pub fn first_fit_blast(
     net: &Arc<LeveledNetwork>,
     from_level: Level,
     to_level: Level,
-) -> Result<RoutingProblem, WorkloadError> {
+) -> Result<Arc<RoutingProblem>, WorkloadError> {
     if from_level >= to_level || to_level > net.depth() {
-        return Err(WorkloadError::Unsupported("need from_level < to_level <= L"));
+        return Err(WorkloadError::Unsupported(
+            "need from_level < to_level <= L",
+        ));
     }
     let dests = net.nodes_at_level(to_level);
     let mut paths_out = Vec::new();
@@ -341,7 +358,9 @@ pub fn first_fit_blast(
             available: 0,
         });
     }
-    RoutingProblem::new(Arc::clone(net), paths_out).map_err(|_| unreachable!("distinct sources"))
+    RoutingProblem::new(Arc::clone(net), paths_out)
+        .map(Arc::new)
+        .map_err(|_| unreachable!("distinct sources"))
 }
 
 /// A many-to-many workload (relaxed model, reference 7 in the paper): `total`
@@ -353,7 +372,7 @@ pub fn many_to_many<R: Rng + ?Sized>(
     net: &Arc<LeveledNetwork>,
     total: usize,
     rng: &mut R,
-) -> Result<RoutingProblem, WorkloadError> {
+) -> Result<Arc<RoutingProblem>, WorkloadError> {
     let candidates: Vec<NodeId> = net
         .nodes()
         .filter(|&v| !net.fwd_edges(v).is_empty())
@@ -376,7 +395,10 @@ pub fn many_to_many<R: Rng + ?Sized>(
         let dst = *dests.choose(rng).expect("source has a forward edge");
         paths_out.push(paths::random_minimal(net, src, dst, rng).expect("reachable"));
     }
-    Ok(RoutingProblem::new_relaxed(Arc::clone(net), paths_out))
+    Ok(Arc::new(RoutingProblem::new_relaxed(
+        Arc::clone(net),
+        paths_out,
+    )))
 }
 
 #[cfg(test)]
@@ -551,8 +573,7 @@ mod tests {
         let prob = many_to_many(&net, 100, &mut rng).unwrap();
         assert!(prob.is_relaxed());
         assert_eq!(prob.num_packets(), 100);
-        let mut sources: Vec<NodeId> =
-            prob.packets().iter().map(|p| p.path.source()).collect();
+        let mut sources: Vec<NodeId> = prob.packets().iter().map(|p| p.path.source()).collect();
         sources.sort_unstable();
         sources.dedup();
         assert!(sources.len() < 100, "sources repeat in a relaxed problem");

@@ -69,11 +69,7 @@ fn main() {
         let sf = StoreForwardRouter::random_rank(c as u64).route(&problem, &mut rng);
         print_row("store-and-forward (buffered)", &sf.stats);
 
-        println!(
-            "{:<28} {:>9}",
-            "lower bound max(C, D)",
-            c.max(d)
-        );
+        println!("{:<28} {:>9}", "lower bound max(C, D)", c.max(d));
     }
 }
 

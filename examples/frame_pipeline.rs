@@ -50,7 +50,10 @@ fn main() {
         println!("  {}", fronts.join(" "));
     }
 
-    println!("\nTarget level within one phase (frame 0, phase {}):", m as u64 + 2);
+    println!(
+        "\nTarget level within one phase (frame 0, phase {}):",
+        m as u64 + 2
+    );
     let phase = m as u64 + 2;
     for round in 0..m {
         println!(

@@ -52,7 +52,10 @@ fn main() {
         outcome.phases_elapsed,
         params.scheduled_phases(net.depth())
     );
-    assert!(outcome.stats.all_delivered(), "routing must deliver everything");
+    assert!(
+        outcome.stats.all_delivered(),
+        "routing must deliver everything"
+    );
 
     // 5. Compare against the buffered store-and-forward baseline.
     let sf = StoreForwardRouter::fifo().route(&problem, &mut rng);

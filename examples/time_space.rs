@@ -55,10 +55,7 @@ fn main() {
         ..Default::default()
     };
     let gout = GreedyRouter::with_config(gcfg).route(&problem, &mut rng);
-    println!(
-        "\n== greedy: {} steps ==",
-        gout.stats.makespan().unwrap()
-    );
+    println!("\n== greedy: {} steps ==", gout.stats.makespan().unwrap());
     render(
         &problem,
         gout.record.as_ref().unwrap(),
@@ -86,7 +83,7 @@ fn render(problem: &routing_core::RoutingProblem, record: &RunRecord, span: u64,
     println!("  in-flight");
 
     for (t, hist) in rows.iter().enumerate() {
-        if t as u64 % stride != 0 {
+        if !(t as u64).is_multiple_of(stride) {
             continue;
         }
         print!("{:>7} ", t + 1);

@@ -28,7 +28,9 @@
 //! hotpotato params 64 32 1024
 //! ```
 
-use baselines::{GreedyConfig, GreedyPriority, GreedyRouter, RandomPriorityRouter, StoreForwardRouter};
+use baselines::{
+    GreedyConfig, GreedyPriority, GreedyRouter, RandomPriorityRouter, StoreForwardRouter,
+};
 use busch_router::{BuschConfig, BuschRouter, FrameSchedule, PaperParams, Params};
 use hotpotato_routing::prelude::*;
 use leveled_net::builders::{ButterflyCoords, MeshCoords, MeshCorner};
@@ -155,7 +157,9 @@ fn parse_topo(spec: &str) -> Result<Topo, String> {
         "shuffle" => {
             let k = num(arg(1)?)?;
             if !(1..28).contains(&k) {
-                return Err(format!("shuffle-exchange dimension {k} out of range (1..=27)"));
+                return Err(format!(
+                    "shuffle-exchange dimension {k} out of range (1..=27)"
+                ));
             }
             Ok(plain(builders::shuffle_exchange_unrolled(k)))
         }
@@ -171,7 +175,10 @@ fn parse_topo(spec: &str) -> Result<Topo, String> {
             let wmax = parts.get(2).map(|s| num(s)).transpose()?.unwrap_or(4) as usize;
             let prob = parts
                 .get(3)
-                .map(|s| s.parse::<f64>().map_err(|_| format!("bad probability '{s}'")))
+                .map(|s| {
+                    s.parse::<f64>()
+                        .map_err(|_| format!("bad probability '{s}'"))
+                })
                 .transpose()?
                 .unwrap_or(0.3);
             let seed = parts.get(4).map(|s| num(s)).transpose()?.unwrap_or(1) as u64;
@@ -186,7 +193,7 @@ fn parse_workload(
     spec: &str,
     topo: &Topo,
     rng: &mut ChaCha8Rng,
-) -> Result<routing_core::RoutingProblem, String> {
+) -> Result<Arc<routing_core::RoutingProblem>, String> {
     let parts: Vec<&str> = spec.split(':').collect();
     let num = |i: usize| -> Result<usize, String> {
         parts
@@ -206,9 +213,7 @@ fn parse_workload(
             Ok(workloads::butterfly_permutation(net, &coords, rng))
         }
         "bitrev" => {
-            let coords = topo
-                .butterfly
-                .ok_or("bitrev needs a butterfly topology")?;
+            let coords = topo.butterfly.ok_or("bitrev needs a butterfly topology")?;
             Ok(workloads::butterfly_bit_reversal(net, &coords))
         }
         "transpose" => {
@@ -217,10 +222,8 @@ fn parse_workload(
         }
         "hotspot" => workloads::hotspot(net, num(1)?, num(2)?, rng).map_err(|e| e.to_string()),
         "funnel" => workloads::funnel(net, num(1)?, rng).map_err(|e| e.to_string()),
-        "level" => {
-            workloads::level_to_level(net, num(1)? as u32, num(2)? as u32, rng)
-                .map_err(|e| e.to_string())
-        }
+        "level" => workloads::level_to_level(net, num(1)? as u32, num(2)? as u32, rng)
+            .map_err(|e| e.to_string()),
         "blast" => workloads::first_fit_blast(net, num(1)? as u32, num(2)? as u32)
             .map_err(|e| e.to_string()),
         other => Err(format!("unknown workload '{other}'")),
@@ -310,9 +313,7 @@ fn cmd_route(args: &[String]) -> i32 {
                         v[3].parse().unwrap_or(1),
                     );
                     if m < 3 || w < 1 || !(0.0..=1.0).contains(&q) || sets < 1 {
-                        eprintln!(
-                            "--params out of range: need m ≥ 3, w ≥ 1, 0 ≤ q ≤ 1, sets ≥ 1"
-                        );
+                        eprintln!("--params out of range: need m ≥ 3, w ≥ 1, 0 ≤ q ≤ 1, sets ≥ 1");
                         return 2;
                     }
                     Params::scaled(m, w, q, sets)
@@ -413,13 +414,21 @@ fn cmd_route(args: &[String]) -> i32 {
         }
         "sf" => {
             let out = StoreForwardRouter::fifo().route(&problem, &mut rng);
-            println!("sf:       {} (max queue {})", out.stats.summary(), out.max_queue);
+            println!(
+                "sf:       {} (max queue {})",
+                out.stats.summary(),
+                out.max_queue
+            );
             i32::from(!out.stats.all_delivered())
         }
         "sfrank" => {
             let out = StoreForwardRouter::random_rank(problem.congestion() as u64)
                 .route(&problem, &mut rng);
-            println!("sfrank:   {} (max queue {})", out.stats.summary(), out.max_queue);
+            println!(
+                "sfrank:   {} (max queue {})",
+                out.stats.summary(),
+                out.max_queue
+            );
             i32::from(!out.stats.all_delivered())
         }
         other => {
@@ -436,8 +445,15 @@ fn cmd_params(args: &[String]) -> i32 {
         return 2;
     };
     let p = PaperParams::new(c, l, n);
-    println!("paper parameters for C={c}, L={l}, N={n} (ln(LN) = {:.3}):", p.ln_ln);
-    println!("  a      = {:.6}  (frontier sets ⌈aC⌉ = {})", p.a, p.num_sets());
+    println!(
+        "paper parameters for C={c}, L={l}, N={n} (ln(LN) = {:.3}):",
+        p.ln_ln
+    );
+    println!(
+        "  a      = {:.6}  (frontier sets ⌈aC⌉ = {})",
+        p.a,
+        p.num_sets()
+    );
     println!("  m      = {:.1}", p.m);
     println!("  q      = {:.3e}", p.q);
     println!("  w      = {:.3e}", p.w);
@@ -445,7 +461,11 @@ fn cmd_params(args: &[String]) -> i32 {
     println!("  p1     = {:.3e}", p.p1);
     println!("  phases = {:.3e}  (⌈aC⌉·m + L)", p.total_phases());
     println!("  time   = {:.3e}  steps  (phases · m · w)", p.total_time());
-    println!("  Õ      = {:.3e}  = time/(C+L);   ln⁹(LN) = {:.3e}", p.polylog_factor(), p.ln_ln.powi(9));
+    println!(
+        "  Õ      = {:.3e}  = time/(C+L);   ln⁹(LN) = {:.3e}",
+        p.polylog_factor(),
+        p.ln_ln.powi(9)
+    );
     println!(
         "  success ≥ {:.9}  (Theorem 2.6 bound 1 − 1/LN = {:.9})",
         p.success_probability(),

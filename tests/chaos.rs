@@ -4,14 +4,13 @@
 //!   decisions (uniformly random free exits, random injection timing);
 //!   the replay auditor must still certify the run and the engine must
 //!   never corrupt its accounting.
-//! * A *mutation fuzzer* corrupts valid run records in random ways; the
-//!   replay auditor must flag every corruption that changes semantics.
+//! * A *mutation fuzzer* corrupts valid run records in seeded-random ways;
+//!   the replay auditor must flag every corruption that changes semantics.
 
 use hotpotato_routing::prelude::*;
 use hotpotato_sim::replay::{self, ReplayError};
 use hotpotato_sim::{ExitKind, InjectOutcome, Simulation};
 use leveled_net::ids::DirectedEdge;
-use proptest::prelude::*;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rand::SeedableRng;
@@ -21,13 +20,13 @@ use std::sync::Arc;
 /// Drives the engine with uniformly random legal exits until `max_steps`
 /// or delivery; returns the engine's outcome parts.
 fn chaos_run(
-    problem: &routing_core::RoutingProblem,
+    problem: &Arc<routing_core::RoutingProblem>,
     seed: u64,
     max_steps: u64,
 ) -> (hotpotato_sim::RouteStats, hotpotato_sim::RunRecord) {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let n = problem.num_packets();
-    let mut sim: Simulation<()> = Simulation::new(Arc::new(problem.clone()), vec![(); n], false);
+    let mut sim: Simulation<()> = Simulation::new(Arc::clone(problem), vec![(); n], false);
     sim.enable_recording();
     let mut pending: Vec<u32> = (0..n as u32).collect();
 
@@ -36,8 +35,11 @@ fn chaos_run(
             let arrivals = sim.arrivals(v).to_vec();
             // Assign each arriving packet a random free exit: legal but
             // completely structure-free routing.
-            let mut exits: Vec<DirectedEdge> =
-                sim.network().exits(v).filter(|&mv| sim.slot_free(mv)).collect();
+            let mut exits: Vec<DirectedEdge> = sim
+                .network()
+                .exits(v)
+                .filter(|&mv| sim.slot_free(mv))
+                .collect();
             exits.shuffle(&mut rng);
             for (pkt, mv) in arrivals.into_iter().zip(exits) {
                 let kind = if Some(mv) == sim.next_move_of(pkt) {
@@ -73,8 +75,8 @@ fn chaos_routing_never_breaks_physics() {
         let prob = workloads::random_pairs(&net, 12, &mut wrng).unwrap();
         let (stats, record) = chaos_run(&prob, 100 + seed, 4000);
         // Whatever happened, the record must replay cleanly.
-        let report = replay::verify(&prob, &record, &stats)
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let report =
+            replay::verify(&prob, &record, &stats).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         assert_eq!(report.delivered, stats.delivered_count());
         // Conservation: every delivered packet was injected first.
         for (i, d) in stats.delivered_at.iter().enumerate() {
@@ -112,7 +114,7 @@ fn chaos_with_heavy_load_saturates_but_stays_legal() {
 // ---------------------------------------------------------------------
 
 fn valid_run() -> (
-    routing_core::RoutingProblem,
+    Arc<routing_core::RoutingProblem>,
     hotpotato_sim::RouteStats,
     hotpotato_sim::RunRecord,
 ) {
@@ -128,61 +130,82 @@ fn valid_run() -> (
     (prob, out.stats, out.record.unwrap())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Deleting any single move from a valid record must be detected
-    /// (the packet either rests, teleports, or ends undelivered).
-    #[test]
-    fn deleting_any_move_is_detected(which in 0usize..200) {
+/// Deleting any single move from a valid record must be detected
+/// (the packet either rests, teleports, or ends undelivered).
+#[test]
+fn deleting_any_move_is_detected() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xB1);
+    for case in 0..48 {
         let (prob, stats, mut record) = valid_run();
-        let idx = which % record.moves.len();
+        let idx = rng.gen_range(0..record.moves.len());
         record.moves.remove(idx);
-        prop_assert!(replay::verify(&prob, &record, &stats).is_err());
+        assert!(
+            replay::verify(&prob, &record, &stats).is_err(),
+            "case {case}: deleted move {idx} went unnoticed"
+        );
     }
+}
 
-    /// Duplicating a move must be detected (double-move or slot clash).
-    #[test]
-    fn duplicating_any_move_is_detected(which in 0usize..200) {
+/// Duplicating a move must be detected (double-move or slot clash).
+#[test]
+fn duplicating_any_move_is_detected() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xB2);
+    for case in 0..48 {
         let (prob, stats, mut record) = valid_run();
-        let idx = which % record.moves.len();
+        let idx = rng.gen_range(0..record.moves.len());
         let ev = record.moves[idx];
         record.moves.insert(idx, ev);
-        prop_assert!(replay::verify(&prob, &record, &stats).is_err());
+        assert!(
+            replay::verify(&prob, &record, &stats).is_err(),
+            "case {case}: duplicated move {idx} went unnoticed"
+        );
     }
+}
 
-    /// Retiming a move to a different step must be detected — except for
-    /// the one genuinely legal case: delaying an injection that is a
-    /// packet's *only* move (injection timing is free in the model).
-    #[test]
-    fn retiming_a_move_is_detected(which in 0usize..200, delta in 1u64..5) {
+/// Retiming a move to a different step must be detected — except for
+/// the one genuinely legal case: delaying an injection that is a
+/// packet's *only* move (injection timing is free in the model).
+#[test]
+fn retiming_a_move_is_detected() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xB3);
+    for case in 0..48 {
         let (prob, stats, mut record) = valid_run();
-        let idx = which % record.moves.len();
+        let idx = rng.gen_range(0..record.moves.len());
+        let delta = rng.gen_range(1u64..5);
         let ev = record.moves[idx];
         let pkt_moves = record.moves.iter().filter(|e| e.pkt == ev.pkt).count();
         if ev.kind == hotpotato_sim::ExitKind::Inject && pkt_moves == 1 {
-            return Ok(()); // delaying a lone injection is legal
+            continue; // delaying a lone injection is legal
         }
         record.moves[idx].time += delta;
         // Keep the vector time-sorted so we test semantics, not ordering.
         record.moves.sort_by_key(|e| e.time);
-        prop_assert!(replay::verify(&prob, &record, &stats).is_err());
+        assert!(
+            replay::verify(&prob, &record, &stats).is_err(),
+            "case {case}: retimed move {idx} (+{delta}) went unnoticed"
+        );
     }
+}
 
-    /// Redirecting a move onto a random other edge must be detected
-    /// unless the substitute happens to be an identical parallel edge
-    /// (butterflies have none, so always detected here).
-    #[test]
-    fn redirecting_a_move_is_detected(which in 0usize..200, edge in 0u32..64) {
+/// Redirecting a move onto a random other edge must be detected
+/// unless the substitute happens to be an identical parallel edge
+/// (butterflies have none, so always detected here).
+#[test]
+fn redirecting_a_move_is_detected() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xB4);
+    for case in 0..48 {
         let (prob, stats, mut record) = valid_run();
-        let idx = which % record.moves.len();
+        let idx = rng.gen_range(0..record.moves.len());
         let ne = prob.network().num_edges() as u32;
-        let new_edge = leveled_net::EdgeId(edge % ne);
+        let new_edge = leveled_net::EdgeId(rng.gen_range(0..ne));
         if record.moves[idx].mv.edge == new_edge {
-            return Ok(()); // no-op mutation
+            continue; // no-op mutation
         }
         record.moves[idx].mv.edge = new_edge;
-        prop_assert!(replay::verify(&prob, &record, &stats).is_err());
+        assert!(
+            replay::verify(&prob, &record, &stats).is_err(),
+            "case {case}: redirected move {idx} went unnoticed"
+        );
     }
 }
 

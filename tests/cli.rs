@@ -107,13 +107,7 @@ fn route_all_baselines() {
 
 #[test]
 fn route_workload_topology_mismatch() {
-    let (_, err, code) = hotpotato(&[
-        "route",
-        "--topo",
-        "linear:5",
-        "--workload",
-        "permutation",
-    ]);
+    let (_, err, code) = hotpotato(&["route", "--topo", "linear:5", "--workload", "permutation"]);
     assert_eq!(code, 2);
     assert!(err.contains("butterfly"), "{err}");
 }
@@ -144,8 +138,13 @@ fn out_of_range_inputs_get_clean_errors_not_panics() {
         &["frames", "6", "2", "1"],
         &["frames", "6", "4", "0"],
         &[
-            "route", "--topo", "linear:5", "--workload", "level:0:4",
-            "--params", "2,9,0.1,1",
+            "route",
+            "--topo",
+            "linear:5",
+            "--workload",
+            "level:0:4",
+            "--params",
+            "2,9,0.1,1",
         ],
     ];
     for args in cases {

@@ -1,7 +1,9 @@
 //! End-to-end integration: every topology × every algorithm delivers every
 //! packet, and the outcomes respect the basic physics of the model.
 
-use baselines::{GreedyConfig, GreedyPriority, GreedyRouter, RandomPriorityRouter, StoreForwardRouter};
+use baselines::{
+    GreedyConfig, GreedyPriority, GreedyRouter, RandomPriorityRouter, StoreForwardRouter,
+};
 use hotpotato_routing::prelude::*;
 use leveled_net::builders::{ButterflyCoords, MeshCorner};
 use rand::SeedableRng;
@@ -10,7 +12,7 @@ use routing_core::RoutingProblem;
 use std::sync::Arc;
 
 /// A zoo of (topology, workload) instances spanning every builder.
-fn instance_zoo(seed: u64) -> Vec<RoutingProblem> {
+fn instance_zoo(seed: u64) -> Vec<Arc<RoutingProblem>> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut out = Vec::new();
 
@@ -70,7 +72,14 @@ fn sanity(problem: &RoutingProblem, stats: &RouteStats, algo: &str) {
     let lower = problem.congestion().max(problem.dilation()) as u64;
     let mk = stats.makespan().unwrap_or(0);
     assert!(
-        problem.dilation() == 0 || mk >= problem.packets().iter().map(|p| p.path.len()).max().unwrap() as u64,
+        problem.dilation() == 0
+            || mk
+                >= problem
+                    .packets()
+                    .iter()
+                    .map(|p| p.path.len())
+                    .max()
+                    .unwrap() as u64,
         "{algo}: makespan {mk} beats the dilation bound on {}",
         problem.describe()
     );
@@ -160,11 +169,13 @@ fn mesh_orientations_route_in_all_four_directions() {
 fn trivial_and_singleton_problems() {
     let net = Arc::new(builders::linear_array(3));
     // A problem with a single trivial packet.
-    let prob = RoutingProblem::new(
-        Arc::clone(&net),
-        vec![routing_core::Path::trivial(leveled_net::NodeId(1))],
-    )
-    .unwrap();
+    let prob = Arc::new(
+        RoutingProblem::new(
+            Arc::clone(&net),
+            vec![routing_core::Path::trivial(leveled_net::NodeId(1))],
+        )
+        .unwrap(),
+    );
     let mut rng = ChaCha8Rng::seed_from_u64(0);
     let out = BuschRouter::new(Params::scaled(3, 4, 0.1, 1)).route(&prob, &mut rng);
     assert!(out.stats.all_delivered());
@@ -177,7 +188,7 @@ fn trivial_and_singleton_problems() {
 #[test]
 fn empty_problem_is_a_noop() {
     let net = Arc::new(builders::linear_array(3));
-    let prob = RoutingProblem::new(Arc::clone(&net), vec![]).unwrap();
+    let prob = Arc::new(RoutingProblem::new(Arc::clone(&net), vec![]).unwrap());
     let mut rng = ChaCha8Rng::seed_from_u64(0);
     let out = BuschRouter::new(Params::scaled(3, 4, 0.1, 1)).route(&prob, &mut rng);
     assert!(out.stats.all_delivered());

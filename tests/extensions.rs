@@ -60,7 +60,11 @@ fn benes_permutations_route() {
     let params = Params::scaled(8, 96, 0.1, prob.congestion().max(1));
     let busch = BuschRouter::new(params).route(&prob, &mut rng);
     assert!(busch.stats.all_delivered(), "{}", busch.stats.summary());
-    assert!(busch.invariants.is_clean(), "{}", busch.invariants.summary());
+    assert!(
+        busch.invariants.is_clean(),
+        "{}",
+        busch.invariants.summary()
+    );
     let greedy = GreedyRouter::new().route(&prob, &mut rng);
     assert!(greedy.stats.all_delivered());
 }
@@ -84,7 +88,11 @@ fn random_dags_route_end_to_end() {
             Err(_) => continue, // too sparse this seed; acceptable
         };
         let out = BuschRouter::new(Params::auto(&prob)).route(&prob, &mut rng);
-        assert!(out.stats.all_delivered(), "seed {seed}: {}", out.stats.summary());
+        assert!(
+            out.stats.all_delivered(),
+            "seed {seed}: {}",
+            out.stats.summary()
+        );
         assert!(
             out.invariants.is_clean(),
             "seed {seed}: {}",
@@ -119,13 +127,13 @@ fn dag_routing_with_recording_replays() {
 fn relaxed_empty_and_duplicate_trivials() {
     // Degenerate relaxed problems: several trivial packets at one node.
     let net = Arc::new(builders::linear_array(3));
-    let prob = routing_core::RoutingProblem::new_relaxed(
+    let prob = Arc::new(routing_core::RoutingProblem::new_relaxed(
         Arc::clone(&net),
         vec![
             routing_core::Path::trivial(leveled_net::NodeId(1)),
             routing_core::Path::trivial(leveled_net::NodeId(1)),
         ],
-    );
+    ));
     let mut rng = ChaCha8Rng::seed_from_u64(5);
     let out = GreedyRouter::new().route(&prob, &mut rng);
     assert!(out.stats.all_delivered());

@@ -1,0 +1,169 @@
+//! Golden-equivalence tests: fixed seeds must produce bit-identical run
+//! records across engine refactors.
+//!
+//! The engine's hot path is optimization territory (arena arrivals,
+//! maintained occupied lists, scratch-based conflict resolution), but the
+//! *semantics* — which packet crosses which edge at which step — must not
+//! drift: iteration order feeds the tie-breaking RNG, so any accidental
+//! reordering silently changes every downstream experiment. These tests
+//! pin two full runs (one butterfly, one mesh) against committed golden
+//! records.
+//!
+//! To regenerate after an *intentional* semantic change:
+//!
+//! ```text
+//! HOTPOTATO_BLESS=1 cargo test --test golden_equivalence
+//! ```
+
+use busch_router::{BuschConfig, BuschRouter, Params};
+use hotpotato_sim::{ExitKind, RouteStats, RunRecord};
+use leveled_net::builders::{self, ButterflyCoords, MeshCorner};
+use leveled_net::Direction;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use routing_core::workloads;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Canonical, line-oriented text encoding of a run: stable across
+/// platforms, readable in diffs, independent of serde details.
+fn encode(stats: &RouteStats, record: &RunRecord) -> String {
+    let mut out = String::new();
+    writeln!(out, "# golden run record v1").unwrap();
+    writeln!(
+        out,
+        "stats steps={} delivered={} makespan={} deflections={}",
+        stats.steps_run,
+        stats.delivered_count(),
+        stats.makespan().unwrap_or(0),
+        stats.total_deflections(),
+    )
+    .unwrap();
+    for tv in &record.trivial {
+        writeln!(out, "trivial t={} pkt={}", tv.time, tv.pkt.0).unwrap();
+    }
+    for ev in &record.moves {
+        let dir = match ev.mv.dir {
+            Direction::Forward => "F",
+            Direction::Backward => "B",
+        };
+        let kind = match ev.kind {
+            ExitKind::Advance => "adv",
+            ExitKind::Deflect { safe: true } => "def-safe",
+            ExitKind::Deflect { safe: false } => "def-free",
+            ExitKind::Oscillate => "osc",
+            ExitKind::Inject => "inj",
+        };
+        writeln!(
+            out,
+            "move t={} pkt={} edge={} dir={dir} kind={kind}",
+            ev.time, ev.pkt.0, ev.mv.edge.0
+        )
+        .unwrap();
+    }
+    out
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(name)
+}
+
+/// Compares the encoded run against the committed golden file; with
+/// `HOTPOTATO_BLESS=1`, rewrites the golden instead.
+fn check_golden(name: &str, stats: &RouteStats, record: &RunRecord) {
+    let encoded = encode(stats, record);
+    let path = golden_path(name);
+    if std::env::var("HOTPOTATO_BLESS").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &encoded).unwrap();
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); bless with HOTPOTATO_BLESS=1",
+            name
+        )
+    });
+    if encoded != want {
+        // Locate the first diverging line for a readable failure.
+        let first_diff = encoded
+            .lines()
+            .zip(want.lines())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| encoded.lines().count().min(want.lines().count()));
+        panic!(
+            "run diverged from golden {name} at line {} \
+             (got {:?}, want {:?}); if the change is intentional, \
+             re-bless with HOTPOTATO_BLESS=1",
+            first_diff + 1,
+            encoded.lines().nth(first_diff),
+            want.lines().nth(first_diff),
+        );
+    }
+}
+
+/// Busch router on a butterfly(4) random-pairs instance: exercises
+/// injections, conflicts, safe/free deflections, and wait oscillations.
+#[test]
+fn busch_butterfly_matches_golden() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xC0FFEE);
+    let net = Arc::new(builders::butterfly(4));
+    let prob = workloads::random_pairs(&net, 14, &mut rng).unwrap();
+    let cfg = BuschConfig {
+        record: true,
+        ..BuschConfig::new(Params::scaled(4, 16, 0.15, 2))
+    };
+    let out = BuschRouter::with_config(cfg).route(&prob, &mut rng);
+    assert!(out.stats.all_delivered(), "golden run must deliver");
+    check_golden(
+        "busch_butterfly4.txt",
+        &out.stats,
+        out.record.as_ref().expect("recording on"),
+    );
+}
+
+/// Busch router on the §5 mesh-transpose instance (C = D = n - 1):
+/// deterministic workload, randomized set assignment and tie-breaks.
+#[test]
+fn busch_mesh_matches_golden() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xBEEF);
+    let (raw, coords) = builders::mesh(6, 6, MeshCorner::TopLeft);
+    let net = Arc::new(raw);
+    let prob = workloads::mesh_transpose(&net, &coords).unwrap();
+    let cfg = BuschConfig {
+        record: true,
+        ..BuschConfig::new(Params::auto(&prob))
+    };
+    let out = BuschRouter::with_config(cfg).route(&prob, &mut rng);
+    assert!(out.stats.all_delivered(), "golden run must deliver");
+    check_golden(
+        "busch_mesh6.txt",
+        &out.stats,
+        out.record.as_ref().expect("recording on"),
+    );
+}
+
+/// Greedy router on a butterfly bit-reversal: covers the baseline loop's
+/// rng consumption and conflict ordering too.
+#[test]
+fn greedy_bit_reversal_matches_golden() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xFEED);
+    let net = Arc::new(builders::butterfly(5));
+    let coords = ButterflyCoords { k: 5 };
+    let prob = workloads::butterfly_bit_reversal(&net, &coords);
+    let cfg = baselines::GreedyConfig {
+        record: true,
+        ..Default::default()
+    };
+    let out = baselines::GreedyRouter::with_config(cfg).route(&prob, &mut rng);
+    assert!(out.stats.all_delivered(), "golden run must deliver");
+    check_golden(
+        "greedy_bitrev5.txt",
+        &out.stats,
+        out.record.as_ref().expect("recording on"),
+    );
+}

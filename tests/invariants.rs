@@ -21,7 +21,11 @@ fn invariants_clean_on_butterfly_random_pairs_across_seeds() {
         // Generous parameters: one set per congestion unit, tall frames.
         let params = Params::scaled(8, 96, 0.1, prob.congestion().max(1));
         let out = BuschRouter::new(params).route(&prob, &mut rng);
-        assert!(out.stats.all_delivered(), "seed {seed}: {}", out.stats.summary());
+        assert!(
+            out.stats.all_delivered(),
+            "seed {seed}: {}",
+            out.stats.summary()
+        );
         assert!(
             out.invariants.is_clean(),
             "seed {seed}: {}",
@@ -142,7 +146,7 @@ fn undersized_frames_are_detected_not_hidden() {
     let net = Arc::new(builders::butterfly(k));
     let coords = ButterflyCoords { k };
     let prob = workloads::butterfly_bit_reversal(&net, &coords); // C = 8
-    // One set for C=8 congestion and w too short to park packets.
+                                                                 // One set for C=8 congestion and w too short to park packets.
     let params = Params::scaled(3, 3, 0.0, 1);
     let out = BuschRouter::new(params).route(&prob, &mut rng);
     assert!(

@@ -15,7 +15,7 @@ use std::sync::Arc;
 #[test]
 fn busch_runs_replay_cleanly_across_workloads() {
     let mut rng = ChaCha8Rng::seed_from_u64(1);
-    let cases: Vec<routing_core::RoutingProblem> = vec![
+    let cases: Vec<Arc<routing_core::RoutingProblem>> = vec![
         {
             let net = Arc::new(builders::butterfly(4));
             workloads::random_pairs(&net, 16, &mut rng).unwrap()

@@ -1,0 +1,231 @@
+//! Offline vendored stand-in for the Criterion benchmark harness.
+//!
+//! Upstream Criterion is unreachable in this build environment, so this
+//! crate exposes the same API surface the workspace's benches use —
+//! [`Criterion`], benchmark groups, [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`criterion_group!`], [`criterion_main!`] —
+//! backed by a simple timer: each benchmark warms up once, then runs until
+//! a small per-bench time budget or the configured sample count is
+//! reached, and reports mean wall time per iteration. No statistics,
+//! plots, or baselines; the numbers are indicative, and the harness keeps
+//! `cargo test`/`cargo bench` runs fast.
+
+use std::time::{Duration, Instant};
+
+/// Per-benchmark measurement budget (after one warm-up iteration).
+const TIME_BUDGET: Duration = Duration::from_millis(200);
+
+/// Defeats constant-folding around a benchmarked value.
+#[inline]
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How `iter_batched` amortizes setup; all sizes behave identically here
+/// (setup runs once per iteration and is excluded from timing).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Times one benchmark routine.
+pub struct Bencher {
+    max_iters: u64,
+    /// (total measured time, iterations) recorded by the last `iter*` call.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly, timing every call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up, untimed
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while iters < self.max_iters && total < TIME_BUDGET {
+            let start = Instant::now();
+            black_box(routine());
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.result = Some((total, iters));
+    }
+
+    /// Runs `routine` on fresh inputs from `setup`, timing only `routine`.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warm-up, untimed
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while iters < self.max_iters && total < TIME_BUDGET {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.result = Some((total, iters));
+    }
+}
+
+fn run_one(group: Option<&str>, id: &str, sample_size: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        max_iters: sample_size.max(1),
+        result: None,
+    };
+    f(&mut b);
+    let label = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    match b.result {
+        Some((total, iters)) if iters > 0 => {
+            let per = total.as_nanos() / iters as u128;
+            println!("bench {label:<40} {per:>12} ns/iter ({iters} iters)");
+        }
+        _ => println!("bench {label:<40} (no measurement)"),
+    }
+}
+
+/// The harness: owns configuration and runs benchmarks.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Sets the target iteration count per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(None, &id.into(), self.sample_size, &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing the parent configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            Some(&self.name),
+            &id.into(),
+            self.criterion.sample_size,
+            &mut f,
+        );
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_and_counts() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut calls = 0u64;
+        {
+            let mut g = c.benchmark_group("unit");
+            g.bench_function("count", |b| {
+                b.iter(|| {
+                    calls += 1;
+                    black_box(calls)
+                })
+            });
+            g.finish();
+        }
+        // Warm-up plus at most sample_size timed iterations.
+        assert!((2..=6).contains(&calls), "calls = {calls}");
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![0u8; 8]
+                },
+                |v| {
+                    runs += 1;
+                    v.len()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, runs);
+        assert!((2..=4).contains(&runs), "runs = {runs}");
+    }
+}

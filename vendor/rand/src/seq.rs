@@ -1,0 +1,83 @@
+//! Slice sampling helpers: `choose` and Fisher–Yates `shuffle`.
+
+use crate::{uniform_below, Rng};
+
+/// Random selection and reordering on slices.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// A uniformly random element, or `None` if the slice is empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Uniform in-place Fisher–Yates shuffle.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(uniform_below(rng, self.len() as u64) as usize)
+        }
+    }
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, uniform_below(rng, i as u64 + 1) as usize);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RngCore;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn choose_on_empty_is_none() {
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut Counter(1)).is_none());
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Counter(7);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(
+            v, sorted,
+            "100 elements virtually never shuffle to identity"
+        );
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = Counter(3);
+        let items = [1u8, 2, 3, 4];
+        let mut seen = [false; 4];
+        for _ in 0..500 {
+            seen[(*items.choose(&mut rng).unwrap() - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,162 @@
+//! Offline vendored serialization layer.
+//!
+//! Upstream `serde` is unreachable in this build environment, and the
+//! workspace only ever serializes *to JSON*, so this stand-in collapses
+//! the `Serializer` machinery to one step: a [`Serialize`] type renders
+//! itself into the [`Value`] tree that `serde_json` then prints. There are
+//! no proc-macro derives; the handful of serialized structs implement
+//! [`Serialize`] by hand.
+
+pub mod value;
+
+pub use value::{Number, Value};
+
+/// Types that can render themselves as a JSON value tree.
+pub trait Serialize {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> Value;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl Serialize for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+macro_rules! impl_serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value {
+                Value::Number(Number::U(*self as u64))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::U(v as u64))
+                } else {
+                    Value::Number(Number::I(v))
+                }
+            }
+        }
+    )*};
+}
+
+impl_serialize_unsigned!(u8, u16, u32, u64, usize);
+impl_serialize_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    /// Non-finite floats have no JSON representation and become `null`,
+    /// matching upstream `serde_json`.
+    fn to_json(&self) -> Value {
+        if self.is_finite() {
+            Value::Number(Number::F(*self))
+        } else {
+            Value::Null
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json(&self) -> Value {
+        (*self as f64).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Value {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self) -> Value {
+        self.as_slice().to_json()
+    }
+}
+
+impl<K: AsRef<str>, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_json(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.as_ref().to_string(), v.to_json()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_render() {
+        assert_eq!(3u32.to_json(), Value::Number(Number::U(3)));
+        assert_eq!((-2i32).to_json(), Value::Number(Number::I(-2)));
+        assert_eq!(true.to_json(), Value::Bool(true));
+        assert_eq!("hi".to_json(), Value::String("hi".into()));
+        assert_eq!(f64::NAN.to_json(), Value::Null);
+    }
+
+    #[test]
+    fn containers_render() {
+        assert_eq!(None::<u32>.to_json(), Value::Null);
+        assert_eq!(Some(1u32).to_json(), Value::Number(Number::U(1)));
+        let v = vec![1u32, 2];
+        assert_eq!(
+            v.to_json(),
+            Value::Array(vec![
+                Value::Number(Number::U(1)),
+                Value::Number(Number::U(2))
+            ])
+        );
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("k", 7u64);
+        assert_eq!(m.to_json()["k"].as_u64(), Some(7));
+    }
+}

@@ -1,0 +1,343 @@
+//! Offline vendored `serde_json` workalike: printing, a strict JSON
+//! parser, [`to_value`], and the [`json!`] macro, all over the vendored
+//! [`serde::Value`] tree. Only the API surface this workspace uses is
+//! provided.
+
+use std::fmt;
+
+pub use serde::{Number, Value};
+
+/// A JSON error (parsing or serialization).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_json())
+}
+
+/// Renders compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json().to_compact_string())
+}
+
+/// Renders two-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json().to_pretty_string())
+}
+
+/// Parses a JSON document; trailing non-whitespace is an error.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!(
+            "trailing characters at offset {}",
+            p.pos
+        )));
+    }
+    Ok(v)
+}
+
+/// Recursive-descent JSON parser over the input bytes.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected '{}' at offset {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            Some(b) => Err(Error::new(format!(
+                "unexpected '{}' at offset {}",
+                b as char, self.pos
+            ))),
+            None => Err(Error::new("unexpected end of input")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::new("invalid \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::new("invalid \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("invalid \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(Error::new("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a valid &str).
+                    let rest = &self.bytes[self.pos..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        let num = if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                Number::U(u)
+            } else if let Ok(i) = text.parse::<i64>() {
+                Number::I(i)
+            } else {
+                Number::F(
+                    text.parse::<f64>()
+                        .map_err(|_| Error::new(format!("invalid number '{text}'")))?,
+                )
+            }
+        } else {
+            Number::F(
+                text.parse::<f64>()
+                    .map_err(|_| Error::new(format!("invalid number '{text}'")))?,
+            )
+        };
+        Ok(Value::Number(num))
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::new(format!("expected ',' or ']' at {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(members));
+                }
+                _ => return Err(Error::new(format!("expected ',' or '}}' at {}", self.pos))),
+            }
+        }
+    }
+}
+
+/// Builds a [`Value`] from a JSON-shaped literal. Object values and array
+/// elements may be arbitrary serializable expressions; object keys are
+/// string literals.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $( $elem:expr ),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($elem) ),* ])
+    };
+    ({ $( $key:literal : $value:expr ),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( ($key.to_string(), $crate::json!($value)) ),*
+        ])
+    };
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("infallible")
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_documents() {
+        let doc = json!({
+            "algorithm": "busch",
+            "n": 12,
+            "ok": true,
+            "ratio": 1.5,
+            "steps": [1, 2, 3],
+            "none": json!(null),
+        });
+        let text = to_string_pretty(&doc).unwrap();
+        let back = from_str(&text).unwrap();
+        assert_eq!(doc, back);
+        assert_eq!(back["algorithm"], "busch");
+        assert_eq!(back["n"].as_u64(), Some(12));
+        assert_eq!(back["steps"].as_array().unwrap().len(), 3);
+        assert!(back["none"].is_null());
+    }
+
+    #[test]
+    fn parses_escapes_and_nesting() {
+        let doc = from_str(r#"{"a": [{"b": "x\ny"}], "c": -4, "d": 2.5e2}"#).unwrap();
+        assert_eq!(doc["a"][0]["b"], "x\ny");
+        assert_eq!(doc["c"].as_i64(), Some(-4));
+        assert_eq!(doc["d"].as_f64(), Some(250.0));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("{} extra").is_err());
+        assert!(from_str("nul").is_err());
+    }
+
+    #[test]
+    fn json_macro_splices_serializable_expressions() {
+        let xs = vec![1u32, 2, 3];
+        let name = String::from("bf12");
+        let doc = json!({ "xs": xs, "name": name, "opt": Some(7u64) });
+        assert_eq!(doc["xs"].as_array().unwrap().len(), 3);
+        assert_eq!(doc["name"], "bf12");
+        assert_eq!(doc["opt"].as_u64(), Some(7));
+    }
+
+    #[test]
+    fn compact_and_pretty_agree() {
+        let doc = json!({ "k": json!([true, json!(null)]), "m": json!({}) });
+        assert_eq!(from_str(&to_string(&doc).unwrap()).unwrap(), doc);
+        assert_eq!(from_str(&to_string_pretty(&doc).unwrap()).unwrap(), doc);
+    }
+}
