@@ -13,8 +13,11 @@
 //! regimes; the `T4` comparison experiment quantifies both sides.
 
 use hotpotato_sim::conflict::{self, Contender};
-use hotpotato_sim::{ExitKind, InjectOutcome, RouteStats, Simulation};
-use rand::Rng;
+use hotpotato_sim::{
+    ExitKind, InjectOutcome, NoopObserver, RouteObserver, RouteOutcome, RouteStats, Router,
+    Simulation,
+};
+use rand::{Rng, RngCore};
 use routing_core::RoutingProblem;
 use std::sync::Arc;
 
@@ -92,14 +95,24 @@ impl GreedyRouter {
         problem: &Arc<RoutingProblem>,
         rng: &mut R,
     ) -> GreedyOutcome {
-        let mut sim: Simulation<()> = Simulation::new(
-            Arc::clone(problem),
-            vec![(); problem.num_packets()],
-            self.cfg.trace,
-        );
-        if self.cfg.record {
-            sim.enable_recording();
-        }
+        self.route_observed(problem, rng, &mut NoopObserver)
+    }
+
+    /// [`GreedyRouter::route`] with an event sink: every engine event
+    /// (injection, movement, deflection, delivery, step report) is fed to
+    /// `observer`. With [`NoopObserver`] this monomorphizes to exactly the
+    /// unobserved run.
+    pub fn route_observed<R: Rng + ?Sized, O: RouteObserver + ?Sized>(
+        &self,
+        problem: &Arc<RoutingProblem>,
+        rng: &mut R,
+        observer: &mut O,
+    ) -> GreedyOutcome {
+        let mut sim = Simulation::builder(Arc::clone(problem), vec![(); problem.num_packets()])
+            .trace(self.cfg.trace)
+            .recording(self.cfg.record)
+            .observer(observer)
+            .build();
         let mut pending: Vec<u32> = (0..problem.num_packets() as u32).collect();
         let mut arrivals_buf: Vec<u32> = Vec::new();
         let mut contenders: Vec<Contender> = Vec::new();
@@ -171,6 +184,26 @@ impl GreedyRouter {
         }
         let (stats, record) = sim.into_parts();
         GreedyOutcome { stats, record }
+    }
+}
+
+impl Router for GreedyRouter {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn route(
+        &self,
+        problem: &Arc<RoutingProblem>,
+        rng: &mut dyn RngCore,
+        observer: &mut dyn RouteObserver,
+    ) -> RouteOutcome {
+        let out = self.route_observed(problem, rng, observer);
+        RouteOutcome {
+            algorithm: "greedy",
+            stats: out.stats,
+            record: out.record,
+        }
     }
 }
 

@@ -73,6 +73,46 @@ impl StoreForwardRouter {
     ) -> StoreForwardOutcome {
         hotpotato_sim::store_forward::route(problem, self.cfg, rng)
     }
+
+    /// [`StoreForwardRouter::route`] with an event sink. Buffered queue
+    /// departures map onto the hot-potato event vocabulary: a packet's
+    /// first traversal reports as an injection, later ones as advances.
+    pub fn route_observed<R: rand::Rng + ?Sized, O: hotpotato_sim::RouteObserver + ?Sized>(
+        &self,
+        problem: &routing_core::RoutingProblem,
+        rng: &mut R,
+        observer: &mut O,
+    ) -> StoreForwardOutcome {
+        hotpotato_sim::store_forward::route_observed(problem, self.cfg, rng, observer)
+    }
+}
+
+impl hotpotato_sim::Router for StoreForwardRouter {
+    fn name(&self) -> &'static str {
+        "sf"
+    }
+
+    fn route(
+        &self,
+        problem: &std::sync::Arc<routing_core::RoutingProblem>,
+        rng: &mut dyn rand::RngCore,
+        observer: &mut dyn hotpotato_sim::RouteObserver,
+    ) -> hotpotato_sim::RouteOutcome {
+        let out = self.route_observed(problem, rng, observer);
+        let mut stats = out.stats;
+        stats.counters.insert("max_queue", out.max_queue as u64);
+        stats
+            .counters
+            .insert("total_queue_wait", out.total_queue_wait);
+        stats
+            .counters
+            .insert("backpressure_stalls", out.backpressure_stalls);
+        hotpotato_sim::RouteOutcome {
+            algorithm: "sf",
+            stats,
+            record: None,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -8,9 +8,11 @@
 //! flight never loses a conflict, so it advances one level per step.
 
 use hotpotato_sim::conflict::{self, Contender};
-use hotpotato_sim::{ExitKind, InjectOutcome, Simulation};
+use hotpotato_sim::{
+    ExitKind, InjectOutcome, NoopObserver, RouteObserver, RouteOutcome, Router, Simulation,
+};
 use rand::seq::SliceRandom;
-use rand::Rng;
+use rand::{Rng, RngCore};
 use routing_core::RoutingProblem;
 use std::sync::Arc;
 
@@ -19,12 +21,15 @@ use std::sync::Arc;
 pub struct RandomPriorityRouter {
     /// Safety cap on simulated steps.
     pub max_steps: u64,
+    /// Record every movement event for independent replay auditing.
+    pub record: bool,
 }
 
 impl Default for RandomPriorityRouter {
     fn default() -> Self {
         RandomPriorityRouter {
             max_steps: 5_000_000,
+            record: false,
         }
     }
 }
@@ -42,12 +47,26 @@ impl RandomPriorityRouter {
         problem: &Arc<RoutingProblem>,
         rng: &mut R,
     ) -> crate::greedy::GreedyOutcome {
+        self.route_observed(problem, rng, &mut NoopObserver)
+    }
+
+    /// [`RandomPriorityRouter::route`] with an event sink (see
+    /// [`crate::GreedyRouter::route_observed`]).
+    pub fn route_observed<R: Rng + ?Sized, O: RouteObserver + ?Sized>(
+        &self,
+        problem: &Arc<RoutingProblem>,
+        rng: &mut R,
+        observer: &mut O,
+    ) -> crate::greedy::GreedyOutcome {
         let n = problem.num_packets();
         // A random permutation gives distinct ranks — a strict total order.
         let mut ranks: Vec<u32> = (0..n as u32).collect();
         ranks.shuffle(rng);
 
-        let mut sim: Simulation<u32> = Simulation::new(Arc::clone(problem), ranks, false);
+        let mut sim = Simulation::builder(Arc::clone(problem), ranks)
+            .recording(self.record)
+            .observer(observer)
+            .build();
         let mut pending: Vec<u32> = (0..n as u32).collect();
         let mut arrivals_buf: Vec<u32> = Vec::new();
         let mut contenders: Vec<Contender> = Vec::new();
@@ -103,9 +122,27 @@ impl RandomPriorityRouter {
             });
             sim.finish_step().expect("all arrivals staged");
         }
-        crate::greedy::GreedyOutcome {
-            stats: sim.into_stats(),
-            record: None,
+        let (stats, record) = sim.into_parts();
+        crate::greedy::GreedyOutcome { stats, record }
+    }
+}
+
+impl Router for RandomPriorityRouter {
+    fn name(&self) -> &'static str {
+        "rank"
+    }
+
+    fn route(
+        &self,
+        problem: &Arc<RoutingProblem>,
+        rng: &mut dyn RngCore,
+        observer: &mut dyn RouteObserver,
+    ) -> RouteOutcome {
+        let out = self.route_observed(problem, rng, observer);
+        RouteOutcome {
+            algorithm: "rank",
+            stats: out.stats,
+            record: out.record,
         }
     }
 }

@@ -25,7 +25,7 @@ fn converging_sim(width: usize) -> (Simulation<()>, NodeId, Vec<Contender>) {
         .collect();
     let prob = Arc::new(RoutingProblem::new(Arc::clone(&net), paths).unwrap());
     let n = prob.num_packets();
-    let mut sim: Simulation<()> = Simulation::new(prob, vec![(); n], false);
+    let mut sim = Simulation::builder(prob, vec![(); n]).build();
     for p in 0..n as u32 {
         sim.try_inject(p).unwrap();
     }
@@ -72,8 +72,7 @@ fn bench_engine_step(c: &mut Criterion) {
             b.iter_batched(
                 || {
                     let n = prob.num_packets();
-                    let mut sim: Simulation<()> =
-                        Simulation::new(Arc::clone(&prob), vec![(); n], false);
+                    let mut sim = Simulation::builder(Arc::clone(&prob), vec![(); n]).build();
                     for p in 0..n as u32 {
                         sim.try_inject(p).unwrap();
                     }

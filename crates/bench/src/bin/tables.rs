@@ -6,6 +6,7 @@
 //! cargo run -p bench --release --bin tables -- all --quick    # smaller sweeps
 //! cargo run -p bench --release --bin tables -- all --json out.json
 //! cargo run -p bench --release --bin tables -- perfjson       # BENCH_PR1.json
+//! cargo run -p bench --release --bin tables -- metricsjson    # METRICS_PR2.json
 //! ```
 
 use bench::experiments;
@@ -68,6 +69,19 @@ fn perfjson(quick: bool, out_path: &str) {
     println!("wrote perf baseline to {out_path}");
 }
 
+/// `metricsjson` mode: one instrumented reference run, serialized whole —
+/// histograms, occupancy, frame progress, congestion watermarks vs the
+/// Lemma 2.2 bound, and the section profile.
+fn metricsjson(quick: bool, out_path: &str) {
+    let rep = experiments::metrics::collect(quick);
+    std::fs::write(
+        out_path,
+        serde_json::to_string_pretty(&rep.to_json()).expect("serialize"),
+    )
+    .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("wrote metrics artifact to {out_path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
@@ -78,6 +92,15 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .map_or("BENCH_PR1.json", |s| s.as_str());
         perfjson(quick, out);
+        return;
+    }
+    if args.iter().any(|a| a == "metricsjson") {
+        let out = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+            .map_or("METRICS_PR2.json", |s| s.as_str());
+        metricsjson(quick, out);
         return;
     }
     let json_path = args

@@ -10,6 +10,7 @@
 use crate::runner::parallel_map;
 use crate::table::{f, Table};
 use busch_router::{BuschRouter, Params};
+use hotpotato_sim::MetricsObserver;
 use leveled_net::builders::{self, ButterflyCoords};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -81,5 +82,39 @@ pub fn run(quick: bool) {
     t.note("(Lemmas 4.13-4.15 need it to bound round-failure probability against");
     t.note("adversarial conflict patterns), not a practical accelerator; its cost");
     t.note("(the excitations column) is likewise negligible");
+    t.print();
+
+    // Frame progress on one instrumented run (observer-fed): how far each
+    // frontier set's packets actually are, against the theoretical
+    // frontier `phi_i(k) = k - i*m` the analysis schedules them behind.
+    let params = Params::scaled(6, 18, 0.1, sets);
+    let mut rng = ChaCha8Rng::seed_from_u64(6000);
+    let mut metrics = MetricsObserver::new(&prob);
+    let out = BuschRouter::new(params).route_observed(&prob, &mut rng, &mut metrics);
+    let mut t = Table::new(
+        format!(
+            "A1b: frame progress vs frontier (q=0.1, seed 6000, {} phases)",
+            out.phases_elapsed
+        ),
+        &[
+            "phase",
+            "set",
+            "frontier phi_i(k)",
+            "max level",
+            "in flight",
+        ],
+    );
+    for row in metrics.frame_progress().iter().take(12) {
+        t.row(vec![
+            row.phase.to_string(),
+            row.set.to_string(),
+            row.frontier.to_string(),
+            row.max_level.to_string(),
+            row.in_flight.to_string(),
+        ]);
+    }
+    t.note("rows come from the RouteObserver event stream (phase ends with");
+    t.note("in-flight packets); max level never passes the frontier (I_c):");
+    t.note("phi_i(k) is the frame's leading level, chased phase by phase");
     t.print();
 }

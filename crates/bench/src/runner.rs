@@ -3,7 +3,7 @@
 
 use baselines::{GreedyRouter, RandomPriorityRouter, StoreForwardRouter};
 use busch_router::{BuschOutcome, BuschRouter, Params};
-use hotpotato_sim::RouteStats;
+use hotpotato_sim::{RouteStats, Router};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use routing_core::RoutingProblem;
@@ -78,47 +78,54 @@ pub fn average(runs: &[RunSummary]) -> RunSummary {
     }
 }
 
+/// Routes through the algorithm-agnostic [`Router`] interface; one seed.
+/// Invariant violations are read back from the `"invariant_violations"`
+/// counter (absent, hence zero, for routers that do not audit).
+pub fn run_router(router: &dyn Router, problem: &Arc<RoutingProblem>, seed: u64) -> RunSummary {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let out = router.route_unobserved(problem, &mut rng);
+    let violations = out
+        .stats
+        .counters
+        .get("invariant_violations")
+        .copied()
+        .unwrap_or(0);
+    RunSummary::from_stats(&out.stats, violations)
+}
+
 /// Routes with the paper's algorithm under `params`; one seed.
 pub fn run_busch(problem: &Arc<RoutingProblem>, params: Params, seed: u64) -> RunSummary {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let out = BuschRouter::new(params).route(problem, &mut rng);
-    RunSummary::from_busch(&out)
+    run_router(&BuschRouter::new(params), problem, seed)
 }
 
 /// Routes with the greedy hot-potato baseline; one seed.
 pub fn run_greedy(problem: &Arc<RoutingProblem>, seed: u64) -> RunSummary {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let out = GreedyRouter::new().route(problem, &mut rng);
-    RunSummary::from_stats(&out.stats, 0)
+    run_router(&GreedyRouter::new(), problem, seed)
 }
 
 /// Routes with the random-priority greedy baseline; one seed.
 pub fn run_random_priority(problem: &Arc<RoutingProblem>, seed: u64) -> RunSummary {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let out = RandomPriorityRouter::new().route(problem, &mut rng);
-    RunSummary::from_stats(&out.stats, 0)
+    run_router(&RandomPriorityRouter::new(), problem, seed)
 }
 
 /// Routes with buffered FIFO store-and-forward; one seed.
 pub fn run_store_forward(problem: &Arc<RoutingProblem>, seed: u64) -> RunSummary {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let out = StoreForwardRouter::fifo().route(problem, &mut rng);
-    RunSummary::from_stats(&out.stats, 0)
+    run_router(&StoreForwardRouter::fifo(), problem, seed)
 }
 
 /// Routes with buffered random-rank store-and-forward (`Θ(C)` delays).
 pub fn run_store_forward_ranked(problem: &Arc<RoutingProblem>, seed: u64) -> RunSummary {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let out = StoreForwardRouter::random_rank(problem.congestion() as u64).route(problem, &mut rng);
-    RunSummary::from_stats(&out.stats, 0)
+    run_router(
+        &StoreForwardRouter::random_rank(problem.congestion() as u64),
+        problem,
+        seed,
+    )
 }
 
 /// Routes with store-and-forward under constant (size-2) buffers — the
 /// bounded-buffer regime of reference 16.
 pub fn run_store_forward_bounded(problem: &Arc<RoutingProblem>, seed: u64) -> RunSummary {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let out = StoreForwardRouter::bounded(2).route(problem, &mut rng);
-    RunSummary::from_stats(&out.stats, 0)
+    run_router(&StoreForwardRouter::bounded(2), problem, seed)
 }
 
 /// The sweep thread budget: the `HOTPOTATO_THREADS` environment variable
@@ -391,6 +398,31 @@ mod tests {
         assert!(s.complete());
         let sr = run_store_forward_ranked(&prob, 1);
         assert!(sr.complete());
+    }
+
+    #[test]
+    fn run_router_matches_concrete_helpers() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let net = Arc::new(builders::butterfly(4));
+        let prob = workloads::random_pairs(&net, 10, &mut rng).unwrap();
+        // The trait path must draw the same random sequence as the
+        // concrete inherent methods: identical summaries, seed for seed.
+        let mut direct = ChaCha8Rng::seed_from_u64(7);
+        let concrete = BuschRouter::new(Params::auto(&prob)).route(&prob, &mut direct);
+        let via_trait = run_router(&BuschRouter::new(Params::auto(&prob)), &prob, 7);
+        assert_eq!(via_trait.makespan, concrete.stats.makespan().unwrap_or(0));
+        assert_eq!(via_trait.delivered, concrete.stats.delivered_count());
+        assert_eq!(via_trait.violations, concrete.invariants.total_violations());
+        assert_eq!(
+            via_trait.counters.get("phases").copied(),
+            Some(concrete.phases_elapsed)
+        );
+
+        let mut direct = ChaCha8Rng::seed_from_u64(9);
+        let g = GreedyRouter::new().route(&prob, &mut direct);
+        let gt = run_router(&GreedyRouter::new(), &prob, 9);
+        assert_eq!(gt.makespan, g.stats.makespan().unwrap_or(0));
+        assert_eq!(gt.deflections, g.stats.total_deflections());
     }
 
     #[test]

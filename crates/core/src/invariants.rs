@@ -18,7 +18,8 @@
 //! analysis describes.
 
 use crate::schedule::FrameSchedule;
-use hotpotato_sim::Simulation;
+use hotpotato_sim::{RouteObserver, Simulation};
+use std::collections::BTreeMap;
 
 /// Violation counters for `I_a..I_f` (see module docs). All-zero means the
 /// run satisfied every invariant the paper proves w.h.p.
@@ -82,6 +83,36 @@ impl InvariantReport {
         self.total_violations() == 0
     }
 
+    /// Folds every field into `counters` under stable `inv_*` names, so
+    /// the report can travel inside `RouteStats` through the
+    /// algorithm-agnostic [`hotpotato_sim::Router`] interface.
+    pub fn fold_into(&self, counters: &mut BTreeMap<&'static str, u64>) {
+        counters.insert("inv_isolation_violations", self.isolation_violations);
+        counters.insert("inv_unsafe_deflections", self.unsafe_deflections);
+        counters.insert("inv_invalid_current_paths", self.invalid_current_paths);
+        counters.insert("inv_frame_escapes", self.frame_escapes);
+        counters.insert("inv_cross_set_meetings", self.cross_set_meetings);
+        counters.insert("inv_congestion_exceeded", self.congestion_exceeded);
+        counters.insert("inv_rear_levels_occupied", self.rear_levels_occupied);
+        counters.insert("inv_phase_checks", self.phase_checks);
+    }
+
+    /// Rebuilds a report from counters written by
+    /// [`InvariantReport::fold_into`] (absent keys read as zero).
+    pub fn from_counters(counters: &BTreeMap<&'static str, u64>) -> Self {
+        let get = |k: &str| counters.get(k).copied().unwrap_or(0);
+        InvariantReport {
+            isolation_violations: get("inv_isolation_violations"),
+            unsafe_deflections: get("inv_unsafe_deflections"),
+            invalid_current_paths: get("inv_invalid_current_paths"),
+            frame_escapes: get("inv_frame_escapes"),
+            cross_set_meetings: get("inv_cross_set_meetings"),
+            congestion_exceeded: get("inv_congestion_exceeded"),
+            rear_levels_occupied: get("inv_rear_levels_occupied"),
+            phase_checks: get("inv_phase_checks"),
+        }
+    }
+
     /// One-line summary listing each invariant's violation count.
     pub fn summary(&self) -> String {
         format!(
@@ -100,7 +131,11 @@ impl InvariantReport {
 
 /// Initial per-set congestion of the preselected paths (the baseline for
 /// the `I_e` non-increase check and the subject of Lemma 2.2).
-pub fn initial_per_set_congestion<M>(sim: &Simulation<M>, sets: &[u32], num_sets: u32) -> Vec<u32> {
+pub fn initial_per_set_congestion<M, O: RouteObserver>(
+    sim: &Simulation<M, O>,
+    sets: &[u32],
+    num_sets: u32,
+) -> Vec<u32> {
     sim.problem().per_set_congestion(sets, num_sets as usize)
 }
 
@@ -136,7 +171,9 @@ impl PhaseAuditScratch {
 }
 
 /// Runs the phase-end audits (`I_b` path validity, `I_c`, `I_e`, `I_f`)
-/// for the phase that just ended, updating `report`. `O(N·L)`.
+/// for the phase that just ended, updating `report`; returns the measured
+/// per-set congestion (the `I_e` subject, which observers consume as the
+/// Lemma 2.2 watermark source). `O(N·L)`.
 ///
 /// `effective_level` maps a packet index and its actual level to the level
 /// used for the `I_f` rear-emptiness check: the router passes the *target*
@@ -144,8 +181,8 @@ impl PhaseAuditScratch {
 /// oscillating packet as sitting at its target node (the oscillation
 /// parity at the exact phase boundary is immaterial to the analysis).
 #[allow(clippy::too_many_arguments)]
-pub fn check_phase_end<M>(
-    sim: &Simulation<M>,
+pub fn check_phase_end<M, O: RouteObserver>(
+    sim: &Simulation<M, O>,
     schedule: &FrameSchedule,
     sets: &[u32],
     phase: u64,
@@ -153,7 +190,7 @@ pub fn check_phase_end<M>(
     effective_level: impl Fn(u32, leveled_net::Level) -> leveled_net::Level,
     scratch: &mut PhaseAuditScratch,
     report: &mut InvariantReport,
-) {
+) -> Vec<u32> {
     report.phase_checks += 1;
     let net = sim.network();
     let num_edges = net.num_edges();
@@ -213,6 +250,7 @@ pub fn check_phase_end<M>(
             report.congestion_exceeded += 1;
         }
     }
+    per_set_max
 }
 
 #[cfg(test)]
@@ -225,6 +263,27 @@ mod tests {
         assert!(r.is_clean());
         assert_eq!(r.total_violations(), 0);
         assert!(r.summary().contains("Ia=0"));
+    }
+
+    #[test]
+    fn counters_round_trip() {
+        let r = InvariantReport {
+            isolation_violations: 1,
+            unsafe_deflections: 2,
+            invalid_current_paths: 3,
+            frame_escapes: 4,
+            cross_set_meetings: 5,
+            congestion_exceeded: 6,
+            rear_levels_occupied: 7,
+            phase_checks: 100,
+        };
+        let mut counters = BTreeMap::new();
+        r.fold_into(&mut counters);
+        assert_eq!(InvariantReport::from_counters(&counters), r);
+        assert_eq!(
+            InvariantReport::from_counters(&BTreeMap::new()),
+            InvariantReport::default()
+        );
     }
 
     #[test]

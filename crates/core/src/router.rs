@@ -31,10 +31,13 @@ use crate::invariants::{
 use crate::params::Params;
 use crate::schedule::{assign_sets, FrameSchedule};
 use hotpotato_sim::conflict::{self, Contender, DeflectRule};
-use hotpotato_sim::{ExitKind, InjectOutcome, RouteStats, Simulation, Time};
+use hotpotato_sim::{
+    ExitKind, InjectOutcome, NoopObserver, RouteObserver, RouteOutcome, RouteStats, Router,
+    Section, Simulation, Time,
+};
 use leveled_net::ids::{DirectedEdge, Direction};
 use leveled_net::EdgeId;
-use rand::Rng;
+use rand::{Rng, RngCore};
 use routing_core::RoutingProblem;
 use std::sync::Arc;
 
@@ -173,6 +176,20 @@ impl BuschRouter {
         problem: &Arc<RoutingProblem>,
         rng: &mut R,
     ) -> BuschOutcome {
+        self.route_observed(problem, rng, &mut NoopObserver)
+    }
+
+    /// [`BuschRouter::route`] with an attached event sink: besides the
+    /// engine's movement events, the router emits the schedule events —
+    /// phase boundaries, per-set frontiers `φ_i(k)`, and (when audits are
+    /// on) the per-set congestion measured at each phase end. With
+    /// [`NoopObserver`] this monomorphizes to exactly [`BuschRouter::route`].
+    pub fn route_observed<R: Rng + ?Sized, O: RouteObserver + ?Sized>(
+        &self,
+        problem: &Arc<RoutingProblem>,
+        rng: &mut R,
+        observer: &mut O,
+    ) -> BuschOutcome {
         let params = self.cfg.params;
         let net = problem.network_arc();
         let depth = net.depth();
@@ -190,10 +207,13 @@ impl BuschRouter {
             })
             .collect();
 
-        let mut sim = Simulation::new(Arc::clone(problem), metas, self.cfg.trace);
-        if self.cfg.record {
-            sim.enable_recording();
-        }
+        observer.on_sets_assigned(&sets, params.num_sets);
+        let timing = observer.wants_timing();
+        let mut sim = Simulation::builder(Arc::clone(problem), metas)
+            .trace(self.cfg.trace)
+            .recording(self.cfg.record)
+            .observer(observer)
+            .build();
         let mut invariants = InvariantReport::default();
         let initial_per_set = if self.cfg.check_invariants {
             initial_per_set_congestion(&sim, &sets, params.num_sets)
@@ -230,6 +250,21 @@ impl BuschRouter {
             let round = ((t / params.w as u64) % params.m as u64) as u32;
             let round_start = t.is_multiple_of(params.w as u64);
             let phase_start = t.is_multiple_of(phase_len);
+
+            if phase_start {
+                let obs = sim.observer_mut();
+                obs.on_phase_start(phase, t);
+                for set in 0..params.num_sets {
+                    if schedule.frame_in_network(set, phase) {
+                        obs.on_frontier(phase, set, schedule.frontier(set, phase));
+                    }
+                }
+            }
+            let section_start = if timing {
+                Some(std::time::Instant::now())
+            } else {
+                None
+            };
 
             // Dispatch every node with arrivals. The per-packet state
             // updates (round/phase demotions, excitation — §3) are folded
@@ -371,6 +406,12 @@ impl BuschRouter {
             if excitations > 0 {
                 sim.stats_mut().bump_by("excitations", excitations);
             }
+            let section_start = section_start.map(|start| {
+                let now = std::time::Instant::now();
+                sim.observer_mut()
+                    .on_section(Section::Conflict, (now - start).as_nanos() as u64);
+                now
+            });
 
             // Injections: admit packets whose phase has begun; retry the
             // blocked ones every subsequent step (§3, "Packet Injection").
@@ -399,8 +440,21 @@ impl BuschRouter {
                 }
             });
 
+            let section_start = section_start.map(|start| {
+                let now = std::time::Instant::now();
+                sim.observer_mut()
+                    .on_section(Section::Injection, (now - start).as_nanos() as u64);
+                now
+            });
+
             let report = sim.finish_step().expect("all arrivals staged");
             total_moves += report.moved as u64;
+            let section_start = section_start.map(|start| {
+                let now = std::time::Instant::now();
+                sim.observer_mut()
+                    .on_section(Section::Kinematics, (now - start).as_nanos() as u64);
+                now
+            });
 
             // Phase-end audits (the paper states I_a..I_f at phase ends).
             if self.cfg.check_invariants && (t + 1).is_multiple_of(phase_len) {
@@ -411,7 +465,7 @@ impl BuschRouter {
                         PacketState::Wait { edge } => net.level(net.edge(edge).head),
                         _ => actual,
                     };
-                check_phase_end(
+                let per_set_max = check_phase_end(
                     &sim,
                     &schedule,
                     &sets,
@@ -421,6 +475,18 @@ impl BuschRouter {
                     &mut audit_scratch,
                     &mut invariants,
                 );
+                let obs = sim.observer_mut();
+                for (set, (&now_max, &init)) in per_set_max.iter().zip(&initial_per_set).enumerate()
+                {
+                    obs.on_set_congestion(phase, set as u32, now_max, init);
+                }
+                if let Some(start) = section_start {
+                    sim.observer_mut()
+                        .on_section(Section::Audit, start.elapsed().as_nanos() as u64);
+                }
+            }
+            if (t + 1).is_multiple_of(phase_len) {
+                sim.observer_mut().on_phase_end(phase, t + 1);
             }
         }
 
@@ -439,6 +505,35 @@ impl BuschRouter {
             phases_elapsed,
             params,
             record,
+        }
+    }
+}
+
+impl Router for BuschRouter {
+    fn name(&self) -> &'static str {
+        "busch"
+    }
+
+    fn route(
+        &self,
+        problem: &Arc<RoutingProblem>,
+        rng: &mut dyn RngCore,
+        observer: &mut dyn RouteObserver,
+    ) -> RouteOutcome {
+        let out = self.route_observed(problem, rng, observer);
+        let mut stats = out.stats;
+        stats.counters.insert("phases", out.phases_elapsed);
+        stats
+            .counters
+            .insert("invariant_violations", out.invariants.total_violations());
+        out.invariants.fold_into(&mut stats.counters);
+        stats
+            .counters
+            .insert("num_sets", out.params.num_sets as u64);
+        RouteOutcome {
+            algorithm: "busch",
+            stats,
+            record: out.record,
         }
     }
 }

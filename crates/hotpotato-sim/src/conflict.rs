@@ -23,6 +23,7 @@
 //! algorithm; the unit tests exercise exactly the induction's cases.
 
 use crate::engine::Simulation;
+use crate::observe::RouteObserver;
 use leveled_net::ids::{DirectedEdge, Direction};
 use leveled_net::NodeId;
 use rand::Rng;
@@ -140,8 +141,8 @@ pub struct ConflictScratch {
 /// algorithm where the w.h.p. preconditions can fail.
 ///
 /// Allocating convenience wrapper around [`resolve_into`].
-pub fn resolve<M, R: Rng + ?Sized>(
-    sim: &Simulation<M>,
+pub fn resolve<M, O: RouteObserver, R: Rng + ?Sized>(
+    sim: &Simulation<M, O>,
     node: NodeId,
     contenders: &[Contender],
     allow_fallback: bool,
@@ -158,8 +159,8 @@ pub fn resolve<M, R: Rng + ?Sized>(
 
 /// [`resolve`] with an explicit [`DeflectRule`] (used by the safe-deflection
 /// ablation). Allocating convenience wrapper around [`resolve_into`].
-pub fn resolve_with<M, R: Rng + ?Sized>(
-    sim: &Simulation<M>,
+pub fn resolve_with<M, O: RouteObserver, R: Rng + ?Sized>(
+    sim: &Simulation<M, O>,
     node: NodeId,
     contenders: &[Contender],
     rule: DeflectRule,
@@ -177,8 +178,8 @@ pub fn resolve_with<M, R: Rng + ?Sized>(
 /// Consumes randomness identically to [`resolve_with`] (one draw per
 /// contested group with a free slot, plus one per loser under
 /// [`DeflectRule::Arbitrary`]).
-pub fn resolve_into<'s, M, R: Rng + ?Sized>(
-    sim: &Simulation<M>,
+pub fn resolve_into<'s, M, O: RouteObserver, R: Rng + ?Sized>(
+    sim: &Simulation<M, O>,
     node: NodeId,
     contenders: &[Contender],
     rule: DeflectRule,
@@ -193,7 +194,7 @@ pub fn resolve_into<'s, M, R: Rng + ?Sized>(
     // Locally-claimed slots this resolution (on top of engine-level state).
     let local_used = &mut scratch.local_used;
     local_used.clear();
-    let free = |local_used: &[usize], mv: DirectedEdge, sim: &Simulation<M>| -> bool {
+    let free = |local_used: &[usize], mv: DirectedEdge, sim: &Simulation<M, O>| -> bool {
         sim.slot_free(mv) && !local_used.contains(&mv.slot_index())
     };
 
@@ -368,7 +369,7 @@ mod tests {
     /// Sets up the fan with both packets arrived at n2 (after one step).
     fn fan_sim() -> Simulation<()> {
         let prob = fan();
-        let mut sim: Simulation<()> = Simulation::new(prob, vec![(), ()], false);
+        let mut sim: Simulation<()> = Simulation::builder(prob, vec![(), ()]).build();
         sim.try_inject(0).unwrap();
         sim.try_inject(1).unwrap();
         sim.finish_step().unwrap();
@@ -376,7 +377,11 @@ mod tests {
         sim
     }
 
-    fn contender<M>(sim: &Simulation<M>, pkt: u32, priority: u32) -> Contender {
+    fn contender<M, O: RouteObserver>(
+        sim: &Simulation<M, O>,
+        pkt: u32,
+        priority: u32,
+    ) -> Contender {
         Contender {
             pkt,
             desired: sim.next_move_of(pkt).unwrap(),
@@ -508,7 +513,7 @@ mod tests {
             Path::new(&net, s2, vec![e2, e3]).unwrap(),
         ];
         let prob = Arc::new(RoutingProblem::new(net, paths).unwrap());
-        let mut sim: Simulation<()> = Simulation::new(prob, vec![(), (), ()], false);
+        let mut sim: Simulation<()> = Simulation::builder(prob, vec![(), (), ()]).build();
         for p in 0..3 {
             sim.try_inject(p).unwrap();
         }

@@ -26,6 +26,7 @@
 //! ```
 
 use crate::kinematics::SimPacket;
+use crate::observe::{NoopObserver, RouteObserver};
 use crate::record::{MoveEvent, RunRecord, TrivialDelivery};
 use crate::stats::{RouteStats, Time};
 use leveled_net::ids::DirectedEdge;
@@ -130,8 +131,160 @@ pub struct StepReport {
     pub oscillations: usize,
 }
 
-/// The bufferless simulation engine; `M` is the per-packet metadata type of
-/// the driving algorithm.
+/// How much post-hoc auditability a [`SimulationBuilder`] run keeps.
+///
+/// Engine-level switch only: the Busch router's *online* invariant audits
+/// (`I_a..I_f`) are a property of the algorithm, not the engine, and stay
+/// on `BuschConfig::check_invariants` in the `busch-router` crate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum AuditLevel {
+    /// Keep nothing beyond [`RouteStats`].
+    #[default]
+    Off,
+    /// Record every movement event ([`RunRecord`]) so the run can be
+    /// re-verified offline with [`crate::replay::verify`].
+    Replay,
+}
+
+/// Staged construction of a [`Simulation`]: replaces the old
+/// `Simulation::new(problem, metas, trace)` + `enable_recording()` pair.
+///
+/// ```
+/// # use hotpotato_sim::{Simulation, AuditLevel};
+/// # use routing_core::{Path, RoutingProblem};
+/// # use leveled_net::{builders, NodeId};
+/// # use std::sync::Arc;
+/// # let net = Arc::new(builders::linear_array(3));
+/// # let path = Path::from_nodes(&net, &[NodeId(0), NodeId(1)]).unwrap();
+/// # let problem = Arc::new(RoutingProblem::new(net, vec![path]).unwrap());
+/// let mut sim: Simulation<()> = Simulation::builder(problem, vec![()])
+///     .trace(true)
+///     .audits(AuditLevel::Replay)
+///     .build();
+/// ```
+///
+/// Attach an event sink with [`SimulationBuilder::observer`]; the type
+/// parameter changes from the default [`NoopObserver`] to the sink's
+/// type, so an unobserved build stays statically observer-free.
+pub struct SimulationBuilder<M, O = NoopObserver> {
+    problem: Arc<RoutingProblem>,
+    metas: Vec<M>,
+    trace: bool,
+    recording: bool,
+    observer: O,
+}
+
+impl<M> SimulationBuilder<M> {
+    fn new(problem: Arc<RoutingProblem>, metas: Vec<M>) -> Self {
+        SimulationBuilder {
+            problem,
+            metas,
+            trace: false,
+            recording: false,
+            observer: NoopObserver,
+        }
+    }
+}
+
+impl<M, O> SimulationBuilder<M, O> {
+    /// Enables the per-step active-count trace in the statistics.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// Enables full movement recording for later
+    /// [`crate::replay::verify`] auditing.
+    pub fn recording(mut self, on: bool) -> Self {
+        self.recording = on;
+        self
+    }
+
+    /// Sets the audit level (an explicit-intent alias for
+    /// [`SimulationBuilder::recording`]).
+    pub fn audits(self, level: AuditLevel) -> Self {
+        self.recording(level == AuditLevel::Replay)
+    }
+
+    /// Attaches an event sink; the simulation feeds it every engine event
+    /// (see [`RouteObserver`]). Pass `&mut sink` to keep ownership.
+    pub fn observer<O2: RouteObserver>(self, observer: O2) -> SimulationBuilder<M, O2> {
+        SimulationBuilder {
+            problem: self.problem,
+            metas: self.metas,
+            trace: self.trace,
+            recording: self.recording,
+            observer,
+        }
+    }
+
+    /// Builds the engine.
+    pub fn build(self) -> Simulation<M, O>
+    where
+        O: RouteObserver,
+    {
+        let SimulationBuilder {
+            problem,
+            metas,
+            trace,
+            recording,
+            observer,
+        } = self;
+        assert_eq!(metas.len(), problem.num_packets());
+        let net = problem.network_arc();
+        let n = problem.num_packets();
+        let packets: Vec<SimPacket<M>> = problem
+            .packets()
+            .iter()
+            .zip(metas)
+            .map(|(spec, meta)| SimPacket::new(spec.id, spec.path.source(), meta))
+            .collect();
+        let nv = net.num_nodes();
+        let ne = net.num_edges();
+        let dest = problem
+            .packets()
+            .iter()
+            .map(|spec| spec.path.dest(&net).0)
+            .collect();
+        let mut stats = RouteStats::new(n);
+        if trace {
+            stats.active_trace = Some(Vec::new());
+        }
+        Simulation {
+            problem,
+            net,
+            packets,
+            status: vec![PacketStatus::Pending; n],
+            now: 0,
+            arrivals_flat: Vec::with_capacity(n),
+            bucket_start: vec![0; nv],
+            bucket_len: vec![0; nv],
+            occupied: Vec::new(),
+            incoming: Vec::with_capacity(n),
+            slot_stamp: vec![0; 2 * ne],
+            staged: Vec::new(),
+            staged_stamp: vec![0; n],
+            stamp: 1,
+            staged_arrivals: 0,
+            active_list: Vec::with_capacity(n),
+            pending_list: (0..n as u32).collect(),
+            list_pos: (0..n as u32).collect(),
+            dest,
+            delivered: 0,
+            stats,
+            record: if recording {
+                Some(RunRecord::default())
+            } else {
+                None
+            },
+            observer,
+        }
+    }
+}
+
+/// The bufferless simulation engine; `M` is the per-packet metadata type
+/// of the driving algorithm, `O` the attached event sink (default:
+/// [`NoopObserver`], which compiles to nothing).
 ///
 /// # Internals
 ///
@@ -147,7 +300,7 @@ pub struct StepReport {
 /// * Active and pending packet sets are maintained as swap-remove lists
 ///   (`active_list`/`pending_list` indexed by `list_pos`), so membership
 ///   updates are O(1) and enumeration is O(set size), not O(N).
-pub struct Simulation<M> {
+pub struct Simulation<M, O = NoopObserver> {
     problem: Arc<RoutingProblem>,
     net: Arc<LeveledNetwork>,
     packets: Vec<SimPacket<M>>,
@@ -187,6 +340,7 @@ pub struct Simulation<M> {
     delivered: usize,
     stats: RouteStats,
     record: Option<RunRecord>,
+    observer: O,
 }
 
 /// Removes `idx` from a swap-remove list, patching the moved element's
@@ -202,59 +356,48 @@ fn list_remove(list: &mut Vec<u32>, pos: &mut [u32], idx: u32) {
 }
 
 impl<M> Simulation<M> {
-    /// Creates an engine over `problem`; `metas` supplies the initial
-    /// algorithm metadata for each packet (same order as
-    /// `problem.packets()`). `trace` enables the per-step active-count
-    /// trace in the statistics.
-    pub fn new(problem: Arc<RoutingProblem>, metas: Vec<M>, trace: bool) -> Self {
-        assert_eq!(metas.len(), problem.num_packets());
-        let net = problem.network_arc();
-        let n = problem.num_packets();
-        let packets: Vec<SimPacket<M>> = problem
-            .packets()
-            .iter()
-            .zip(metas)
-            .map(|(spec, meta)| SimPacket::new(spec.id, spec.path.source(), meta))
-            .collect();
-        let nv = net.num_nodes();
-        let ne = net.num_edges();
-        let dest = problem
-            .packets()
-            .iter()
-            .map(|spec| spec.path.dest(&net).0)
-            .collect();
-        Simulation {
-            problem,
-            net,
-            packets,
-            status: vec![PacketStatus::Pending; n],
-            now: 0,
-            arrivals_flat: Vec::with_capacity(n),
-            bucket_start: vec![0; nv],
-            bucket_len: vec![0; nv],
-            occupied: Vec::new(),
-            incoming: Vec::with_capacity(n),
-            slot_stamp: vec![0; 2 * ne],
-            staged: Vec::new(),
-            staged_stamp: vec![0; n],
-            stamp: 1,
-            staged_arrivals: 0,
-            active_list: Vec::with_capacity(n),
-            pending_list: (0..n as u32).collect(),
-            list_pos: (0..n as u32).collect(),
-            dest,
-            delivered: 0,
-            stats: RouteStats::new(n, trace),
-            record: None,
-        }
+    /// Starts building an engine over `problem`; `metas` supplies the
+    /// initial algorithm metadata for each packet (same order as
+    /// `problem.packets()`).
+    pub fn builder(problem: Arc<RoutingProblem>, metas: Vec<M>) -> SimulationBuilder<M> {
+        SimulationBuilder::new(problem, metas)
     }
 
+    /// Creates an engine over `problem` with the per-step active-count
+    /// trace toggled by `trace`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Simulation::builder(..).trace(..).build()"
+    )]
+    pub fn new(problem: Arc<RoutingProblem>, metas: Vec<M>, trace: bool) -> Self {
+        SimulationBuilder::new(problem, metas).trace(trace).build()
+    }
+}
+
+impl<M, O: RouteObserver> Simulation<M, O> {
     /// Enables full run recording: every movement event is logged for
     /// later [`crate::replay::verify`] auditing. Call before the first
     /// step.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Simulation::builder(..).audits(AuditLevel::Replay).build()"
+    )]
     pub fn enable_recording(&mut self) {
         assert_eq!(self.now, 0, "enable recording before the run starts");
         self.record = Some(RunRecord::default());
+    }
+
+    /// The attached event sink.
+    #[inline]
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// Mutable access to the attached event sink, so drivers can emit
+    /// their own (e.g. phase-level) events through it mid-run.
+    #[inline]
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.observer
     }
 
     /// Current simulation time (step number).
@@ -463,6 +606,7 @@ impl<M> Simulation<M> {
                     pkt: PacketId(i as u32),
                 });
             }
+            self.observer.on_trivial(self.now, idx);
             return Ok(InjectOutcome::DeliveredTrivially);
         }
         let mv = DirectedEdge::forward(path.edges()[0]);
@@ -501,6 +645,7 @@ impl<M> Simulation<M> {
         }
 
         let mut report = StepReport::default();
+        let step = self.now;
         let staged = std::mem::take(&mut self.staged);
         debug_assert!(self.incoming.is_empty());
         for (idx, mv, kind) in &staged {
@@ -513,6 +658,7 @@ impl<M> Simulation<M> {
                     kind: *kind,
                 });
             }
+            self.observer.on_move(self.now, *idx, *mv, *kind);
             let path = &self.problem.packets()[i].path;
             let pkt = &mut self.packets[i];
             let deflect = matches!(kind, ExitKind::Deflect { .. });
@@ -541,6 +687,7 @@ impl<M> Simulation<M> {
                 self.delivered += 1;
                 list_remove(&mut self.active_list, &mut self.list_pos, *idx);
                 self.stats.delivered_at[i] = Some(self.now + 1);
+                self.observer.on_deliver(self.now + 1, *idx);
                 report.absorbed += 1;
             } else {
                 self.incoming.push((arrived_at.0, *idx));
@@ -599,6 +746,8 @@ impl<M> Simulation<M> {
         if let Some(trace) = self.stats.active_trace.as_mut() {
             trace.push(self.active_list.len() as u32);
         }
+        self.observer
+            .on_step_end(step, &report, self.active_list.len());
         Ok(report)
     }
 
@@ -638,7 +787,7 @@ mod tests {
     #[test]
     fn single_packet_advances_to_destination() {
         let prob = line_problem(vec![vec![0, 1, 2, 3]]);
-        let mut sim: Simulation<()> = Simulation::new(prob, vec![()], true);
+        let mut sim: Simulation<()> = Simulation::builder(prob, vec![()]).trace(true).build();
         assert_eq!(sim.try_inject(0).unwrap(), InjectOutcome::Injected);
         sim.finish_step().unwrap();
         assert_eq!(sim.status(0), PacketStatus::Active);
@@ -665,7 +814,7 @@ mod tests {
         let prob = Arc::new(
             RoutingProblem::new(Arc::clone(&net), vec![Path::trivial(NodeId(1))]).unwrap(),
         );
-        let mut sim: Simulation<()> = Simulation::new(prob, vec![()], false);
+        let mut sim: Simulation<()> = Simulation::builder(prob, vec![()]).build();
         assert_eq!(
             sim.try_inject(0).unwrap(),
             InjectOutcome::DeliveredTrivially
@@ -678,7 +827,7 @@ mod tests {
         // Two packets from the same... sources must differ, so use a packet
         // already moving through the source's first edge.
         let prob = line_problem(vec![vec![0, 1, 2], vec![1, 2, 3]]);
-        let mut sim: Simulation<()> = Simulation::new(prob, vec![(), ()], false);
+        let mut sim: Simulation<()> = Simulation::builder(prob, vec![(), ()]).build();
         // Inject p0 at t=0; it occupies edge 0->1.
         sim.try_inject(0).unwrap();
         sim.finish_step().unwrap();
@@ -695,7 +844,7 @@ mod tests {
     #[test]
     fn slot_capacity_is_one_per_direction() {
         let prob = line_problem(vec![vec![0, 1, 2], vec![1, 2, 3]]);
-        let mut sim: Simulation<()> = Simulation::new(prob, vec![(), ()], false);
+        let mut sim: Simulation<()> = Simulation::builder(prob, vec![(), ()]).build();
         sim.try_inject(0).unwrap();
         sim.try_inject(1).unwrap();
         sim.finish_step().unwrap();
@@ -718,7 +867,7 @@ mod tests {
         // same edge backward — the paper's "at most two packets per link,
         // one per direction" rule.
         let prob = line_problem(vec![vec![1, 2, 3], vec![0, 1, 2]]);
-        let mut sim: Simulation<()> = Simulation::new(prob, vec![(), ()], false);
+        let mut sim: Simulation<()> = Simulation::builder(prob, vec![(), ()]).build();
         sim.try_inject(0).unwrap(); // p0: 1 -> 2 (forward on edge 1)
         sim.try_inject(1).unwrap(); // p1: 0 -> 1 (forward on edge 0)
         sim.finish_step().unwrap();
@@ -743,7 +892,7 @@ mod tests {
     #[test]
     fn resting_packet_is_detected() {
         let prob = line_problem(vec![vec![0, 1, 2]]);
-        let mut sim: Simulation<()> = Simulation::new(prob, vec![()], false);
+        let mut sim: Simulation<()> = Simulation::builder(prob, vec![()]).build();
         sim.try_inject(0).unwrap();
         sim.finish_step().unwrap();
         // Don't stage anything for the active packet.
@@ -756,7 +905,7 @@ mod tests {
     #[test]
     fn double_stage_rejected() {
         let prob = line_problem(vec![vec![0, 1, 2]]);
-        let mut sim: Simulation<()> = Simulation::new(prob, vec![()], false);
+        let mut sim: Simulation<()> = Simulation::builder(prob, vec![()]).build();
         sim.try_inject(0).unwrap();
         sim.finish_step().unwrap();
         let mv = sim.next_move_of(0).unwrap();
@@ -771,7 +920,7 @@ mod tests {
     #[test]
     fn absorption_happens_on_arrival() {
         let prob = line_problem(vec![vec![0, 1]]);
-        let mut sim: Simulation<()> = Simulation::new(prob, vec![()], false);
+        let mut sim: Simulation<()> = Simulation::builder(prob, vec![()]).build();
         sim.try_inject(0).unwrap();
         let report = sim.finish_step().unwrap();
         assert_eq!(report.absorbed, 1);
@@ -783,7 +932,7 @@ mod tests {
     #[test]
     fn deflection_statistics_flow_through() {
         let prob = line_problem(vec![vec![0, 1, 2, 3]]);
-        let mut sim: Simulation<()> = Simulation::new(prob, vec![()], false);
+        let mut sim: Simulation<()> = Simulation::builder(prob, vec![()]).build();
         sim.try_inject(0).unwrap();
         sim.finish_step().unwrap();
         // Deflect backward (unsafe), then advance twice, then resume.
@@ -812,7 +961,7 @@ mod tests {
     #[test]
     fn active_trace_records_in_flight_counts() {
         let prob = line_problem(vec![vec![0, 1, 2, 3]]);
-        let mut sim: Simulation<()> = Simulation::new(prob, vec![()], true);
+        let mut sim: Simulation<()> = Simulation::builder(prob, vec![()]).trace(true).build();
         sim.try_inject(0).unwrap();
         sim.finish_step().unwrap();
         while !sim.is_done() {
@@ -827,7 +976,7 @@ mod tests {
     #[test]
     fn occupied_nodes_are_sorted_and_deduped() {
         let prob = line_problem(vec![vec![3, 4, 5], vec![1, 2, 3], vec![0, 1, 2]]);
-        let mut sim: Simulation<()> = Simulation::new(prob, vec![(); 3], false);
+        let mut sim: Simulation<()> = Simulation::builder(prob, vec![(); 3]).build();
         for p in [2u32, 0, 1] {
             sim.try_inject(p).unwrap();
         }
@@ -843,7 +992,7 @@ mod tests {
     #[test]
     fn counts_track_lifecycle() {
         let prob = line_problem(vec![vec![0, 1, 2], vec![1, 2, 3]]);
-        let mut sim: Simulation<()> = Simulation::new(prob, vec![(), ()], false);
+        let mut sim: Simulation<()> = Simulation::builder(prob, vec![(), ()]).build();
         assert_eq!(sim.pending_count(), 2);
         assert_eq!(sim.active_count(), 0);
         assert_eq!(sim.delivered_count(), 0);
@@ -867,7 +1016,7 @@ mod tests {
     #[test]
     fn slot_free_reflects_staging() {
         let prob = line_problem(vec![vec![0, 1, 2]]);
-        let mut sim: Simulation<()> = Simulation::new(prob, vec![()], false);
+        let mut sim: Simulation<()> = Simulation::builder(prob, vec![()]).build();
         let mv = DirectedEdge::forward(EdgeId(0));
         assert!(sim.slot_free(mv));
         sim.try_inject(0).unwrap();
@@ -879,18 +1028,40 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "before the run starts")]
+    #[allow(deprecated)]
     fn recording_must_start_at_step_zero() {
         let prob = line_problem(vec![vec![0, 1]]);
-        let mut sim: Simulation<()> = Simulation::new(prob, vec![()], false);
+        let mut sim: Simulation<()> = Simulation::builder(prob, vec![()]).build();
         sim.try_inject(0).unwrap();
         sim.finish_step().unwrap();
         sim.enable_recording();
     }
 
+    /// The deprecated constructor shims must keep working for one PR so
+    /// downstream callers can migrate incrementally.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_route() {
+        let prob = line_problem(vec![vec![0, 1, 2]]);
+        let mut sim: Simulation<()> = Simulation::new(prob, vec![()], true);
+        sim.enable_recording();
+        sim.try_inject(0).unwrap();
+        sim.finish_step().unwrap();
+        while !sim.is_done() {
+            let mv = sim.next_move_of(0).unwrap();
+            sim.stage_exit(0, mv, ExitKind::Advance).unwrap();
+            sim.finish_step().unwrap();
+        }
+        let (stats, record) = sim.into_parts();
+        assert_eq!(stats.delivered_count(), 1);
+        assert!(stats.active_trace.is_some());
+        assert_eq!(record.expect("recording enabled").moves.len(), 2);
+    }
+
     #[test]
     fn step_report_accounts_every_move_kind() {
         let prob = line_problem(vec![vec![0, 1, 2], vec![1, 2, 3]]);
-        let mut sim: Simulation<()> = Simulation::new(prob, vec![(), ()], false);
+        let mut sim: Simulation<()> = Simulation::builder(prob, vec![(), ()]).build();
         sim.try_inject(0).unwrap();
         let r = sim.finish_step().unwrap();
         assert_eq!(r.injected, 1);
@@ -911,7 +1082,7 @@ mod tests {
     #[test]
     fn stage_requires_active_packet() {
         let prob = line_problem(vec![vec![0, 1, 2]]);
-        let mut sim: Simulation<()> = Simulation::new(prob, vec![()], false);
+        let mut sim: Simulation<()> = Simulation::builder(prob, vec![()]).build();
         let err = sim
             .stage_exit(0, DirectedEdge::forward(EdgeId(0)), ExitKind::Advance)
             .unwrap_err();

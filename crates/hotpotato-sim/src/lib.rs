@@ -16,17 +16,34 @@
 //! (priority winners, *safe backward deflections* in the sense of the
 //! paper's Lemma 2.1) used by both the paper's algorithm and the greedy
 //! baselines.
+//!
+//! Cross-cutting layers on top of the engines:
+//!
+//! * [`observe`] — the [`RouteObserver`] event-sink trait (statically
+//!   zero-cost when disabled) plus concrete sinks: [`MetricsObserver`],
+//!   [`JsonlTraceObserver`], [`SectionProfiler`];
+//! * [`router_api`] — the object-safe [`Router`] trait and shared
+//!   [`RouteOutcome`] every routing algorithm implements.
 
 pub mod conflict;
 pub mod engine;
 pub mod kinematics;
+pub mod observe;
 pub mod record;
+pub mod router_api;
 pub mod stats;
 pub mod store_forward;
 pub mod summary;
 
-pub use engine::{ExitKind, InjectOutcome, PacketStatus, SimError, Simulation, StepReport};
+pub use engine::{
+    AuditLevel, ExitKind, InjectOutcome, PacketStatus, SimError, Simulation, SimulationBuilder,
+    StepReport,
+};
 pub use kinematics::SimPacket;
+pub use observe::{
+    JsonlTraceObserver, MetricsObserver, NoopObserver, RouteObserver, Section, SectionProfiler,
+};
 pub use record::{replay, MoveEvent, RunRecord, TrivialDelivery};
+pub use router_api::{RouteOutcome, Router};
 pub use stats::{RouteStats, Time};
 pub use summary::Summary;

@@ -432,7 +432,7 @@ mod tests {
     }
 
     fn stats_delivered() -> RouteStats {
-        let mut s = RouteStats::new(1, false);
+        let mut s = RouteStats::new(1);
         s.injected_at[0] = Some(0);
         s.delivered_at[0] = Some(2);
         s
@@ -516,7 +516,7 @@ mod tests {
             ],
             trivial: vec![],
         };
-        let mut stats = RouteStats::new(2, false);
+        let mut stats = RouteStats::new(2);
         stats.delivered_at = vec![Some(1), Some(1)];
         let err = verify(&prob, &rec, &stats).unwrap_err();
         assert!(matches!(err, ReplayError::CapacityViolation { .. }));
@@ -555,7 +555,7 @@ mod tests {
                 pkt: PacketId(0),
             }],
         };
-        let mut stats = RouteStats::new(1, false);
+        let mut stats = RouteStats::new(1);
         stats.delivered_at[0] = Some(0);
         let rep = verify(&prob, &rec, &stats).unwrap();
         assert_eq!(rep.delivered, 1);

@@ -44,8 +44,11 @@ impl serde::Serialize for RouteStats {
 }
 
 impl RouteStats {
-    /// Empty statistics for `n` packets.
-    pub fn new(n: usize, trace: bool) -> Self {
+    /// Empty statistics for `n` packets. The per-step active-count trace
+    /// starts disabled; enable it by setting
+    /// [`RouteStats::active_trace`] to `Some` (the engine's builder does
+    /// this for `SimulationBuilder::trace(true)`).
+    pub fn new(n: usize) -> Self {
         RouteStats {
             injected_at: vec![None; n],
             delivered_at: vec![None; n],
@@ -53,7 +56,7 @@ impl RouteStats {
             max_deviation: vec![0; n],
             steps_run: 0,
             counters: BTreeMap::new(),
-            active_trace: if trace { Some(Vec::new()) } else { None },
+            active_trace: None,
         }
     }
 
@@ -153,7 +156,7 @@ mod tests {
 
     #[test]
     fn fresh_stats_are_empty() {
-        let s = RouteStats::new(3, false);
+        let s = RouteStats::new(3);
         assert_eq!(s.num_packets(), 3);
         assert_eq!(s.delivered_count(), 0);
         assert!(!s.all_delivered());
@@ -166,7 +169,7 @@ mod tests {
 
     #[test]
     fn makespan_and_latency() {
-        let mut s = RouteStats::new(2, false);
+        let mut s = RouteStats::new(2);
         s.injected_at = vec![Some(0), Some(4)];
         s.delivered_at = vec![Some(10), Some(6)];
         assert!(s.all_delivered());
@@ -177,7 +180,7 @@ mod tests {
 
     #[test]
     fn partial_delivery() {
-        let mut s = RouteStats::new(2, false);
+        let mut s = RouteStats::new(2);
         s.injected_at = vec![Some(0), Some(0)];
         s.delivered_at = vec![Some(5), None];
         assert_eq!(s.delivered_count(), 1);
@@ -188,7 +191,7 @@ mod tests {
 
     #[test]
     fn counters_accumulate() {
-        let mut s = RouteStats::new(0, false);
+        let mut s = RouteStats::new(0);
         s.bump("fallback");
         s.bump("fallback");
         s.bump_by("isolation_violations", 5);
@@ -199,7 +202,7 @@ mod tests {
 
     #[test]
     fn summary_mentions_delivery_fraction() {
-        let mut s = RouteStats::new(2, false);
+        let mut s = RouteStats::new(2);
         s.delivered_at = vec![Some(3), None];
         assert!(s.summary().contains("delivered 1/2"));
     }

@@ -9,7 +9,11 @@
 //! buffered baseline the experiments compare hot-potato routing against
 //! ("the benefit from using buffers is no more than polylogarithmic").
 
+use crate::engine::{ExitKind, StepReport};
+use crate::observe::{NoopObserver, RouteObserver};
 use crate::stats::{RouteStats, Time};
+use leveled_net::ids::DirectedEdge;
+use leveled_net::EdgeId;
 use rand::Rng;
 use routing_core::RoutingProblem;
 
@@ -101,9 +105,22 @@ pub fn route<R: Rng + ?Sized>(
     cfg: StoreForwardConfig,
     rng: &mut R,
 ) -> StoreForwardOutcome {
+    route_observed(problem, cfg, rng, &mut NoopObserver)
+}
+
+/// [`route`] with an attached event sink. The buffered engine maps onto
+/// the hot-potato event vocabulary naturally: a packet's first edge
+/// traversal is its injection move, later queue departures are advances,
+/// and deflections never happen.
+pub fn route_observed<R: Rng + ?Sized, O: RouteObserver + ?Sized>(
+    problem: &RoutingProblem,
+    cfg: StoreForwardConfig,
+    rng: &mut R,
+    observer: &mut O,
+) -> StoreForwardOutcome {
     let net = problem.network();
     let n = problem.num_packets();
-    let mut stats = RouteStats::new(n, false);
+    let mut stats = RouteStats::new(n);
     let mut outcome_max_queue = 0usize;
     let mut total_queue_wait = 0u64;
     let mut backpressure_stalls = 0u64;
@@ -132,6 +149,7 @@ pub fn route<R: Rng + ?Sized>(
     let mut in_busy = vec![false; net.num_edges()];
     let mut seq = 0u64;
     let mut delivered = 0usize;
+    let mut in_network = 0usize;
     let mut now: Time = 0;
 
     let enqueue = |queues: &mut Vec<Vec<QueuedPacket>>,
@@ -168,6 +186,7 @@ pub fn route<R: Rng + ?Sized>(
                 stats.injected_at[p as usize] = Some(now);
                 stats.delivered_at[p as usize] = Some(now);
                 delivered += 1;
+                observer.on_trivial(now, p);
                 continue;
             }
             let e = path.edges()[0];
@@ -258,13 +277,28 @@ pub fn route<R: Rng + ?Sized>(
         }
 
         // Apply moves: advance each moved packet to its next queue.
-        for (pkt, _edge) in moved {
+        let mut report = StepReport {
+            moved: moved.len(),
+            ..StepReport::default()
+        };
+        for (pkt, edge) in moved {
             let i = pkt as usize;
+            let kind = if next_edge[i] == 0 {
+                report.injected += 1;
+                in_network += 1;
+                ExitKind::Inject
+            } else {
+                ExitKind::Advance
+            };
+            observer.on_move(now, pkt, DirectedEdge::forward(EdgeId(edge as u32)), kind);
             next_edge[i] += 1;
             let path = &problem.packets()[i].path;
             if next_edge[i] == path.len() {
                 stats.delivered_at[i] = Some(now + 1);
                 delivered += 1;
+                in_network -= 1;
+                report.absorbed += 1;
+                observer.on_deliver(now + 1, pkt);
             } else {
                 let e = path.edges()[next_edge[i]];
                 enqueue(
@@ -291,6 +325,7 @@ pub fn route<R: Rng + ?Sized>(
             }
         });
 
+        observer.on_step_end(now, &report, in_network);
         now += 1;
     }
 

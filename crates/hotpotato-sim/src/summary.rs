@@ -185,7 +185,7 @@ mod tests {
 
     #[test]
     fn route_stats_summaries() {
-        let mut s = RouteStats::new(3, false);
+        let mut s = RouteStats::new(3);
         s.injected_at = vec![Some(0), Some(2), None];
         s.delivered_at = vec![Some(10), Some(4), None];
         s.deflections = vec![0, 4, 2];

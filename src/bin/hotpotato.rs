@@ -4,6 +4,7 @@
 //! hotpotato topo <SPEC> [--dot]          describe a topology
 //! hotpotato route --topo <SPEC> --workload <WL> [--algo A] [--seed S]
 //!                 [--params m,w,q,sets] [--verify] [--json]
+//!                 [--metrics-out PATH] [--trace-out PATH]
 //! hotpotato params <C> <L> <N>           paper §2.1 parameter calculator
 //! hotpotato frames <L> <m> <sets>        frontier-frame schedule (Fig. 2)
 //!
@@ -24,6 +25,7 @@
 //! ```text
 //! hotpotato topo butterfly:5
 //! hotpotato route --topo butterfly:6 --workload bitrev --algo busch --verify
+//! hotpotato route --topo butterfly:6 --workload bitrev --metrics-out metrics.json
 //! hotpotato route --topo mesh:16x16 --workload transpose --algo sf
 //! hotpotato params 64 32 1024
 //! ```
@@ -31,12 +33,14 @@
 use baselines::{
     GreedyConfig, GreedyPriority, GreedyRouter, RandomPriorityRouter, StoreForwardRouter,
 };
-use busch_router::{BuschConfig, BuschRouter, FrameSchedule, PaperParams, Params};
+use busch_router::{BuschConfig, BuschRouter, FrameSchedule, InvariantReport, PaperParams, Params};
 use hotpotato_routing::prelude::*;
+use hotpotato_sim::{JsonlTraceObserver, MetricsObserver, Router};
 use leveled_net::builders::{ButterflyCoords, MeshCoords, MeshCorner};
 use leveled_net::{render, LeveledNetwork};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::io::Write as _;
 use std::process::exit;
 use std::sync::Arc;
 
@@ -67,7 +71,8 @@ fn print_usage() {
          usage:\n\
          \u{20}  hotpotato topo <SPEC> [--dot]\n\
          \u{20}  hotpotato route --topo <SPEC> --workload <WL> [--algo A] [--seed S]\n\
-         \u{20}                  [--params m,w,q,sets] [--verify]\n\
+         \u{20}                  [--params m,w,q,sets] [--verify] [--json]\n\
+         \u{20}                  [--metrics-out PATH] [--trace-out PATH]\n\
          \u{20}  hotpotato params <C> <L> <N>\n\
          \u{20}  hotpotato frames <L> <m> <sets>\n\
          \n\
@@ -273,6 +278,8 @@ fn cmd_route(args: &[String]) -> i32 {
         .unwrap_or(42);
     let verify = args.iter().any(|a| a == "--verify");
     let json = args.iter().any(|a| a == "--json");
+    let metrics_out = flag_value(args, "--metrics-out");
+    let trace_out = flag_value(args, "--trace-out");
 
     let topo = match parse_topo(topo_spec) {
         Ok(t) => t,
@@ -297,9 +304,13 @@ fn cmd_route(args: &[String]) -> i32 {
         );
     }
 
-    match algo {
+    // Algorithm dispatch: every router reduces to the same object-safe
+    // interface; only the Busch router carries extra pre-run output
+    // (parameters) and post-run output (invariants).
+    let mut params: Option<Params> = None;
+    let router: Box<dyn Router> = match algo {
         "busch" => {
-            let params = match flag_value(args, "--params") {
+            let p = match flag_value(args, "--params") {
                 Some(spec) => {
                     let v: Vec<&str> = spec.split(',').collect();
                     if v.len() != 4 {
@@ -323,51 +334,19 @@ fn cmd_route(args: &[String]) -> i32 {
             if !json {
                 println!(
                     "params:   m={} w={} q={:.3} sets={} (scheduled {} steps)",
-                    params.m,
-                    params.w,
-                    params.q,
-                    params.num_sets,
-                    params.scheduled_steps(topo.net.depth())
+                    p.m,
+                    p.w,
+                    p.q,
+                    p.num_sets,
+                    p.scheduled_steps(topo.net.depth())
                 );
             }
+            params = Some(p);
             let cfg = BuschConfig {
                 record: verify,
-                ..BuschConfig::new(params)
+                ..BuschConfig::new(p)
             };
-            let out = BuschRouter::with_config(cfg).route(&problem, &mut rng);
-            if json {
-                let doc = serde_json::json!({
-                    "algorithm": "busch",
-                    "problem": problem.describe(),
-                    "params": params,
-                    "stats": out.stats,
-                    "latency": out.stats.latency_summary(),
-                    "invariants": out.invariants,
-                    "phases_elapsed": out.phases_elapsed,
-                });
-                println!("{}", serde_json::to_string_pretty(&doc).expect("serialize"));
-                return i32::from(!out.stats.all_delivered());
-            }
-            println!("busch:    {}", out.stats.summary());
-            println!("latency:  {}", out.stats.latency_summary());
-            println!("invariants: {}", out.invariants.summary());
-            if verify {
-                match hotpotato_sim::replay::verify(
-                    &problem,
-                    out.record.as_ref().expect("recording on"),
-                    &out.stats,
-                ) {
-                    Ok(rep) => println!(
-                        "replay:   VERIFIED ({} moves, {} fwd / {} bwd)",
-                        rep.moves, rep.forward, rep.backward
-                    ),
-                    Err(e) => {
-                        eprintln!("replay:   FAILED: {e}");
-                        return 1;
-                    }
-                }
-            }
-            i32::from(!out.stats.all_delivered())
+            Box::new(BuschRouter::with_config(cfg))
         }
         "greedy" | "ftg" => {
             let cfg = GreedyConfig {
@@ -379,63 +358,141 @@ fn cmd_route(args: &[String]) -> i32 {
                 record: verify,
                 ..Default::default()
             };
-            let out = GreedyRouter::with_config(cfg).route(&problem, &mut rng);
-            if json {
-                let doc = serde_json::json!({
-                    "algorithm": algo,
-                    "problem": problem.describe(),
-                    "stats": out.stats,
-                    "latency": out.stats.latency_summary(),
-                });
-                println!("{}", serde_json::to_string_pretty(&doc).expect("serialize"));
-                return i32::from(!out.stats.all_delivered());
-            }
-            println!("{algo}:   {}", out.stats.summary());
-            println!("latency:  {}", out.stats.latency_summary());
-            if verify {
-                match hotpotato_sim::replay::verify(
-                    &problem,
-                    out.record.as_ref().expect("recording on"),
-                    &out.stats,
-                ) {
-                    Ok(rep) => println!("replay:   VERIFIED ({} moves)", rep.moves),
-                    Err(e) => {
-                        eprintln!("replay:   FAILED: {e}");
-                        return 1;
-                    }
-                }
-            }
-            i32::from(!out.stats.all_delivered())
+            Box::new(GreedyRouter::with_config(cfg))
         }
-        "rank" => {
-            let out = RandomPriorityRouter::new().route(&problem, &mut rng);
-            println!("rank:     {}", out.stats.summary());
-            i32::from(!out.stats.all_delivered())
-        }
-        "sf" => {
-            let out = StoreForwardRouter::fifo().route(&problem, &mut rng);
-            println!(
-                "sf:       {} (max queue {})",
-                out.stats.summary(),
-                out.max_queue
-            );
-            i32::from(!out.stats.all_delivered())
-        }
-        "sfrank" => {
-            let out = StoreForwardRouter::random_rank(problem.congestion() as u64)
-                .route(&problem, &mut rng);
-            println!(
-                "sfrank:   {} (max queue {})",
-                out.stats.summary(),
-                out.max_queue
-            );
-            i32::from(!out.stats.all_delivered())
-        }
+        "rank" => Box::new(RandomPriorityRouter {
+            record: verify,
+            ..Default::default()
+        }),
+        "sf" => Box::new(StoreForwardRouter::fifo()),
+        "sfrank" => Box::new(StoreForwardRouter::random_rank(problem.congestion() as u64)),
         other => {
             eprintln!("unknown algorithm '{other}'");
-            2
+            return 2;
+        }
+    };
+
+    // Optional event sinks; `(Option<A>, Option<B>)` is itself an
+    // observer, and with both sides `None` every hook is a no-op.
+    let metrics = metrics_out.map(|_| MetricsObserver::new(&problem).with_occupancy_sampling(64));
+    let trace = match trace_out {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(f) => Some(JsonlTraceObserver::new(std::io::BufWriter::new(f))),
+            Err(e) => {
+                eprintln!("error: cannot create {path}: {e}");
+                return 2;
+            }
+        },
+        None => None,
+    };
+    let mut observer = (metrics, trace);
+    let out = router.route(&problem, &mut rng, &mut observer);
+    let (metrics, trace) = observer;
+
+    if let (Some(path), Some(metrics)) = (metrics_out, metrics) {
+        let doc = serde_json::json!({
+            "algorithm": algo,
+            "problem": problem.describe(),
+            "metrics": metrics.to_json(),
+        });
+        match std::fs::write(path, serde_json::to_string_pretty(&doc).expect("serialize")) {
+            Ok(()) => {
+                if !json {
+                    println!("metrics:  written to {path}");
+                }
+            }
+            Err(e) => {
+                eprintln!("error: writing {path}: {e}");
+                return 1;
+            }
         }
     }
+    if let Some(trace) = trace {
+        let path = trace_out.expect("trace sink implies --trace-out");
+        match trace.finish().and_then(|mut w| w.flush()) {
+            Ok(()) => {
+                if !json {
+                    println!("trace:    written to {path}");
+                }
+            }
+            Err(e) => {
+                eprintln!("error: writing {path}: {e}");
+                return 1;
+            }
+        }
+    }
+
+    if json {
+        let doc = if algo == "busch" {
+            serde_json::json!({
+                "algorithm": algo,
+                "problem": problem.describe(),
+                "params": params.expect("busch always has params"),
+                "stats": out.stats,
+                "latency": out.stats.latency_summary(),
+                "invariants": InvariantReport::from_counters(&out.stats.counters),
+                "phases_elapsed": out.stats.counter("phases"),
+            })
+        } else {
+            serde_json::json!({
+                "algorithm": algo,
+                "problem": problem.describe(),
+                "stats": out.stats,
+                "latency": out.stats.latency_summary(),
+            })
+        };
+        println!("{}", serde_json::to_string_pretty(&doc).expect("serialize"));
+        return i32::from(!out.stats.all_delivered());
+    }
+
+    match algo {
+        "busch" => println!("busch:    {}", out.stats.summary()),
+        "greedy" | "ftg" => println!("{algo}:   {}", out.stats.summary()),
+        "rank" => println!("rank:     {}", out.stats.summary()),
+        "sf" => println!(
+            "sf:       {} (max queue {})",
+            out.stats.summary(),
+            out.stats.counter("max_queue")
+        ),
+        "sfrank" => println!(
+            "sfrank:   {} (max queue {})",
+            out.stats.summary(),
+            out.stats.counter("max_queue")
+        ),
+        _ => unreachable!("dispatch rejected unknown algorithms"),
+    }
+    if matches!(algo, "busch" | "greedy" | "ftg") {
+        println!("latency:  {}", out.stats.latency_summary());
+    }
+    if algo == "busch" {
+        println!(
+            "invariants: {}",
+            InvariantReport::from_counters(&out.stats.counters).summary()
+        );
+    }
+    if verify {
+        if let Some(record) = out.record.as_ref() {
+            match hotpotato_sim::replay::verify(&problem, record, &out.stats) {
+                Ok(rep) => {
+                    if algo == "busch" {
+                        println!(
+                            "replay:   VERIFIED ({} moves, {} fwd / {} bwd)",
+                            rep.moves, rep.forward, rep.backward
+                        );
+                    } else {
+                        println!("replay:   VERIFIED ({} moves)", rep.moves);
+                    }
+                }
+                Err(e) => {
+                    eprintln!("replay:   FAILED: {e}");
+                    return 1;
+                }
+            }
+        } else {
+            eprintln!("replay:   unavailable ({algo} does not record moves)");
+        }
+    }
+    i32::from(!out.stats.all_delivered())
 }
 
 fn cmd_params(args: &[String]) -> i32 {

@@ -37,7 +37,10 @@ pub use routing_core;
 pub mod prelude {
     pub use baselines::{GreedyConfig, GreedyRouter, RandomPriorityRouter, StoreForwardRouter};
     pub use busch_router::{BuschConfig, BuschOutcome, BuschRouter, Params};
-    pub use hotpotato_sim::{RouteStats, Simulation};
+    pub use hotpotato_sim::{
+        JsonlTraceObserver, MetricsObserver, NoopObserver, RouteObserver, RouteOutcome, RouteStats,
+        Router, SectionProfiler, Simulation, SimulationBuilder,
+    };
     pub use leveled_net::{builders, Direction, EdgeId, LeveledNetwork, NodeId};
     pub use routing_core::{paths, workloads, Path, RoutingProblem};
 }

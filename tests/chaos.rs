@@ -26,8 +26,9 @@ fn chaos_run(
 ) -> (hotpotato_sim::RouteStats, hotpotato_sim::RunRecord) {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let n = problem.num_packets();
-    let mut sim: Simulation<()> = Simulation::new(Arc::clone(problem), vec![(); n], false);
-    sim.enable_recording();
+    let mut sim = Simulation::builder(Arc::clone(problem), vec![(); n])
+        .recording(true)
+        .build();
     let mut pending: Vec<u32> = (0..n as u32).collect();
 
     while !sim.is_done() && sim.now() < max_steps {

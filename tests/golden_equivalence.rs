@@ -167,3 +167,51 @@ fn greedy_bit_reversal_matches_golden() {
         out.record.as_ref().expect("recording on"),
     );
 }
+
+/// Attaching observers must not change routing by a single bit: the same
+/// seeded run with a `MetricsObserver` and a `JsonlTraceObserver` feeding
+/// off every event must reproduce the committed golden exactly.
+#[test]
+fn observed_run_matches_unobserved_golden() {
+    use hotpotato_sim::{JsonlTraceObserver, MetricsObserver};
+
+    let mut rng = ChaCha8Rng::seed_from_u64(0xC0FFEE);
+    let net = Arc::new(builders::butterfly(4));
+    let prob = workloads::random_pairs(&net, 14, &mut rng).unwrap();
+    let cfg = BuschConfig {
+        record: true,
+        ..BuschConfig::new(Params::scaled(4, 16, 0.15, 2))
+    };
+    let mut observer = (
+        MetricsObserver::new(&prob),
+        JsonlTraceObserver::new(Vec::new()),
+    );
+    let out = BuschRouter::with_config(cfg).route_observed(&prob, &mut rng, &mut observer);
+    assert!(out.stats.all_delivered(), "golden run must deliver");
+    check_golden(
+        "busch_butterfly4.txt",
+        &out.stats,
+        out.record.as_ref().expect("recording on"),
+    );
+
+    // The sinks really observed the run they did not perturb.
+    let (metrics, trace) = observer;
+    let hist: u64 = metrics
+        .deflection_histogram()
+        .iter()
+        .map(|&(d, c)| u64::from(d) * u64::from(c))
+        .sum();
+    assert_eq!(hist, out.stats.total_deflections(), "histogram mass");
+    let jsonl = String::from_utf8(trace.finish().expect("no io errors")).unwrap();
+    assert_eq!(
+        jsonl
+            .lines()
+            .filter(|l| l.contains("\"ev\":\"deliver\""))
+            .count(),
+        out.stats.delivered_count(),
+        "one deliver event per delivered packet"
+    );
+    for line in jsonl.lines() {
+        serde_json::from_str(line).expect("trace lines are valid JSON");
+    }
+}
