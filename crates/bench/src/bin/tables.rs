@@ -7,15 +7,18 @@
 //! cargo run -p bench --release --bin tables -- all --json out.json
 //! cargo run -p bench --release --bin tables -- perfjson       # BENCH_PR1.json
 //! cargo run -p bench --release --bin tables -- metricsjson    # METRICS_PR2.json
+//! cargo run -p bench --release --bin tables -- gate --quick   # telemetry gate
+//!     [--perf-baseline F] [--metrics-baseline F] [--min-ratio R]
+//!     [--perf-out F] [--metrics-out F]
 //! ```
 
 use bench::experiments;
 use bench::table::sink;
 use std::time::Instant;
 
-/// `perfjson` mode: runs the PERF suite `repeats` times, keeps each
-/// component's best (fastest) run, and writes a machine-readable baseline.
-fn perfjson(quick: bool, out_path: &str) {
+/// Runs the PERF suite `repeats` times, keeps each component's best
+/// (fastest) run, and renders the machine-readable baseline document.
+fn measure_perf_doc(quick: bool) -> serde_json::Value {
     let repeats = if quick { 1 } else { 3 };
     let mut best: Option<experiments::perf::PerfReport> = None;
     for i in 0..repeats {
@@ -49,7 +52,7 @@ fn perfjson(quick: bool, out_path: &str) {
             })
         })
         .collect();
-    let doc = serde_json::json!({
+    serde_json::json!({
         "suite": "hotpotato-routing perf baseline",
         "instance": "butterfly bit-reversal",
         "quick": quick,
@@ -60,13 +63,79 @@ fn perfjson(quick: bool, out_path: &str) {
         "repeats": repeats,
         "policy": "best of repeats per component",
         "rows": rows,
-    });
+    })
+}
+
+/// `perfjson` mode: writes the perf baseline document.
+fn perfjson(quick: bool, out_path: &str) {
+    let doc = measure_perf_doc(quick);
     std::fs::write(
         out_path,
         serde_json::to_string_pretty(&doc).expect("serialize"),
     )
     .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
     println!("wrote perf baseline to {out_path}");
+}
+
+/// `gate` mode: re-measures perf and metrics, compares against the
+/// committed baselines with explicit tolerances, and exits non-zero on
+/// any regression (see [`bench::gate`]).
+fn gate_mode(quick: bool, args: &[String]) -> ! {
+    let flag = |name: &str| -> Option<&str> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .map(|s| s.as_str())
+    };
+    let perf_base_path = flag("--perf-baseline").unwrap_or("BENCH_PR1.json");
+    let metrics_base_path = flag("--metrics-baseline").unwrap_or("METRICS_PR2.json");
+    let min_ratio: f64 = flag("--min-ratio")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
+    let read_doc = |path: &str| -> serde_json::Value {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("reading baseline {path}: {e}"));
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("parsing {path}: {e}"))
+    };
+    let perf_base = read_doc(perf_base_path);
+    let metrics_base = read_doc(metrics_base_path);
+
+    let perf_cur = measure_perf_doc(quick);
+    if let Some(out) = flag("--perf-out") {
+        std::fs::write(
+            out,
+            serde_json::to_string_pretty(&perf_cur).expect("serialize"),
+        )
+        .unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    }
+    eprintln!("gate: collecting metrics run...");
+    let metrics_cur = experiments::metrics::collect(quick).to_json();
+    if let Some(out) = flag("--metrics-out") {
+        std::fs::write(
+            out,
+            serde_json::to_string_pretty(&metrics_cur).expect("serialize"),
+        )
+        .unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    }
+
+    let mut findings = bench::gate::perf_gate(&perf_base, &perf_cur, min_ratio);
+    findings.extend(bench::gate::metrics_gate(&metrics_base, &metrics_cur));
+    for f in &findings {
+        println!(
+            "{} {:32} {}",
+            if f.ok { "PASS" } else { "FAIL" },
+            f.check,
+            f.detail
+        );
+    }
+    let ok = bench::gate::passed(&findings);
+    println!(
+        "gate: {} ({} checks, {} failed)",
+        if ok { "PASS" } else { "FAIL" },
+        findings.len(),
+        findings.iter().filter(|f| !f.ok).count()
+    );
+    std::process::exit(i32::from(!ok));
 }
 
 /// `metricsjson` mode: one instrumented reference run, serialized whole —
@@ -93,6 +162,9 @@ fn main() {
             .map_or("BENCH_PR1.json", |s| s.as_str());
         perfjson(quick, out);
         return;
+    }
+    if args.iter().any(|a| a == "gate") {
+        gate_mode(quick, &args);
     }
     if args.iter().any(|a| a == "metricsjson") {
         let out = args

@@ -1,0 +1,260 @@
+//! Telemetry regression gate: compares freshly measured perf and metrics
+//! documents against the committed baselines with explicit tolerances.
+//!
+//! Two kinds of checks:
+//!
+//! * **Perf** ([`perf_gate`]) — every component of the committed perf
+//!   baseline (`BENCH_PR1.json`) must still exist and its `moves_per_s`
+//!   throughput must be at least `min_ratio` × the baseline value.
+//!   `moves_per_s` is the yardstick because it is roughly scale-free:
+//!   quick CI runs use a smaller butterfly than the committed full
+//!   baseline, and per-move cost is what a regression actually changes.
+//!   The ratio is deliberately generous (CI machines differ); it exists
+//!   to catch order-of-magnitude cliffs, not single-digit noise.
+//! * **Metrics** ([`metrics_gate`]) — scale-independent telemetry
+//!   invariants of the fresh instrumented run: every packet delivered,
+//!   zero unsafe deflections, and the Lemma 2.2 contract that the
+//!   per-set congestion watermark never exceeds `ln(L·N)`. When the
+//!   fresh run is the same instance as the committed baseline
+//!   (`METRICS_PR2.json`), the seeded run is deterministic, so makespan,
+//!   total deflections, and the watermark must match **exactly**.
+//!
+//! Every check produces a [`Finding`]; the `tables gate` subcommand
+//! prints them all and fails the process if any failed.
+
+use serde::Value;
+
+/// One gate check outcome.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Short check identifier, e.g. `perf/busch (audited)`.
+    pub check: String,
+    /// Whether the check passed.
+    pub ok: bool,
+    /// Human-readable evidence (measured vs bound).
+    pub detail: String,
+}
+
+impl Finding {
+    fn pass(check: impl Into<String>, detail: impl Into<String>) -> Finding {
+        Finding {
+            check: check.into(),
+            ok: true,
+            detail: detail.into(),
+        }
+    }
+
+    fn fail(check: impl Into<String>, detail: impl Into<String>) -> Finding {
+        Finding {
+            check: check.into(),
+            ok: false,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// Whether every finding passed.
+pub fn passed(findings: &[Finding]) -> bool {
+    findings.iter().all(|f| f.ok)
+}
+
+fn f64_at(doc: &Value, path: &[&str]) -> Option<f64> {
+    let mut v = doc;
+    for key in path {
+        v = v.get(key)?;
+    }
+    v.as_f64()
+}
+
+/// Compares a fresh perf document against the committed baseline.
+///
+/// Both documents use the `perfjson` shape (`rows[]` with `component`
+/// and `moves_per_s`). Every baseline component must be present and no
+/// slower than `min_ratio` × baseline throughput.
+pub fn perf_gate(baseline: &Value, current: &Value, min_ratio: f64) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let empty = Vec::new();
+    let base_rows = baseline
+        .get("rows")
+        .and_then(|r| r.as_array())
+        .unwrap_or(&empty);
+    let cur_rows = current
+        .get("rows")
+        .and_then(|r| r.as_array())
+        .unwrap_or(&empty);
+    if base_rows.is_empty() {
+        out.push(Finding::fail("perf/baseline", "baseline has no rows"));
+        return out;
+    }
+    for base in base_rows {
+        let name = base
+            .get("component")
+            .and_then(|c| c.as_str())
+            .unwrap_or("?");
+        let check = format!("perf/{name}");
+        let Some(base_mps) = f64_at(base, &["moves_per_s"]) else {
+            out.push(Finding::fail(check, "baseline row has no moves_per_s"));
+            continue;
+        };
+        let cur = cur_rows
+            .iter()
+            .find(|r| r.get("component").and_then(|c| c.as_str()) == Some(name));
+        let Some(cur) = cur else {
+            out.push(Finding::fail(
+                check,
+                format!("component '{name}' missing from the fresh measurement"),
+            ));
+            continue;
+        };
+        let Some(cur_mps) = f64_at(cur, &["moves_per_s"]) else {
+            out.push(Finding::fail(check, "fresh row has no moves_per_s"));
+            continue;
+        };
+        let floor = base_mps * min_ratio;
+        let detail = format!(
+            "{cur_mps:.0} moves/s vs baseline {base_mps:.0} (floor {min_ratio:.2}× = {floor:.0})"
+        );
+        if cur_mps >= floor {
+            out.push(Finding::pass(check, detail));
+        } else {
+            out.push(Finding::fail(check, detail));
+        }
+    }
+    out
+}
+
+/// Checks the telemetry invariants of a fresh metrics document against
+/// the committed baseline (see the module docs for the contract).
+pub fn metrics_gate(baseline: &Value, current: &Value) -> Vec<Finding> {
+    let mut out = Vec::new();
+
+    // Scale-independent invariants of the fresh run.
+    match (
+        f64_at(current, &["metrics", "delivered"]),
+        f64_at(current, &["metrics", "packets"]),
+    ) {
+        (Some(d), Some(n)) if d == n => out.push(Finding::pass(
+            "metrics/delivered",
+            format!("{d:.0}/{n:.0} packets delivered"),
+        )),
+        (d, n) => out.push(Finding::fail(
+            "metrics/delivered",
+            format!("delivered {d:?} of {n:?} packets"),
+        )),
+    }
+    match f64_at(current, &["metrics", "deflections", "unsafe"]) {
+        Some(0.0) => out.push(Finding::pass(
+            "metrics/safe-deflections",
+            "0 unsafe deflections",
+        )),
+        u => out.push(Finding::fail(
+            "metrics/safe-deflections",
+            format!("unsafe deflections: {u:?}"),
+        )),
+    }
+    // Lemma 2.2: per-set congestion watermark stays under ln(L·N).
+    match (
+        f64_at(current, &["metrics", "congestion", "watermark_max"]),
+        f64_at(current, &["metrics", "congestion", "ln_ln_bound"]),
+    ) {
+        (Some(w), Some(b)) if w <= b => out.push(Finding::pass(
+            "metrics/watermark",
+            format!("congestion watermark {w:.0} ≤ ln(L·N) = {b:.3}"),
+        )),
+        (w, b) => out.push(Finding::fail(
+            "metrics/watermark",
+            format!("congestion watermark {w:?} exceeds ln(L·N) bound {b:?}"),
+        )),
+    }
+
+    // Same instance as the baseline ⇒ the seeded run is deterministic
+    // and the telemetry must match exactly.
+    let same_instance = f64_at(baseline, &["k"]).is_some()
+        && f64_at(baseline, &["k"]) == f64_at(current, &["k"])
+        && f64_at(baseline, &["packets"]) == f64_at(current, &["packets"]);
+    if same_instance {
+        for (name, path) in [
+            ("metrics/makespan", &["makespan"] as &[&str]),
+            ("metrics/deflections", &["metrics", "deflections", "total"]),
+            (
+                "metrics/watermark-exact",
+                &["metrics", "congestion", "watermark_max"],
+            ),
+        ] {
+            let (b, c) = (f64_at(baseline, path), f64_at(current, path));
+            let detail = format!("baseline {b:?} vs fresh {c:?} (exact match required)");
+            if b.is_some() && b == c {
+                out.push(Finding::pass(name, detail));
+            } else {
+                out.push(Finding::fail(name, detail));
+            }
+        }
+    } else {
+        out.push(Finding::pass(
+            "metrics/determinism",
+            "different instance size than baseline; exact-match checks skipped",
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn perf_doc(mps: f64) -> Value {
+        json!({
+            "k": 12,
+            "rows": [
+                json!({ "component": "busch (audited)", "moves_per_s": mps }),
+            ],
+        })
+    }
+
+    #[test]
+    fn perf_gate_applies_min_ratio_floor() {
+        let base = perf_doc(1_000_000.0);
+        let ok = perf_gate(&base, &perf_doc(600_000.0), 0.5);
+        assert!(passed(&ok), "{ok:?}");
+        let slow = perf_gate(&base, &perf_doc(400_000.0), 0.5);
+        assert!(!passed(&slow), "{slow:?}");
+        // A missing component is a failure, not a silent skip.
+        let missing = perf_gate(&base, &json!({ "rows": Value::Array(Vec::new()) }), 0.5);
+        assert!(!passed(&missing), "{missing:?}");
+    }
+
+    fn metrics_doc(k: u64, delivered: u64, watermark: f64, makespan: u64) -> Value {
+        json!({
+            "k": k,
+            "packets": 1024,
+            "makespan": makespan,
+            "metrics": json!({
+                "packets": 1024,
+                "delivered": delivered,
+                "deflections": json!({ "total": 6046, "unsafe": 0 }),
+                "congestion": json!({ "watermark_max": watermark, "ln_ln_bound": 9.234 }),
+            }),
+        })
+    }
+
+    #[test]
+    fn metrics_gate_checks_invariants_and_determinism() {
+        let base = metrics_doc(10, 1024, 8.0, 64004);
+        assert!(
+            passed(&metrics_gate(&base, &base)),
+            "self-compare must pass"
+        );
+        // Watermark above the Lemma 2.2 bound fails.
+        let hot = metrics_doc(10, 1024, 12.0, 64004);
+        assert!(!passed(&metrics_gate(&base, &hot)));
+        // Same instance with a different makespan fails (determinism).
+        let drift = metrics_doc(10, 1024, 8.0, 64123);
+        assert!(!passed(&metrics_gate(&base, &drift)));
+        // Different instance: exact checks skipped, invariants still run.
+        let quick = metrics_doc(8, 1024, 8.0, 9999);
+        assert!(passed(&metrics_gate(&base, &quick)));
+        let undelivered = metrics_doc(8, 1000, 8.0, 9999);
+        assert!(!passed(&metrics_gate(&base, &undelivered)));
+    }
+}

@@ -1111,6 +1111,71 @@ mod tests {
     }
 
     #[test]
+    fn metrics_survives_a_zero_packet_problem() {
+        let net = Arc::new(builders::linear_array(4));
+        let prob = RoutingProblem::new(net, Vec::new()).unwrap();
+        let mut m = MetricsObserver::new(&prob).with_occupancy_sampling(1);
+        m.on_sets_assigned(&[], 4);
+        m.on_phase_start(0, 0);
+        m.on_frontier(0, 0, 2);
+        step(&mut m, 0, 0);
+        m.on_phase_end(0, 1);
+        assert_eq!(m.deflection_histogram(), vec![]);
+        assert!(m.frame_progress().is_empty());
+        assert!(m.ln_ln_bound().is_finite());
+        let doc = m.to_json();
+        assert_eq!(doc.get("packets").and_then(|v| v.as_u64()), Some(0));
+        assert_eq!(
+            doc.get("congestion")
+                .and_then(|c| c.get("watermark_max"))
+                .and_then(|v| v.as_u64()),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn metrics_survives_a_single_level_network() {
+        // One level, zero depth: every path is trivial and `ln(L·N)`
+        // degenerates — the bound must stay finite, not NaN or -inf.
+        let net = Arc::new(builders::linear_array(1));
+        let prob = RoutingProblem::new(net, vec![Path::trivial(NodeId(0))]).unwrap();
+        let mut m = MetricsObserver::new(&prob);
+        m.on_trivial(0, 0);
+        step(&mut m, 0, 0);
+        assert!(m.ln_ln_bound().is_finite());
+        assert_eq!(m.level_watermarks(), &[0]);
+        let doc = m.to_json();
+        assert_eq!(
+            doc.get("trivial_deliveries").and_then(|v| v.as_u64()),
+            Some(1)
+        );
+        assert_eq!(doc.get("delivered").and_then(|v| v.as_u64()), Some(1));
+    }
+
+    #[test]
+    fn metrics_survives_empty_frontier_sets_and_stray_set_ids() {
+        let (prob, mv) = three_level_problem();
+        let mut m = MetricsObserver::new(&prob);
+        // Both packets land in set 0; sets 1..3 stay empty forever.
+        m.on_sets_assigned(&[0, 0], 4);
+        m.on_phase_start(0, 0);
+        // Frontier and audit events for an out-of-range set must not
+        // panic (a corrupted or foreign stream can carry them).
+        m.on_frontier(0, 9, 5);
+        m.on_set_congestion(0, 9, 1, 1);
+        m.on_move(0, 0, mv[0], ExitKind::Inject);
+        step(&mut m, 0, 1);
+        m.on_phase_end(0, 1);
+        // Empty sets produce no frame-progress rows; the occupied set
+        // reports exactly one.
+        let rows: Vec<u32> = m.frame_progress().iter().map(|r| r.set).collect();
+        assert_eq!(rows, vec![0]);
+        // The stray audit grew the watermark vectors without panicking.
+        assert_eq!(m.congestion_watermarks().len(), 10);
+        assert!(m.to_json().get("congestion").is_some());
+    }
+
+    #[test]
     fn noop_and_composite_observers_are_transparent() {
         // The composite forwarding impls must agree on wants_timing.
         assert!(!NoopObserver.wants_timing());

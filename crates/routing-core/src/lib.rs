@@ -14,12 +14,17 @@
 //!   butterfly, dimension-order paths on the mesh;
 //! * [`workloads`] — problem generators: random pairs, level-to-level
 //!   permutations, hot spots, and the §5 mesh workload with
-//!   `C = D = Θ(n)`.
+//!   `C = D = Θ(n)`;
+//! * [`spec`] — the text grammar naming topologies and workloads
+//!   (`butterfly:10` + `bitrev`), shared by the CLI and the trace
+//!   analyzer so an instance can be reconstructed from a trace's `meta`
+//!   line.
 
 pub mod dag;
 pub mod path;
 pub mod paths;
 pub mod problem;
+pub mod spec;
 pub mod workloads;
 
 pub use dag::DagNetwork;

@@ -1,0 +1,252 @@
+//! Text specs for topologies and workloads.
+//!
+//! The CLI, the experiment harness, and the trace analyzer all need to
+//! name an instance in a single string — `butterfly:10` + `bitrev` — and
+//! reconstruct exactly the same [`RoutingProblem`] from it. This module
+//! owns that grammar so a trace file's `meta` line (which records the
+//! specs and the seed) is sufficient to rebuild the problem offline and
+//! replay-verify the run against it.
+//!
+//! ```text
+//! topology SPEC:
+//!   butterfly:K | mesh:RxC[:tl|tr|bl|br] | linear:N | complete:LxW
+//!   hypercube:D | tree:H | fattree:H[:CAP] | shuffle:K | benes:K
+//!   random:L[:WMAX[:PROB[:SEED]]]
+//!
+//! workload WL:
+//!   pairs:N | m2m:N | permutation | bitrev | transpose
+//!   hotspot:N:D | funnel:N | level:FROM:TO | blast:FROM:TO
+//! ```
+//!
+//! Reconstruction determinism: `random:*` topologies carry their own seed
+//! (default 1) and draw from a private rng, and every randomized workload
+//! draws from the caller's rng in a fixed order — so (topo spec, workload
+//! spec, seed) identifies the instance exactly.
+
+use crate::problem::RoutingProblem;
+use crate::workloads;
+use leveled_net::builders::{self, ButterflyCoords, MeshCoords, MeshCorner};
+use leveled_net::LeveledNetwork;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+/// A parsed topology plus the coordinate helpers some workloads need.
+pub struct ParsedTopo {
+    /// The network.
+    pub net: Arc<LeveledNetwork>,
+    /// Coordinates when the spec was a butterfly (for `permutation` /
+    /// `bitrev`).
+    pub butterfly: Option<ButterflyCoords>,
+    /// Coordinates when the spec was a mesh (for `transpose`).
+    pub mesh: Option<MeshCoords>,
+}
+
+/// Parses a topology spec (see the module docs for the grammar).
+pub fn parse_topo(spec: &str) -> Result<ParsedTopo, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let kind = parts[0];
+    let arg = |i: usize| -> Result<&str, String> {
+        parts
+            .get(i)
+            .copied()
+            .ok_or_else(|| format!("topology '{kind}' needs an argument at position {i}"))
+    };
+    let num = |s: &str| -> Result<u32, String> {
+        s.parse::<u32>().map_err(|_| format!("bad number '{s}'"))
+    };
+    let plain = |net: LeveledNetwork| ParsedTopo {
+        net: Arc::new(net),
+        butterfly: None,
+        mesh: None,
+    };
+    match kind {
+        "butterfly" | "bf" => {
+            let k = num(arg(1)?)?;
+            if !(1..28).contains(&k) {
+                return Err(format!("butterfly dimension {k} out of range (1..=27)"));
+            }
+            Ok(ParsedTopo {
+                net: Arc::new(builders::butterfly(k)),
+                butterfly: Some(ButterflyCoords { k }),
+                mesh: None,
+            })
+        }
+        "mesh" => {
+            let dims: Vec<&str> = arg(1)?.split('x').collect();
+            if dims.len() != 2 {
+                return Err("mesh needs RxC, e.g. mesh:8x8".into());
+            }
+            let (r, c) = (num(dims[0])? as usize, num(dims[1])? as usize);
+            let corner = match parts.get(2).copied().unwrap_or("tl") {
+                "tl" => MeshCorner::TopLeft,
+                "tr" => MeshCorner::TopRight,
+                "bl" => MeshCorner::BottomLeft,
+                "br" => MeshCorner::BottomRight,
+                other => return Err(format!("unknown mesh corner '{other}'")),
+            };
+            let (net, coords) = builders::mesh(r, c, corner);
+            Ok(ParsedTopo {
+                net: Arc::new(net),
+                butterfly: None,
+                mesh: Some(coords),
+            })
+        }
+        "linear" => Ok(plain(builders::linear_array(num(arg(1)?)? as usize))),
+        "complete" => {
+            let dims: Vec<&str> = arg(1)?.split('x').collect();
+            if dims.len() != 2 {
+                return Err("complete needs LxW, e.g. complete:10x4".into());
+            }
+            Ok(plain(builders::complete_leveled(
+                num(dims[0])?,
+                num(dims[1])? as usize,
+            )))
+        }
+        "hypercube" => Ok(plain(builders::hypercube(num(arg(1)?)?).0)),
+        "tree" => Ok(plain(builders::binary_tree(num(arg(1)?)?))),
+        "fattree" => {
+            let h = num(arg(1)?)?;
+            let cap = parts.get(2).map(|s| num(s)).transpose()?.unwrap_or(4) as usize;
+            Ok(plain(builders::fat_tree(h, cap)))
+        }
+        "shuffle" => {
+            let k = num(arg(1)?)?;
+            if !(1..28).contains(&k) {
+                return Err(format!(
+                    "shuffle-exchange dimension {k} out of range (1..=27)"
+                ));
+            }
+            Ok(plain(builders::shuffle_exchange_unrolled(k)))
+        }
+        "benes" => {
+            let k = num(arg(1)?)?;
+            if !(1..27).contains(&k) {
+                return Err(format!("Beneš dimension {k} out of range (1..=26)"));
+            }
+            Ok(plain(builders::benes(k).0))
+        }
+        "random" => {
+            let l = num(arg(1)?)?;
+            let wmax = parts.get(2).map(|s| num(s)).transpose()?.unwrap_or(4) as usize;
+            let prob = parts
+                .get(3)
+                .map(|s| {
+                    s.parse::<f64>()
+                        .map_err(|_| format!("bad probability '{s}'"))
+                })
+                .transpose()?
+                .unwrap_or(0.3);
+            let seed = parts.get(4).map(|s| num(s)).transpose()?.unwrap_or(1) as u64;
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            Ok(plain(builders::random_leveled(l, 1..=wmax, prob, &mut rng)))
+        }
+        other => Err(format!("unknown topology '{other}'")),
+    }
+}
+
+/// Parses a workload spec against `topo`, drawing any randomness from
+/// `rng` (see the module docs for the grammar).
+pub fn parse_workload<R: Rng + ?Sized>(
+    spec: &str,
+    topo: &ParsedTopo,
+    rng: &mut R,
+) -> Result<Arc<RoutingProblem>, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let num = |i: usize| -> Result<usize, String> {
+        parts
+            .get(i)
+            .ok_or_else(|| format!("workload '{}' needs an argument", parts[0]))?
+            .parse::<usize>()
+            .map_err(|e| format!("bad number: {e}"))
+    };
+    let net = &topo.net;
+    match parts[0] {
+        "pairs" => workloads::random_pairs(net, num(1)?, rng).map_err(|e| e.to_string()),
+        "m2m" => workloads::many_to_many(net, num(1)?, rng).map_err(|e| e.to_string()),
+        "permutation" | "perm" => {
+            let coords = topo
+                .butterfly
+                .ok_or("permutation needs a butterfly topology")?;
+            Ok(workloads::butterfly_permutation(net, &coords, rng))
+        }
+        "bitrev" => {
+            let coords = topo.butterfly.ok_or("bitrev needs a butterfly topology")?;
+            Ok(workloads::butterfly_bit_reversal(net, &coords))
+        }
+        "transpose" => {
+            let coords = topo.mesh.ok_or("transpose needs a mesh topology")?;
+            workloads::mesh_transpose(net, &coords).map_err(|e| e.to_string())
+        }
+        "hotspot" => workloads::hotspot(net, num(1)?, num(2)?, rng).map_err(|e| e.to_string()),
+        "funnel" => workloads::funnel(net, num(1)?, rng).map_err(|e| e.to_string()),
+        "level" => workloads::level_to_level(net, num(1)? as u32, num(2)? as u32, rng)
+            .map_err(|e| e.to_string()),
+        "blast" => workloads::first_fit_blast(net, num(1)? as u32, num(2)? as u32)
+            .map_err(|e| e.to_string()),
+        other => Err(format!("unknown workload '{other}'")),
+    }
+}
+
+/// Rebuilds the exact problem identified by `(topo, workload, seed)` — the
+/// triple a trace file's `meta` line records. Returns the parsed topology
+/// alongside the problem so callers can reuse the network.
+pub fn reconstruct_problem(
+    topo_spec: &str,
+    workload_spec: &str,
+    seed: u64,
+) -> Result<(ParsedTopo, Arc<RoutingProblem>), String> {
+    let topo = parse_topo(topo_spec)?;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let problem = parse_workload(workload_spec, &topo, &mut rng)?;
+    Ok((topo, problem))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn butterfly_spec_carries_coords() {
+        let t = parse_topo("butterfly:3").unwrap();
+        assert_eq!(t.butterfly.unwrap().k, 3);
+        assert!(t.mesh.is_none());
+        assert_eq!(t.net.depth(), 3);
+        // Short alias.
+        assert_eq!(
+            parse_topo("bf:3").unwrap().net.num_nodes(),
+            t.net.num_nodes()
+        );
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!(parse_topo("butterfly").is_err());
+        assert!(parse_topo("butterfly:0").is_err());
+        assert!(parse_topo("mesh:8").is_err());
+        assert!(parse_topo("mesh:8x8:xx").is_err());
+        assert!(parse_topo("nosuch:1").is_err());
+        let t = parse_topo("linear:4").unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert!(parse_workload("bitrev", &t, &mut rng).is_err());
+        assert!(parse_workload("nosuch", &t, &mut rng).is_err());
+    }
+
+    #[test]
+    fn reconstruction_is_deterministic() {
+        for (topo, wl) in [
+            ("butterfly:4", "pairs:6"),
+            ("butterfly:4", "bitrev"),
+            ("random:6:3:0.4:7", "m2m:5"),
+            ("mesh:5x5", "transpose"),
+        ] {
+            let (_, a) = reconstruct_problem(topo, wl, 42).unwrap();
+            let (_, b) = reconstruct_problem(topo, wl, 42).unwrap();
+            assert_eq!(a.num_packets(), b.num_packets(), "{topo}/{wl}");
+            for (pa, pb) in a.packets().iter().zip(b.packets()) {
+                assert_eq!(pa.path.source(), pb.path.source(), "{topo}/{wl}");
+                assert_eq!(pa.path.edges(), pb.path.edges(), "{topo}/{wl}");
+            }
+        }
+    }
+}

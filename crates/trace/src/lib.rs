@@ -1,0 +1,41 @@
+//! Trace analytics and replay verification for hotpotato JSONL event
+//! streams.
+//!
+//! The simulator (PR 2) can stream every observable event of a run —
+//! moves, deliveries, step reports, phases, frontiers, congestion audits
+//! — as one JSON object per line. This crate closes the loop on that
+//! stream:
+//!
+//! - [`schema`] — the **strict, versioned** line format: every event
+//!   variant, a `meta`/`stats` envelope making traces self-contained,
+//!   and a parser that rejects unknown events, unknown or missing
+//!   fields, and schema-version mismatches (the stability contract).
+//! - [`timeline`] — per-packet latency anatomy (the exact hot-potato
+//!   identity `latency = advances + deflections + oscillations`),
+//!   home-run segments, and **causal deflection-chain attribution**
+//!   via Lemma 2.1 edge recycling.
+//! - [`verify`] — offline replay verification: the instance is rebuilt
+//!   from the envelope, every move is checked against the bufferless
+//!   invariants, every step report against its event batch, the final
+//!   stats against the reconstructed timelines, and (for bufferless
+//!   traces) an independent in-memory auditor must concur. Corruption
+//!   is reported with the first divergent line.
+//! - [`analyze`] — aggregate reports: per-phase deflection heatmaps,
+//!   frontier-lag distributions, latency percentiles, chain depths,
+//!   and empirical C+L scaling ratios, as JSON.
+//! - [`stream`] — [`stream::StreamingAggregator`], a [`RouteObserver`]
+//!   with a hard memory cap for runs too long to trace in full.
+//!
+//! [`RouteObserver`]: hotpotato_sim::RouteObserver
+
+pub mod analyze;
+pub mod schema;
+pub mod stream;
+pub mod timeline;
+pub mod verify;
+
+pub use analyze::{analyze, diff, Analysis};
+pub use schema::{parse_line, Meta, ParseError, StatsLine, Trace, TraceEvent, SCHEMA_VERSION};
+pub use stream::StreamingAggregator;
+pub use timeline::{attribute_chains, build_timelines, ChainReport, PacketTimeline};
+pub use verify::{verify_trace, Model, VerifyError, VerifyReport};

@@ -1,0 +1,561 @@
+//! The JSONL trace schema: strict, version-pinned parsing.
+//!
+//! A trace file is one JSON object per line. The movement lines are
+//! written by [`hotpotato_sim::JsonlTraceObserver`]; the CLI wraps them
+//! in an *envelope*: a `meta` line first (instance specs + seed, enough
+//! to reconstruct the [`routing_core::RoutingProblem`] offline) and a
+//! `stats` line last (the run's final [`hotpotato_sim::RouteStats`]).
+//!
+//! Parsing is deliberately strict: an unknown `ev` discriminator, a
+//! missing field, an extra field, or a wrong `schema` version is an
+//! error, not a warning. The schema-stability test in
+//! `tests/schema_roundtrip.rs` round-trips every event variant the
+//! observer can emit, so renaming a field in the emitter without bumping
+//! [`SCHEMA_VERSION`] fails CI.
+
+use hotpotato_sim::{ExitKind, RouteStats, Time};
+use leveled_net::{Direction, EdgeId};
+use serde::Value;
+
+/// The trace schema version carried by the `meta` line. Bump when any
+/// event's field set changes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// The `meta` envelope line: everything needed to rebuild the instance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Meta {
+    /// Trace schema version (must equal [`SCHEMA_VERSION`]).
+    pub schema: u64,
+    /// Topology spec (`routing_core::spec` grammar).
+    pub topo: String,
+    /// Workload spec (`routing_core::spec` grammar).
+    pub workload: String,
+    /// Algorithm name (`busch`, `greedy`, ...).
+    pub algo: String,
+    /// The run seed (workload generation and routing share one rng).
+    pub seed: u64,
+    /// Number of packets (cross-checked on reconstruction).
+    pub packets: u64,
+    /// Number of levels, `L + 1` (cross-checked on reconstruction).
+    pub levels: u64,
+    /// Instance congestion `C`.
+    pub congestion: u64,
+    /// Instance dilation `D`.
+    pub dilation: u64,
+}
+
+/// The `stats` envelope line: the final per-packet statistics the
+/// verifier's reconstructed timelines must match exactly.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StatsLine {
+    /// Total steps the simulation ran.
+    pub steps: u64,
+    /// Per-packet injection step (`null` = never injected).
+    pub injected_at: Vec<Option<Time>>,
+    /// Per-packet delivery (arrival) time.
+    pub delivered_at: Vec<Option<Time>>,
+    /// Per-packet deflection count.
+    pub deflections: Vec<u32>,
+}
+
+/// One parsed trace line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// Envelope: instance identification (first line).
+    Meta(Meta),
+    /// A packet crossed an edge.
+    Move {
+        /// Staging step.
+        t: Time,
+        /// Packet index.
+        pkt: u32,
+        /// Edge crossed.
+        edge: EdgeId,
+        /// Traversal direction.
+        dir: Direction,
+        /// Caller-declared kind.
+        kind: ExitKind,
+    },
+    /// A trivial (source == destination) delivery.
+    Trivial {
+        /// Step of delivery.
+        t: Time,
+        /// Packet index.
+        pkt: u32,
+    },
+    /// An absorption at the destination (arrival time, staging step + 1).
+    Deliver {
+        /// Arrival time.
+        t: Time,
+        /// Packet index.
+        pkt: u32,
+    },
+    /// A step completed.
+    Step {
+        /// The step.
+        t: Time,
+        /// Packets that moved (including injections).
+        moved: u64,
+        /// Packets absorbed.
+        absorbed: u64,
+        /// Packets injected.
+        injected: u64,
+        /// Deflections (safe + fallback).
+        deflections: u64,
+        /// Fallback (unsafe) deflections.
+        fallback: u64,
+        /// Oscillation moves.
+        oscillations: u64,
+        /// In-flight count after absorption.
+        active: u64,
+    },
+    /// Frontier-set assignment.
+    Sets {
+        /// Number of frontier sets.
+        num_sets: u32,
+        /// Set of each packet.
+        sets: Vec<u32>,
+    },
+    /// A phase began.
+    PhaseStart {
+        /// Phase index.
+        phase: u64,
+        /// First step of the phase.
+        t: Time,
+    },
+    /// A phase ended.
+    PhaseEnd {
+        /// Phase index.
+        phase: u64,
+        /// First step after the phase.
+        t: Time,
+    },
+    /// Theoretical frontier announcement.
+    Frontier {
+        /// Phase.
+        phase: u64,
+        /// Frontier set.
+        set: u32,
+        /// `φ_i(k) = k − i·m`.
+        frontier: i64,
+    },
+    /// Phase-end congestion audit.
+    Congestion {
+        /// Phase.
+        phase: u64,
+        /// Frontier set.
+        set: u32,
+        /// Audited current-path congestion.
+        congestion: u32,
+        /// The set's preselected-path congestion.
+        initial: u32,
+    },
+    /// Section timing sample.
+    Section {
+        /// Section name (`conflict`, `kinematics`, `audit`, `injection`).
+        section: String,
+        /// Nanoseconds spent.
+        nanos: u64,
+    },
+    /// Envelope: final run statistics (last line).
+    Stats(StatsLine),
+}
+
+impl TraceEvent {
+    /// The `ev` discriminator this event serializes under.
+    pub fn ev(&self) -> &'static str {
+        match self {
+            TraceEvent::Meta(_) => "meta",
+            TraceEvent::Move { .. } => "move",
+            TraceEvent::Trivial { .. } => "trivial",
+            TraceEvent::Deliver { .. } => "deliver",
+            TraceEvent::Step { .. } => "step",
+            TraceEvent::Sets { .. } => "sets",
+            TraceEvent::PhaseStart { .. } => "phase_start",
+            TraceEvent::PhaseEnd { .. } => "phase_end",
+            TraceEvent::Frontier { .. } => "frontier",
+            TraceEvent::Congestion { .. } => "congestion",
+            TraceEvent::Section { .. } => "section",
+            TraceEvent::Stats(_) => "stats",
+        }
+    }
+}
+
+/// A parse failure, with the offending line (1-based) once known.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number (0 = not yet attributed).
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.msg)
+        } else {
+            write!(f, "{}", self.msg)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(msg: impl Into<String>) -> ParseError {
+    ParseError {
+        line: 0,
+        msg: msg.into(),
+    }
+}
+
+/// Field cursor over a parsed JSON object that *consumes* keys, so
+/// leftovers (unknown fields) can be rejected after extraction.
+struct Fields<'a> {
+    pairs: &'a [(String, Value)],
+    used: Vec<bool>,
+}
+
+impl<'a> Fields<'a> {
+    fn new(v: &'a Value) -> Result<Self, ParseError> {
+        let pairs = v.as_object().ok_or_else(|| err("not a JSON object"))?;
+        Ok(Fields {
+            pairs,
+            used: vec![false; pairs.len()],
+        })
+    }
+
+    fn take(&mut self, key: &str) -> Result<&'a Value, ParseError> {
+        for (i, (k, v)) in self.pairs.iter().enumerate() {
+            if k == key {
+                if self.used[i] {
+                    return Err(err(format!("duplicate field '{key}'")));
+                }
+                self.used[i] = true;
+                return Ok(v);
+            }
+        }
+        Err(err(format!("missing field '{key}'")))
+    }
+
+    fn u64(&mut self, key: &str) -> Result<u64, ParseError> {
+        self.take(key)?
+            .as_u64()
+            .ok_or_else(|| err(format!("field '{key}' is not an unsigned integer")))
+    }
+
+    fn u32(&mut self, key: &str) -> Result<u32, ParseError> {
+        u32::try_from(self.u64(key)?).map_err(|_| err(format!("field '{key}' overflows u32")))
+    }
+
+    fn i64(&mut self, key: &str) -> Result<i64, ParseError> {
+        self.take(key)?
+            .as_i64()
+            .ok_or_else(|| err(format!("field '{key}' is not an integer")))
+    }
+
+    fn str(&mut self, key: &str) -> Result<&'a str, ParseError> {
+        self.take(key)?
+            .as_str()
+            .ok_or_else(|| err(format!("field '{key}' is not a string")))
+    }
+
+    fn u32_array(&mut self, key: &str) -> Result<Vec<u32>, ParseError> {
+        let arr = self
+            .take(key)?
+            .as_array()
+            .ok_or_else(|| err(format!("field '{key}' is not an array")))?;
+        arr.iter()
+            .map(|v| {
+                v.as_u64()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or_else(|| err(format!("field '{key}' has a non-u32 element")))
+            })
+            .collect()
+    }
+
+    fn opt_u64_array(&mut self, key: &str) -> Result<Vec<Option<u64>>, ParseError> {
+        let arr = self
+            .take(key)?
+            .as_array()
+            .ok_or_else(|| err(format!("field '{key}' is not an array")))?;
+        arr.iter()
+            .map(|v| {
+                if v.is_null() {
+                    Ok(None)
+                } else {
+                    v.as_u64()
+                        .map(Some)
+                        .ok_or_else(|| err(format!("field '{key}' has a non-u64 element")))
+                }
+            })
+            .collect()
+    }
+
+    /// Rejects any field that was never consumed (schema strictness).
+    fn finish(self) -> Result<(), ParseError> {
+        for (i, (k, _)) in self.pairs.iter().enumerate() {
+            if !self.used[i] {
+                return Err(err(format!("unknown field '{k}'")));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_kind(s: &str) -> Result<ExitKind, ParseError> {
+    Ok(match s {
+        "adv" => ExitKind::Advance,
+        "def-safe" => ExitKind::Deflect { safe: true },
+        "def-free" => ExitKind::Deflect { safe: false },
+        "osc" => ExitKind::Oscillate,
+        "inj" => ExitKind::Inject,
+        other => return Err(err(format!("unknown move kind '{other}'"))),
+    })
+}
+
+/// Stable name of an [`ExitKind`] (the `kind` field of `move` lines).
+pub fn kind_name(kind: ExitKind) -> &'static str {
+    match kind {
+        ExitKind::Advance => "adv",
+        ExitKind::Deflect { safe: true } => "def-safe",
+        ExitKind::Deflect { safe: false } => "def-free",
+        ExitKind::Oscillate => "osc",
+        ExitKind::Inject => "inj",
+    }
+}
+
+/// Parses one trace line, strictly (see the module docs).
+pub fn parse_line(line: &str) -> Result<TraceEvent, ParseError> {
+    let value = serde_json::from_str(line).map_err(|e| err(e.to_string()))?;
+    let mut f = Fields::new(&value)?;
+    let ev = f.str("ev")?.to_string();
+    let event = match ev.as_str() {
+        "meta" => {
+            let meta = Meta {
+                schema: f.u64("schema")?,
+                topo: f.str("topo")?.to_string(),
+                workload: f.str("workload")?.to_string(),
+                algo: f.str("algo")?.to_string(),
+                seed: f.u64("seed")?,
+                packets: f.u64("packets")?,
+                levels: f.u64("levels")?,
+                congestion: f.u64("congestion")?,
+                dilation: f.u64("dilation")?,
+            };
+            if meta.schema != SCHEMA_VERSION {
+                return Err(err(format!(
+                    "unsupported trace schema {} (this build reads {SCHEMA_VERSION})",
+                    meta.schema
+                )));
+            }
+            TraceEvent::Meta(meta)
+        }
+        "move" => TraceEvent::Move {
+            t: f.u64("t")?,
+            pkt: f.u32("pkt")?,
+            edge: EdgeId(f.u32("edge")?),
+            dir: match f.str("dir")? {
+                "F" => Direction::Forward,
+                "B" => Direction::Backward,
+                other => return Err(err(format!("unknown direction '{other}'"))),
+            },
+            kind: parse_kind(f.str("kind")?)?,
+        },
+        "trivial" => TraceEvent::Trivial {
+            t: f.u64("t")?,
+            pkt: f.u32("pkt")?,
+        },
+        "deliver" => TraceEvent::Deliver {
+            t: f.u64("t")?,
+            pkt: f.u32("pkt")?,
+        },
+        "step" => TraceEvent::Step {
+            t: f.u64("t")?,
+            moved: f.u64("moved")?,
+            absorbed: f.u64("absorbed")?,
+            injected: f.u64("injected")?,
+            deflections: f.u64("deflections")?,
+            fallback: f.u64("fallback")?,
+            oscillations: f.u64("oscillations")?,
+            active: f.u64("active")?,
+        },
+        "sets" => TraceEvent::Sets {
+            num_sets: f.u32("num_sets")?,
+            sets: f.u32_array("sets")?,
+        },
+        "phase_start" => TraceEvent::PhaseStart {
+            phase: f.u64("phase")?,
+            t: f.u64("t")?,
+        },
+        "phase_end" => TraceEvent::PhaseEnd {
+            phase: f.u64("phase")?,
+            t: f.u64("t")?,
+        },
+        "frontier" => TraceEvent::Frontier {
+            phase: f.u64("phase")?,
+            set: f.u32("set")?,
+            frontier: f.i64("frontier")?,
+        },
+        "congestion" => TraceEvent::Congestion {
+            phase: f.u64("phase")?,
+            set: f.u32("set")?,
+            congestion: f.u32("congestion")?,
+            initial: f.u32("initial")?,
+        },
+        "section" => TraceEvent::Section {
+            section: f.str("section")?.to_string(),
+            nanos: f.u64("nanos")?,
+        },
+        "stats" => TraceEvent::Stats(StatsLine {
+            steps: f.u64("steps")?,
+            injected_at: f.opt_u64_array("injected_at")?,
+            delivered_at: f.opt_u64_array("delivered_at")?,
+            deflections: f.u32_array("deflections")?,
+        }),
+        other => return Err(err(format!("unknown event '{other}'"))),
+    };
+    f.finish()?;
+    Ok(event)
+}
+
+/// A fully parsed trace: one event per line, in file order (so
+/// `events[i]` came from line `i + 1`).
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// The parsed lines.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Parses a whole trace text; blank lines are rejected (they would
+    /// desynchronize line attribution in diagnostics).
+    pub fn parse(text: &str) -> Result<Trace, ParseError> {
+        let mut events = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                return Err(ParseError {
+                    line: i + 1,
+                    msg: "blank line in trace".into(),
+                });
+            }
+            let ev = parse_line(line).map_err(|mut e| {
+                e.line = i + 1;
+                e
+            })?;
+            events.push(ev);
+        }
+        Ok(Trace { events })
+    }
+
+    /// The `meta` envelope line, which must be the first line if present.
+    pub fn meta(&self) -> Option<&Meta> {
+        match self.events.first() {
+            Some(TraceEvent::Meta(m)) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The `stats` envelope line, which must be the last line if present.
+    pub fn stats(&self) -> Option<&StatsLine> {
+        match self.events.last() {
+            Some(TraceEvent::Stats(s)) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Renders the `meta` envelope line (without trailing newline).
+pub fn meta_line(meta: &Meta) -> String {
+    use serde::Serialize as _;
+    Value::object([
+        ("ev", Value::String("meta".into())),
+        ("schema", meta.schema.to_json()),
+        ("topo", Value::String(meta.topo.clone())),
+        ("workload", Value::String(meta.workload.clone())),
+        ("algo", Value::String(meta.algo.clone())),
+        ("seed", meta.seed.to_json()),
+        ("packets", meta.packets.to_json()),
+        ("levels", meta.levels.to_json()),
+        ("congestion", meta.congestion.to_json()),
+        ("dilation", meta.dilation.to_json()),
+    ])
+    .to_compact_string()
+}
+
+/// Renders the `stats` envelope line (without trailing newline) from the
+/// run's final statistics.
+pub fn stats_line(stats: &RouteStats) -> String {
+    use serde::Serialize as _;
+    Value::object([
+        ("ev", Value::String("stats".into())),
+        ("steps", stats.steps_run.to_json()),
+        ("injected_at", stats.injected_at.to_json()),
+        ("delivered_at", stats.delivered_at.to_json()),
+        ("deflections", stats.deflections.to_json()),
+    ])
+    .to_compact_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_fields_are_rejected() {
+        assert!(parse_line(r#"{"ev":"deliver","t":1,"pkt":2}"#).is_ok());
+        let e = parse_line(r#"{"ev":"deliver","t":1,"pkt":2,"extra":3}"#).unwrap_err();
+        assert!(e.msg.contains("unknown field 'extra'"), "{e}");
+        let e = parse_line(r#"{"ev":"deliver","t":1}"#).unwrap_err();
+        assert!(e.msg.contains("missing field 'pkt'"), "{e}");
+    }
+
+    #[test]
+    fn unknown_events_and_schemas_are_rejected() {
+        assert!(parse_line(r#"{"ev":"warp","t":1}"#).is_err());
+        let meta = r#"{"ev":"meta","schema":99,"topo":"bf:3","workload":"bitrev","algo":"busch","seed":1,"packets":8,"levels":4,"congestion":2,"dilation":3}"#;
+        let e = parse_line(meta).unwrap_err();
+        assert!(e.msg.contains("unsupported trace schema"), "{e}");
+    }
+
+    #[test]
+    fn envelope_lines_round_trip() {
+        let meta = Meta {
+            schema: SCHEMA_VERSION,
+            topo: "butterfly:3".into(),
+            workload: "bitrev".into(),
+            algo: "busch".into(),
+            seed: 42,
+            packets: 8,
+            levels: 4,
+            congestion: 2,
+            dilation: 3,
+        };
+        match parse_line(&meta_line(&meta)).unwrap() {
+            TraceEvent::Meta(m) => assert_eq!(m, meta),
+            other => panic!("wrong event: {other:?}"),
+        }
+
+        let mut stats = RouteStats::new(2);
+        stats.steps_run = 7;
+        stats.injected_at = vec![Some(0), None];
+        stats.delivered_at = vec![Some(5), None];
+        stats.deflections = vec![1, 0];
+        match parse_line(&stats_line(&stats)).unwrap() {
+            TraceEvent::Stats(s) => {
+                assert_eq!(s.steps, 7);
+                assert_eq!(s.injected_at, vec![Some(0), None]);
+                assert_eq!(s.delivered_at, vec![Some(5), None]);
+                assert_eq!(s.deflections, vec![1, 0]);
+            }
+            other => panic!("wrong event: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_parse_attributes_line_numbers() {
+        let text = "{\"ev\":\"deliver\",\"t\":1,\"pkt\":0}\n{\"ev\":\"bogus\"}\n";
+        let e = Trace::parse(text).unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+}

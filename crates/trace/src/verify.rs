@@ -1,0 +1,721 @@
+//! Offline replay verification of a JSONL trace.
+//!
+//! [`verify_trace`] re-runs the *entire* event stream against the model
+//! from scratch, independently of the engine that produced it:
+//!
+//! 1. the `meta` line identifies the instance; the problem is rebuilt
+//!    from `(topo, workload, seed)` via [`routing_core::spec`] and the
+//!    meta's `packets`/`levels`/`congestion`/`dilation` must match;
+//! 2. every `move` is checked against the bufferless invariants — one
+//!    packet per (edge, direction) slot per step, no teleports, exactly
+//!    one injection per packet departing its path's first edge, no
+//!    resting while active (bufferless model only), safe deflections
+//!    really recycle an edge crossed forward the same step, absorption
+//!    exactly on arrival — and every `step` line's counts must equal the
+//!    batch it closes;
+//! 3. the reconstructed per-packet timelines must match the `stats`
+//!    envelope line **exactly** (injection step, arrival time, deflection
+//!    count, per packet), and the step count must match;
+//! 4. as defense in depth, the moves are folded into a
+//!    [`hotpotato_sim::RunRecord`] and re-audited by the *in-memory*
+//!    auditor [`hotpotato_sim::replay::verify`] — two independently
+//!    written verifiers must agree (bufferless traces).
+//!
+//! Any divergence is reported with the 1-based line number of the first
+//! offending event, so a corrupted trace names its own corruption.
+
+use crate::schema::{Meta, StatsLine, Trace, TraceEvent};
+use crate::timeline::{build_timelines, PacketTimeline};
+use hotpotato_sim::{replay, ExitKind, MoveEvent, RouteStats, RunRecord, Time, TrivialDelivery};
+use leveled_net::ids::DirectedEdge;
+use leveled_net::{Direction, LeveledNetwork, NodeId};
+use routing_core::{spec, PacketId, RoutingProblem};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Which movement model the trace's algorithm obeys.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Model {
+    /// Hot-potato: active packets move every step.
+    Bufferless,
+    /// Store-and-forward: packets may wait in queues.
+    Buffered,
+}
+
+impl Model {
+    /// The model implied by an algorithm name.
+    pub fn for_algo(algo: &str) -> Model {
+        match algo {
+            "sf" | "sfrank" => Model::Buffered,
+            _ => Model::Bufferless,
+        }
+    }
+}
+
+/// A verification failure, attributed to the first divergent line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyError {
+    /// 1-based line of the first divergence (0 = whole-trace property).
+    pub line: usize,
+    /// What diverged.
+    pub msg: String,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line > 0 {
+            write!(f, "first divergence at line {}: {}", self.line, self.msg)
+        } else {
+            write!(f, "{}", self.msg)
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+fn fail<T>(line: usize, msg: impl Into<String>) -> Result<T, VerifyError> {
+    Err(VerifyError {
+        line,
+        msg: msg.into(),
+    })
+}
+
+/// Aggregate results of a successful verification.
+#[derive(Clone, Debug)]
+pub struct VerifyReport {
+    /// Packets in the instance.
+    pub packets: usize,
+    /// Steps verified.
+    pub steps: u64,
+    /// Moves verified.
+    pub moves: u64,
+    /// Forward moves.
+    pub forward: u64,
+    /// Backward moves.
+    pub backward: u64,
+    /// Packets delivered (including trivial).
+    pub delivered: usize,
+    /// Trivial deliveries.
+    pub trivial: usize,
+    /// Deflections seen.
+    pub deflections: u64,
+    /// Oscillation moves seen.
+    pub oscillations: u64,
+    /// Whether the independent in-memory auditor was also run (bufferless
+    /// traces only) — when `true`, both verifiers agreed.
+    pub replay_cross_checked: bool,
+    /// The movement model verified against.
+    pub model: Model,
+    /// Reconstructed per-packet timelines (exactly matching the trace's
+    /// `stats` line).
+    pub timelines: Vec<PacketTimeline>,
+}
+
+/// The reconstructed instance a trace was verified against.
+pub struct VerifiedInstance {
+    /// The network.
+    pub net: Arc<LeveledNetwork>,
+    /// The routing problem.
+    pub problem: Arc<RoutingProblem>,
+}
+
+/// Rebuilds and cross-checks the instance named by a trace's meta line.
+pub fn reconstruct(meta: &Meta) -> Result<VerifiedInstance, VerifyError> {
+    let (topo, problem) = spec::reconstruct_problem(&meta.topo, &meta.workload, meta.seed)
+        .map_err(|e| VerifyError { line: 1, msg: e })?;
+    let net = Arc::clone(&topo.net);
+    if problem.num_packets() as u64 != meta.packets {
+        return fail(
+            1,
+            format!(
+                "meta says {} packets but reconstruction yields {}",
+                meta.packets,
+                problem.num_packets()
+            ),
+        );
+    }
+    if net.num_levels() as u64 != meta.levels {
+        return fail(
+            1,
+            format!(
+                "meta says {} levels but reconstruction yields {}",
+                meta.levels,
+                net.num_levels()
+            ),
+        );
+    }
+    if u64::from(problem.congestion()) != meta.congestion
+        || u64::from(problem.dilation()) != meta.dilation
+    {
+        return fail(
+            1,
+            format!(
+                "meta says C={} D={} but reconstruction yields C={} D={}",
+                meta.congestion,
+                meta.dilation,
+                problem.congestion(),
+                problem.dilation()
+            ),
+        );
+    }
+    Ok(VerifiedInstance { net, problem })
+}
+
+/// Verifies a parsed trace end to end (see the module docs).
+pub fn verify_trace(trace: &Trace) -> Result<VerifyReport, VerifyError> {
+    let Some(meta) = trace.meta() else {
+        return fail(1, "trace has no meta line (re-record with --trace-out)");
+    };
+    let Some(stats) = trace.stats() else {
+        return fail(
+            trace.events.len(),
+            "trace has no final stats line (truncated?)",
+        );
+    };
+    let instance = reconstruct(meta)?;
+    let model = Model::for_algo(&meta.algo);
+    let state = StreamState::run(trace, &instance, model)?;
+    state.check_stats(stats, trace.events.len())?;
+
+    let timelines = build_timelines(trace, state.n);
+    check_timelines_against_stats(&timelines, stats, model, trace.events.len())?;
+
+    let replay_cross_checked = if model == Model::Bufferless {
+        cross_check_replay(&instance.problem, trace, stats)?;
+        true
+    } else {
+        false
+    };
+
+    Ok(VerifyReport {
+        packets: state.n,
+        steps: state.now,
+        moves: state.moves,
+        forward: state.forward,
+        backward: state.backward,
+        delivered: state.delivered.iter().filter(|&&d| d).count(),
+        trivial: state.trivial,
+        deflections: state.deflections,
+        oscillations: state.oscillations,
+        replay_cross_checked,
+        model,
+        timelines,
+    })
+}
+
+/// The streaming verifier state (one pass over the events).
+struct StreamState {
+    n: usize,
+    now: Time,
+    pos: Vec<Option<NodeId>>,
+    injected: Vec<bool>,
+    delivered: Vec<bool>,
+    last_move_step: Vec<u64>,
+    active: usize,
+    moves: u64,
+    forward: u64,
+    backward: u64,
+    deflections: u64,
+    oscillations: u64,
+    trivial: usize,
+}
+
+/// Per-step (batch) accumulators, reset at every `step` line.
+#[derive(Default)]
+struct Batch {
+    moves: u64,
+    injections: u64,
+    deflections: u64,
+    fallback: u64,
+    oscillations: u64,
+    delivers: u64,
+    /// (slot index) -> line that used it.
+    slots: HashMap<usize, usize>,
+    /// Edges crossed forward this step — next step's safe-deflection
+    /// recycling pool (losers bounce backward over an edge some packet
+    /// *arrived* through, and arrivals are the previous step's moves).
+    forward_edges: HashMap<u32, usize>,
+    /// Safe backward deflections awaiting the recycling check:
+    /// (edge, line).
+    safe_backward: Vec<(u32, usize)>,
+    /// Packets that landed on their destination this step and must be
+    /// delivered before the step closes: (pkt, line of landing move).
+    landed: Vec<(u32, usize)>,
+}
+
+impl StreamState {
+    fn run(trace: &Trace, instance: &VerifiedInstance, model: Model) -> Result<Self, VerifyError> {
+        let net = &instance.net;
+        let problem = &instance.problem;
+        let n = problem.num_packets();
+        let mut s = StreamState {
+            n,
+            now: 0,
+            pos: vec![None; n],
+            injected: vec![false; n],
+            delivered: vec![false; n],
+            last_move_step: vec![u64::MAX; n],
+            active: 0,
+            moves: 0,
+            forward: 0,
+            backward: 0,
+            deflections: 0,
+            oscillations: 0,
+            trivial: 0,
+        };
+        let mut batch = Batch::default();
+        // Forward moves of the previous step: arrivals into this step's
+        // nodes, i.e. the admissible safe-deflection recycling pool.
+        let mut prev_forward: HashMap<u32, usize> = HashMap::new();
+        let mut num_sets: Option<u32> = None;
+        let last = trace.events.len();
+
+        for (i, ev) in trace.events.iter().enumerate() {
+            let line = i + 1;
+            match ev {
+                TraceEvent::Meta(_) => {
+                    if line != 1 {
+                        return fail(line, "meta line not at the start of the trace");
+                    }
+                }
+                TraceEvent::Stats(_) => {
+                    if line != last {
+                        return fail(line, "stats line not at the end of the trace");
+                    }
+                }
+                TraceEvent::Move {
+                    t,
+                    pkt,
+                    edge,
+                    dir,
+                    kind,
+                } => {
+                    let (t, pkt) = (*t, *pkt);
+                    if t != s.now {
+                        return fail(
+                            line,
+                            format!("move at t={t} inside step {} (out of order)", s.now),
+                        );
+                    }
+                    let p = pkt as usize;
+                    if p >= n {
+                        return fail(line, format!("packet {pkt} out of range (N={n})"));
+                    }
+                    if edge.index() >= net.num_edges() {
+                        return fail(line, format!("edge {} does not exist", edge.0));
+                    }
+                    if s.delivered[p] {
+                        return fail(line, format!("packet {pkt} moved after delivery"));
+                    }
+                    if s.last_move_step[p] == s.now {
+                        return fail(line, format!("packet {pkt} moved twice in step {t}"));
+                    }
+                    let mv = DirectedEdge {
+                        edge: *edge,
+                        dir: *dir,
+                    };
+                    if let Some(prev) = batch.slots.insert(mv.slot_index(), line) {
+                        return fail(
+                            line,
+                            format!(
+                                "edge {e} {dir:?} slot already used in step {t} (line {prev})",
+                                e = edge.0
+                            ),
+                        );
+                    }
+                    let origin = net.move_origin(mv);
+                    let target = net.move_target(mv);
+                    match kind {
+                        ExitKind::Inject => {
+                            if s.injected[p] {
+                                return fail(line, format!("packet {pkt} injected twice"));
+                            }
+                            let path = &problem.packets()[p].path;
+                            let ok =
+                                !path.is_empty() && mv == DirectedEdge::forward(path.edges()[0]);
+                            if !ok {
+                                return fail(
+                                    line,
+                                    format!(
+                                        "packet {pkt} injected away from its source/first edge"
+                                    ),
+                                );
+                            }
+                            s.injected[p] = true;
+                            batch.injections += 1;
+                        }
+                        _ => {
+                            let Some(at) = s.pos[p] else {
+                                return fail(
+                                    line,
+                                    format!("packet {pkt} moved while not in flight"),
+                                );
+                            };
+                            if at != origin {
+                                return fail(
+                                    line,
+                                    format!(
+                                        "packet {pkt} teleported: trace departs node {} but it \
+                                         is at node {}",
+                                        origin.0, at.0
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                    match kind {
+                        ExitKind::Deflect { safe } => {
+                            batch.deflections += 1;
+                            s.deflections += 1;
+                            if !safe {
+                                batch.fallback += 1;
+                            } else if *dir == Direction::Backward {
+                                batch.safe_backward.push((edge.0, line));
+                            } else {
+                                return fail(
+                                    line,
+                                    format!(
+                                        "packet {pkt} safe-deflected forward (safe deflections \
+                                         are backward recycles)"
+                                    ),
+                                );
+                            }
+                        }
+                        ExitKind::Oscillate => {
+                            batch.oscillations += 1;
+                            s.oscillations += 1;
+                        }
+                        _ => {}
+                    }
+                    match dir {
+                        Direction::Forward => {
+                            s.forward += 1;
+                            batch.forward_edges.insert(edge.0, line);
+                        }
+                        Direction::Backward => s.backward += 1,
+                    }
+                    s.moves += 1;
+                    batch.moves += 1;
+                    s.last_move_step[p] = s.now;
+                    let dest = problem.packets()[p].path.dest(net);
+                    if target == dest {
+                        if s.pos[p].is_some() {
+                            s.active -= 1;
+                        }
+                        s.pos[p] = None;
+                        batch.landed.push((pkt, line));
+                    } else {
+                        if s.pos[p].is_none() {
+                            s.active += 1;
+                        }
+                        s.pos[p] = Some(target);
+                    }
+                }
+                TraceEvent::Trivial { t, pkt } => {
+                    let p = *pkt as usize;
+                    if p >= n {
+                        return fail(line, format!("packet {pkt} out of range (N={n})"));
+                    }
+                    if *t != s.now {
+                        return fail(line, format!("trivial delivery at t={t} in step {}", s.now));
+                    }
+                    if s.injected[p] || s.delivered[p] {
+                        return fail(line, format!("packet {pkt} delivered trivially twice"));
+                    }
+                    if !problem.packets()[p].path.is_empty() {
+                        return fail(
+                            line,
+                            format!("packet {pkt} delivered trivially but its path is not trivial"),
+                        );
+                    }
+                    s.injected[p] = true;
+                    s.delivered[p] = true;
+                    s.trivial += 1;
+                }
+                TraceEvent::Deliver { t, pkt } => {
+                    let p = *pkt as usize;
+                    if p >= n {
+                        return fail(line, format!("packet {pkt} out of range (N={n})"));
+                    }
+                    if *t != s.now + 1 {
+                        return fail(
+                            line,
+                            format!(
+                                "delivery of packet {pkt} at t={t} but arrivals of step {} land \
+                                 at t={}",
+                                s.now,
+                                s.now + 1
+                            ),
+                        );
+                    }
+                    let Some(slot) = batch.landed.iter().position(|&(q, _)| q == *pkt) else {
+                        return fail(
+                            line,
+                            format!(
+                                "packet {pkt} delivered without landing on its destination this \
+                                 step"
+                            ),
+                        );
+                    };
+                    batch.landed.swap_remove(slot);
+                    if s.delivered[p] {
+                        return fail(line, format!("packet {pkt} delivered twice"));
+                    }
+                    s.delivered[p] = true;
+                    batch.delivers += 1;
+                }
+                TraceEvent::Step {
+                    t,
+                    moved,
+                    absorbed,
+                    injected,
+                    deflections,
+                    fallback,
+                    oscillations,
+                    active,
+                } => {
+                    if *t != s.now {
+                        return fail(
+                            line,
+                            format!("step line t={t} but current step is {}", s.now),
+                        );
+                    }
+                    // Safe deflections must recycle an arrival edge: one
+                    // some packet crossed forward in the previous step
+                    // (Lemma 2.1 edge recycling).
+                    for &(edge, defl_line) in &batch.safe_backward {
+                        if !prev_forward.contains_key(&edge) {
+                            return fail(
+                                defl_line,
+                                format!(
+                                    "safe deflection over edge {edge} in step {t} but no packet \
+                                     arrived forward over it in step {}",
+                                    t.wrapping_sub(1)
+                                ),
+                            );
+                        }
+                    }
+                    if let Some(&(pkt, move_line)) = batch.landed.first() {
+                        return fail(
+                            move_line,
+                            format!(
+                                "packet {pkt} landed on its destination in step {t} but was \
+                                 never delivered"
+                            ),
+                        );
+                    }
+                    let report = [
+                        ("moved", *moved, batch.moves),
+                        ("absorbed", *absorbed, batch.delivers),
+                        ("injected", *injected, batch.injections),
+                        ("deflections", *deflections, batch.deflections),
+                        ("fallback", *fallback, batch.fallback),
+                        ("oscillations", *oscillations, batch.oscillations),
+                    ];
+                    for (name, claimed, counted) in report {
+                        if claimed != counted {
+                            return fail(
+                                line,
+                                format!(
+                                    "step {t} claims {name}={claimed} but the event stream \
+                                     shows {counted}"
+                                ),
+                            );
+                        }
+                    }
+                    if model == Model::Bufferless {
+                        if *active != s.active as u64 {
+                            return fail(
+                                line,
+                                format!(
+                                    "step {t} claims active={active} but the event stream shows \
+                                     {}",
+                                    s.active
+                                ),
+                            );
+                        }
+                        // Bufferless: every packet in flight at the start
+                        // of the step must have moved during it.
+                        if let Some(p) =
+                            (0..n).find(|&p| s.pos[p].is_some() && s.last_move_step[p] != s.now)
+                        {
+                            return fail(
+                                line,
+                                format!("packet {p} rested in step {t} (hot-potato violation)"),
+                            );
+                        }
+                    }
+                    s.now += 1;
+                    prev_forward = std::mem::take(&mut batch.forward_edges);
+                    batch = Batch::default();
+                }
+                TraceEvent::Sets { num_sets: k, sets } => {
+                    if sets.len() != n {
+                        return fail(
+                            line,
+                            format!("sets line covers {} packets, instance has {n}", sets.len()),
+                        );
+                    }
+                    if let Some(bad) = sets.iter().find(|&&x| x >= *k) {
+                        return fail(line, format!("set id {bad} out of range (num_sets={k})"));
+                    }
+                    num_sets = Some(*k);
+                }
+                TraceEvent::Frontier { set, .. } | TraceEvent::Congestion { set, .. } => {
+                    if let Some(k) = num_sets {
+                        if *set >= k {
+                            return fail(
+                                line,
+                                format!("frontier-set id {set} out of range (num_sets={k})"),
+                            );
+                        }
+                    }
+                }
+                TraceEvent::PhaseStart { .. }
+                | TraceEvent::PhaseEnd { .. }
+                | TraceEvent::Section { .. } => {}
+            }
+        }
+
+        if batch.moves > 0 {
+            return fail(last, "trace ends mid-step (moves after the last step line)");
+        }
+        Ok(s)
+    }
+
+    /// Compares the reconstructed end state with the stats envelope.
+    fn check_stats(&self, stats: &StatsLine, stats_line_no: usize) -> Result<(), VerifyError> {
+        if stats.steps != self.now {
+            return fail(
+                stats_line_no,
+                format!(
+                    "stats claim {} steps but the trace contains {}",
+                    stats.steps, self.now
+                ),
+            );
+        }
+        for (name, len) in [
+            ("injected_at", stats.injected_at.len()),
+            ("delivered_at", stats.delivered_at.len()),
+            ("deflections", stats.deflections.len()),
+        ] {
+            if len != self.n {
+                return fail(
+                    stats_line_no,
+                    format!(
+                        "stats field '{name}' covers {len} packets, instance has {}",
+                        self.n
+                    ),
+                );
+            }
+        }
+        for p in 0..self.n {
+            let claimed = stats.delivered_at[p].is_some();
+            if claimed != self.delivered[p] {
+                return fail(
+                    stats_line_no,
+                    format!(
+                        "stats and trace disagree on delivery of packet {p} \
+                         (stats: {claimed}, trace: {})",
+                        self.delivered[p]
+                    ),
+                );
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Exact per-packet comparison between the reconstructed timelines and
+/// the stats envelope (the acceptance contract: totals match RouteStats).
+fn check_timelines_against_stats(
+    timelines: &[PacketTimeline],
+    stats: &StatsLine,
+    model: Model,
+    stats_line_no: usize,
+) -> Result<(), VerifyError> {
+    for (p, tl) in timelines.iter().enumerate() {
+        let rows = [
+            ("injected_at", tl.injected_at, stats.injected_at[p]),
+            ("delivered_at", tl.delivered_at, stats.delivered_at[p]),
+        ];
+        for (name, mine, theirs) in rows {
+            if mine != theirs {
+                return fail(
+                    stats_line_no,
+                    format!("packet {p}: timeline {name}={mine:?} but stats say {theirs:?}"),
+                );
+            }
+        }
+        if tl.deflections != stats.deflections[p] {
+            return fail(
+                stats_line_no,
+                format!(
+                    "packet {p}: timeline counts {} deflections but stats say {}",
+                    tl.deflections, stats.deflections[p]
+                ),
+            );
+        }
+        // The hot-potato latency identity: every in-flight step is
+        // exactly one move. Buffered (store-and-forward) packets may
+        // rest in queues, so the identity only binds bufferless traces.
+        if model == Model::Buffered {
+            continue;
+        }
+        if let (Some(lat), false) = (tl.latency(), tl.trivial) {
+            let moves = u64::from(tl.advances + tl.deflections + tl.oscillations);
+            if lat != moves {
+                return fail(
+                    stats_line_no,
+                    format!(
+                        "packet {p}: latency {lat} != anatomy total {moves} \
+                         (advances + deflections + oscillations)"
+                    ),
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Folds the trace into a [`RunRecord`] + [`RouteStats`] and runs the
+/// independent in-memory auditor over them.
+fn cross_check_replay(
+    problem: &Arc<RoutingProblem>,
+    trace: &Trace,
+    stats: &StatsLine,
+) -> Result<(), VerifyError> {
+    let mut record = RunRecord::default();
+    for ev in &trace.events {
+        match *ev {
+            TraceEvent::Move {
+                t,
+                pkt,
+                edge,
+                dir,
+                kind,
+            } => record.moves.push(MoveEvent {
+                time: t,
+                pkt: PacketId(pkt),
+                mv: DirectedEdge { edge, dir },
+                kind,
+            }),
+            TraceEvent::Trivial { t, pkt } => record.trivial.push(TrivialDelivery {
+                time: t,
+                pkt: PacketId(pkt),
+            }),
+            _ => {}
+        }
+    }
+    let mut rs = RouteStats::new(problem.num_packets());
+    rs.steps_run = stats.steps;
+    rs.injected_at = stats.injected_at.clone();
+    rs.delivered_at = stats.delivered_at.clone();
+    rs.deflections = stats.deflections.clone();
+    replay::verify(problem, &record, &rs)
+        .map(|_| ())
+        .map_err(|e| VerifyError {
+            line: 0,
+            msg: format!("independent replay auditor disagrees: {e}"),
+        })
+}

@@ -1,0 +1,54 @@
+//! Shared recording helper for the trace integration tests: runs the
+//! Busch router on a spec-described instance and captures the enveloped
+//! JSONL trace exactly as `hotpotato route --trace-out` writes it.
+
+use busch_router::{BuschConfig, BuschRouter, Params};
+use hotpotato_sim::{JsonlTraceObserver, RouteObserver, RouteStats, Router};
+use hotpotato_trace::schema;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use routing_core::spec;
+
+/// Routes `topo_spec`/`workload_spec` under `seed` with the default
+/// Busch configuration, streaming events into a `JsonlTraceObserver`
+/// composed with `extra`, and returns the complete trace text (meta
+/// line, event lines, stats line), the run statistics, and `extra`.
+///
+/// The rng discipline mirrors the CLI: workload generation and routing
+/// share one `ChaCha8Rng` seeded from `seed`, which is what makes the
+/// trace reproducible from its meta line alone.
+pub fn record_busch_with<O: RouteObserver>(
+    topo_spec: &str,
+    workload_spec: &str,
+    seed: u64,
+    extra: O,
+) -> (String, RouteStats, O) {
+    let topo = spec::parse_topo(topo_spec).expect("topology spec");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let problem = spec::parse_workload(workload_spec, &topo, &mut rng).expect("workload spec");
+
+    let meta = schema::Meta {
+        schema: schema::SCHEMA_VERSION,
+        topo: topo_spec.to_string(),
+        workload: workload_spec.to_string(),
+        algo: "busch".to_string(),
+        seed,
+        packets: problem.num_packets() as u64,
+        levels: topo.net.num_levels() as u64,
+        congestion: u64::from(problem.congestion()),
+        dilation: u64::from(problem.dilation()),
+    };
+
+    let router = BuschRouter::with_config(BuschConfig::new(Params::auto(&problem)));
+    let mut observer = (extra, JsonlTraceObserver::new(Vec::new()));
+    let out = Router::route(&router, &problem, &mut rng, &mut observer);
+    let (extra, trace) = observer;
+    let body = trace.finish().expect("in-memory sink cannot fail");
+
+    let mut text = schema::meta_line(&meta);
+    text.push('\n');
+    text.push_str(std::str::from_utf8(&body).expect("observer emits UTF-8"));
+    text.push_str(&schema::stats_line(&out.stats));
+    text.push('\n');
+    (text, out.stats, extra)
+}

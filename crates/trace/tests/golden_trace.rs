@@ -1,0 +1,121 @@
+//! Golden end-to-end verification: a real bf(10) bit-reversal Busch run
+//! must verify with zero violations and per-packet timelines exactly
+//! matching the run's own `RouteStats`, and corrupted traces must be
+//! rejected with a precise first-divergence line number.
+
+mod common;
+
+use common::record_busch_with;
+use hotpotato_sim::{NoopObserver, RouteStats};
+use hotpotato_trace::{verify_trace, Trace};
+use std::sync::OnceLock;
+
+#[test]
+fn golden_bf10_bitrev_verifies_with_zero_violations() {
+    let (text, stats, _) = record_busch_with("bf:10", "bitrev", 7, NoopObserver);
+    let trace = Trace::parse(&text).expect("recorded trace parses");
+    let report = verify_trace(&trace).expect("zero violations");
+
+    assert_eq!(report.packets, 1024);
+    assert_eq!(report.delivered, 1024);
+    assert_eq!(report.steps, stats.steps_run);
+    assert!(
+        report.replay_cross_checked,
+        "bufferless trace must pass the independent replay audit"
+    );
+
+    // The acceptance bar: timelines rebuilt from the event stream alone
+    // agree with the engine's own bookkeeping, packet by packet.
+    assert_eq!(report.timelines.len(), stats.deflections.len());
+    for (i, tl) in report.timelines.iter().enumerate() {
+        assert_eq!(tl.injected_at, stats.injected_at[i], "packet {i} injection");
+        assert_eq!(
+            tl.delivered_at, stats.delivered_at[i],
+            "packet {i} delivery"
+        );
+        assert_eq!(
+            tl.deflections, stats.deflections[i],
+            "packet {i} deflections"
+        );
+    }
+    let total: u64 = stats.deflections.iter().map(|&d| u64::from(d)).sum();
+    assert_eq!(report.deflections, total);
+}
+
+/// One small recorded run shared by the corruption tests.
+fn small_trace() -> &'static (String, RouteStats) {
+    static TRACE: OnceLock<(String, RouteStats)> = OnceLock::new();
+    TRACE.get_or_init(|| {
+        let (text, stats, _) = record_busch_with("bf:6", "bitrev", 1, NoopObserver);
+        (text, stats)
+    })
+}
+
+/// Rewrites the value of `"key":<value>` in a single JSONL line.
+fn set_field(line: &str, key: &str, value: &str) -> String {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat).expect("field present") + pat.len();
+    let end = line[start..].find([',', '}']).expect("value terminator") + start;
+    format!("{}{}{}", &line[..start], value, &line[end..])
+}
+
+#[test]
+fn corrupted_packet_id_is_rejected_at_the_exact_line() {
+    let (text, _) = small_trace();
+    let mut lines: Vec<String> = text.lines().map(String::from).collect();
+    let victim = lines
+        .iter()
+        .position(|l| l.contains("\"ev\":\"move\""))
+        .expect("trace has moves");
+    lines[victim] = set_field(&lines[victim], "pkt", "100000");
+    let trace = Trace::parse(&(lines.join("\n") + "\n")).unwrap();
+    let err = verify_trace(&trace).unwrap_err();
+    assert_eq!(err.line, victim + 1, "{err}");
+    assert!(
+        err.to_string().contains("first divergence"),
+        "diagnostic names the divergence: {err}"
+    );
+}
+
+#[test]
+fn corrupted_step_counters_are_rejected_at_the_exact_line() {
+    let (text, _) = small_trace();
+    let mut lines: Vec<String> = text.lines().map(String::from).collect();
+    let victim = lines
+        .iter()
+        .position(|l| l.contains("\"ev\":\"step\""))
+        .expect("trace has steps");
+    let old = &lines[victim];
+    let bumped = {
+        let pat = "\"deflections\":";
+        let start = old.find(pat).unwrap() + pat.len();
+        let end = old[start..].find([',', '}']).unwrap() + start;
+        let n: u64 = old[start..end].parse().unwrap();
+        set_field(old, "deflections", &(n + 1).to_string())
+    };
+    lines[victim] = bumped;
+    let trace = Trace::parse(&(lines.join("\n") + "\n")).unwrap();
+    let err = verify_trace(&trace).unwrap_err();
+    assert_eq!(err.line, victim + 1, "{err}");
+}
+
+#[test]
+fn truncated_trace_is_rejected() {
+    let (text, _) = small_trace();
+    let mut lines: Vec<String> = text.lines().map(String::from).collect();
+    lines.pop(); // drop the stats envelope
+    let trace = Trace::parse(&(lines.join("\n") + "\n")).unwrap();
+    assert!(verify_trace(&trace).is_err(), "missing stats must fail");
+}
+
+#[test]
+fn tampered_stats_envelope_is_rejected() {
+    let (text, _) = small_trace();
+    let mut lines: Vec<String> = text.lines().map(String::from).collect();
+    let last = lines.len() - 1;
+    assert!(lines[last].contains("\"ev\":\"stats\""));
+    lines[last] = set_field(&lines[last], "steps", "1");
+    let trace = Trace::parse(&(lines.join("\n") + "\n")).unwrap();
+    let err = verify_trace(&trace).unwrap_err();
+    assert_eq!(err.line, last + 1, "{err}");
+}

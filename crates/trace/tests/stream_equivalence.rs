@@ -1,0 +1,99 @@
+//! The bounded StreamingAggregator must agree with offline full-trace
+//! analysis: at high resolution its per-phase buckets equal the
+//! `analyze()` phase rows, and at a tiny cap its memory stays bounded
+//! while the totals remain exact.
+
+mod common;
+
+use common::record_busch_with;
+use hotpotato_trace::{analyze, StreamingAggregator, Trace};
+
+#[test]
+fn aggregator_matches_full_trace_analysis() {
+    // One run feeds two aggregators (uncapped-in-practice and tiny) plus
+    // the JSONL trace, so all three views describe the same events.
+    let (text, stats, (hi, lo)) = record_busch_with(
+        "bf:6",
+        "bitrev",
+        1,
+        (StreamingAggregator::new(1024), StreamingAggregator::new(4)),
+    );
+    let trace = Trace::parse(&text).unwrap();
+    let a = analyze(&trace);
+
+    // High-resolution: phase-keyed, never merged, one bucket per phase.
+    assert_eq!(hi.scale(), 1);
+    assert_eq!(hi.merges(), 0);
+    assert!(!hi.buckets().is_empty());
+    for b in hi.buckets() {
+        assert_eq!(b.key_lo, b.key_hi, "unmerged buckets hold one phase");
+        let row = a
+            .phases
+            .iter()
+            .find(|r| r.phase == b.key_lo)
+            .unwrap_or_else(|| panic!("no analysis row for phase {}", b.key_lo));
+        assert_eq!(
+            b.steps,
+            row.end_t - row.start_t,
+            "phase {} steps",
+            row.phase
+        );
+        assert_eq!(b.moved, row.moves, "phase {} moves", row.phase);
+        assert_eq!(
+            b.deflections, row.deflections,
+            "phase {} deflections",
+            row.phase
+        );
+        assert_eq!(b.fallback, row.fallback, "phase {} fallback", row.phase);
+        assert_eq!(
+            b.oscillations, row.oscillations,
+            "phase {} oscillations",
+            row.phase
+        );
+        assert_eq!(b.injected, row.injections, "phase {} injections", row.phase);
+    }
+
+    // Totals line up with both the analysis and the engine stats.
+    let t = hi.totals();
+    assert_eq!(t.steps, stats.steps_run);
+    assert_eq!(t.steps, a.steps);
+    assert_eq!(t.moved, a.moves);
+    assert_eq!(t.deflections, a.deflections);
+    assert_eq!(t.oscillations, a.oscillations);
+    assert_eq!(t.injected, a.injections);
+    // Trivial deliveries never enter the network, so they are absent
+    // from the per-step absorption counts.
+    assert_eq!(t.absorbed, a.deliveries - a.trivial);
+
+    // Tiny cap: memory bounded, resolution degraded, sums still exact.
+    assert!(
+        lo.buckets().len() <= 4,
+        "cap violated: {}",
+        lo.buckets().len()
+    );
+    assert!(lo.merges() > 0, "a long run must trigger merges at cap 4");
+    assert_eq!(lo.totals(), hi.totals());
+    let sum = |f: fn(&hotpotato_trace::stream::Bucket) -> u64| -> u64 {
+        lo.buckets().iter().map(f).sum()
+    };
+    assert_eq!(sum(|b| b.steps), t.steps);
+    assert_eq!(sum(|b| b.moved), t.moved);
+    assert_eq!(sum(|b| b.deflections), t.deflections);
+    assert_eq!(sum(|b| b.oscillations), t.oscillations);
+    assert_eq!(sum(|b| b.absorbed), t.absorbed);
+    // Buckets tile the phase axis without gaps or overlap.
+    let mut next = 0;
+    for b in lo.buckets() {
+        assert_eq!(b.key_lo, next, "gap before phase {}", b.key_lo);
+        next = b.key_hi + 1;
+    }
+
+    // The JSON report mirrors the same numbers.
+    let doc = lo.to_json();
+    assert_eq!(doc["keyed_by"].as_str(), Some("phase"));
+    assert_eq!(doc["totals"]["moved"].as_u64(), Some(t.moved));
+    assert_eq!(
+        doc["buckets"].as_array().map(Vec::len),
+        Some(lo.buckets().len())
+    );
+}

@@ -5,6 +5,10 @@
 //! hotpotato route --topo <SPEC> --workload <WL> [--algo A] [--seed S]
 //!                 [--params m,w,q,sets] [--verify] [--json]
 //!                 [--metrics-out PATH] [--trace-out PATH]
+//!                 [--aggregate-out PATH] [--aggregate-cap N]
+//! hotpotato trace verify <FILE>          replay-verify a recorded trace
+//! hotpotato trace analyze <FILE> [--out PATH]   aggregate trace report
+//! hotpotato trace diff <A> <B>           compare two trace analyses
 //! hotpotato params <C> <L> <N>           paper §2.1 parameter calculator
 //! hotpotato frames <L> <m> <sets>        frontier-frame schedule (Fig. 2)
 //!
@@ -26,6 +30,8 @@
 //! hotpotato topo butterfly:5
 //! hotpotato route --topo butterfly:6 --workload bitrev --algo busch --verify
 //! hotpotato route --topo butterfly:6 --workload bitrev --metrics-out metrics.json
+//! hotpotato route --topo butterfly:6 --workload bitrev --trace-out run.jsonl
+//! hotpotato trace verify run.jsonl
 //! hotpotato route --topo mesh:16x16 --workload transpose --algo sf
 //! hotpotato params 64 32 1024
 //! ```
@@ -34,21 +40,21 @@ use baselines::{
     GreedyConfig, GreedyPriority, GreedyRouter, RandomPriorityRouter, StoreForwardRouter,
 };
 use busch_router::{BuschConfig, BuschRouter, FrameSchedule, InvariantReport, PaperParams, Params};
-use hotpotato_routing::prelude::*;
 use hotpotato_sim::{JsonlTraceObserver, MetricsObserver, Router};
-use leveled_net::builders::{ButterflyCoords, MeshCoords, MeshCorner};
-use leveled_net::{render, LeveledNetwork};
+use hotpotato_trace::{schema, StreamingAggregator, Trace};
+use leveled_net::render;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use routing_core::spec::{parse_topo, parse_workload};
 use std::io::Write as _;
 use std::process::exit;
-use std::sync::Arc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(|s| s.as_str()) {
         Some("topo") => cmd_topo(&args[1..]),
         Some("route") => cmd_route(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("params") => cmd_params(&args[1..]),
         Some("frames") => cmd_frames(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
@@ -73,6 +79,10 @@ fn print_usage() {
          \u{20}  hotpotato route --topo <SPEC> --workload <WL> [--algo A] [--seed S]\n\
          \u{20}                  [--params m,w,q,sets] [--verify] [--json]\n\
          \u{20}                  [--metrics-out PATH] [--trace-out PATH]\n\
+         \u{20}                  [--aggregate-out PATH] [--aggregate-cap N]\n\
+         \u{20}  hotpotato trace verify <FILE>\n\
+         \u{20}  hotpotato trace analyze <FILE> [--out PATH]\n\
+         \u{20}  hotpotato trace diff <A> <B>\n\
          \u{20}  hotpotato params <C> <L> <N>\n\
          \u{20}  hotpotato frames <L> <m> <sets>\n\
          \n\
@@ -83,156 +93,6 @@ fn print_usage() {
          \u{20}           funnel:N level:FROM:TO blast:FROM:TO\n\
          algorithms: busch greedy ftg rank sf sfrank"
     );
-}
-
-/// The parsed topology plus coordinate helpers some workloads need.
-struct Topo {
-    net: Arc<LeveledNetwork>,
-    butterfly: Option<ButterflyCoords>,
-    mesh: Option<MeshCoords>,
-}
-
-fn parse_topo(spec: &str) -> Result<Topo, String> {
-    let parts: Vec<&str> = spec.split(':').collect();
-    let kind = parts[0];
-    let arg = |i: usize| -> Result<&str, String> {
-        parts
-            .get(i)
-            .copied()
-            .ok_or_else(|| format!("topology '{kind}' needs an argument at position {i}"))
-    };
-    let num = |s: &str| -> Result<u32, String> {
-        s.parse::<u32>().map_err(|_| format!("bad number '{s}'"))
-    };
-    let plain = |net: LeveledNetwork| Topo {
-        net: Arc::new(net),
-        butterfly: None,
-        mesh: None,
-    };
-    match kind {
-        "butterfly" | "bf" => {
-            let k = num(arg(1)?)?;
-            if !(1..28).contains(&k) {
-                return Err(format!("butterfly dimension {k} out of range (1..=27)"));
-            }
-            Ok(Topo {
-                net: Arc::new(builders::butterfly(k)),
-                butterfly: Some(ButterflyCoords { k }),
-                mesh: None,
-            })
-        }
-        "mesh" => {
-            let dims: Vec<&str> = arg(1)?.split('x').collect();
-            if dims.len() != 2 {
-                return Err("mesh needs RxC, e.g. mesh:8x8".into());
-            }
-            let (r, c) = (num(dims[0])? as usize, num(dims[1])? as usize);
-            let corner = match parts.get(2).copied().unwrap_or("tl") {
-                "tl" => MeshCorner::TopLeft,
-                "tr" => MeshCorner::TopRight,
-                "bl" => MeshCorner::BottomLeft,
-                "br" => MeshCorner::BottomRight,
-                other => return Err(format!("unknown mesh corner '{other}'")),
-            };
-            let (net, coords) = builders::mesh(r, c, corner);
-            Ok(Topo {
-                net: Arc::new(net),
-                butterfly: None,
-                mesh: Some(coords),
-            })
-        }
-        "linear" => Ok(plain(builders::linear_array(num(arg(1)?)? as usize))),
-        "complete" => {
-            let dims: Vec<&str> = arg(1)?.split('x').collect();
-            if dims.len() != 2 {
-                return Err("complete needs LxW, e.g. complete:10x4".into());
-            }
-            Ok(plain(builders::complete_leveled(
-                num(dims[0])?,
-                num(dims[1])? as usize,
-            )))
-        }
-        "hypercube" => Ok(plain(builders::hypercube(num(arg(1)?)?).0)),
-        "tree" => Ok(plain(builders::binary_tree(num(arg(1)?)?))),
-        "fattree" => {
-            let h = num(arg(1)?)?;
-            let cap = parts.get(2).map(|s| num(s)).transpose()?.unwrap_or(4) as usize;
-            Ok(plain(builders::fat_tree(h, cap)))
-        }
-        "shuffle" => {
-            let k = num(arg(1)?)?;
-            if !(1..28).contains(&k) {
-                return Err(format!(
-                    "shuffle-exchange dimension {k} out of range (1..=27)"
-                ));
-            }
-            Ok(plain(builders::shuffle_exchange_unrolled(k)))
-        }
-        "benes" => {
-            let k = num(arg(1)?)?;
-            if !(1..27).contains(&k) {
-                return Err(format!("Beneš dimension {k} out of range (1..=26)"));
-            }
-            Ok(plain(builders::benes(k).0))
-        }
-        "random" => {
-            let l = num(arg(1)?)?;
-            let wmax = parts.get(2).map(|s| num(s)).transpose()?.unwrap_or(4) as usize;
-            let prob = parts
-                .get(3)
-                .map(|s| {
-                    s.parse::<f64>()
-                        .map_err(|_| format!("bad probability '{s}'"))
-                })
-                .transpose()?
-                .unwrap_or(0.3);
-            let seed = parts.get(4).map(|s| num(s)).transpose()?.unwrap_or(1) as u64;
-            let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            Ok(plain(builders::random_leveled(l, 1..=wmax, prob, &mut rng)))
-        }
-        other => Err(format!("unknown topology '{other}'")),
-    }
-}
-
-fn parse_workload(
-    spec: &str,
-    topo: &Topo,
-    rng: &mut ChaCha8Rng,
-) -> Result<Arc<routing_core::RoutingProblem>, String> {
-    let parts: Vec<&str> = spec.split(':').collect();
-    let num = |i: usize| -> Result<usize, String> {
-        parts
-            .get(i)
-            .ok_or_else(|| format!("workload '{}' needs an argument", parts[0]))?
-            .parse::<usize>()
-            .map_err(|e| format!("bad number: {e}"))
-    };
-    let net = &topo.net;
-    match parts[0] {
-        "pairs" => workloads::random_pairs(net, num(1)?, rng).map_err(|e| e.to_string()),
-        "m2m" => workloads::many_to_many(net, num(1)?, rng).map_err(|e| e.to_string()),
-        "permutation" | "perm" => {
-            let coords = topo
-                .butterfly
-                .ok_or("permutation needs a butterfly topology")?;
-            Ok(workloads::butterfly_permutation(net, &coords, rng))
-        }
-        "bitrev" => {
-            let coords = topo.butterfly.ok_or("bitrev needs a butterfly topology")?;
-            Ok(workloads::butterfly_bit_reversal(net, &coords))
-        }
-        "transpose" => {
-            let coords = topo.mesh.ok_or("transpose needs a mesh topology")?;
-            workloads::mesh_transpose(net, &coords).map_err(|e| e.to_string())
-        }
-        "hotspot" => workloads::hotspot(net, num(1)?, num(2)?, rng).map_err(|e| e.to_string()),
-        "funnel" => workloads::funnel(net, num(1)?, rng).map_err(|e| e.to_string()),
-        "level" => workloads::level_to_level(net, num(1)? as u32, num(2)? as u32, rng)
-            .map_err(|e| e.to_string()),
-        "blast" => workloads::first_fit_blast(net, num(1)? as u32, num(2)? as u32)
-            .map_err(|e| e.to_string()),
-        other => Err(format!("unknown workload '{other}'")),
-    }
 }
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -280,6 +140,10 @@ fn cmd_route(args: &[String]) -> i32 {
     let json = args.iter().any(|a| a == "--json");
     let metrics_out = flag_value(args, "--metrics-out");
     let trace_out = flag_value(args, "--trace-out");
+    let aggregate_out = flag_value(args, "--aggregate-out");
+    let aggregate_cap: usize = flag_value(args, "--aggregate-cap")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
 
     let topo = match parse_topo(topo_spec) {
         Ok(t) => t,
@@ -373,21 +237,42 @@ fn cmd_route(args: &[String]) -> i32 {
     };
 
     // Optional event sinks; `(Option<A>, Option<B>)` is itself an
-    // observer, and with both sides `None` every hook is a no-op.
+    // observer, and with all sides `None` every hook is a no-op. Trace
+    // files are wrapped in a meta/stats envelope so `hotpotato trace
+    // verify` can rebuild the instance offline.
     let metrics = metrics_out.map(|_| MetricsObserver::new(&problem).with_occupancy_sampling(64));
     let trace = match trace_out {
-        Some(path) => match std::fs::File::create(path) {
-            Ok(f) => Some(JsonlTraceObserver::new(std::io::BufWriter::new(f))),
-            Err(e) => {
-                eprintln!("error: cannot create {path}: {e}");
-                return 2;
+        Some(path) => {
+            let meta = schema::Meta {
+                schema: schema::SCHEMA_VERSION,
+                topo: topo_spec.to_string(),
+                workload: wl_spec.to_string(),
+                algo: algo.to_string(),
+                seed,
+                packets: problem.num_packets() as u64,
+                levels: topo.net.num_levels() as u64,
+                congestion: u64::from(problem.congestion()),
+                dilation: u64::from(problem.dilation()),
+            };
+            let sink = std::fs::File::create(path).and_then(|f| {
+                let mut w = std::io::BufWriter::new(f);
+                writeln!(w, "{}", schema::meta_line(&meta))?;
+                Ok(w)
+            });
+            match sink {
+                Ok(w) => Some(JsonlTraceObserver::new(w)),
+                Err(e) => {
+                    eprintln!("error: cannot create {path}: {e}");
+                    return 2;
+                }
             }
-        },
+        }
         None => None,
     };
-    let mut observer = (metrics, trace);
+    let aggregate = aggregate_out.map(|_| StreamingAggregator::new(aggregate_cap));
+    let mut observer = ((metrics, trace), aggregate);
     let out = router.route(&problem, &mut rng, &mut observer);
-    let (metrics, trace) = observer;
+    let ((metrics, trace), aggregate) = observer;
 
     if let (Some(path), Some(metrics)) = (metrics_out, metrics) {
         let doc = serde_json::json!({
@@ -409,10 +294,28 @@ fn cmd_route(args: &[String]) -> i32 {
     }
     if let Some(trace) = trace {
         let path = trace_out.expect("trace sink implies --trace-out");
-        match trace.finish().and_then(|mut w| w.flush()) {
+        let close = trace.finish().and_then(|mut w| {
+            writeln!(w, "{}", schema::stats_line(&out.stats))?;
+            w.flush()
+        });
+        match close {
             Ok(()) => {
                 if !json {
                     println!("trace:    written to {path}");
+                }
+            }
+            Err(e) => {
+                eprintln!("error: writing {path}: {e}");
+                return 1;
+            }
+        }
+    }
+    if let (Some(path), Some(aggregate)) = (aggregate_out, aggregate) {
+        let doc = aggregate.to_json();
+        match std::fs::write(path, serde_json::to_string_pretty(&doc).expect("serialize")) {
+            Ok(()) => {
+                if !json {
+                    println!("rollup:   written to {path}");
                 }
             }
             Err(e) => {
@@ -493,6 +396,111 @@ fn cmd_route(args: &[String]) -> i32 {
         }
     }
     i32::from(!out.stats.all_delivered())
+}
+
+/// Reads and strictly parses a JSONL trace file.
+fn load_trace(path: &str) -> Result<Trace, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Trace::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_trace(args: &[String]) -> i32 {
+    let usage = || {
+        eprintln!(
+            "usage: hotpotato trace verify <FILE>\n\
+             \u{20}      hotpotato trace analyze <FILE> [--out PATH]\n\
+             \u{20}      hotpotato trace diff <A> <B>"
+        );
+        2
+    };
+    match args.first().map(|s| s.as_str()) {
+        Some("verify") => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            let trace = match load_trace(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 2;
+                }
+            };
+            match hotpotato_trace::verify_trace(&trace) {
+                Ok(rep) => {
+                    if let Some(m) = trace.meta() {
+                        println!(
+                            "instance: {} / {} / {} (seed {})",
+                            m.topo, m.workload, m.algo, m.seed
+                        );
+                    }
+                    println!(
+                        "verified: {} packets, {} steps, {} moves ({} fwd / {} bwd)",
+                        rep.packets, rep.steps, rep.moves, rep.forward, rep.backward
+                    );
+                    println!(
+                        "\u{20}         {} delivered ({} trivial), {} deflections, {} \
+                         oscillations, 0 violations",
+                        rep.delivered, rep.trivial, rep.deflections, rep.oscillations
+                    );
+                    if rep.replay_cross_checked {
+                        println!("replay:   independent auditor concurs");
+                    } else {
+                        println!("replay:   skipped (buffered store-and-forward trace)");
+                    }
+                    0
+                }
+                Err(e) => {
+                    eprintln!("verify:   FAILED: {e}");
+                    1
+                }
+            }
+        }
+        Some("analyze") => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            let trace = match load_trace(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 2;
+                }
+            };
+            let report = hotpotato_trace::analyze(&trace).to_json();
+            let text = serde_json::to_string_pretty(&report).expect("serialize");
+            match flag_value(args, "--out") {
+                Some(out) => {
+                    if let Err(e) = std::fs::write(out, text) {
+                        eprintln!("error: writing {out}: {e}");
+                        return 1;
+                    }
+                    println!("report:   written to {out}");
+                }
+                None => println!("{text}"),
+            }
+            0
+        }
+        Some("diff") => {
+            let (Some(a), Some(b)) = (args.get(1), args.get(2)) else {
+                return usage();
+            };
+            let traces = load_trace(a).and_then(|ta| load_trace(b).map(|tb| (ta, tb)));
+            let (ta, tb) = match traces {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 2;
+                }
+            };
+            let doc = hotpotato_trace::diff(
+                &hotpotato_trace::analyze(&ta),
+                &hotpotato_trace::analyze(&tb),
+            );
+            println!("{}", serde_json::to_string_pretty(&doc).expect("serialize"));
+            0
+        }
+        _ => usage(),
+    }
 }
 
 fn cmd_params(args: &[String]) -> i32 {
