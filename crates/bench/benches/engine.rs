@@ -53,7 +53,7 @@ fn bench_conflict(c: &mut Criterion) {
                 conflict::resolve(&sim, node, &contenders, true, &mut rng)
                     .expect("resolvable")
                     .len()
-            })
+            });
         });
     }
     g.finish();
@@ -107,7 +107,7 @@ fn bench_engine_step(c: &mut Criterion) {
                     sim.now()
                 },
                 BatchSize::SmallInput,
-            )
+            );
         });
     }
     g.finish();
@@ -128,7 +128,7 @@ fn bench_store_forward(c: &mut Criterion) {
             );
             assert!(out.stats.all_delivered());
             out.stats.steps_run
-        })
+        });
     });
     g.finish();
 }
@@ -151,7 +151,7 @@ fn bench_replay(c: &mut Criterion) {
             hotpotato_sim::replay::verify(&prob, &record, &out.stats)
                 .expect("clean run")
                 .moves
-        })
+        });
     });
     g.finish();
 }

@@ -27,7 +27,7 @@ fn bench_t1_scaling(c: &mut Criterion) {
                 let out = BuschRouter::new(params).route(&prob, &mut rng);
                 assert!(out.stats.all_delivered());
                 out.stats.steps_run
-            })
+            });
         });
     }
     g.finish();
@@ -48,11 +48,11 @@ fn bench_t4_comparison(c: &mut Criterion) {
                 .route(&prob, &mut rng)
                 .stats
                 .steps_run
-        })
+        });
     });
     g.bench_function("greedy", |b| {
         let mut rng = ChaCha8Rng::seed_from_u64(4);
-        b.iter(|| GreedyRouter::new().route(&prob, &mut rng).stats.steps_run)
+        b.iter(|| GreedyRouter::new().route(&prob, &mut rng).stats.steps_run);
     });
     g.bench_function("random_priority", |b| {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
@@ -61,7 +61,7 @@ fn bench_t4_comparison(c: &mut Criterion) {
                 .route(&prob, &mut rng)
                 .stats
                 .steps_run
-        })
+        });
     });
     g.bench_function("store_forward_fifo", |b| {
         let mut rng = ChaCha8Rng::seed_from_u64(6);
@@ -70,7 +70,7 @@ fn bench_t4_comparison(c: &mut Criterion) {
                 .route(&prob, &mut rng)
                 .stats
                 .steps_run
-        })
+        });
     });
     g.finish();
 }
@@ -88,7 +88,7 @@ fn bench_t5_mesh(c: &mut Criterion) {
                 let out = BuschRouter::new(params).route(&prob, &mut rng);
                 assert!(out.stats.all_delivered());
                 out.stats.steps_run
-            })
+            });
         });
     }
     g.finish();

@@ -12,17 +12,17 @@ use std::sync::Arc;
 fn bench_builders(c: &mut Criterion) {
     let mut g = c.benchmark_group("builders");
     g.bench_function("butterfly_10", |b| {
-        b.iter(|| builders::butterfly(10).num_edges())
+        b.iter(|| builders::butterfly(10).num_edges());
     });
     g.bench_function("mesh_64x64", |b| {
-        b.iter(|| builders::mesh(64, 64, MeshCorner::TopLeft).0.num_edges())
+        b.iter(|| builders::mesh(64, 64, MeshCorner::TopLeft).0.num_edges());
     });
     g.bench_function("complete_32x16", |b| {
-        b.iter(|| builders::complete_leveled(32, 16).num_edges())
+        b.iter(|| builders::complete_leveled(32, 16).num_edges());
     });
     g.bench_function("random_leveled_L64", |b| {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        b.iter(|| builders::random_leveled(64, 4..=16, 0.3, &mut rng).num_edges())
+        b.iter(|| builders::random_leveled(64, 4..=16, 0.3, &mut rng).num_edges());
     });
     g.finish();
 }
@@ -32,18 +32,18 @@ fn bench_paths(c: &mut Criterion) {
     let net = builders::complete_leveled(32, 12);
     let dst = net.nodes_at_level(32)[0];
     g.bench_function("sampler_build_complete_32x12", |b| {
-        b.iter(|| MinimalPathSampler::new(&net, dst).reaches(net.nodes_at_level(0)[0]))
+        b.iter(|| MinimalPathSampler::new(&net, dst).reaches(net.nodes_at_level(0)[0]));
     });
     let sampler = MinimalPathSampler::new(&net, dst);
     let src = net.nodes_at_level(0)[0];
     g.bench_function("sample_one_path", |b| {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        b.iter(|| sampler.sample(&net, src, &mut rng).unwrap().len())
+        b.iter(|| sampler.sample(&net, src, &mut rng).unwrap().len());
     });
     let bf = builders::butterfly(12);
     let coords = ButterflyCoords { k: 12 };
     g.bench_function("bit_fixing_bf12", |b| {
-        b.iter(|| routing_core::paths::bit_fixing(&bf, &coords, 123, 3456).len())
+        b.iter(|| routing_core::paths::bit_fixing(&bf, &coords, 123, 3456).len());
     });
     g.finish();
 }
@@ -61,7 +61,7 @@ fn bench_levelize(c: &mut Criterion) {
         }
     }
     g.bench_function("random_dag_400", |b| {
-        b.iter(|| leveled_net::levelize(&dag).unwrap().net.num_edges())
+        b.iter(|| leveled_net::levelize(&dag).unwrap().net.num_edges());
     });
     g.bench_function("benes_8", |b| b.iter(|| builders::benes(8).0.num_edges()));
     g.finish();
@@ -73,7 +73,7 @@ fn bench_workloads(c: &mut Criterion) {
     let coords = ButterflyCoords { k: 8 };
     g.bench_function("butterfly_permutation_k8", |b| {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        b.iter(|| workloads::butterfly_permutation(&net, &coords, &mut rng).congestion())
+        b.iter(|| workloads::butterfly_permutation(&net, &coords, &mut rng).congestion());
     });
     g.bench_function("random_pairs_64_on_bf8", |b| {
         let mut rng = ChaCha8Rng::seed_from_u64(4);
@@ -81,7 +81,7 @@ fn bench_workloads(c: &mut Criterion) {
             workloads::random_pairs(&net, 64, &mut rng)
                 .unwrap()
                 .congestion()
-        })
+        });
     });
     g.finish();
 }

@@ -85,7 +85,7 @@ fn gate_mode(quick: bool, args: &[String]) -> ! {
         args.iter()
             .position(|a| a == name)
             .and_then(|i| args.get(i + 1))
-            .map(|s| s.as_str())
+            .map(std::string::String::as_str)
     };
     let perf_base_path = flag("--perf-baseline").unwrap_or("BENCH_PR1.json");
     let metrics_base_path = flag("--metrics-baseline").unwrap_or("METRICS_PR2.json");
@@ -194,7 +194,7 @@ fn main() {
             }
             !a.starts_with('-')
         })
-        .map(|s| s.as_str())
+        .map(std::string::String::as_str)
         .collect();
     let ids: Vec<&str> = if ids.is_empty() || ids.contains(&"all") {
         experiments::ALL.to_vec()

@@ -113,7 +113,7 @@ pub fn run(quick: bool) {
         let by_level: Vec<String> = metrics
             .deflections_by_level()
             .iter()
-            .map(|d| d.to_string())
+            .map(std::string::ToString::to_string)
             .collect();
         let hist: Vec<String> = metrics
             .deflection_histogram()

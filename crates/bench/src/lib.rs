@@ -24,6 +24,7 @@
 
 pub mod experiments;
 pub mod gate;
+pub mod pool_core;
 pub mod runner;
 pub mod table;
 

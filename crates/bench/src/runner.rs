@@ -138,26 +138,19 @@ pub fn configured_threads() -> usize {
         .and_then(|v| v.trim().parse::<usize>().ok())
     {
         Some(n) if n >= 1 => n,
-        _ => std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(4),
+        _ => std::thread::available_parallelism().map_or(4, std::num::NonZero::get),
     }
 }
 
-/// The persistent worker pool. Workers are spawned once (at first use) and
-/// reused by every sweep for the life of the process, so per-call cost is
-/// queue traffic rather than thread spawns.
+/// The persistent worker pool: a process-wide [`PoolCore`] spawned at
+/// first use and reused by every sweep, so per-call cost is queue
+/// traffic rather than thread spawns. The schedule-sensitive mechanics
+/// live in [`crate::pool_core`], where the loom model verifies them.
 mod pool {
-    use std::sync::{mpsc, Arc, Mutex, OnceLock};
+    use crate::pool_core::{Job, PoolCore};
+    use std::sync::OnceLock;
 
-    /// A unit of work shipped to a worker.
-    pub(super) type Job = Box<dyn FnOnce() + Send + 'static>;
-
-    struct Pool {
-        sender: mpsc::Sender<Job>,
-    }
-
-    static POOL: OnceLock<Pool> = OnceLock::new();
+    static POOL: OnceLock<PoolCore> = OnceLock::new();
 
     thread_local! {
         /// Set on pool workers so nested sweeps run inline instead of
@@ -167,43 +160,23 @@ mod pool {
 
     /// Whether the current thread is one of the pool's workers.
     pub(super) fn on_worker_thread() -> bool {
-        IS_WORKER.with(|w| w.get())
+        IS_WORKER.with(std::cell::Cell::get)
     }
 
-    fn pool() -> &'static Pool {
+    fn mark_worker() {
+        IS_WORKER.with(|w| w.set(true));
+    }
+
+    fn pool() -> &'static PoolCore {
         POOL.get_or_init(|| {
-            let workers = std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(4);
-            let (sender, receiver) = mpsc::channel::<Job>();
-            let receiver = Arc::new(Mutex::new(receiver));
-            for i in 0..workers {
-                let receiver = Arc::clone(&receiver);
-                std::thread::Builder::new()
-                    .name(format!("hotpotato-sweep-{i}"))
-                    .spawn(move || {
-                        IS_WORKER.with(|w| w.set(true));
-                        loop {
-                            // Hold the lock only while dequeueing.
-                            let job = match receiver.lock() {
-                                Ok(rx) => rx.recv(),
-                                Err(_) => break,
-                            };
-                            match job {
-                                Ok(job) => job(),
-                                Err(_) => break, // channel closed: shut down
-                            }
-                        }
-                    })
-                    .expect("spawn sweep worker");
-            }
-            Pool { sender }
+            let workers = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
+            PoolCore::new(workers, mark_worker)
         })
     }
 
     /// Enqueues a job on the persistent pool.
     pub(super) fn submit(job: Job) {
-        pool().sender.send(job).expect("worker pool alive");
+        pool().submit(job).expect("worker pool alive");
     }
 }
 
@@ -251,18 +224,16 @@ where
         start += len;
     }
 
-    let pending = chunks.len();
     let slots: std::sync::Mutex<Vec<Option<U>>> =
         std::sync::Mutex::new((0..n).map(|_| None).collect());
-    let panic_payload: std::sync::Mutex<Option<Box<dyn std::any::Any + Send>>> =
-        std::sync::Mutex::new(None);
-    let done = (std::sync::Mutex::new(0usize), std::sync::Condvar::new());
+    let panic_slot = crate::pool_core::PanicSlot::new();
+    let latch = crate::pool_core::CompletionLatch::new(chunks.len());
 
     {
         let f = &f;
         let slots = &slots;
-        let panic_payload = &panic_payload;
-        let done = &done;
+        let panic_slot = &panic_slot;
+        let latch = &latch;
         for (chunk_start, chunk) in chunks {
             let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -273,34 +244,27 @@ where
                     }
                 }));
                 if let Err(payload) = result {
-                    panic_payload
-                        .lock()
-                        .expect("panic slot")
-                        .get_or_insert(payload);
+                    panic_slot.record(payload);
                 }
-                let (lock, cvar) = done;
-                *lock.lock().expect("done counter") += 1;
-                cvar.notify_all();
+                latch.complete_one();
             });
-            // SAFETY: the job borrows `f`, `slots`, `panic_payload` and
-            // `done` from this stack frame. The wait below does not return
-            // until every submitted job has run to completion (the
-            // completion count is incremented even when the closure
-            // panics), so the borrows outlive every use. Erasing the
-            // lifetime is what lets the jobs ride a persistent pool.
-            let job: pool::Job =
-                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, pool::Job>(job) };
+            // SAFETY: the job borrows `f`, `slots`, `panic_slot` and
+            // `latch` from this stack frame. The wait below does not
+            // return until every submitted job has run to completion (the
+            // latch is hit even when the closure panics), so the borrows
+            // outlive every use. Erasing the lifetime is what lets the
+            // jobs ride a persistent pool.
+            #[allow(unsafe_code)]
+            let job: crate::pool_core::Job = unsafe {
+                std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, crate::pool_core::Job>(job)
+            };
             pool::submit(job);
         }
 
-        let (lock, cvar) = &done;
-        let mut finished = lock.lock().expect("done counter");
-        while *finished < pending {
-            finished = cvar.wait(finished).expect("done counter");
-        }
+        latch.wait();
     }
 
-    if let Some(payload) = panic_payload.into_inner().expect("panic slot") {
+    if let Some(payload) = panic_slot.take() {
         std::panic::resume_unwind(payload);
     }
     slots
@@ -338,9 +302,7 @@ mod tests {
     fn identical_results_for_every_thread_count() {
         let work = |x: u64| x.wrapping_mul(0x9e3779b97f4a7c15) >> 7;
         let expect: Vec<u64> = (0..97).map(work).collect();
-        let max = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(4);
+        let max = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
         for threads in [1, 2, 3, max, max + 5] {
             let out = parallel_map_with_threads((0..97).collect(), work, threads);
             assert_eq!(out, expect, "threads = {threads}");

@@ -34,7 +34,10 @@ impl Table {
     pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
         Table {
             title: title.into(),
-            header: header.iter().map(|s| s.to_string()).collect(),
+            header: header
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
             rows: Vec::new(),
             notes: Vec::new(),
         }
@@ -55,7 +58,7 @@ impl Table {
         let ncol = self
             .rows
             .iter()
-            .map(|r| r.len())
+            .map(std::vec::Vec::len)
             .chain([self.header.len()])
             .max()
             .unwrap_or(0);

@@ -43,9 +43,7 @@ fn sweep_results_identical_for_every_thread_count() {
     let problem = workloads::random_pairs(&net, 48, &mut wrng).unwrap();
     let seeds: Vec<u64> = (0..12).collect();
 
-    let max = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4);
+    let max = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
     let reference = sweep(&problem, seeds.clone(), 1);
     for threads in [2, max] {
         let got = sweep(&problem, seeds.clone(), threads);

@@ -21,6 +21,49 @@ use crate::schedule::FrameSchedule;
 use hotpotato_sim::{RouteObserver, Simulation};
 use std::collections::BTreeMap;
 
+/// Machine-checked registry of the bufferless *model* invariants: the
+/// per-move / per-step laws every hot-potato trace must obey. These are
+/// distinct from the statistical phase invariants `I_a..I_f` above, which
+/// hold w.h.p. and are *measured*; the model invariants hold always, by
+/// construction of the engine, and the offline trace verifier re-derives
+/// each one independently.
+///
+/// `cargo xtask lint` cross-checks this registry against
+/// `crates/trace/src/verify.rs`: every id listed here must appear there as
+/// a `// check: <id>` tag on the code that enforces it, so an invariant
+/// can never silently drop out of offline verification. Adding an entry
+/// here without a matching tagged check fails the lint.
+pub const BUFFERLESS_INVARIANTS: &[(&str, &str)] = &[
+    (
+        "slot-capacity",
+        "at most one packet traverses each (edge, direction) slot per step",
+    ),
+    (
+        "no-rest",
+        "every in-flight packet moves every step (the hot-potato law)",
+    ),
+    (
+        "locality",
+        "every move departs the node the packet actually occupies (no teleports)",
+    ),
+    (
+        "injection-port",
+        "each packet injects exactly once, along the first edge of its preselected path",
+    ),
+    (
+        "safe-deflection-recycling",
+        "safe deflections go backward over an edge some packet crossed forward the previous step",
+    ),
+    (
+        "absorb-on-arrival",
+        "a packet landing on its destination is absorbed before the step closes",
+    ),
+    (
+        "step-counter-consistency",
+        "every step line's counters equal the event batch it closes",
+    ),
+];
+
 /// Violation counters for `I_a..I_f` (see module docs). All-zero means the
 /// run satisfied every invariant the paper proves w.h.p.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -256,6 +299,20 @@ pub fn check_phase_end<M, O: RouteObserver>(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bufferless_registry_ids_are_unique_and_well_formed() {
+        let mut seen = std::collections::BTreeSet::new();
+        for (id, desc) in BUFFERLESS_INVARIANTS {
+            assert!(
+                !id.is_empty() && id.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "invariant id '{id}' must be non-empty kebab-case"
+            );
+            assert!(!desc.is_empty(), "invariant '{id}' needs a description");
+            assert!(seen.insert(id), "duplicate invariant id '{id}'");
+        }
+        assert_eq!(BUFFERLESS_INVARIANTS.len(), 7);
+    }
 
     #[test]
     fn empty_report_is_clean() {

@@ -178,6 +178,7 @@ pub fn resolve_with<M, O: RouteObserver, R: Rng + ?Sized>(
 /// Consumes randomness identically to [`resolve_with`] (one draw per
 /// contested group with a free slot, plus one per loser under
 /// [`DeflectRule::Arbitrary`]).
+// lint: hot-path
 pub fn resolve_into<'s, M, O: RouteObserver, R: Rng + ?Sized>(
     sim: &Simulation<M, O>,
     node: NodeId,

@@ -345,6 +345,7 @@ pub struct Simulation<M, O = NoopObserver> {
 
 /// Removes `idx` from a swap-remove list, patching the moved element's
 /// position entry.
+// lint: hot-path
 #[inline]
 fn list_remove(list: &mut Vec<u32>, pos: &mut [u32], idx: u32) {
     let p = pos[idx as usize] as usize;
@@ -555,6 +556,7 @@ impl<M, O: RouteObserver> Simulation<M, O> {
     }
 
     /// Stages the exit of active packet `idx` along `mv` this step.
+    // lint: hot-path
     pub fn stage_exit(
         &mut self,
         idx: u32,
@@ -588,6 +590,7 @@ impl<M, O: RouteObserver> Simulation<M, O> {
     /// does not require *isolation* (no other packets at the source) — the
     /// paper's algorithm arranges isolation by scheduling; algorithms can
     /// check [`Simulation::arrivals`] at the source to audit it.
+    // lint: hot-path
     pub fn try_inject(&mut self, idx: u32) -> Result<InjectOutcome, SimError> {
         let i = idx as usize;
         if self.status[i] != PacketStatus::Pending {
@@ -626,6 +629,7 @@ impl<M, O: RouteObserver> Simulation<M, O> {
     /// Applies all staged exits: verifies that *every* arriving packet was
     /// staged (the bufferless constraint), moves packets, absorbs arrivals
     /// at destinations, and advances the clock.
+    // lint: hot-path
     pub fn finish_step(&mut self) -> Result<StepReport, SimError> {
         // Bufferless check: every packet that arrived this step must leave.
         // Every `stage_exit` stages a distinct arrival (injections cannot

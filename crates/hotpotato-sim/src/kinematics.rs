@@ -69,6 +69,7 @@ impl<M> SimPacket<M> {
     /// deviation stack, or the next preselected edge (forward), or `None`
     /// when the current path is exhausted (the packet is at its
     /// destination).
+    // lint: hot-path
     #[inline]
     pub fn next_move(&self, path: &Path) -> Option<DirectedEdge> {
         if let Some(&mv) = self.deviation.last() {
@@ -126,6 +127,7 @@ impl<M> SimPacket<M> {
     /// Applies a committed move, updating position and path bookkeeping.
     /// `count_as_deflection` controls the deflection statistic (the engine
     /// passes the caller-declared [`crate::ExitKind`]).
+    // lint: hot-path
     pub(crate) fn apply_move(
         &mut self,
         net: &LeveledNetwork,

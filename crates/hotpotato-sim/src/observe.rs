@@ -328,7 +328,7 @@ impl<O: RouteObserver> RouteObserver for Option<O> {
     }
     #[inline]
     fn wants_timing(&self) -> bool {
-        self.as_ref().is_some_and(|o| o.wants_timing())
+        self.as_ref().is_some_and(RouteObserver::wants_timing)
     }
     #[inline]
     fn on_section(&mut self, section: Section, nanos: u64) {
@@ -1124,11 +1124,11 @@ mod tests {
         assert!(m.frame_progress().is_empty());
         assert!(m.ln_ln_bound().is_finite());
         let doc = m.to_json();
-        assert_eq!(doc.get("packets").and_then(|v| v.as_u64()), Some(0));
+        assert_eq!(doc.get("packets").and_then(serde::Value::as_u64), Some(0));
         assert_eq!(
             doc.get("congestion")
                 .and_then(|c| c.get("watermark_max"))
-                .and_then(|v| v.as_u64()),
+                .and_then(serde::Value::as_u64),
             Some(0)
         );
     }
@@ -1146,10 +1146,10 @@ mod tests {
         assert_eq!(m.level_watermarks(), &[0]);
         let doc = m.to_json();
         assert_eq!(
-            doc.get("trivial_deliveries").and_then(|v| v.as_u64()),
+            doc.get("trivial_deliveries").and_then(serde::Value::as_u64),
             Some(1)
         );
-        assert_eq!(doc.get("delivered").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(doc.get("delivered").and_then(serde::Value::as_u64), Some(1));
     }
 
     #[test]

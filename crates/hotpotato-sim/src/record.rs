@@ -74,7 +74,7 @@ impl RunRecord {
 pub fn level_occupancy(problem: &RoutingProblem, record: &RunRecord) -> Vec<Vec<u32>> {
     let net = problem.network();
     let levels = net.num_levels();
-    let last = record.moves.last().map(|e| e.time).unwrap_or(0);
+    let last = record.moves.last().map_or(0, |e| e.time);
     let mut rows = Vec::with_capacity(last as usize + 1);
     let mut pos: Vec<Option<NodeId>> = vec![None; problem.num_packets()];
     let mut idx = 0usize;
@@ -373,7 +373,7 @@ pub mod replay {
             // flight, the very next step must contain its move — a time
             // gap in the record means a packet rested.
             if idx < record.moves.len() && record.moves[idx].time > t + 1 {
-                if let Some(i) = pos.iter().position(|p| p.is_some()) {
+                if let Some(i) = pos.iter().position(std::option::Option::is_some) {
                     return Err(ReplayError::Rested {
                         time: t + 1,
                         pkt: PacketId(i as u32),

@@ -72,7 +72,7 @@ impl RouteStats {
 
     /// Whether every packet reached its destination.
     pub fn all_delivered(&self) -> bool {
-        self.delivered_at.iter().all(|d| d.is_some())
+        self.delivered_at.iter().all(std::option::Option::is_some)
     }
 
     /// The step at which the last packet was delivered (the routing time

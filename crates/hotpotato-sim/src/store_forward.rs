@@ -241,7 +241,7 @@ pub fn route_observed<R: Rng + ?Sized, O: RouteObserver + ?Sized>(
             match cfg.discipline {
                 QueueDiscipline::Fifo => order.sort_by_key(|&i| (q[i].seq, q[i].pkt)),
                 QueueDiscipline::FarthestToGo => {
-                    order.sort_by_key(|&i| (std::cmp::Reverse(q[i].remaining), q[i].seq))
+                    order.sort_by_key(|&i| (std::cmp::Reverse(q[i].remaining), q[i].seq));
                 }
                 QueueDiscipline::RandomRank => order.sort_by_key(|&i| (q[i].rank, q[i].seq)),
             }

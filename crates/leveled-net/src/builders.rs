@@ -273,7 +273,7 @@ pub fn multidim_array(dims: &[usize]) -> (LeveledNetwork, GridCoords) {
     let coords = GridCoords {
         dims: dims.to_vec(),
     };
-    let dim_str: Vec<String> = dims.iter().map(|d| d.to_string()).collect();
+    let dim_str: Vec<String> = dims.iter().map(std::string::ToString::to_string).collect();
     let mut b = NetworkBuilder::with_capacity(
         format!("array({})", dim_str.join("x")),
         total,

@@ -45,7 +45,7 @@ pub fn level_summary(net: &LeveledNetwork) -> String {
 pub fn width_profile(net: &LeveledNetwork) -> String {
     net.level_widths()
         .iter()
-        .map(|w| w.to_string())
+        .map(std::string::ToString::to_string)
         .collect::<Vec<_>>()
         .join(" ")
 }

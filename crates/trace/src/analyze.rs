@@ -307,7 +307,7 @@ impl Analysis {
             .timelines
             .iter()
             .filter(|t| !t.trivial)
-            .filter_map(|t| t.latency())
+            .filter_map(super::timeline::PacketTimeline::latency)
             .collect();
         v.sort_unstable();
         v

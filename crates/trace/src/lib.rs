@@ -20,7 +20,7 @@
 //!   stats against the reconstructed timelines, and (for bufferless
 //!   traces) an independent in-memory auditor must concur. Corruption
 //!   is reported with the first divergent line.
-//! - [`analyze`] — aggregate reports: per-phase deflection heatmaps,
+//! - [`analyze`](mod@analyze) — aggregate reports: per-phase deflection heatmaps,
 //!   frontier-lag distributions, latency percentiles, chain depths,
 //!   and empirical C+L scaling ratios, as JSON.
 //! - [`stream`] — [`stream::StreamingAggregator`], a [`RouteObserver`]

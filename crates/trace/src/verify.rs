@@ -314,6 +314,7 @@ impl StreamState {
                         edge: *edge,
                         dir: *dir,
                     };
+                    // check: slot-capacity — one packet per (edge, dir) slot per step.
                     if let Some(prev) = batch.slots.insert(mv.slot_index(), line) {
                         return fail(
                             line,
@@ -326,6 +327,8 @@ impl StreamState {
                     let origin = net.move_origin(mv);
                     let target = net.move_target(mv);
                     match kind {
+                        // check: injection-port — one injection per packet,
+                        // departing the first edge of its preselected path.
                         ExitKind::Inject => {
                             if s.injected[p] {
                                 return fail(line, format!("packet {pkt} injected twice"));
@@ -351,6 +354,8 @@ impl StreamState {
                                     format!("packet {pkt} moved while not in flight"),
                                 );
                             };
+                            // check: locality — the move must depart the node
+                            // the packet actually occupies.
                             if at != origin {
                                 return fail(
                                     line,
@@ -480,9 +485,10 @@ impl StreamState {
                             format!("step line t={t} but current step is {}", s.now),
                         );
                     }
-                    // Safe deflections must recycle an arrival edge: one
-                    // some packet crossed forward in the previous step
-                    // (Lemma 2.1 edge recycling).
+                    // check: safe-deflection-recycling — safe deflections
+                    // must recycle an arrival edge: one some packet crossed
+                    // forward in the previous step (Lemma 2.1 edge
+                    // recycling).
                     for &(edge, defl_line) in &batch.safe_backward {
                         if !prev_forward.contains_key(&edge) {
                             return fail(
@@ -495,6 +501,9 @@ impl StreamState {
                             );
                         }
                     }
+                    // check: absorb-on-arrival — every packet that landed on
+                    // its destination this step must have been delivered
+                    // before the step line closed the batch.
                     if let Some(&(pkt, move_line)) = batch.landed.first() {
                         return fail(
                             move_line,
@@ -504,6 +513,8 @@ impl StreamState {
                             ),
                         );
                     }
+                    // check: step-counter-consistency — the step line's
+                    // claimed counters must equal the batch it closes.
                     let report = [
                         ("moved", *moved, batch.moves),
                         ("absorbed", *absorbed, batch.delivers),
@@ -534,8 +545,9 @@ impl StreamState {
                                 ),
                             );
                         }
-                        // Bufferless: every packet in flight at the start
-                        // of the step must have moved during it.
+                        // check: no-rest — bufferless: every packet in
+                        // flight at the start of the step must have moved
+                        // during it.
                         if let Some(p) =
                             (0..n).find(|&p| s.pos[p].is_some() && s.last_move_step[p] != s.now)
                         {

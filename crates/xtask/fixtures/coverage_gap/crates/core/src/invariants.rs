@@ -1,0 +1,10 @@
+//! Seeded coverage gap: `ghost-invariant` below is registered but has
+//! no `// check:` tag in the fixture verifier, and the verifier carries
+//! a `mystery-tag` no registry entry matches. Both directions must fire.
+
+/// Miniature registry mirroring the real `BUFFERLESS_INVARIANTS` shape.
+pub const BUFFERLESS_INVARIANTS: &[(&str, &str)] = &[
+    ("slot-capacity", "one packet per (edge, dir) slot per step"),
+    ("no-rest", "every in-flight packet moves every step"),
+    ("ghost-invariant", "registered here but never checked by the verifier"),
+];

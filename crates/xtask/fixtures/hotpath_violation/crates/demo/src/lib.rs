@@ -1,0 +1,26 @@
+//! Seeded hot-path allocation violations.
+//!
+//! `cargo xtask fixtures` runs the hot-path lint over this tree and
+//! asserts the three violations below fire at exactly the lines listed
+//! in ../../../expected.txt — and that the clean and unannotated
+//! functions do not.
+
+/// Allocation-free and annotated — must NOT fire.
+// lint: hot-path
+pub fn clean_sum(xs: &[u32]) -> u32 {
+    xs.iter().sum()
+}
+
+/// Annotated and leaky — must fire once per forbidden call.
+// lint: hot-path
+pub fn leaky_route(buf: &mut [u32], src: &[u32]) -> Vec<u32> {
+    let copy = src.to_vec();
+    let msg = format!("{} packets", copy.len());
+    buf[0] = msg.len() as u32;
+    copy.iter().map(|x| x + 1).collect()
+}
+
+/// Unannotated — may allocate freely, must NOT fire.
+pub fn cold_path() -> Vec<String> {
+    vec![String::from("ok")]
+}

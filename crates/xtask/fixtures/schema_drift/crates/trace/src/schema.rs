@@ -1,0 +1,34 @@
+//! Seeded schema drift: the committed fingerprint next to this tree
+//! (crates/xtask/schema.fingerprint) carries a stale hash at the SAME
+//! schema_version, modeling an edit to the wire types that nobody
+//! acknowledged with a `SCHEMA_VERSION` bump. The lint must fail at the
+//! `SCHEMA_VERSION` line below.
+
+/// Trace format version.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Envelope header.
+pub struct Meta {
+    /// Format version of the writer.
+    pub schema_version: u32,
+}
+
+/// Per-step counters.
+pub struct StatsLine {
+    /// Steps simulated — this field was renamed after the last bless.
+    pub steps_renamed_without_version_bump: u64,
+}
+
+/// Event stream.
+pub enum TraceEvent {
+    /// A packet entered the network.
+    Inject {
+        /// Packet id.
+        id: u64,
+    },
+    /// A packet reached its destination.
+    Absorb {
+        /// Packet id.
+        id: u64,
+    },
+}

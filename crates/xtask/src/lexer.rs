@@ -1,0 +1,287 @@
+//! A minimal Rust tokenizer, sufficient for the repo lints.
+//!
+//! The lints need to (a) find marker comments (`// lint: hot-path`,
+//! `// check: <id>`), (b) match token shapes (`Vec :: new`, `. clone (`),
+//! and (c) hash normalized item bodies. None of that needs a real parse
+//! tree — but it does need strings, char literals, raw strings, lifetimes
+//! and nested block comments handled exactly, so a naive substring search
+//! does not misfire inside a string literal or a doc comment.
+//!
+//! The token text is stored owned; files under lint are small (≤ a few
+//! thousand lines), so simplicity beats zero-copy here.
+
+/// What a token is, at the granularity the lints care about.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `Vec`, `clone`, ...).
+    Ident,
+    /// Lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+    /// Numeric literal (including suffixes: `0u32`, `1_000`, `2.5`).
+    Number,
+    /// String literal of any flavor (`"..."`, `r#"..."#`, `b"..."`).
+    /// `text` keeps the raw source form, quotes included.
+    Str,
+    /// Char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A single punctuation character (`::` is two `:` tokens).
+    Punct,
+    /// `// ...` comment, text includes the slashes (doc comments too).
+    LineComment,
+    /// `/* ... */` comment (nested), text includes the delimiters.
+    BlockComment,
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Raw source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+}
+
+impl Tok {
+    /// Whether this token is a comment (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// Whether this is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this is a punctuation token with exactly this character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// Tokenizes `src`. Unterminated constructs (string, block comment) are
+/// tolerated: the remainder of the file becomes one token, which is good
+/// enough for lints that then simply see no further matches.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    let n = b.len();
+
+    // Advances `line` for every newline in b[from..to].
+    let count_lines = |from: usize, to: usize, b: &[char]| -> usize {
+        b[from..to].iter().filter(|&&c| c == '\n').count()
+    };
+
+    while i < n {
+        let c = b[i];
+        let start = i;
+        let start_line = line;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_whitespace() {
+            i += 1;
+        } else if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            toks.push(tok(TokKind::LineComment, &b[start..i], start_line));
+        } else if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            line += count_lines(start, i, &b);
+            toks.push(tok(TokKind::BlockComment, &b[start..i], start_line));
+        } else if c == 'r' && raw_string_hashes(&b[i..]).is_some() {
+            i += consume_raw_string(&b[i..]);
+            line += count_lines(start, i, &b);
+            toks.push(tok(TokKind::Str, &b[start..i], start_line));
+        } else if c == 'b'
+            && i + 1 < n
+            && b[i + 1] == 'r'
+            && raw_string_hashes(&b[i + 1..]).is_some()
+        {
+            i += 1 + consume_raw_string(&b[i + 1..]);
+            line += count_lines(start, i, &b);
+            toks.push(tok(TokKind::Str, &b[start..i], start_line));
+        } else if c == '"' || (c == 'b' && i + 1 < n && b[i + 1] == '"') {
+            i += if c == 'b' { 2 } else { 1 };
+            i += consume_quoted(&b[i..], '"');
+            line += count_lines(start, i, &b);
+            toks.push(tok(TokKind::Str, &b[start..i], start_line));
+        } else if c == 'b' && i + 1 < n && b[i + 1] == '\'' {
+            i += 2;
+            i += consume_quoted(&b[i..], '\'');
+            toks.push(tok(TokKind::Char, &b[start..i], start_line));
+        } else if c == '\'' {
+            // Lifetime or char literal. A lifetime is `'` + ident NOT
+            // followed by a closing `'`; everything else is a char.
+            let mut j = i + 1;
+            while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                j += 1;
+            }
+            if j > i + 1 && (j >= n || b[j] != '\'') {
+                i = j;
+                toks.push(tok(TokKind::Lifetime, &b[start..i], start_line));
+            } else {
+                i += 1;
+                i += consume_quoted(&b[i..], '\'');
+                toks.push(tok(TokKind::Char, &b[start..i], start_line));
+            }
+        } else if c.is_alphabetic() || c == '_' {
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            toks.push(tok(TokKind::Ident, &b[start..i], start_line));
+        } else if c.is_ascii_digit() {
+            while i < n
+                && (b[i].is_alphanumeric()
+                    || b[i] == '_'
+                    || (b[i] == '.' && i + 1 < n && b[i + 1].is_ascii_digit() && b[i - 1] != '.'))
+            {
+                i += 1;
+            }
+            toks.push(tok(TokKind::Number, &b[start..i], start_line));
+        } else {
+            i += 1;
+            toks.push(tok(TokKind::Punct, &b[start..i], start_line));
+        }
+    }
+    toks
+}
+
+fn tok(kind: TokKind, text: &[char], line: usize) -> Tok {
+    Tok {
+        kind,
+        text: text.iter().collect(),
+        line,
+    }
+}
+
+/// If `b` starts a raw string (`r"`, `r#"`, `r##"`, ...), the number of
+/// `#`s; otherwise `None`. `b[0]` must be `r`.
+fn raw_string_hashes(b: &[char]) -> Option<usize> {
+    let mut j = 1;
+    while j < b.len() && b[j] == '#' {
+        j += 1;
+    }
+    (j < b.len() && b[j] == '"').then_some(j - 1)
+}
+
+/// Length of a raw string starting at `b[0] == 'r'`, delimiters included.
+fn consume_raw_string(b: &[char]) -> usize {
+    let hashes = raw_string_hashes(b).expect("checked by caller");
+    let mut i = 1 + hashes + 1; // r, #*, "
+    while i < b.len() {
+        if b[i] == '"'
+            && b[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == '#')
+                .count()
+                == hashes
+        {
+            return i + 1 + hashes;
+        }
+        i += 1;
+    }
+    b.len()
+}
+
+/// Length of the remainder of a quoted literal (after the opening quote),
+/// closing quote included, honoring backslash escapes.
+fn consume_quoted(b: &[char], quote: char) -> usize {
+    let mut i = 0;
+    while i < b.len() {
+        if b[i] == '\\' {
+            i += 2;
+        } else if b[i] == quote {
+            return i + 1;
+        } else {
+            i += 1;
+        }
+    }
+    b.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        let t = kinds("fn foo(x: u32) -> Vec<u8> { x + 0x1f }");
+        assert!(t.contains(&(TokKind::Ident, "fn".into())));
+        assert!(t.contains(&(TokKind::Ident, "Vec".into())));
+        assert!(t.contains(&(TokKind::Number, "0x1f".into())));
+        assert!(t.contains(&(TokKind::Punct, "{".into())));
+    }
+
+    #[test]
+    fn braces_inside_strings_and_comments_are_opaque() {
+        let t = lex("\"}{\" /* } */ // {\nfoo");
+        let puncts: Vec<&Tok> = t.iter().filter(|t| t.kind == TokKind::Punct).collect();
+        assert!(puncts.is_empty(), "{puncts:?}");
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let t = kinds("<'a> 'b' '\\n' b'x'");
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(), 1);
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Char).count(), 3);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let t = kinds(r####"r#"has "quotes" inside"# x"####);
+        assert_eq!(t[0].0, TokKind::Str);
+        assert!(t[1].1 == "x");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let t = kinds("/* outer /* inner */ still */ x");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].0, TokKind::BlockComment);
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_advance() {
+        let t = lex("a\nb\n  c");
+        assert_eq!(t[0].line, 1);
+        assert_eq!(t[1].line, 2);
+        assert_eq!(t[2].line, 3);
+    }
+
+    #[test]
+    fn multiline_tokens_advance_lines() {
+        let t = lex("/* a\nb */ x\ny");
+        assert_eq!(t[1].line, 2, "x sits on line 2");
+        assert_eq!(t[2].line, 3);
+    }
+
+    #[test]
+    fn float_vs_range() {
+        let t = kinds("0..n 1.5");
+        assert_eq!(t[0], (TokKind::Number, "0".into()));
+        assert_eq!(t[1], (TokKind::Punct, ".".into()));
+        assert_eq!(t[4], (TokKind::Number, "1.5".into()));
+    }
+}

@@ -1,0 +1,166 @@
+//! `cargo xtask` — workspace static-analysis driver.
+//!
+//! Subcommands:
+//!
+//! * `cargo xtask lint` — run the repo lints (hot-path allocation,
+//!   schema-drift fingerprint, invariant coverage) over the workspace;
+//!   nonzero exit on any diagnostic.
+//! * `cargo xtask lint --bless` — re-commit the schema fingerprint
+//!   (refused when the schema drifted without a `SCHEMA_VERSION` bump),
+//!   then lint.
+//! * `cargo xtask fixtures` — run every lint against its seeded-violation
+//!   fixture under `crates/xtask/fixtures/` and assert the exact
+//!   diagnostics (file, line and message) each violation must produce.
+//!   This proves the lints actually fire; CI runs it next to `lint`.
+
+use std::path::{Path, PathBuf};
+use xtask::{coverage, hotpath, schemafp, Config, Diagnostic};
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = workspace_root();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&root, args.iter().any(|a| a == "--bless")),
+        Some("fixtures") => fixtures(&root),
+        _ => {
+            eprintln!("usage: cargo xtask <lint [--bless] | fixtures>");
+            2
+        }
+    }
+}
+
+/// The workspace root, resolved from this crate's manifest directory so
+/// the tool works regardless of the invocation cwd.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/xtask sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// Runs all three lints over `root` and returns the diagnostics.
+fn run_all(cfg: &Config) -> Vec<Diagnostic> {
+    let mut diags = hotpath::check(cfg);
+    diags.extend(schemafp::check(cfg));
+    diags.extend(coverage::check(cfg));
+    diags
+}
+
+fn lint(root: &Path, bless: bool) -> i32 {
+    let cfg = Config::new(root);
+    if bless {
+        if let Err(d) = schemafp::bless(&cfg) {
+            eprintln!("{d}");
+            eprintln!("xtask lint: refusing to bless");
+            return 1;
+        }
+        println!("blessed {}", cfg.rel(&cfg.fingerprint_file()));
+    }
+    let diags = run_all(&cfg);
+    for d in &diags {
+        eprintln!("{d}");
+    }
+    if diags.is_empty() {
+        println!("xtask lint: clean (hot-path-alloc, schema-drift, invariant-coverage)");
+        0
+    } else {
+        eprintln!("xtask lint: {} error(s)", diags.len());
+        1
+    }
+}
+
+/// Maps a fixture directory name to the single lint it seeds a
+/// violation for (a fixture tree only carries that lint's input files).
+fn fixture_lint(name: &str) -> Option<fn(&Config) -> Vec<Diagnostic>> {
+    if name.starts_with("hotpath") {
+        Some(hotpath::check)
+    } else if name.starts_with("schema") {
+        Some(schemafp::check)
+    } else if name.starts_with("coverage") {
+        Some(coverage::check)
+    } else {
+        None
+    }
+}
+
+/// Runs each lint against its fixture tree and compares the produced
+/// diagnostics, line by line, against the fixture's `expected.txt`.
+fn fixtures(root: &Path) -> i32 {
+    let fixtures_dir = root.join("crates/xtask/fixtures");
+    let mut names: Vec<PathBuf> = match std::fs::read_dir(&fixtures_dir) {
+        Ok(rd) => rd
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect(),
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", fixtures_dir.display());
+            return 1;
+        }
+    };
+    names.sort();
+    if names.is_empty() {
+        eprintln!("no fixtures found under {}", fixtures_dir.display());
+        return 1;
+    }
+
+    let mut failed = 0usize;
+    for fixture in &names {
+        let name = fixture.file_name().unwrap_or_default().to_string_lossy();
+        let expected_path = fixture.join("expected.txt");
+        let expected = match std::fs::read_to_string(&expected_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("fixture {name}: cannot read expected.txt: {e}");
+                failed += 1;
+                continue;
+            }
+        };
+        let expected: Vec<&str> = expected.lines().filter(|l| !l.is_empty()).collect();
+        let Some(lint) = fixture_lint(&name) else {
+            eprintln!(
+                "fixture {name}: name must start with hotpath/schema/coverage \
+                 to select the lint under test"
+            );
+            failed += 1;
+            continue;
+        };
+        let got: Vec<String> = lint(&Config::new(fixture))
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+
+        if expected.is_empty() {
+            eprintln!("fixture {name}: expected.txt must list at least one diagnostic");
+            failed += 1;
+        } else if got != expected {
+            eprintln!("fixture {name}: diagnostics mismatch");
+            eprintln!("  expected:");
+            for l in &expected {
+                eprintln!("    {l}");
+            }
+            eprintln!("  got:");
+            for l in &got {
+                eprintln!("    {l}");
+            }
+            failed += 1;
+        } else {
+            println!("fixture {name}: OK ({} diagnostic(s) fired)", got.len());
+        }
+    }
+    if failed == 0 {
+        println!(
+            "xtask fixtures: all {} fixture(s) fire as expected",
+            names.len()
+        );
+        0
+    } else {
+        eprintln!("xtask fixtures: {failed} fixture(s) failed");
+        1
+    }
+}

@@ -1,0 +1,73 @@
+//! Negative tests: each lint must fire on its seeded-violation fixture
+//! with the exact diagnostic (file, 1-based line, lint name, message)
+//! recorded in the fixture's `expected.txt` — and the real workspace
+//! must be clean.
+//!
+//! This duplicates what `cargo xtask fixtures` checks so that a plain
+//! `cargo test` also proves the lints are live, not just compiled.
+
+use std::path::{Path, PathBuf};
+use xtask::{coverage, hotpath, schemafp, Config, Diagnostic};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn fixture(name: &str) -> Config {
+    Config::new(repo_root().join("crates/xtask/fixtures").join(name))
+}
+
+fn expected(name: &str) -> Vec<String> {
+    let path = repo_root()
+        .join("crates/xtask/fixtures")
+        .join(name)
+        .join("expected.txt");
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+        .lines()
+        .filter(|l| !l.is_empty())
+        .map(String::from)
+        .collect()
+}
+
+fn rendered(diags: Vec<Diagnostic>) -> Vec<String> {
+    diags.iter().map(ToString::to_string).collect()
+}
+
+#[test]
+fn hotpath_lint_fires_on_seeded_allocation() {
+    let got = rendered(hotpath::check(&fixture("hotpath_violation")));
+    assert_eq!(got, expected("hotpath_violation"));
+}
+
+#[test]
+fn schema_drift_lint_fires_on_stale_fingerprint() {
+    let got = rendered(schemafp::check(&fixture("schema_drift")));
+    assert_eq!(got, expected("schema_drift"));
+}
+
+#[test]
+fn coverage_lint_fires_in_both_directions() {
+    let got = rendered(coverage::check(&fixture("coverage_gap")));
+    assert_eq!(got, expected("coverage_gap"));
+}
+
+#[test]
+fn bless_refuses_unbumped_drift() {
+    // The schema_drift fixture models exactly the state --bless must not
+    // paper over: fingerprint moved, SCHEMA_VERSION did not.
+    let err = schemafp::bless(&fixture("schema_drift"))
+        .expect_err("bless must refuse drift without a version bump");
+    assert_eq!(err.lint, "schema-drift");
+    assert_eq!(err.file, "crates/trace/src/schema.rs");
+    assert!(err.msg.contains("bump SCHEMA_VERSION"), "{}", err.msg);
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let cfg = Config::new(repo_root());
+    let mut diags = hotpath::check(&cfg);
+    diags.extend(schemafp::check(&cfg));
+    diags.extend(coverage::check(&cfg));
+    assert!(diags.is_empty(), "{diags:#?}");
+}

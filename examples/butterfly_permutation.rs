@@ -79,8 +79,7 @@ fn print_row(name: &str, stats: &RouteStats) {
         name,
         stats
             .makespan()
-            .map(|m| m.to_string())
-            .unwrap_or_else(|| "-".into()),
+            .map_or_else(|| "-".into(), |m| m.to_string()),
         stats.total_deflections(),
         stats.max_deviation_overall(),
         stats.delivered_count(),

@@ -36,7 +36,7 @@ fn main() {
     }
     println!("  frontiers");
     for phase in 0..s.end_phase() {
-        print!("{:>8} ", phase);
+        print!("{phase:>8} ");
         for level in 0..=l {
             let owner = (0..sets).find(|&i| s.contains(i, phase, level));
             match owner {

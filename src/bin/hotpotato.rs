@@ -51,7 +51,7 @@ use std::process::exit;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let code = match args.first().map(|s| s.as_str()) {
+    let code = match args.first().map(std::string::String::as_str) {
         Some("topo") => cmd_topo(&args[1..]),
         Some("route") => cmd_route(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
@@ -99,7 +99,7 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
-        .map(|s| s.as_str())
+        .map(std::string::String::as_str)
 }
 
 fn cmd_topo(args: &[String]) -> i32 {
@@ -413,7 +413,7 @@ fn cmd_trace(args: &[String]) -> i32 {
         );
         2
     };
-    match args.first().map(|s| s.as_str()) {
+    match args.first().map(std::string::String::as_str) {
         Some("verify") => {
             let Some(path) = args.get(1) else {
                 return usage();

@@ -83,9 +83,8 @@ fn random_dags_route_end_to_end() {
             }
         }
         let dagnet = DagNetwork::new(&dagg).unwrap();
-        let prob = match dag::random_dag_pairs(&dagnet, 12, &mut rng) {
-            Ok(p) => p,
-            Err(_) => continue, // too sparse this seed; acceptable
+        let Ok(prob) = dag::random_dag_pairs(&dagnet, 12, &mut rng) else {
+            continue; // too sparse this seed; acceptable
         };
         let out = BuschRouter::new(Params::auto(&prob)).route(&prob, &mut rng);
         assert!(

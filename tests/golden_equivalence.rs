@@ -82,12 +82,8 @@ fn check_golden(name: &str, stats: &RouteStats, record: &RunRecord) {
         eprintln!("blessed {}", path.display());
         return;
     }
-    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!(
-            "missing golden {} ({e}); bless with HOTPOTATO_BLESS=1",
-            name
-        )
-    });
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {name} ({e}); bless with HOTPOTATO_BLESS=1"));
     if encoded != want {
         // Locate the first diverging line for a readable failure.
         let first_diff = encoded

@@ -161,6 +161,7 @@ impl BenchmarkGroup<'_> {
 #[macro_export]
 macro_rules! criterion_group {
     (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        #[allow(missing_docs)]
         pub fn $name() {
             let mut criterion = $config;
             $( $target(&mut criterion); )+

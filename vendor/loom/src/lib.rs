@@ -1,0 +1,275 @@
+//! Offline workalike of the `loom` model checker (API subset).
+//!
+//! [`model`] runs a closure many times, once per distinct thread
+//! schedule, until the schedule tree is exhausted (or capped). Inside
+//! the closure, use this crate's [`thread`] and [`sync`] shims instead
+//! of `std`'s: every lock acquisition, condvar wait/notify, channel
+//! operation, spawn and join becomes a context-switch decision the
+//! explorer owns. Assertions that hold across *every* explored
+//! interleaving — and freedom from deadlock, which is detected and
+//! reported — are what a passing model buys you.
+//!
+//! How it differs from the real loom, deliberately:
+//!
+//! * exploration is over *scheduling* decisions at blocking operations,
+//!   not individual atomic accesses — no C11 memory-model simulation.
+//!   Code whose correctness hinges on `Relaxed`-ordering subtleties
+//!   needs the real tool; lock/channel protocols like the sweep worker
+//!   pool are exactly what this handles;
+//! * model threads are real OS threads run one-at-a-time by a
+//!   scheduler, so any std-compatible code runs unmodified;
+//! * exploration is bounded: a preemption budget
+//!   (`LOOM_MAX_PREEMPTIONS`, default 2 — the CHESS result: most
+//!   concurrency bugs need few preemptions), an execution cap
+//!   (`LOOM_MAX_ITERATIONS`, default 10000) and a per-execution branch
+//!   cap (`LOOM_MAX_BRANCHES`, default 5000).
+//!
+//! The workspace gates its use behind `--cfg loom`, matching real-loom
+//! convention: `RUSTFLAGS="--cfg loom" cargo test -p bench --test
+//! loom_pool`.
+
+mod rt;
+pub mod sync;
+pub mod thread;
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Explores every bounded schedule of `f`, panicking on the first
+/// schedule where `f` panics or deadlocks.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::new().check(f);
+}
+
+/// Exploration knobs; [`Builder::new`] reads the `LOOM_*` environment.
+pub struct Builder {
+    /// Max context switches away from a still-runnable thread per
+    /// execution (CHESS-style preemption bounding).
+    pub preemption_bound: usize,
+    /// Max executions before exploration stops with a warning.
+    pub max_iterations: usize,
+    /// Max scheduling decisions within one execution (livelock guard).
+    pub max_branches: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+impl Builder {
+    /// Default bounds, overridable via `LOOM_MAX_PREEMPTIONS`,
+    /// `LOOM_MAX_ITERATIONS` and `LOOM_MAX_BRANCHES`.
+    pub fn new() -> Self {
+        Builder {
+            preemption_bound: env_usize("LOOM_MAX_PREEMPTIONS", 2),
+            max_iterations: env_usize("LOOM_MAX_ITERATIONS", 10_000),
+            max_branches: env_usize("LOOM_MAX_BRANCHES", 5_000),
+        }
+    }
+
+    /// Runs the exploration loop: execute, harvest the recorded
+    /// schedule, flip the deepest unexplored decision, repeat.
+    pub fn check<F>(&self, f: F)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let mut replay: Vec<usize> = Vec::new();
+        let mut iterations = 0usize;
+        loop {
+            iterations += 1;
+            let rt = Arc::new(rt::Rt::new(
+                replay.clone(),
+                self.preemption_bound,
+                self.max_branches,
+            ));
+            let main_id = rt.register_thread();
+            let rt2 = Arc::clone(&rt);
+            let f2 = Arc::clone(&f);
+            let os = std::thread::spawn(move || {
+                rt::enter(&rt2, main_id);
+                rt2.wait_until_active(main_id);
+                match catch_unwind(AssertUnwindSafe(|| f2())) {
+                    Ok(()) => rt2.finish(main_id, None),
+                    Err(p) if p.is::<rt::Abort>() => rt2.finish(main_id, None),
+                    Err(p) => rt2.finish(main_id, Some(p)),
+                }
+            });
+            rt.add_os_handle(os);
+
+            let (failure, panic, schedule) = rt.wait_done();
+            rt.join_os_threads();
+            if let Some(p) = panic {
+                eprintln!("loom: model panicked on execution {iterations}");
+                std::panic::resume_unwind(p);
+            }
+            if let Some(msg) = failure {
+                panic!("loom: model failed on execution {iterations}: {msg}");
+            }
+            match rt::next_replay(&schedule) {
+                None => break,
+                Some(next) => {
+                    if iterations >= self.max_iterations {
+                        eprintln!("loom: exploration capped at {iterations} executions");
+                        break;
+                    }
+                    replay = next;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::{mpsc, Arc, Condvar, Mutex};
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex as StdMutex;
+
+    #[test]
+    fn mutex_counter_survives_every_interleaving() {
+        model(|| {
+            let n = Arc::new(Mutex::new(0usize));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    thread::spawn(move || {
+                        *n.lock().unwrap() += 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(*n.lock().unwrap(), 2);
+        });
+    }
+
+    #[test]
+    fn exploration_reaches_multiple_orders() {
+        let seen: std::sync::Arc<StdMutex<HashSet<Vec<u8>>>> = Default::default();
+        let seen2 = std::sync::Arc::clone(&seen);
+        model(move || {
+            let order = Arc::new(Mutex::new(Vec::new()));
+            let handles: Vec<_> = (1..=2u8)
+                .map(|id| {
+                    let order = Arc::clone(&order);
+                    thread::spawn(move || {
+                        order.lock().unwrap().push(id);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            let fin = order.lock().unwrap().clone();
+            seen2.lock().unwrap().insert(fin);
+        });
+        let seen = seen.lock().unwrap();
+        assert!(
+            seen.contains(&vec![1, 2]) && seen.contains(&vec![2, 1]),
+            "both arrival orders must be explored, saw {seen:?}"
+        );
+    }
+
+    #[test]
+    fn self_deadlock_is_detected() {
+        let r = std::panic::catch_unwind(|| {
+            model(|| {
+                let m = Mutex::new(());
+                let _a = m.lock().unwrap();
+                let _b = m.lock().unwrap(); // non-reentrant: blocks forever
+            });
+        });
+        let msg = *r
+            .expect_err("model must fail")
+            .downcast::<String>()
+            .expect("panic message");
+        assert!(msg.contains("deadlock"), "{msg}");
+    }
+
+    #[test]
+    fn model_panics_propagate() {
+        let r = std::panic::catch_unwind(|| {
+            model(|| {
+                let t = thread::spawn(|| panic!("boom from a model thread"));
+                let _ = t.join();
+            });
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn channel_delivers_in_order_then_disconnects() {
+        model(|| {
+            let (tx, rx) = mpsc::channel();
+            let t = thread::spawn(move || {
+                tx.send(1).unwrap();
+                tx.send(2).unwrap();
+            });
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            t.join().unwrap();
+            assert_eq!(rx.recv(), Err(mpsc::RecvError));
+        });
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drops() {
+        model(|| {
+            let (tx, rx) = mpsc::channel();
+            drop(rx);
+            assert_eq!(tx.send(7), Err(mpsc::SendError(7)));
+        });
+    }
+
+    #[test]
+    fn condvar_wakeups_are_never_lost() {
+        model(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let p2 = Arc::clone(&pair);
+            let t = thread::spawn(move || {
+                let (flag, cv) = &*p2;
+                *flag.lock().unwrap() = true;
+                cv.notify_one();
+            });
+            let (flag, cv) = &*pair;
+            let mut ready = flag.lock().unwrap();
+            while !*ready {
+                ready = cv.wait(ready).unwrap();
+            }
+            drop(ready);
+            t.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn join_returns_the_thread_value() {
+        model(|| {
+            let t = thread::spawn(|| 41 + 1);
+            assert_eq!(t.join().unwrap(), 42);
+        });
+    }
+
+    #[test]
+    fn yield_now_is_a_plain_decision_point() {
+        model(|| {
+            let t = thread::spawn(thread::yield_now);
+            thread::yield_now();
+            t.join().unwrap();
+        });
+    }
+}

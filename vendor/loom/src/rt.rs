@@ -1,0 +1,338 @@
+//! The execution core: one OS thread per model thread, exactly one
+//! allowed to run at a time, and a DFS over which thread runs next.
+//!
+//! Every blocking primitive funnels into [`Rt::switch`], the single
+//! context-switch point. A switch consults the current execution's
+//! replay prefix (re-running the decisions of a previous execution up to
+//! the branch being flipped) and otherwise picks the first runnable
+//! thread, recording how many alternatives existed. After an execution
+//! finishes, [`next_replay`] flips the deepest decision that still has
+//! an unexplored alternative — classic depth-first exploration of the
+//! schedule tree, bounded by a preemption budget (CHESS-style) and a
+//! branch cap so pathological models terminate.
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
+
+/// Sentinel for "no thread is scheduled" (all finished, or aborted).
+const NOBODY: usize = usize::MAX;
+
+/// Panic payload used to unwind model threads when an execution aborts
+/// (deadlock, branch cap). Recognized — and swallowed — by the thread
+/// shims, so it never masks a genuine model panic.
+pub(crate) struct Abort;
+
+/// One scheduling decision: index chosen among the runnable candidates,
+/// and how many candidates there were.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Choice {
+    /// Index into the sorted runnable set that was taken.
+    pub chosen: usize,
+    /// Size of the runnable set at this decision.
+    pub alternatives: usize,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Run {
+    Runnable,
+    /// Parked until [`Rt::unpark_all`]/[`Rt::unpark_one`] on this key.
+    Blocked(usize),
+    Finished,
+}
+
+struct State {
+    threads: Vec<Run>,
+    active: usize,
+    /// `(key, thread)` in park order — `unpark_one` wakes FIFO.
+    parked: Vec<(usize, usize)>,
+    schedule: Vec<Choice>,
+    replay: Vec<usize>,
+    step: usize,
+    preemptions: usize,
+    aborted: Option<String>,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+/// Runtime for one execution (one deterministic schedule).
+pub(crate) struct Rt {
+    state: StdMutex<State>,
+    cv: StdCondvar,
+    preemption_bound: usize,
+    max_branches: usize,
+    os_handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Arc<Rt>>> = const { RefCell::new(None) };
+    static TID: Cell<usize> = const { Cell::new(NOBODY) };
+}
+
+/// The runtime of the execution this thread belongs to.
+pub(crate) fn current_rt() -> Arc<Rt> {
+    CURRENT
+        .with(|c| c.borrow().clone())
+        .expect("loom primitive used outside loom::model")
+}
+
+/// Binds this OS thread to `rt` as model thread `tid`.
+pub(crate) fn enter(rt: &Arc<Rt>, tid: usize) {
+    CURRENT.with(|c| *c.borrow_mut() = Some(Arc::clone(rt)));
+    TID.with(|t| t.set(tid));
+}
+
+fn current_tid() -> usize {
+    let tid = TID.with(Cell::get);
+    assert!(tid != NOBODY, "loom primitive used outside loom::model");
+    tid
+}
+
+/// The park key joiners of model thread `id` wait on. Top bit set so it
+/// cannot collide with the address-derived keys of sync primitives.
+pub(crate) fn join_key(id: usize) -> usize {
+    (1usize << (usize::BITS - 1)) | id
+}
+
+impl Rt {
+    pub(crate) fn new(replay: Vec<usize>, preemption_bound: usize, max_branches: usize) -> Self {
+        Rt {
+            state: StdMutex::new(State {
+                threads: Vec::new(),
+                active: 0,
+                parked: Vec::new(),
+                schedule: Vec::new(),
+                replay,
+                step: 0,
+                preemptions: 0,
+                aborted: None,
+                panic: None,
+            }),
+            cv: StdCondvar::new(),
+            preemption_bound,
+            max_branches,
+            os_handles: StdMutex::new(Vec::new()),
+        }
+    }
+
+    /// Registers a new runnable model thread, returning its id.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.state.lock().expect("rt state");
+        st.threads.push(Run::Runnable);
+        st.threads.len() - 1
+    }
+
+    /// Records the OS handle backing a model thread so the execution can
+    /// join every OS thread before the next execution starts.
+    pub(crate) fn add_os_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.os_handles.lock().expect("os handles").push(h);
+    }
+
+    /// Whether model thread `id` has finished.
+    pub(crate) fn is_finished(&self, id: usize) -> bool {
+        self.state.lock().expect("rt state").threads[id] == Run::Finished
+    }
+
+    /// Blocks the calling OS thread until its model thread is scheduled.
+    pub(crate) fn wait_until_active(&self, me: usize) {
+        let mut st = self.state.lock().expect("rt state");
+        loop {
+            if st.aborted.is_some() {
+                drop(st);
+                std::panic::panic_any(Abort);
+            }
+            if st.active == me {
+                return;
+            }
+            st = self.cv.wait(st).expect("rt state");
+        }
+    }
+
+    /// The context-switch point. `block_on: Some(key)` parks the caller
+    /// on `key` (a later unpark makes it runnable again); `None` is a
+    /// plain yield where the caller stays runnable. Either way the
+    /// scheduler decides who runs next, recording the decision.
+    ///
+    /// No-op while the calling thread is unwinding, so guard `Drop`
+    /// impls can release state without risking a double panic.
+    pub(crate) fn switch(&self, block_on: Option<usize>) {
+        if std::thread::panicking() {
+            return;
+        }
+        let me = current_tid();
+        let mut st = self.state.lock().expect("rt state");
+        if st.aborted.is_some() {
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+        if let Some(key) = block_on {
+            st.threads[me] = Run::Blocked(key);
+            st.parked.push((key, me));
+        }
+        let Some(next) = self.pick_next(&mut st, me) else {
+            drop(st);
+            std::panic::panic_any(Abort);
+        };
+        if next == me {
+            return;
+        }
+        st.active = next;
+        self.cv.notify_all();
+        loop {
+            if st.aborted.is_some() {
+                drop(st);
+                std::panic::panic_any(Abort);
+            }
+            if st.active == me && st.threads[me] == Run::Runnable {
+                return;
+            }
+            st = self.cv.wait(st).expect("rt state");
+        }
+    }
+
+    /// Makes every thread parked on `key` runnable (does not schedule).
+    pub(crate) fn unpark_all(&self, key: usize) {
+        let mut st = self.state.lock().expect("rt state");
+        Self::unpark(&mut st, key, usize::MAX);
+    }
+
+    /// Makes the earliest-parked thread on `key` runnable (FIFO).
+    pub(crate) fn unpark_one(&self, key: usize) {
+        let mut st = self.state.lock().expect("rt state");
+        Self::unpark(&mut st, key, 1);
+    }
+
+    fn unpark(st: &mut State, key: usize, limit: usize) {
+        let mut woken = 0;
+        let mut i = 0;
+        while i < st.parked.len() && woken < limit {
+            if st.parked[i].0 == key {
+                let tid = st.parked.remove(i).1;
+                st.threads[tid] = Run::Runnable;
+                woken += 1;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Marks `me` finished, wakes its joiners, surfaces `panic` (a
+    /// genuine model panic fails the whole model), and schedules a
+    /// successor — or flags a deadlock if nothing is runnable while
+    /// threads remain.
+    pub(crate) fn finish(&self, me: usize, panic: Option<Box<dyn Any + Send>>) {
+        let mut st = self.state.lock().expect("rt state");
+        st.threads[me] = Run::Finished;
+        Self::unpark(&mut st, join_key(me), usize::MAX);
+        if let Some(p) = panic {
+            if st.panic.is_none() {
+                st.panic = Some(p);
+            }
+            if st.aborted.is_none() {
+                Self::abort(&mut st, "a model thread panicked");
+            }
+            self.cv.notify_all();
+            return;
+        }
+        if st.aborted.is_some() || st.threads.iter().all(|t| *t == Run::Finished) {
+            st.active = NOBODY;
+            self.cv.notify_all();
+            return;
+        }
+        if let Some(next) = self.pick_next(&mut st, me) {
+            st.active = next;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Picks the next thread to run, honoring the replay prefix and the
+    /// preemption bound, and records the decision. `None` means the
+    /// execution just aborted (deadlock or branch cap).
+    fn pick_next(&self, st: &mut State, me: usize) -> Option<usize> {
+        if st.schedule.len() >= self.max_branches {
+            Self::abort(st, "schedule exceeded the branch cap (possible livelock)");
+            self.cv.notify_all();
+            return None;
+        }
+        let mut cands: Vec<usize> = (0..st.threads.len())
+            .filter(|&i| st.threads[i] == Run::Runnable)
+            .collect();
+        if cands.is_empty() {
+            Self::abort(st, "deadlock: every unfinished thread is blocked");
+            self.cv.notify_all();
+            return None;
+        }
+        let me_runnable = st.threads.get(me) == Some(&Run::Runnable);
+        if me_runnable && st.preemptions >= self.preemption_bound {
+            // Out of preemption budget: the running thread must continue.
+            cands = vec![me];
+        }
+        let idx = if st.step < st.replay.len() {
+            st.replay[st.step]
+        } else {
+            0
+        };
+        assert!(
+            idx < cands.len(),
+            "loom: schedule replay diverged (model is nondeterministic)"
+        );
+        st.schedule.push(Choice {
+            chosen: idx,
+            alternatives: cands.len(),
+        });
+        st.step += 1;
+        let next = cands[idx];
+        if me_runnable && next != me {
+            st.preemptions += 1;
+        }
+        Some(next)
+    }
+
+    fn abort(st: &mut State, why: &str) {
+        st.aborted = Some(why.to_string());
+        // Unpark everything so blocked threads wake, observe the abort,
+        // and unwind; `switch` panics them with `Abort`.
+        for t in &mut st.threads {
+            if matches!(t, Run::Blocked(_)) {
+                *t = Run::Runnable;
+            }
+        }
+        st.parked.clear();
+        st.active = NOBODY;
+    }
+
+    /// Blocks the *caller* thread (outside the model) until every model
+    /// thread has finished, then returns the execution's verdict:
+    /// `(abort reason, first model panic, recorded schedule)`.
+    pub(crate) fn wait_done(&self) -> (Option<String>, Option<Box<dyn Any + Send>>, Vec<Choice>) {
+        let mut st = self.state.lock().expect("rt state");
+        while !st.threads.iter().all(|t| *t == Run::Finished) {
+            st = self.cv.wait(st).expect("rt state");
+        }
+        (
+            st.aborted.take(),
+            st.panic.take(),
+            std::mem::take(&mut st.schedule),
+        )
+    }
+
+    /// Joins every OS thread this execution spawned.
+    pub(crate) fn join_os_threads(&self) {
+        for h in self.os_handles.lock().expect("os handles").drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The replay prefix for the next unexplored execution: flip the deepest
+/// decision that still has an alternative; `None` when the tree is
+/// exhausted.
+pub(crate) fn next_replay(schedule: &[Choice]) -> Option<Vec<usize>> {
+    let mut replay: Vec<usize> = schedule.iter().map(|c| c.chosen).collect();
+    while let Some(last) = replay.pop() {
+        if last + 1 < schedule[replay.len()].alternatives {
+            replay.push(last + 1);
+            return Some(replay);
+        }
+    }
+    None
+}

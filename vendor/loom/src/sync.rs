@@ -1,0 +1,286 @@
+//! Scheduler-aware `Mutex`, `Condvar` and `mpsc` with std-compatible
+//! signatures.
+//!
+//! Data lives in ordinary std primitives (never contended: the scheduler
+//! runs one model thread at a time); what these types add is the model
+//! state — a held flag, park keys derived from the primitive's address —
+//! so lock handoffs, waits and notifies become explorable context-switch
+//! decisions. Locks never poison: `lock`/`wait` always return `Ok`, the
+//! same observable behavior std gives code that never panics while
+//! holding a guard.
+
+pub use std::sync::Arc;
+
+use crate::rt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{LockResult, Mutex as StdMutex};
+
+/// Mutual exclusion with explorable lock handoffs.
+pub struct Mutex<T> {
+    data: StdMutex<T>,
+    held: AtomicBool,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new unlocked mutex.
+    pub fn new(t: T) -> Self {
+        Mutex {
+            data: StdMutex::new(t),
+            held: AtomicBool::new(false),
+        }
+    }
+
+    fn key(&self) -> usize {
+        std::ptr::from_ref(self) as usize
+    }
+
+    /// Acquires the lock; a context-switch decision precedes the
+    /// acquisition attempt and contention parks the caller.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let rt = rt::current_rt();
+        rt.switch(None);
+        while self.held.swap(true, Ordering::SeqCst) {
+            rt.switch(Some(self.key()));
+        }
+        Ok(MutexGuard {
+            lock: self,
+            inner: Some(match self.data.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            }),
+        })
+    }
+}
+
+/// RAII guard; mirrors `std::sync::MutexGuard`.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> MutexGuard<'_, T> {
+    /// Releases the lock without a reschedule decision — used by
+    /// `Condvar::wait`, which must park on the condvar *before* any
+    /// other thread can run, or a wakeup could be lost.
+    fn release_for_wait(&mut self) {
+        drop(self.inner.take());
+        self.lock.held.store(false, Ordering::SeqCst);
+        rt::current_rt().unpark_all(self.lock.key());
+    }
+
+    fn reacquire(&mut self) {
+        let rt = rt::current_rt();
+        while self.lock.held.swap(true, Ordering::SeqCst) {
+            rt.switch(Some(self.lock.key()));
+        }
+        self.inner = Some(match self.lock.data.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        });
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the lock")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds the lock")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.is_none() {
+            return; // released by Condvar::wait and never reacquired
+        }
+        drop(self.inner.take());
+        self.lock.held.store(false, Ordering::SeqCst);
+        let rt = rt::current_rt();
+        rt.unpark_all(self.lock.key());
+        // Give a waiter the chance to grab the lock first (no-op while
+        // unwinding, so teardown cannot double panic).
+        rt.switch(None);
+    }
+}
+
+/// Condition variable with explorable wait/notify interleavings.
+pub struct Condvar {
+    // Address-keyed like Mutex; the field keeps the type non-zero-sized
+    // so two condvars in one struct get distinct park keys.
+    _pad: u8,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Condvar { _pad: 0 }
+    }
+
+    fn key(&self) -> usize {
+        std::ptr::from_ref(self) as usize
+    }
+
+    /// Atomically releases the guard's lock and parks until notified,
+    /// then reacquires; mirrors `std::sync::Condvar::wait`.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let rt = rt::current_rt();
+        guard.release_for_wait();
+        rt.switch(Some(self.key()));
+        guard.reacquire();
+        Ok(guard)
+    }
+
+    /// Wakes the earliest parked waiter (FIFO), if any.
+    pub fn notify_one(&self) {
+        let rt = rt::current_rt();
+        rt.unpark_one(self.key());
+        rt.switch(None);
+    }
+
+    /// Wakes every parked waiter.
+    pub fn notify_all(&self) {
+        let rt = rt::current_rt();
+        rt.unpark_all(self.key());
+        rt.switch(None);
+    }
+}
+
+/// Multi-producer single-consumer channel built on the scheduler-aware
+/// `Mutex`/`Condvar`, mirroring the `std::sync::mpsc` subset the
+/// workspace uses.
+pub mod mpsc {
+    use super::{Arc, Condvar, Mutex};
+    use std::collections::VecDeque;
+    use std::fmt;
+
+    /// Receive on a channel whose senders are all gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Send on a channel whose receiver is gone; returns the value.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    // Unconditional like std's: the payload may not be Debug.
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    struct ChanState<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receiver_alive: bool,
+    }
+
+    struct Chan<T> {
+        state: Mutex<ChanState<T>>,
+        cv: Condvar,
+    }
+
+    /// Sending half; clonable.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Receiving half.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Creates an unbounded channel.
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(ChanState {
+                queue: VecDeque::new(),
+                senders: 1,
+                receiver_alive: true,
+            }),
+            cv: Condvar::new(),
+        });
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a value; fails (returning it) if the receiver is gone.
+        pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+            {
+                let mut st = self.chan.state.lock().expect("channel state");
+                if !st.receiver_alive {
+                    return Err(SendError(t));
+                }
+                st.queue.push_back(t);
+            }
+            self.chan.cv.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.state.lock().expect("channel state").senders += 1;
+            Sender {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let last = {
+                let mut st = self.chan.state.lock().expect("channel state");
+                st.senders -= 1;
+                st.senders == 0
+            };
+            if last {
+                // Wake a blocked receiver so it can observe disconnection.
+                self.chan.cv.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues, blocking while the channel is empty; errs once it is
+        /// empty *and* every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.chan.state.lock().expect("channel state");
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.chan.cv.wait(st).expect("channel state");
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.chan
+                .state
+                .lock()
+                .expect("channel state")
+                .receiver_alive = false;
+        }
+    }
+}

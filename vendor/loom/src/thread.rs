@@ -1,0 +1,75 @@
+//! Model-thread shims mirroring `std::thread`'s spawn/join surface.
+
+use crate::rt::{self, Abort};
+use std::sync::{Arc, Mutex as StdMutex};
+
+/// Handle to a spawned model thread; mirrors `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    id: usize,
+    result: Arc<StdMutex<Option<std::thread::Result<T>>>>,
+    rt: Arc<rt::Rt>,
+}
+
+/// Spawns a model thread. The closure runs under the scheduler: it only
+/// executes while the explorer has it scheduled, and every blocking
+/// operation inside it is a context-switch decision.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let parent_rt = rt::current_rt();
+    let id = parent_rt.register_thread();
+    let result: Arc<StdMutex<Option<std::thread::Result<T>>>> = Arc::new(StdMutex::new(None));
+
+    let rt2 = Arc::clone(&parent_rt);
+    let result2 = Arc::clone(&result);
+    let os = std::thread::spawn(move || {
+        rt::enter(&rt2, id);
+        rt2.wait_until_active(id);
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+            Ok(v) => {
+                *result2.lock().expect("join result") = Some(Ok(v));
+                rt2.finish(id, None);
+            }
+            Err(p) if p.is::<Abort>() => rt2.finish(id, None),
+            Err(p) => {
+                // Leave the payload with the runtime: the model as a
+                // whole fails, which is stronger than a joiner seeing it.
+                rt2.finish(id, Some(p));
+            }
+        }
+    });
+    parent_rt.add_os_handle(os);
+    // Decision point: the child may (or may not) run before the parent
+    // continues.
+    parent_rt.switch(None);
+    JoinHandle {
+        id,
+        result,
+        rt: parent_rt,
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks until the thread finishes; mirrors `std`'s join contract
+    /// (`Err` when the thread panicked).
+    pub fn join(self) -> std::thread::Result<T> {
+        loop {
+            if let Some(r) = self.result.lock().expect("join result").take() {
+                return r;
+            }
+            if self.rt.is_finished(self.id) {
+                // Finished with no stored result: the thread panicked
+                // (the payload went to the runtime and fails the model).
+                return Err(Box::new("loom: joined thread panicked".to_string()));
+            }
+            self.rt.switch(Some(rt::join_key(self.id)));
+        }
+    }
+}
+
+/// Yields: a pure context-switch decision point.
+pub fn yield_now() {
+    rt::current_rt().switch(None);
+}
