@@ -8,9 +8,18 @@
 //! cargo run -p bench --release --bin tables -- perfjson       # BENCH_PR1.json
 //! cargo run -p bench --release --bin tables -- metricsjson    # METRICS_PR2.json
 //! cargo run -p bench --release --bin tables -- gate --quick   # telemetry gate
-//!     [--perf-baseline F] [--metrics-baseline F] [--min-ratio R]
-//!     [--perf-out F] [--metrics-out F]
+//!     [--baselines F1,F2,..] [--perf-baseline F] [--metrics-baseline F]
+//!     [--min-ratio R] [--perf-out F] [--metrics-out F]
+//!     [--scrape ADDR] [--scrape-only]
 //! ```
+//!
+//! Gate perf modes: `--baselines` (adaptive, per-component floors from
+//! the spread of the listed committed baselines — see
+//! [`bench::gate::adaptive_perf_gate`]) or the legacy single
+//! `--perf-baseline` + global `--min-ratio`. `--scrape ADDR` adds
+//! liveness/exposition checks against a running `hotpotato serve`
+//! (`--scrape-only` skips the measurement checks entirely — what the CI
+//! smoke job uses).
 
 use bench::experiments;
 use bench::table::sink;
@@ -87,39 +96,75 @@ fn gate_mode(quick: bool, args: &[String]) -> ! {
             .and_then(|i| args.get(i + 1))
             .map(std::string::String::as_str)
     };
-    let perf_base_path = flag("--perf-baseline").unwrap_or("BENCH_PR1.json");
-    let metrics_base_path = flag("--metrics-baseline").unwrap_or("METRICS_PR2.json");
-    let min_ratio: f64 = flag("--min-ratio")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.25);
+    let scrape_addr = flag("--scrape");
+    let scrape_only = args.iter().any(|a| a == "--scrape-only");
+    if scrape_only && scrape_addr.is_none() {
+        eprintln!("--scrape-only needs --scrape ADDR");
+        std::process::exit(2);
+    }
     let read_doc = |path: &str| -> serde_json::Value {
         let text = std::fs::read_to_string(path)
             .unwrap_or_else(|e| panic!("reading baseline {path}: {e}"));
         serde_json::from_str(&text).unwrap_or_else(|e| panic!("parsing {path}: {e}"))
     };
-    let perf_base = read_doc(perf_base_path);
-    let metrics_base = read_doc(metrics_base_path);
 
-    let perf_cur = measure_perf_doc(quick);
-    if let Some(out) = flag("--perf-out") {
-        std::fs::write(
-            out,
-            serde_json::to_string_pretty(&perf_cur).expect("serialize"),
-        )
-        .unwrap_or_else(|e| panic!("writing {out}: {e}"));
-    }
-    eprintln!("gate: collecting metrics run...");
-    let metrics_cur = experiments::metrics::collect(quick).to_json();
-    if let Some(out) = flag("--metrics-out") {
-        std::fs::write(
-            out,
-            serde_json::to_string_pretty(&metrics_cur).expect("serialize"),
-        )
-        .unwrap_or_else(|e| panic!("writing {out}: {e}"));
-    }
+    let mut findings = Vec::new();
+    if !scrape_only {
+        let metrics_base_path = flag("--metrics-baseline").unwrap_or("METRICS_PR2.json");
+        let metrics_base = read_doc(metrics_base_path);
 
-    let mut findings = bench::gate::perf_gate(&perf_base, &perf_cur, min_ratio);
-    findings.extend(bench::gate::metrics_gate(&metrics_base, &metrics_cur));
+        let perf_cur = measure_perf_doc(quick);
+        if let Some(out) = flag("--perf-out") {
+            std::fs::write(
+                out,
+                serde_json::to_string_pretty(&perf_cur).expect("serialize"),
+            )
+            .unwrap_or_else(|e| panic!("writing {out}: {e}"));
+        }
+        eprintln!("gate: collecting metrics run...");
+        let metrics_cur = experiments::metrics::collect(quick).to_json();
+        if let Some(out) = flag("--metrics-out") {
+            std::fs::write(
+                out,
+                serde_json::to_string_pretty(&metrics_cur).expect("serialize"),
+            )
+            .unwrap_or_else(|e| panic!("writing {out}: {e}"));
+        }
+
+        match flag("--baselines") {
+            Some(list) => {
+                // Adaptive mode: per-component floors from the spread of
+                // the listed baselines (oldest first).
+                let baselines: Vec<serde_json::Value> = list.split(',').map(read_doc).collect();
+                findings.extend(bench::gate::adaptive_perf_gate(&baselines, &perf_cur));
+            }
+            None => {
+                let perf_base_path = flag("--perf-baseline").unwrap_or("BENCH_PR1.json");
+                let min_ratio: f64 = flag("--min-ratio")
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(bench::gate::GLOBAL_MIN_RATIO);
+                findings.extend(bench::gate::perf_gate(
+                    &read_doc(perf_base_path),
+                    &perf_cur,
+                    min_ratio,
+                ));
+            }
+        }
+        findings.extend(bench::gate::metrics_gate(&metrics_base, &metrics_cur));
+    }
+    if let Some(addr) = scrape_addr {
+        let fetch = |path: &str| -> (u16, String) {
+            serve::http::http_get(addr, path)
+                .unwrap_or_else(|e| panic!("scraping http://{addr}{path}: {e}"))
+        };
+        let (hz_status, hz_body) = fetch("/healthz");
+        let (metrics_status, metrics_text) = fetch("/metrics");
+        assert_eq!(
+            metrics_status, 200,
+            "GET /metrics returned {metrics_status}"
+        );
+        findings.extend(bench::gate::scrape_gate(hz_status, &hz_body, &metrics_text));
+    }
     for f in &findings {
         println!(
             "{} {:32} {}",

@@ -1,7 +1,7 @@
 //! Telemetry regression gate: compares freshly measured perf and metrics
 //! documents against the committed baselines with explicit tolerances.
 //!
-//! Two kinds of checks:
+//! Three kinds of checks:
 //!
 //! * **Perf** ([`perf_gate`]) — every component of the committed perf
 //!   baseline (`BENCH_PR1.json`) must still exist and its `moves_per_s`
@@ -11,6 +11,16 @@
 //!   baseline, and per-move cost is what a regression actually changes.
 //!   The ratio is deliberately generous (CI machines differ); it exists
 //!   to catch order-of-magnitude cliffs, not single-digit noise.
+//!   [`adaptive_perf_gate`] replaces the single global ratio with
+//!   per-component floors derived from the *spread* between several
+//!   committed baselines (`BENCH_PR1.json` vs `BENCH_PR3.json`):
+//!   components whose history agrees tightly gate tightly, noisy ones
+//!   stay forgiving, and nothing is ever stricter than the history
+//!   justifies (see [`adaptive_ratio`]).
+//! * **Scrape** ([`scrape_gate`]) — well-formedness of a live
+//!   `hotpotato serve` endpoint: `/healthz` liveness and a `/metrics`
+//!   exposition whose lines parse, whose required families are declared
+//!   and sampled, and whose histogram buckets are cumulative.
 //! * **Metrics** ([`metrics_gate`]) — scale-independent telemetry
 //!   invariants of the fresh instrumented run: every packet delivered,
 //!   zero unsafe deflections, and the Lemma 2.2 contract that the
@@ -123,6 +133,249 @@ pub fn perf_gate(baseline: &Value, current: &Value, min_ratio: f64) -> Vec<Findi
     out
 }
 
+/// The cross-machine floor ratio: the most lenient bound any check may
+/// use. A component with no spread evidence (a single committed
+/// baseline) falls back to exactly this — the historical `--min-ratio`
+/// default.
+pub const GLOBAL_MIN_RATIO: f64 = 0.25;
+
+/// Derives a per-component floor ratio from the spread of that
+/// component's throughput across committed baselines.
+///
+/// `spread` is the relative gap between the slowest and fastest
+/// committed measurement (`1 - min/max`). The allowed drop below the
+/// *fastest* baseline is three spreads plus a 10% pad — same-machine
+/// noise observed across PRs, tripled, is a generous envelope for a real
+/// CI runner — clamped so the derived floor is never more lenient than
+/// [`GLOBAL_MIN_RATIO`] and never tighter than 0.90.
+pub fn adaptive_ratio(spread: f64) -> f64 {
+    (1.0 - (3.0 * spread + 0.10)).clamp(GLOBAL_MIN_RATIO, 0.90)
+}
+
+/// Compares a fresh perf document against *several* committed baselines,
+/// deriving each component's floor from the spread between them instead
+/// of one global ratio (baselines that agree tightly gate tightly;
+/// noisy components stay forgiving).
+///
+/// The newest baseline (last in `baselines`) defines the component set;
+/// the reference throughput for each component is the fastest committed
+/// measurement.
+pub fn adaptive_perf_gate(baselines: &[Value], current: &Value) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let empty = Vec::new();
+    let Some(newest) = baselines.last() else {
+        out.push(Finding::fail("perf/baselines", "no baselines given"));
+        return out;
+    };
+    let newest_rows = newest
+        .get("rows")
+        .and_then(|r| r.as_array())
+        .unwrap_or(&empty);
+    if newest_rows.is_empty() {
+        out.push(Finding::fail(
+            "perf/baselines",
+            "newest baseline has no rows",
+        ));
+        return out;
+    }
+    let cur_rows = current
+        .get("rows")
+        .and_then(|r| r.as_array())
+        .unwrap_or(&empty);
+    for base in newest_rows {
+        let name = base
+            .get("component")
+            .and_then(|c| c.as_str())
+            .unwrap_or("?");
+        let check = format!("perf/{name}");
+        // Every committed measurement of this component, across baselines.
+        let history: Vec<f64> = baselines
+            .iter()
+            .filter_map(|doc| {
+                doc.get("rows")?
+                    .as_array()?
+                    .iter()
+                    .find(|r| r.get("component").and_then(|c| c.as_str()) == Some(name))
+                    .and_then(|r| f64_at(r, &["moves_per_s"]))
+            })
+            .collect();
+        let Some(&reference) = history.iter().max_by(|a, b| a.total_cmp(b)) else {
+            out.push(Finding::fail(check, "no baseline has moves_per_s"));
+            continue;
+        };
+        let slowest = history.iter().copied().fold(f64::INFINITY, f64::min);
+        let ratio = if history.len() >= 2 {
+            adaptive_ratio(1.0 - slowest / reference)
+        } else {
+            GLOBAL_MIN_RATIO
+        };
+        let cur = cur_rows
+            .iter()
+            .find(|r| r.get("component").and_then(|c| c.as_str()) == Some(name));
+        let Some(cur) = cur else {
+            out.push(Finding::fail(
+                check,
+                format!("component '{name}' missing from the fresh measurement"),
+            ));
+            continue;
+        };
+        let Some(cur_mps) = f64_at(cur, &["moves_per_s"]) else {
+            out.push(Finding::fail(check, "fresh row has no moves_per_s"));
+            continue;
+        };
+        let floor = reference * ratio;
+        let detail = format!(
+            "{cur_mps:.0} moves/s vs best-of-{} baselines {reference:.0} (adaptive floor {ratio:.2}× = {floor:.0})",
+            history.len(),
+        );
+        if cur_mps >= floor {
+            out.push(Finding::pass(check, detail));
+        } else {
+            out.push(Finding::fail(check, detail));
+        }
+    }
+    out
+}
+
+/// Families a live `/metrics` scrape must expose (present from the very
+/// first snapshot — none depend on run progress).
+const REQUIRED_FAMILIES: &[&str] = &[
+    "hotpotato_steps_total",
+    "hotpotato_moves_total",
+    "hotpotato_deliveries_total",
+    "hotpotato_deflections_total",
+    "hotpotato_deflections_per_packet",
+    "hotpotato_snapshot_seq",
+    "hotpotato_run_finished",
+];
+
+/// Validates a live scrape of `hotpotato serve`: `/healthz` liveness
+/// plus well-formedness of the `/metrics` exposition (line shapes,
+/// required families, and cumulativity of every histogram series). Pure
+/// over the fetched bodies, so CI failures reproduce offline.
+pub fn scrape_gate(healthz_status: u16, healthz_body: &str, metrics_text: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if healthz_status == 200 && healthz_body == "ok\n" {
+        out.push(Finding::pass("scrape/healthz", "200 ok"));
+    } else {
+        out.push(Finding::fail(
+            "scrape/healthz",
+            format!("status {healthz_status}, body {healthz_body:?}"),
+        ));
+    }
+
+    let mut malformed = Vec::new();
+    let mut samples = 0usize;
+    for line in metrics_text.lines() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        // `name value` or `name{labels} value`; the value parses as f64
+        // (`+Inf` buckets appear only inside `le` labels, never as values
+        // of these families).
+        match line.rsplit_once(' ') {
+            Some((name, value)) if !name.is_empty() && value.parse::<f64>().is_ok() => {
+                samples += 1;
+            }
+            _ => malformed.push(line),
+        }
+    }
+    if malformed.is_empty() && samples > 0 {
+        out.push(Finding::pass(
+            "scrape/exposition",
+            format!("{samples} well-formed samples"),
+        ));
+    } else {
+        out.push(Finding::fail(
+            "scrape/exposition",
+            format!("{samples} samples, malformed lines: {malformed:?}"),
+        ));
+    }
+
+    for family in REQUIRED_FAMILIES {
+        let declared = metrics_text.lines().any(|l| {
+            l.strip_prefix("# TYPE ")
+                .is_some_and(|r| r.split_whitespace().next() == Some(family))
+        });
+        let sampled = metrics_text
+            .lines()
+            .any(|l| l.starts_with(family) && !l.starts_with('#'));
+        if declared && sampled {
+            out.push(Finding::pass(
+                format!("scrape/{family}"),
+                "declared + sampled",
+            ));
+        } else {
+            out.push(Finding::fail(
+                format!("scrape/{family}"),
+                format!("declared={declared} sampled={sampled}"),
+            ));
+        }
+    }
+
+    // Histogram cumulativity: within each `_bucket` series (same labels
+    // modulo `le`), counts never decrease in document order and the
+    // closing bucket is `+Inf`.
+    let mut last: Option<(String, f64)> = None;
+    let mut cumulative_ok = true;
+    let mut buckets_seen = 0usize;
+    for line in metrics_text.lines() {
+        let Some(rest) = line
+            .split_once("_bucket{")
+            .map(|(name, rest)| (name.to_owned(), rest))
+        else {
+            if last.is_some() {
+                // Series ended: the final bucket must have been +Inf.
+                if let Some((labels, _)) = &last {
+                    if !labels.contains("le=\"+Inf\"") {
+                        cumulative_ok = false;
+                    }
+                }
+                last = None;
+            }
+            continue;
+        };
+        let (series, labels_and_value) = rest;
+        let Some((labels, value)) = labels_and_value.rsplit_once(' ') else {
+            cumulative_ok = false;
+            continue;
+        };
+        let value: f64 = value.parse().unwrap_or(f64::NAN);
+        buckets_seen += 1;
+        let key_prefix = {
+            // Labels minus the trailing `le="..."}`.
+            labels.split(",le=\"").next().unwrap_or("").to_owned()
+        };
+        let series_key = format!("{series}|{key_prefix}");
+        match &last {
+            Some((prev_key, prev_value))
+                if prev_key.starts_with(&series_key) && value < *prev_value =>
+            {
+                cumulative_ok = false;
+            }
+            _ => {}
+        }
+        last = Some((format!("{series_key}|{labels}"), value));
+    }
+    if let Some((labels, _)) = &last {
+        if !labels.contains("le=\"+Inf\"") {
+            cumulative_ok = false;
+        }
+    }
+    if cumulative_ok && buckets_seen > 0 {
+        out.push(Finding::pass(
+            "scrape/histograms",
+            format!("{buckets_seen} cumulative bucket samples"),
+        ));
+    } else {
+        out.push(Finding::fail(
+            "scrape/histograms",
+            format!("cumulativity violated or no buckets ({buckets_seen} seen)"),
+        ));
+    }
+    out
+}
+
 /// Checks the telemetry invariants of a fresh metrics document against
 /// the committed baseline (see the module docs for the contract).
 pub fn metrics_gate(baseline: &Value, current: &Value) -> Vec<Finding> {
@@ -222,6 +475,107 @@ mod tests {
         // A missing component is a failure, not a silent skip.
         let missing = perf_gate(&base, &json!({ "rows": Value::Array(Vec::new()) }), 0.5);
         assert!(!passed(&missing), "{missing:?}");
+    }
+
+    fn perf_doc_named(rows: &[(&str, f64)]) -> Value {
+        let rows: Vec<Value> = rows
+            .iter()
+            .map(|(name, mps)| json!({ "component": *name, "moves_per_s": *mps }))
+            .collect();
+        json!({ "k": 12, "rows": Value::Array(rows) })
+    }
+
+    #[test]
+    fn adaptive_ratio_tracks_spread_within_clamps() {
+        // Tight history → tight floor; 14% spread (the observed
+        // PR1-vs-PR3 gap) → ~0.48; huge spread → never below the
+        // cross-machine global.
+        assert_eq!(adaptive_ratio(0.0), 0.90);
+        let mid = adaptive_ratio(0.14);
+        assert!((0.45..0.50).contains(&mid), "{mid}");
+        assert_eq!(adaptive_ratio(0.5), GLOBAL_MIN_RATIO);
+    }
+
+    #[test]
+    fn adaptive_gate_derives_per_component_floors() {
+        // "steady" has a tight history (2% spread → 0.84 floor ratio);
+        // "noisy" a wide one (20% spread → 0.30).
+        let old = perf_doc_named(&[("steady", 1_000_000.0), ("noisy", 1_000_000.0)]);
+        let new = perf_doc_named(&[("steady", 980_000.0), ("noisy", 800_000.0)]);
+        let baselines = vec![old, new];
+        // 0.82 of the best: passes the noisy floor (0.30), fails the
+        // steady one (0.84).
+        let fresh = perf_doc_named(&[("steady", 820_000.0), ("noisy", 820_000.0)]);
+        let findings = adaptive_perf_gate(&baselines, &fresh);
+        let by_name = |n: &str| {
+            findings
+                .iter()
+                .find(|f| f.check == format!("perf/{n}"))
+                .unwrap()
+        };
+        assert!(!by_name("steady").ok, "{findings:?}");
+        assert!(by_name("noisy").ok, "{findings:?}");
+        // Healthy throughput passes everything.
+        let healthy = perf_doc_named(&[("steady", 990_000.0), ("noisy", 990_000.0)]);
+        assert!(passed(&adaptive_perf_gate(&baselines, &healthy)));
+        // A missing component is a failure, not a silent skip.
+        let missing = adaptive_perf_gate(&baselines, &perf_doc_named(&[("steady", 990_000.0)]));
+        assert!(!passed(&missing), "{missing:?}");
+    }
+
+    #[test]
+    fn adaptive_gate_single_baseline_falls_back_to_global_ratio() {
+        let only = vec![perf_doc_named(&[("c", 1_000_000.0)])];
+        // 0.30 of baseline: above the 0.25 global fallback.
+        let fresh = perf_doc_named(&[("c", 300_000.0)]);
+        assert!(passed(&adaptive_perf_gate(&only, &fresh)));
+        let too_slow = perf_doc_named(&[("c", 200_000.0)]);
+        assert!(!passed(&adaptive_perf_gate(&only, &too_slow)));
+        assert!(!passed(&adaptive_perf_gate(&[], &fresh)));
+    }
+
+    const GOOD_SCRAPE: &str = "\
+# HELP hotpotato_steps_total Steps.\n\
+# TYPE hotpotato_steps_total counter\n\
+hotpotato_steps_total{run=\"a\"} 320\n\
+# TYPE hotpotato_moves_total counter\n\
+hotpotato_moves_total{run=\"a\"} 10\n\
+# TYPE hotpotato_deliveries_total counter\n\
+hotpotato_deliveries_total{run=\"a\"} 0\n\
+# TYPE hotpotato_deflections_total counter\n\
+hotpotato_deflections_total{run=\"a\",kind=\"safe\"} 2\n\
+# TYPE hotpotato_deflections_per_packet histogram\n\
+hotpotato_deflections_per_packet_bucket{run=\"a\",le=\"0\"} 5\n\
+hotpotato_deflections_per_packet_bucket{run=\"a\",le=\"1\"} 8\n\
+hotpotato_deflections_per_packet_bucket{run=\"a\",le=\"+Inf\"} 9\n\
+hotpotato_deflections_per_packet_sum{run=\"a\"} 6\n\
+hotpotato_deflections_per_packet_count{run=\"a\"} 9\n\
+# TYPE hotpotato_snapshot_seq gauge\n\
+hotpotato_snapshot_seq{run=\"a\"} 40\n\
+# TYPE hotpotato_run_finished gauge\n\
+hotpotato_run_finished{run=\"a\"} 0\n";
+
+    #[test]
+    fn scrape_gate_accepts_a_well_formed_exposition() {
+        let findings = scrape_gate(200, "ok\n", GOOD_SCRAPE);
+        assert!(passed(&findings), "{findings:?}");
+    }
+
+    #[test]
+    fn scrape_gate_rejects_problems() {
+        assert!(!passed(&scrape_gate(500, "boom", GOOD_SCRAPE)));
+        // A malformed sample line.
+        let broken = format!("{GOOD_SCRAPE}what_is_this\n");
+        assert!(!passed(&scrape_gate(200, "ok\n", &broken)));
+        // A missing required family.
+        let no_steps = GOOD_SCRAPE.replace("hotpotato_steps_total", "hp_steps");
+        assert!(!passed(&scrape_gate(200, "ok\n", &no_steps)));
+        // Non-cumulative buckets.
+        let decreasing = GOOD_SCRAPE.replace(
+            "hotpotato_deflections_per_packet_bucket{run=\"a\",le=\"1\"} 8",
+            "hotpotato_deflections_per_packet_bucket{run=\"a\",le=\"1\"} 3",
+        );
+        assert!(!passed(&scrape_gate(200, "ok\n", &decreasing)));
     }
 
     fn metrics_doc(k: u64, delivered: u64, watermark: f64, makespan: u64) -> Value {

@@ -23,10 +23,15 @@
 //!   zero-cost when disabled) plus concrete sinks: [`MetricsObserver`],
 //!   [`JsonlTraceObserver`], [`SectionProfiler`];
 //! * [`router_api`] — the object-safe [`Router`] trait and shared
-//!   [`RouteOutcome`] every routing algorithm implements.
+//!   [`RouteOutcome`] every routing algorithm implements;
+//! * [`exchange`] — the double-buffered, never-blocking
+//!   [`SnapshotPublisher`]/[`SnapshotReader`] handoff that live
+//!   monitoring (the `serve` crate) uses to read mid-run metrics
+//!   without touching the step loop's latency.
 
 pub mod conflict;
 pub mod engine;
+pub mod exchange;
 pub mod kinematics;
 pub mod observe;
 pub mod record;
@@ -39,6 +44,7 @@ pub use engine::{
     AuditLevel, ExitKind, InjectOutcome, PacketStatus, SimError, Simulation, SimulationBuilder,
     StepReport,
 };
+pub use exchange::{snapshot_exchange, SnapshotPublisher, SnapshotReader};
 pub use kinematics::SimPacket;
 pub use observe::{
     JsonlTraceObserver, MetricsObserver, NoopObserver, RouteObserver, Section, SectionProfiler,

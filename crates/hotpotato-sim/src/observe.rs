@@ -487,6 +487,11 @@ impl MetricsObserver {
         self.unsafe_deflections
     }
 
+    /// Live per-level packet count (as of the last event applied).
+    pub fn occupancy(&self) -> &[u32] {
+        &self.occupancy
+    }
+
     /// Max per-level occupancy observed at any step end.
     pub fn level_watermarks(&self) -> &[u32] {
         &self.level_watermark

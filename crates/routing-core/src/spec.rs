@@ -202,9 +202,91 @@ pub fn reconstruct_problem(
     Ok((topo, problem))
 }
 
+/// One hosted run, as `hotpotato serve` names it: the instance triple
+/// plus the algorithm, parsed from a single `TOPO/WL[/ALGO[/SEED]]`
+/// string (`/`-separated because the topo and workload specs themselves
+/// use `:`). Example: `bf:10/bitrev/busch/7`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunSpec {
+    /// Topology spec ([`parse_topo`] grammar).
+    pub topo: String,
+    /// Workload spec ([`parse_workload`] grammar).
+    pub workload: String,
+    /// Algorithm name (`busch`, `greedy`, ... — validated by the router
+    /// dispatch, not here).
+    pub algo: String,
+    /// Run seed (workload generation and routing share it).
+    pub seed: u64,
+}
+
+impl RunSpec {
+    /// A URL-safe run name, unique per distinct spec:
+    /// `bf:10/bitrev/busch/7` → `busch-bf_10-bitrev-7`.
+    pub fn name(&self) -> String {
+        format!(
+            "{}-{}-{}-{}",
+            self.algo,
+            self.topo.replace(':', "_"),
+            self.workload.replace(':', "_"),
+            self.seed
+        )
+    }
+}
+
+/// Parses a [`RunSpec`] from `TOPO/WL[/ALGO[/SEED]]`. The algorithm
+/// defaults to `busch` and the seed to 1. Structural only: the topo and
+/// workload grammars are checked when the problem is reconstructed.
+pub fn parse_run_spec(spec: &str) -> Result<RunSpec, String> {
+    let parts: Vec<&str> = spec.split('/').collect();
+    if !(2..=4).contains(&parts.len()) {
+        return Err(format!(
+            "run spec '{spec}' must be TOPO/WL[/ALGO[/SEED]], e.g. bf:10/bitrev/busch/7"
+        ));
+    }
+    if parts.iter().any(|p| p.is_empty()) {
+        return Err(format!("run spec '{spec}' has an empty component"));
+    }
+    let seed = match parts.get(3) {
+        Some(s) => s
+            .parse::<u64>()
+            .map_err(|_| format!("bad run seed '{s}'"))?,
+        None => 1,
+    };
+    Ok(RunSpec {
+        topo: parts[0].to_string(),
+        workload: parts[1].to_string(),
+        algo: parts.get(2).copied().unwrap_or("busch").to_string(),
+        seed,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn run_specs_parse_with_defaults() {
+        let full = parse_run_spec("bf:10/bitrev/greedy/7").unwrap();
+        assert_eq!(
+            full,
+            RunSpec {
+                topo: "bf:10".into(),
+                workload: "bitrev".into(),
+                algo: "greedy".into(),
+                seed: 7,
+            }
+        );
+        assert_eq!(full.name(), "greedy-bf_10-bitrev-7");
+
+        let minimal = parse_run_spec("mesh:8x8/transpose").unwrap();
+        assert_eq!(minimal.algo, "busch");
+        assert_eq!(minimal.seed, 1);
+
+        assert!(parse_run_spec("bf:10").is_err());
+        assert!(parse_run_spec("bf:10/bitrev/busch/7/extra").is_err());
+        assert!(parse_run_spec("bf:10//busch").is_err());
+        assert!(parse_run_spec("bf:10/bitrev/busch/x").is_err());
+    }
 
     #[test]
     fn butterfly_spec_carries_coords() {

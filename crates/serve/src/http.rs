@@ -1,0 +1,247 @@
+//! Minimal dependency-free HTTP/1.1 server over `std::net`.
+//!
+//! Scope is deliberately tiny: `GET`-only, no keep-alive (every response
+//! carries `Connection: close`), no body parsing, one thread per
+//! connection. That is exactly what a Prometheus scraper or a `curl`
+//! walkthrough needs, and nothing the workspace would have to vendor a
+//! dependency for.
+
+use std::io::{self, BufRead, BufReader, Read as _, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread;
+
+/// A parsed request line (headers are read and discarded).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// The HTTP method verbatim (`GET`, `HEAD`, …).
+    pub method: String,
+    /// The request target, e.g. `/metrics` (query strings included).
+    pub path: String,
+}
+
+/// A response the handler returns; the server adds the framing headers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+/// The content type Prometheus expects for text exposition 0.0.4.
+pub const EXPOSITION_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+impl Response {
+    /// A `200 OK` with the given body.
+    pub fn ok(content_type: &'static str, body: String) -> Self {
+        Response {
+            status: 200,
+            content_type,
+            body,
+        }
+    }
+
+    /// A `200 OK` JSON body.
+    pub fn json(body: String) -> Self {
+        Self::ok("application/json", body)
+    }
+
+    /// A `404 Not Found` with a short plain-text reason.
+    pub fn not_found(what: &str) -> Self {
+        Response {
+            status: 404,
+            content_type: "text/plain; charset=utf-8",
+            body: format!("not found: {what}\n"),
+        }
+    }
+
+    /// A `405 Method Not Allowed` (the server is GET-only).
+    pub fn method_not_allowed() -> Self {
+        Response {
+            status: 405,
+            content_type: "text/plain; charset=utf-8",
+            body: "only GET is supported\n".into(),
+        }
+    }
+}
+
+/// Reason phrase for the status codes this server emits.
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Reads and parses one request from the stream: the request line, then
+/// headers up to the blank line (discarded — nothing this server does
+/// depends on them).
+fn read_request(stream: &TcpStream) -> io::Result<Request> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m.to_owned(), p.to_owned()),
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "malformed request line",
+            ))
+        }
+    };
+    loop {
+        let mut header = String::new();
+        let n = reader.read_line(&mut header)?;
+        if n == 0 || header == "\r\n" || header == "\n" {
+            break;
+        }
+    }
+    Ok(Request { method, path })
+}
+
+/// Writes `response` with framing headers and closes the connection.
+fn write_response(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        status_text(response.status),
+        response.content_type,
+        response.body.len(),
+    )?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+/// Handles one accepted connection end to end.
+fn handle_connection(mut stream: TcpStream, handler: &dyn Fn(&Request) -> Response) {
+    let response = match read_request(&stream) {
+        Ok(req) if req.method == "GET" => handler(&req),
+        Ok(_) => Response::method_not_allowed(),
+        Err(_) => Response {
+            status: 400,
+            content_type: "text/plain; charset=utf-8",
+            body: "bad request\n".into(),
+        },
+    };
+    // The peer may already be gone; dropping the error is the only
+    // sensible reaction for a monitoring endpoint.
+    let _ = write_response(&mut stream, &response);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// A bound listener ready to serve.
+pub struct HttpServer {
+    listener: TcpListener,
+    addr: SocketAddr,
+}
+
+impl HttpServer {
+    /// Binds `addr` (use port `0` for an ephemeral port; the bound
+    /// address is available via [`HttpServer::local_addr`]).
+    pub fn bind(addr: &str) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(HttpServer { listener, addr })
+    }
+
+    /// The address the listener actually bound.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Accepts connections forever, one handler thread per connection.
+    /// Never returns under normal operation; the process exit (or test
+    /// teardown) reaps the detached threads.
+    pub fn serve(self, handler: Arc<dyn Fn(&Request) -> Response + Send + Sync>) -> io::Error {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let handler = Arc::clone(&handler);
+                    thread::spawn(move || handle_connection(stream, handler.as_ref()));
+                }
+                Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => {}
+                Err(e) => return e,
+            }
+        }
+    }
+
+    /// Spawns [`HttpServer::serve`] on a background thread and returns
+    /// the bound address — the shape tests and the CLI both want.
+    pub fn serve_in_background(
+        self,
+        handler: Arc<dyn Fn(&Request) -> Response + Send + Sync>,
+    ) -> SocketAddr {
+        let addr = self.addr;
+        thread::spawn(move || self.serve(handler));
+        addr
+    }
+}
+
+/// A minimal blocking GET client for the same dialect the server speaks
+/// (used by the bench gate's `--scrape` mode and the integration tests).
+/// Returns `(status, body)`.
+pub fn http_get(addr: &str, path: &str) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed status line"))?;
+    loop {
+        let mut header = String::new();
+        let n = reader.read_line(&mut header)?;
+        if n == 0 || header == "\r\n" || header == "\n" {
+            break;
+        }
+    }
+    let mut body = String::new();
+    reader.read_to_string(&mut body)?;
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_round_trips_a_get() {
+        let server = HttpServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.serve_in_background(Arc::new(|req: &Request| {
+            Response::ok("text/plain; charset=utf-8", format!("path={}\n", req.path))
+        }));
+        let (status, body) = http_get(&addr.to_string(), "/hello").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "path=/hello\n");
+    }
+
+    #[test]
+    fn non_get_methods_are_rejected() {
+        let server = HttpServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.serve_in_background(Arc::new(|_req: &Request| {
+            Response::ok("text/plain; charset=utf-8", "ok\n".into())
+        }));
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "POST /x HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        stream.flush().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).unwrap();
+        assert!(status_line.starts_with("HTTP/1.1 405"), "{status_line}");
+    }
+}

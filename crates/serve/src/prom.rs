@@ -1,0 +1,242 @@
+//! Prometheus text exposition (format 0.0.4), dependency-free.
+//!
+//! The encoder is a small builder over `String`: callers declare a
+//! metric family (`# HELP` / `# TYPE` header) and then append samples.
+//! Output is deterministic — families and samples appear exactly in the
+//! order the caller wrote them, so two encodes of the same state are
+//! byte-identical (the property the scrape tests pin).
+//!
+//! Histograms follow the exposition rules: bucket counts are
+//! *cumulative*, a `+Inf` bucket always closes the series, and `_sum` /
+//! `_count` accompany the buckets.
+
+use std::fmt::Write as _;
+
+/// Escapes a label value: `\` → `\\`, `"` → `\"`, newline → `\n`.
+pub fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Renders a sample value: integers without a fraction, floats via the
+/// shortest roundtrip `{}` formatting, non-finite as `+Inf`/`-Inf`/`NaN`.
+pub fn format_value(v: f64) -> String {
+    if v.is_nan() {
+        return "NaN".into();
+    }
+    if v.is_infinite() {
+        return if v > 0.0 {
+            "+Inf".into()
+        } else {
+            "-Inf".into()
+        };
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Metric family kinds in the exposition `# TYPE` vocabulary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// Monotonically increasing value.
+    Counter,
+    /// Value that can go up and down.
+    Gauge,
+    /// Cumulative-bucket distribution.
+    Histogram,
+}
+
+impl Kind {
+    fn name(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Deterministic exposition builder.
+#[derive(Default)]
+pub struct PromWriter {
+    out: String,
+}
+
+impl PromWriter {
+    /// A fresh, empty exposition.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a metric family: one `# HELP` and one `# TYPE` line.
+    /// Call once per family, before its samples.
+    pub fn family(&mut self, name: &str, help: &str, kind: Kind) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {}", kind.name());
+    }
+
+    /// Appends one sample line with the given labels (values are
+    /// escaped here; keys must already be valid label names).
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(name);
+        self.write_labels(labels, None);
+        let _ = writeln!(self.out, " {}", format_value(value));
+    }
+
+    /// Appends a full histogram series: cumulative `_bucket` lines for
+    /// each upper bound in `bounds`, the closing `+Inf` bucket, then
+    /// `_sum` and `_count`. `counts[i]` is the *per-bucket* (not yet
+    /// cumulative) count of observations `<= bounds[i]` and greater than
+    /// the previous bound; `counts` may carry one extra element for
+    /// observations above the last bound.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+        counts: &[u64],
+        sum: f64,
+    ) {
+        debug_assert!(
+            counts.len() == bounds.len() || counts.len() == bounds.len() + 1,
+            "counts must cover the bounds (plus optionally an overflow bucket)"
+        );
+        let mut cumulative = 0u64;
+        for (i, &bound) in bounds.iter().enumerate() {
+            cumulative += counts.get(i).copied().unwrap_or(0);
+            self.out.push_str(name);
+            self.out.push_str("_bucket");
+            self.write_labels(labels, Some(&format_value(bound)));
+            let _ = writeln!(self.out, " {cumulative}");
+        }
+        cumulative += counts.get(bounds.len()).copied().unwrap_or(0);
+        self.out.push_str(name);
+        self.out.push_str("_bucket");
+        self.write_labels(labels, Some("+Inf"));
+        let _ = writeln!(self.out, " {cumulative}");
+        self.out.push_str(name);
+        self.out.push_str("_sum");
+        self.write_labels(labels, None);
+        let _ = writeln!(self.out, " {}", format_value(sum));
+        self.out.push_str(name);
+        self.out.push_str("_count");
+        self.write_labels(labels, None);
+        let _ = writeln!(self.out, " {cumulative}");
+    }
+
+    /// The finished exposition text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn write_labels(&mut self, labels: &[(&str, &str)], le: Option<&str>) {
+        if labels.is_empty() && le.is_none() {
+            return;
+        }
+        self.out.push('{');
+        let mut first = true;
+        for (k, v) in labels {
+            if !first {
+                self.out.push(',');
+            }
+            first = false;
+            let _ = write!(self.out, "{k}=\"{}\"", escape_label(v));
+        }
+        if let Some(le) = le {
+            if !first {
+                self.out.push(',');
+            }
+            let _ = write!(self.out, "le=\"{le}\"");
+        }
+        self.out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label("plain"), "plain");
+        assert_eq!(escape_label("a\\b"), "a\\\\b");
+        assert_eq!(escape_label("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(escape_label("two\nlines"), "two\\nlines");
+    }
+
+    #[test]
+    fn values_render_integers_without_fraction() {
+        assert_eq!(format_value(3.0), "3");
+        assert_eq!(format_value(-2.0), "-2");
+        assert_eq!(format_value(2.5), "2.5");
+        assert_eq!(format_value(f64::INFINITY), "+Inf");
+        assert_eq!(format_value(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(format_value(f64::NAN), "NaN");
+    }
+
+    #[test]
+    fn families_and_samples_render_in_call_order() {
+        let mut w = PromWriter::new();
+        w.family("hp_steps_total", "Steps completed.", Kind::Counter);
+        w.sample("hp_steps_total", &[("run", "a")], 10.0);
+        w.sample("hp_steps_total", &[("run", "b")], 20.0);
+        w.family("hp_active", "In-flight packets.", Kind::Gauge);
+        w.sample("hp_active", &[], 3.0);
+        assert_eq!(
+            w.finish(),
+            "# HELP hp_steps_total Steps completed.\n\
+             # TYPE hp_steps_total counter\n\
+             hp_steps_total{run=\"a\"} 10\n\
+             hp_steps_total{run=\"b\"} 20\n\
+             # HELP hp_active In-flight packets.\n\
+             # TYPE hp_active gauge\n\
+             hp_active 3\n"
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_close_with_inf() {
+        let mut w = PromWriter::new();
+        w.family("hp_defl", "Deflections per packet.", Kind::Histogram);
+        // Per-bucket counts 5, 3, 2 with an overflow of 1 → cumulative
+        // 5, 8, 10, 11.
+        w.histogram(
+            "hp_defl",
+            &[("run", "a")],
+            &[0.0, 1.0, 2.0],
+            &[5, 3, 2, 1],
+            9.0,
+        );
+        let text = w.finish();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[2], "hp_defl_bucket{run=\"a\",le=\"0\"} 5");
+        assert_eq!(lines[3], "hp_defl_bucket{run=\"a\",le=\"1\"} 8");
+        assert_eq!(lines[4], "hp_defl_bucket{run=\"a\",le=\"2\"} 10");
+        assert_eq!(lines[5], "hp_defl_bucket{run=\"a\",le=\"+Inf\"} 11");
+        assert_eq!(lines[6], "hp_defl_sum{run=\"a\"} 9");
+        assert_eq!(lines[7], "hp_defl_count{run=\"a\"} 11");
+    }
+
+    #[test]
+    fn two_encodes_of_the_same_state_are_byte_identical() {
+        let build = || {
+            let mut w = PromWriter::new();
+            w.family("m", "h", Kind::Gauge);
+            w.sample("m", &[("x", "1"), ("y", "2")], 1.5);
+            w.histogram("mh", &[], &[1.0], &[2], 2.0);
+            w.finish()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -35,7 +35,10 @@ pub mod timeline;
 pub mod verify;
 
 pub use analyze::{analyze, diff, Analysis};
-pub use schema::{parse_line, Meta, ParseError, StatsLine, Trace, TraceEvent, SCHEMA_VERSION};
-pub use stream::StreamingAggregator;
+pub use schema::{
+    parse_line, parse_rollup, rollup_doc, Meta, ParseError, Rollup, StatsLine, Trace, TraceEvent,
+    SCHEMA_VERSION,
+};
+pub use stream::{report_json, Bucket, StreamingAggregator};
 pub use timeline::{attribute_chains, build_timelines, ChainReport, PacketTimeline};
 pub use verify::{verify_trace, Model, VerifyError, VerifyReport};

@@ -17,9 +17,13 @@ use hotpotato_sim::{ExitKind, RouteStats, Time};
 use leveled_net::{Direction, EdgeId};
 use serde::Value;
 
-/// The trace schema version carried by the `meta` line. Bump when any
-/// event's field set changes.
-pub const SCHEMA_VERSION: u64 = 1;
+/// The trace schema version carried by the `meta` line and the live
+/// [`Rollup`] envelope. Bump when any event's field set changes.
+///
+/// Version history: 1 = the original JSONL trace format; 2 = adds the
+/// `Rollup` envelope served by `hotpotato serve` (trace lines are
+/// unchanged, but the version is shared so one fingerprint pins both).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// The `meta` envelope line: everything needed to rebuild the instance.
 #[derive(Clone, Debug, PartialEq)]
@@ -56,6 +60,28 @@ pub struct StatsLine {
     pub delivered_at: Vec<Option<Time>>,
     /// Per-packet deflection count.
     pub deflections: Vec<u32>,
+}
+
+/// The `/rollup/<run>` response document served by `hotpotato serve`: a
+/// schema-versioned envelope around one [`StreamingAggregator`] snapshot
+/// (`rollup` holds the aggregator's `to_json()` report verbatim, so a
+/// quiesced envelope compares *exactly* equal to the in-process report).
+///
+/// [`StreamingAggregator`]: crate::StreamingAggregator
+#[derive(Clone, Debug, PartialEq)]
+pub struct Rollup {
+    /// Envelope schema version (must equal [`SCHEMA_VERSION`]).
+    pub schema: u64,
+    /// Name of the run the snapshot belongs to.
+    pub run: String,
+    /// Publisher sequence number (0 = nothing published yet; the seed
+    /// snapshot).
+    pub seq: u64,
+    /// `true` once the run has quiesced: the snapshot is final and exact.
+    pub finished: bool,
+    /// The aggregator report, exactly as `StreamingAggregator::to_json()`
+    /// rendered it.
+    pub rollup: Value,
 }
 
 /// One parsed trace line.
@@ -258,6 +284,12 @@ impl<'a> Fields<'a> {
         self.take(key)?
             .as_str()
             .ok_or_else(|| err(format!("field '{key}' is not a string")))
+    }
+
+    fn bool(&mut self, key: &str) -> Result<bool, ParseError> {
+        self.take(key)?
+            .as_bool()
+            .ok_or_else(|| err(format!("field '{key}' is not a boolean")))
     }
 
     fn u32_array(&mut self, key: &str) -> Result<Vec<u32>, ParseError> {
@@ -483,6 +515,43 @@ pub fn meta_line(meta: &Meta) -> String {
     .to_compact_string()
 }
 
+/// Renders a [`Rollup`] envelope as a JSON document (the `/rollup/<run>`
+/// response body).
+pub fn rollup_doc(r: &Rollup) -> Value {
+    use serde::Serialize as _;
+    Value::object([
+        ("schema", r.schema.to_json()),
+        ("run", Value::String(r.run.clone())),
+        ("seq", r.seq.to_json()),
+        ("finished", Value::Bool(r.finished)),
+        ("rollup", r.rollup.clone()),
+    ])
+}
+
+/// Parses a [`Rollup`] envelope, strictly: unknown or missing envelope
+/// fields and a wrong `schema` version are errors. The inner `rollup`
+/// report is carried opaquely (its shape is owned by
+/// `StreamingAggregator::to_json`).
+pub fn parse_rollup(text: &str) -> Result<Rollup, ParseError> {
+    let value = serde_json::from_str(text).map_err(|e| err(e.to_string()))?;
+    let mut f = Fields::new(&value)?;
+    let rollup = Rollup {
+        schema: f.u64("schema")?,
+        run: f.str("run")?.to_string(),
+        seq: f.u64("seq")?,
+        finished: f.bool("finished")?,
+        rollup: f.take("rollup")?.clone(),
+    };
+    if rollup.schema != SCHEMA_VERSION {
+        return Err(err(format!(
+            "unsupported rollup schema {} (this build reads {SCHEMA_VERSION})",
+            rollup.schema
+        )));
+    }
+    f.finish()?;
+    Ok(rollup)
+}
+
 /// Renders the `stats` envelope line (without trailing newline) from the
 /// run's final statistics.
 pub fn stats_line(stats: &RouteStats) -> String {
@@ -550,6 +619,35 @@ mod tests {
             }
             other => panic!("wrong event: {other:?}"),
         }
+    }
+
+    #[test]
+    fn rollup_envelope_round_trips_strictly() {
+        let rollup = Rollup {
+            schema: SCHEMA_VERSION,
+            run: "bf10-bitrev".into(),
+            seq: 17,
+            finished: true,
+            rollup: Value::object([("cap", Value::Number(serde::Number::U(64)))]),
+        };
+        let text = rollup_doc(&rollup).to_compact_string();
+        assert_eq!(parse_rollup(&text).unwrap(), rollup);
+
+        // Wrong version, unknown field, missing field: all hard errors.
+        let stale = text.replacen(&format!("\"schema\":{SCHEMA_VERSION}"), "\"schema\":1", 1);
+        let e = parse_rollup(&stale).unwrap_err();
+        assert!(e.msg.contains("unsupported rollup schema"), "{e}");
+        let extra = format!("{},\"zz\":0}}", &text[..text.len() - 1]);
+        assert!(parse_rollup(&extra)
+            .unwrap_err()
+            .msg
+            .contains("unknown field 'zz'"));
+        assert!(
+            parse_rollup(r#"{"schema":2,"run":"x","seq":0,"finished":false}"#)
+                .unwrap_err()
+                .msg
+                .contains("missing field 'rollup'")
+        );
     }
 
     #[test]

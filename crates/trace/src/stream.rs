@@ -114,6 +114,17 @@ impl StreamingAggregator {
         &self.total
     }
 
+    /// What the bucket key means: `"phase"` once any phase event has
+    /// been observed, `"step"` otherwise. Matches the `keyed_by` field
+    /// of [`StreamingAggregator::to_json`].
+    pub fn keyed_by(&self) -> &'static str {
+        if self.phased {
+            "phase"
+        } else {
+            "step"
+        }
+    }
+
     /// The bucket owning `key`, appending (and, at the cap, merging)
     /// as needed. Keys are monotone, so only the last bucket ever grows.
     fn bucket_mut(&mut self, key: u64) -> &mut Bucket {
@@ -164,42 +175,64 @@ impl StreamingAggregator {
 
     /// Renders the aggregation as a JSON report.
     pub fn to_json(&self) -> Value {
-        let rows: Vec<Value> = self
-            .buckets
-            .iter()
-            .map(|b| {
-                json!({
-                    "key_lo": b.key_lo,
-                    "key_hi": b.key_hi,
-                    "steps": b.steps,
-                    "moved": b.moved,
-                    "absorbed": b.absorbed,
-                    "injected": b.injected,
-                    "deflections": b.deflections,
-                    "fallback": b.fallback,
-                    "oscillations": b.oscillations,
-                    "max_active": b.max_active,
-                })
-            })
-            .collect();
-        json!({
-            "keyed_by": if self.phased { "phase" } else { "step" },
-            "cap": self.cap as u64,
-            "scale": self.scale,
-            "merges": self.merges,
-            "totals": json!({
-                "steps": self.total.steps,
-                "moved": self.total.moved,
-                "absorbed": self.total.absorbed,
-                "injected": self.total.injected,
-                "deflections": self.total.deflections,
-                "fallback": self.total.fallback,
-                "oscillations": self.total.oscillations,
-                "max_active": self.total.max_active,
-            }),
-            "buckets": Value::Array(rows),
-        })
+        report_json(
+            self.keyed_by(),
+            self.cap,
+            self.scale,
+            self.merges,
+            &self.total,
+            &self.buckets,
+        )
     }
+}
+
+/// Renders an aggregation report from its parts — the single source of
+/// the report shape. [`StreamingAggregator::to_json`] calls this over
+/// its own state, and `hotpotato serve` calls it over a published
+/// snapshot of that state, so a quiesced `/rollup` snapshot compares
+/// *exactly* equal to the in-process report.
+pub fn report_json(
+    keyed_by: &str,
+    cap: usize,
+    scale: u64,
+    merges: u64,
+    totals: &Bucket,
+    buckets: &[Bucket],
+) -> Value {
+    let rows: Vec<Value> = buckets
+        .iter()
+        .map(|b| {
+            json!({
+                "key_lo": b.key_lo,
+                "key_hi": b.key_hi,
+                "steps": b.steps,
+                "moved": b.moved,
+                "absorbed": b.absorbed,
+                "injected": b.injected,
+                "deflections": b.deflections,
+                "fallback": b.fallback,
+                "oscillations": b.oscillations,
+                "max_active": b.max_active,
+            })
+        })
+        .collect();
+    json!({
+        "keyed_by": keyed_by,
+        "cap": cap as u64,
+        "scale": scale,
+        "merges": merges,
+        "totals": json!({
+            "steps": totals.steps,
+            "moved": totals.moved,
+            "absorbed": totals.absorbed,
+            "injected": totals.injected,
+            "deflections": totals.deflections,
+            "fallback": totals.fallback,
+            "oscillations": totals.oscillations,
+            "max_active": totals.max_active,
+        }),
+        "buckets": Value::Array(rows),
+    })
 }
 
 impl RouteObserver for StreamingAggregator {

@@ -14,8 +14,9 @@ use std::collections::BTreeSet;
 #[test]
 fn schema_version_is_pinned() {
     // Changing any event's field set requires bumping the version; this
-    // assertion forces that edit to be deliberate.
-    assert_eq!(SCHEMA_VERSION, 1);
+    // assertion forces that edit to be deliberate. (2 = the Rollup
+    // envelope joined the pinned wire types.)
+    assert_eq!(SCHEMA_VERSION, 2);
 }
 
 /// One canonical line per event variant (and per move kind), exactly as
@@ -24,7 +25,7 @@ fn canonical_lines() -> Vec<(&'static str, &'static str)> {
     vec![
         (
             "meta",
-            r#"{"ev":"meta","schema":1,"topo":"bf:3","workload":"bitrev","algo":"busch","seed":7,"packets":8,"levels":4,"congestion":2,"dilation":3}"#,
+            r#"{"ev":"meta","schema":2,"topo":"bf:3","workload":"bitrev","algo":"busch","seed":7,"packets":8,"levels":4,"congestion":2,"dilation":3}"#,
         ),
         (
             "move",
@@ -134,7 +135,7 @@ fn renamed_fields_are_rejected_for_every_variant() {
 
 #[test]
 fn wrong_schema_version_is_rejected() {
-    let line = r#"{"ev":"meta","schema":2,"topo":"bf:3","workload":"bitrev","algo":"busch","seed":7,"packets":8,"levels":4,"congestion":2,"dilation":3}"#;
+    let line = r#"{"ev":"meta","schema":1,"topo":"bf:3","workload":"bitrev","algo":"busch","seed":7,"packets":8,"levels":4,"congestion":2,"dilation":3}"#;
     let err = parse_line(line).unwrap_err();
     assert!(err.msg.contains("unsupported trace schema"), "{err}");
 }

@@ -32,3 +32,9 @@ pub enum TraceEvent {
         id: u64,
     },
 }
+
+/// Live rollup envelope.
+pub struct Rollup {
+    /// Snapshot sequence number.
+    pub seq: u64,
+}

@@ -20,7 +20,7 @@ use crate::lexer::{lex, Tok, TokKind};
 use crate::{fnv1a, Config, Diagnostic};
 
 /// The envelope items whose token streams are pinned, in hash order.
-pub const PINNED_ITEMS: &[&str] = &["Meta", "StatsLine", "TraceEvent"];
+pub const PINNED_ITEMS: &[&str] = &["Meta", "StatsLine", "TraceEvent", "Rollup"];
 
 /// What the schema source currently says.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -321,6 +321,8 @@ pub struct StatsLine { pub steps: u64 }
 
 #[derive(Debug)]
 pub enum TraceEvent { Inject { id: u64 }, Absorb(u64) }
+
+pub struct Rollup { pub seq: u64 }
 "#;
 
     fn toks_fp(src: &str) -> u64 {

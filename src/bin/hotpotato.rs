@@ -6,6 +6,8 @@
 //!                 [--params m,w,q,sets] [--verify] [--json]
 //!                 [--metrics-out PATH] [--trace-out PATH]
 //!                 [--aggregate-out PATH] [--aggregate-cap N]
+//! hotpotato serve --run TOPO/WL[/ALGO[/SEED]] [--run ...] [--addr A]
+//!                 [--publish-every N] [--rollup-cap N] [--throttle-us N]
 //! hotpotato trace verify <FILE>          replay-verify a recorded trace
 //! hotpotato trace analyze <FILE> [--out PATH]   aggregate trace report
 //! hotpotato trace diff <A> <B>           compare two trace analyses
@@ -33,6 +35,7 @@
 //! hotpotato route --topo butterfly:6 --workload bitrev --trace-out run.jsonl
 //! hotpotato trace verify run.jsonl
 //! hotpotato route --topo mesh:16x16 --workload transpose --algo sf
+//! hotpotato serve --run bf:10/bitrev/busch/7 --addr 127.0.0.1:9898
 //! hotpotato params 64 32 1024
 //! ```
 
@@ -45,7 +48,7 @@ use hotpotato_trace::{schema, StreamingAggregator, Trace};
 use leveled_net::render;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use routing_core::spec::{parse_topo, parse_workload};
+use routing_core::spec::{parse_run_spec, parse_topo, parse_workload};
 use std::io::Write as _;
 use std::process::exit;
 
@@ -54,6 +57,7 @@ fn main() {
     let code = match args.first().map(std::string::String::as_str) {
         Some("topo") => cmd_topo(&args[1..]),
         Some("route") => cmd_route(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("params") => cmd_params(&args[1..]),
         Some("frames") => cmd_frames(&args[1..]),
@@ -80,6 +84,8 @@ fn print_usage() {
          \u{20}                  [--params m,w,q,sets] [--verify] [--json]\n\
          \u{20}                  [--metrics-out PATH] [--trace-out PATH]\n\
          \u{20}                  [--aggregate-out PATH] [--aggregate-cap N]\n\
+         \u{20}  hotpotato serve --run TOPO/WL[/ALGO[/SEED]] [--run ...] [--addr A]\n\
+         \u{20}                  [--publish-every N] [--rollup-cap N] [--throttle-us N]\n\
          \u{20}  hotpotato trace verify <FILE>\n\
          \u{20}  hotpotato trace analyze <FILE> [--out PATH]\n\
          \u{20}  hotpotato trace diff <A> <B>\n\
@@ -402,6 +408,71 @@ fn cmd_route(args: &[String]) -> i32 {
 fn load_trace(path: &str) -> Result<Trace, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     Trace::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_serve(args: &[String]) -> i32 {
+    let specs: Vec<&str> = args
+        .windows(2)
+        .filter(|w| w[0] == "--run")
+        .map(|w| w[1].as_str())
+        .collect();
+    if specs.is_empty() {
+        eprintln!(
+            "serve needs at least one --run TOPO/WL[/ALGO[/SEED]] (e.g. --run bf:10/bitrev/busch/7)"
+        );
+        return 2;
+    }
+    let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:9898");
+    let publish_every: u64 = flag_value(args, "--publish-every")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    let rollup_cap: usize = flag_value(args, "--rollup-cap")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    let throttle_us: u64 = flag_value(args, "--throttle-us")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+
+    let mut configs = Vec::with_capacity(specs.len());
+    for spec in specs {
+        match parse_run_spec(spec) {
+            Ok(run) => configs.push(serve::RunConfig {
+                spec: run,
+                publish_every,
+                rollup_cap,
+                throttle_us,
+            }),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 2;
+            }
+        }
+    }
+    let service = match serve::Service::launch(configs) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let server = match serve::http::HttpServer::bind(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind {addr}: {e}");
+            return 1;
+        }
+    };
+    let bound = server.local_addr();
+    println!("serving on http://{bound}");
+    for name in service.run_names() {
+        println!("  run: {name}  (rollup at /rollup/{name})");
+    }
+    println!("endpoints: /metrics /runs /healthz /rollup/<run>");
+    // Serves forever (runs keep their final snapshots available after
+    // they quiesce); only an accept-loop error returns.
+    let err = server.serve(serve::service::into_handler(service));
+    eprintln!("error: accept loop failed: {err}");
+    1
 }
 
 fn cmd_trace(args: &[String]) -> i32 {

@@ -13,7 +13,7 @@ pub use std::sync::Arc;
 
 use crate::rt;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{LockResult, Mutex as StdMutex};
+use std::sync::{LockResult, Mutex as StdMutex, TryLockError, TryLockResult};
 
 /// Mutual exclusion with explorable lock handoffs.
 pub struct Mutex<T> {
@@ -41,6 +41,25 @@ impl<T> Mutex<T> {
         rt.switch(None);
         while self.held.swap(true, Ordering::SeqCst) {
             rt.switch(Some(self.key()));
+        }
+        Ok(MutexGuard {
+            lock: self,
+            inner: Some(match self.data.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            }),
+        })
+    }
+
+    /// Attempts the lock without blocking; a context-switch decision
+    /// precedes the attempt (so the scheduler can interleave a competing
+    /// holder first), and contention reports `WouldBlock` instead of
+    /// parking — mirroring `std::sync::Mutex::try_lock`.
+    pub fn try_lock(&self) -> TryLockResult<MutexGuard<'_, T>> {
+        let rt = rt::current_rt();
+        rt.switch(None);
+        if self.held.swap(true, Ordering::SeqCst) {
+            return Err(TryLockError::WouldBlock);
         }
         Ok(MutexGuard {
             lock: self,
