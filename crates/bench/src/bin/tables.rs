@@ -28,7 +28,7 @@ use std::time::Instant;
 /// Runs the PERF suite `repeats` times, keeps each component's best
 /// (fastest) run, and renders the machine-readable baseline document.
 fn measure_perf_doc(quick: bool) -> serde_json::Value {
-    let repeats = if quick { 1 } else { 3 };
+    let repeats = if quick { 1 } else { 5 };
     let mut best: Option<experiments::perf::PerfReport> = None;
     for i in 0..repeats {
         eprintln!("perfjson: measuring pass {}/{repeats}...", i + 1);
@@ -46,31 +46,40 @@ fn measure_perf_doc(quick: bool) -> serde_json::Value {
             }
         });
     }
-    let rep = best.expect("at least one pass");
+    let mut rep = best.expect("at least one pass");
+    eprintln!("perfjson: measuring large-instance row...");
+    rep.rows.push(experiments::perf::measure_large(quick));
     let rows: Vec<serde_json::Value> = rep
         .rows
         .iter()
         .map(|r| {
             serde_json::json!({
                 "component": r.component,
+                "k": r.k,
+                "packets": r.packets,
                 "wall_s": r.wall_s,
+                "repeats": r.repeats,
                 "steps": r.steps,
                 "steps_per_s": r.steps_per_s(),
                 "moves": r.moves,
                 "moves_per_s": r.moves_per_s(),
+                "packets_per_s": r.packets_per_s(),
+                "peak_rss_bytes": r.peak_rss_bytes,
+                "rss_bytes_per_packet": r.rss_bytes_per_packet(),
+                "violations": r.violations,
             })
         })
         .collect();
     serde_json::json!({
         "suite": "hotpotato-routing perf baseline",
-        "instance": "butterfly bit-reversal",
+        "instance": "butterfly bit-reversal + saturation random walks",
         "quick": quick,
         "k": rep.k,
         "packets": rep.n,
         "nodes": rep.nodes,
         "edges": rep.edges,
         "repeats": repeats,
-        "policy": "best of repeats per component",
+        "policy": "best of repeats per component; inner repeats until 50ms wall",
         "rows": rows,
     })
 }

@@ -524,6 +524,35 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_gate_skips_components_absent_from_older_baselines() {
+        // A component introduced by the newest baseline has no history
+        // in older documents: the gate must fall back to the global
+        // ratio for it — not error, not demand the old docs carry it —
+        // while components with full history keep their derived floors.
+        let old = perf_doc_named(&[("classic", 1_000_000.0)]);
+        let new = perf_doc_named(&[("classic", 980_000.0), ("large", 2_000_000.0)]);
+        let baselines = vec![old, new];
+        let fresh = perf_doc_named(&[("classic", 990_000.0), ("large", 600_000.0)]);
+        // "large": 0.30 of its single reference — above the 0.25 global
+        // fallback even though it is far below any derived tight floor.
+        let findings = adaptive_perf_gate(&baselines, &fresh);
+        assert!(passed(&findings), "{findings:?}");
+        // The fallback is still a floor: dropping under it fails.
+        let too_slow = perf_doc_named(&[("classic", 990_000.0), ("large", 400_000.0)]);
+        assert!(!passed(&adaptive_perf_gate(&baselines, &too_slow)));
+        // Rows carrying extra fields (packets_per_s, peak_rss_bytes, ...)
+        // must not confuse history collection.
+        let decorated = json!({ "k": 16, "rows": [json!({
+            "component": "classic", "moves_per_s": 990_000.0,
+            "packets_per_s": 4_000.0, "peak_rss_bytes": 123_456_789u64,
+            "violations": 0,
+        })] });
+        let only_classic = vec![perf_doc_named(&[("classic", 1_000_000.0)]), decorated];
+        let fresh2 = perf_doc_named(&[("classic", 900_000.0)]);
+        assert!(passed(&adaptive_perf_gate(&only_classic, &fresh2)));
+    }
+
+    #[test]
     fn adaptive_gate_single_baseline_falls_back_to_global_ratio() {
         let only = vec![perf_doc_named(&[("c", 1_000_000.0)])];
         // 0.30 of baseline: above the 0.25 global fallback.

@@ -24,9 +24,9 @@
 
 pub mod experiments;
 pub mod gate;
-pub mod pool_core;
 pub mod runner;
 pub mod table;
 
+pub use hotpotato_sim::pool_core;
 pub use runner::{average, parallel_map, RunSummary};
 pub use table::Table;

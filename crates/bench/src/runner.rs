@@ -133,13 +133,7 @@ pub fn run_store_forward_bounded(problem: &Arc<RoutingProblem>, seed: u64) -> Ru
 /// parallelism. Read on every call, so tests and operators can retune a
 /// running process.
 pub fn configured_threads() -> usize {
-    match std::env::var("HOTPOTATO_THREADS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-    {
-        Some(n) if n >= 1 => n,
-        _ => std::thread::available_parallelism().map_or(4, std::num::NonZero::get),
-    }
+    crate::pool_core::configured_threads()
 }
 
 /// The persistent worker pool: a process-wide [`PoolCore`] spawned at

@@ -12,10 +12,20 @@
 //! * worker contention — two workers sharing the queue mutex never
 //!   deadlock or drop a job.
 //!
+//! Plus the intra-run band handoff (`BandResults`, the per-step
+//! rendezvous of the sharded engine driver):
+//!
+//! * band isolation — a worker posting into an already-filled slot
+//!   panics under every schedule (two workers can never both claim a
+//!   band without tripping the overlap assertion);
+//! * reduction order — `wait_all` returns outputs in band-index order
+//!   regardless of which worker finished first, so the merge that
+//!   consumes them is schedule-independent.
+//!
 //! Run with: `RUSTFLAGS="--cfg loom" cargo test -p bench --test loom_pool`
 #![cfg(loom)]
 
-use bench::pool_core::{CompletionLatch, PanicSlot, PoolCore};
+use bench::pool_core::{BandResults, CompletionLatch, PanicSlot, PoolCore};
 use loom::sync::{Arc, Mutex};
 
 fn noop_worker_init() {}
@@ -85,6 +95,58 @@ fn panicking_job_reaches_latch_and_payload_survives() {
         let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
         assert_eq!(msg, "sweep job boom");
         pool.shutdown();
+    });
+}
+
+#[test]
+fn band_results_preserve_reduction_order_under_any_schedule() {
+    loom::model(|| {
+        // Two "band workers" post their band id in racing order; the
+        // coordinator must still receive [10, 20] — slot order, never
+        // completion order. This is the property that makes the sharded
+        // step's merge (and therefore the routed trace) deterministic.
+        let results = Arc::new(BandResults::new(2));
+        let handles: Vec<_> = [(0usize, 10u32), (1, 20)]
+            .into_iter()
+            .map(|(band, value)| {
+                let results = Arc::clone(&results);
+                loom::thread::spawn(move || results.post(band, value))
+            })
+            .collect();
+        let outputs = results.wait_all();
+        assert_eq!(outputs, vec![10, 20], "reduction is in band-index order");
+        for h in handles {
+            h.join().unwrap();
+        }
+        // The slots reset: the next step reuses the same rendezvous.
+        results.post(0, 7);
+        results.post(1, 8);
+        assert_eq!(results.wait_all(), vec![7, 8]);
+    });
+}
+
+#[test]
+fn band_results_overlap_is_caught_under_any_schedule() {
+    loom::model(|| {
+        // Two workers erroneously claim the same band. Whichever posts
+        // second must hit the overlap assertion — under every
+        // interleaving, never silently losing a result. The panic is the
+        // guarantee: band partitions that overlap cannot go unnoticed.
+        let results = Arc::new(BandResults::<u32>::new(1));
+        let racer = {
+            let results = Arc::clone(&results);
+            loom::thread::spawn(move || {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| results.post(0, 1)))
+                    .is_err()
+            })
+        };
+        let here_panicked =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| results.post(0, 2))).is_err();
+        let racer_panicked = racer.join().unwrap();
+        assert!(
+            here_panicked ^ racer_panicked,
+            "exactly one of the two same-band posts must trip the overlap assertion"
+        );
     });
 }
 

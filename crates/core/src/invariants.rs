@@ -18,7 +18,7 @@
 //! analysis describes.
 
 use crate::schedule::FrameSchedule;
-use hotpotato_sim::{RouteObserver, Simulation};
+use hotpotato_sim::{RouteObserver, Simulation, SoaEngine};
 use std::collections::BTreeMap;
 
 /// Machine-checked registry of the bufferless *model* invariants: the
@@ -186,12 +186,67 @@ pub fn initial_per_set_congestion<M, O: RouteObserver>(
 /// congestion counter array plus the list of indices touched this check.
 /// The counters are zeroed via the touched list, so a check costs O(paths),
 /// not O(sets × edges) — and nothing allocates after the first check.
+///
+/// The SoA auditor additionally keeps the *pending* packets' congestion
+/// incrementally: a packet's preselected path is immutable and the
+/// pending population only ever shrinks, so the per-(set, edge) pending
+/// counts are maintained by subtracting the paths of packets that left
+/// pending since the previous check, instead of re-walking every
+/// still-pending path each phase. Per-set pending maxima survive the
+/// decrements via a count histogram ([`SetMax`]).
 #[derive(Default)]
 pub struct PhaseAuditScratch {
     /// Counter for (set, edge) at index `set * num_edges + edge`.
     counts: Vec<u32>,
     /// Indices of `counts` with a non-zero value.
     touched: Vec<u32>,
+    /// Pending-path congestion per (set, edge), same indexing as
+    /// `counts`; exact for the packets in `pending_members`.
+    pending_counts: Vec<u32>,
+    /// Packets whose preselected paths are summed into `pending_counts`.
+    pending_members: Vec<u32>,
+    /// Per-packet membership scratch for diffing the pending population.
+    pending_flag: Vec<bool>,
+    /// Per-set decrement-friendly maximum over `pending_counts`.
+    set_max: Vec<SetMax>,
+    /// Whether the incremental pending state has been seeded.
+    pending_seeded: bool,
+}
+
+/// Maximum of a multiset of counters under increments and decrements:
+/// a histogram over values ≥ 1 plus a lazily-walked current max.
+#[derive(Default)]
+struct SetMax {
+    /// `hist[c]` = number of counters currently equal to `c` (c ≥ 1;
+    /// zero-valued counters are untracked).
+    hist: Vec<u32>,
+    /// Largest value with a non-zero histogram entry (0 if none).
+    max: u32,
+}
+
+impl SetMax {
+    /// Records a counter moving from `c - 1` to `c`.
+    fn inc(&mut self, c: u32) {
+        if self.hist.len() <= c as usize {
+            self.hist.resize(c as usize + 1, 0);
+        }
+        if c > 1 {
+            self.hist[c as usize - 1] -= 1;
+        }
+        self.hist[c as usize] += 1;
+        self.max = self.max.max(c);
+    }
+
+    /// Records a counter moving from `c` to `c - 1`.
+    fn dec(&mut self, c: u32) {
+        self.hist[c as usize] -= 1;
+        if c > 1 {
+            self.hist[c as usize - 1] += 1;
+        }
+        while self.max > 0 && self.hist[self.max as usize] == 0 {
+            self.max -= 1;
+        }
+    }
 }
 
 impl PhaseAuditScratch {
@@ -285,6 +340,146 @@ pub fn check_phase_end<M, O: RouteObserver>(
     for &i in &scratch.touched {
         let s = i as usize / num_edges;
         per_set_max[s] = per_set_max[s].max(scratch.counts[i as usize]);
+        scratch.counts[i as usize] = 0;
+    }
+    scratch.touched.clear();
+    for (&now_max, &init) in per_set_max.iter().zip(initial_per_set) {
+        if now_max > init {
+            report.congestion_exceeded += 1;
+        }
+    }
+    per_set_max
+}
+
+/// [`check_phase_end`] for the data-oriented engine: the same audits,
+/// the same `O(N·L)` cost and the same scratch discipline, reading the
+/// SoA layout (CSR preselected paths, arena deviation stacks) instead of
+/// per-packet structs. Kept in this crate so both auditors share
+/// [`PhaseAuditScratch`]; the golden-equivalence tests pin their reports
+/// equal on the same runs.
+#[allow(clippy::too_many_arguments)]
+pub fn check_phase_end_soa<O: RouteObserver>(
+    sim: &SoaEngine<O>,
+    schedule: &FrameSchedule,
+    sets: &[u32],
+    phase: u64,
+    initial_per_set: &[u32],
+    effective_level: impl Fn(u32, leveled_net::Level) -> leveled_net::Level,
+    scratch: &mut PhaseAuditScratch,
+    report: &mut InvariantReport,
+) -> Vec<u32> {
+    report.phase_checks += 1;
+    let net = sim.net();
+    let num_edges = net.num_edges();
+    let sh = sim.shared();
+    scratch.reserve(initial_per_set.len().max(1), num_edges);
+
+    for &idx in sim.active_slice() {
+        let set = sets[idx as usize];
+
+        // I_b + I_e, one walk: validate the current path as a forward
+        // path while bumping each of its edges into the congestion
+        // counts (the same checks `validate_current_path` performs,
+        // fused with the `current_path_edges` traversal).
+        let f = &sh.flight[idx as usize];
+        let mut at = f.node;
+        let mut valid = true;
+        let mut cur = f.dev_head;
+        while cur != hotpotato_sim::NO_MOVE {
+            let mv = sh.dev_mv[cur as usize];
+            // Backward moves cannot appear in a current path.
+            valid &= mv & 1 == 0;
+            let e = net.edge(leveled_net::EdgeId(mv >> 1));
+            valid &= e.tail.0 == at;
+            at = e.head.0;
+            scratch.bump(set, num_edges, mv >> 1);
+            cur = sh.dev_next[cur as usize];
+        }
+        for off in f.path_next..f.path_end {
+            let mv = sh.path_mv[off as usize];
+            let e = net.edge(leveled_net::EdgeId(mv >> 1));
+            valid &= e.tail.0 == at;
+            at = e.head.0;
+            scratch.bump(set, num_edges, mv >> 1);
+        }
+        debug_assert_eq!(valid, sh.validate_current_path(net, idx));
+        if !valid {
+            report.invalid_current_paths += 1;
+        }
+
+        // I_c: inside the frame.
+        let level = net.level(leveled_net::NodeId(f.node));
+        if !schedule.contains(set, phase, level) {
+            report.frame_escapes += 1;
+        } else if let Some(inner) = schedule.inner_level(set, phase, effective_level(idx, level)) {
+            // I_f: rear three inner levels empty at phase end.
+            if inner + 3 >= schedule.m {
+                report.rear_levels_occupied += 1;
+            }
+        }
+    }
+    // Pending packets count by their preselected paths. Maintained
+    // incrementally: paths are immutable and the pending population only
+    // shrinks, so subtract the paths of packets that left pending since
+    // the last check rather than re-walking every still-pending path.
+    let path_edges = |p: u32| {
+        let i = p as usize;
+        sh.path_mv[sh.path_off[i] as usize..sh.path_off[i + 1] as usize]
+            .iter()
+            .map(|&mv| mv >> 1)
+    };
+    if !scratch.pending_seeded {
+        scratch.pending_seeded = true;
+        scratch.pending_counts.resize(scratch.counts.len(), 0);
+        scratch.pending_flag.resize(sets.len(), false);
+        scratch
+            .set_max
+            .resize_with(initial_per_set.len(), SetMax::default);
+        for &p in sim.pending_slice() {
+            scratch.pending_members.push(p);
+            for e in path_edges(p) {
+                let i = sets[p as usize] as usize * num_edges + e as usize;
+                scratch.pending_counts[i] += 1;
+                let c = scratch.pending_counts[i];
+                scratch.set_max[sets[p as usize] as usize].inc(c);
+            }
+        }
+    } else {
+        for &p in sim.pending_slice() {
+            scratch.pending_flag[p as usize] = true;
+        }
+        let mut kept = 0;
+        for m in 0..scratch.pending_members.len() {
+            let p = scratch.pending_members[m];
+            if scratch.pending_flag[p as usize] {
+                scratch.pending_members[kept] = p;
+                kept += 1;
+                continue;
+            }
+            for e in path_edges(p) {
+                let i = sets[p as usize] as usize * num_edges + e as usize;
+                let c = scratch.pending_counts[i];
+                scratch.pending_counts[i] = c - 1;
+                scratch.set_max[sets[p as usize] as usize].dec(c);
+            }
+        }
+        scratch.pending_members.truncate(kept);
+        for &p in sim.pending_slice() {
+            scratch.pending_flag[p as usize] = false;
+        }
+    }
+
+    // I_e: per-set congestion must not exceed its initial value. The
+    // combined (pending + active) max per set is the larger of the
+    // pending-only max and the combined value on the edges active
+    // packets touched: on the pending argmax edge the combined count is
+    // at least the pending max, and every other edge either has no
+    // active contribution (≤ pending max) or is in the touched list.
+    let mut per_set_max: Vec<u32> = scratch.set_max.iter().map(|m| m.max).collect();
+    for &i in &scratch.touched {
+        let s = i as usize / num_edges;
+        let combined = scratch.counts[i as usize] + scratch.pending_counts[i as usize];
+        per_set_max[s] = per_set_max[s].max(combined);
         scratch.counts[i as usize] = 0;
     }
     scratch.touched.clear();

@@ -37,8 +37,9 @@ pub mod invariants;
 pub mod params;
 pub mod router;
 pub mod schedule;
+mod soa;
 
 pub use invariants::InvariantReport;
 pub use params::{PaperParams, Params};
-pub use router::{BuschConfig, BuschOutcome, BuschRouter, PacketState};
+pub use router::{BuschConfig, BuschOutcome, BuschRouter, EngineKind, PacketState};
 pub use schedule::FrameSchedule;

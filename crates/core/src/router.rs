@@ -77,6 +77,30 @@ pub struct Meta {
     pub state: PacketState,
 }
 
+/// Which bufferless engine executes the run. Both implement the same
+/// algorithm; the scalar engine is the oracle the data-oriented engine
+/// is golden-tested against, and stays selectable for audit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EngineKind {
+    /// The original per-packet-struct engine ([`Simulation`]).
+    Scalar,
+    /// The data-oriented engine ([`hotpotato_sim::SoaEngine`]): SoA
+    /// packet state, bitset slot occupancy, packed moves. Sequential
+    /// mode is bit-identical to [`EngineKind::Scalar`].
+    Soa,
+}
+
+impl EngineKind {
+    /// The default engine: `Soa`, unless the `HOTPOTATO_ENGINE`
+    /// environment variable says `scalar`.
+    pub fn from_env() -> EngineKind {
+        match std::env::var("HOTPOTATO_ENGINE") {
+            Ok(v) if v.trim().eq_ignore_ascii_case("scalar") => EngineKind::Scalar,
+            _ => EngineKind::Soa,
+        }
+    }
+}
+
 /// Router configuration beyond the scheduling parameters.
 #[derive(Clone, Copy, Debug)]
 pub struct BuschConfig {
@@ -104,6 +128,14 @@ pub struct BuschConfig {
     /// Record every movement event for independent replay auditing
     /// ([`hotpotato_sim::replay::verify`]).
     pub record: bool,
+    /// Which engine executes the run (defaults from `HOTPOTATO_ENGINE`).
+    pub engine: EngineKind,
+    /// SoA engine only: shard each step's dispatch across contiguous
+    /// level bands with per-band rng streams (see `crate::soa`). Results
+    /// are deterministic in (problem, seed) regardless of thread count,
+    /// but differ from the sequential/scalar stream, so this is opt-in
+    /// (large-instance benchmarks, the parallel determinism tests).
+    pub parallel_bands: bool,
 }
 
 impl BuschConfig {
@@ -118,6 +150,8 @@ impl BuschConfig {
             eager_injection: false,
             trace: false,
             record: false,
+            engine: EngineKind::from_env(),
+            parallel_bands: false,
         }
     }
 }
@@ -185,6 +219,20 @@ impl BuschRouter {
     /// on) the per-set congestion measured at each phase end. With
     /// [`NoopObserver`] this monomorphizes to exactly [`BuschRouter::route`].
     pub fn route_observed<R: Rng + ?Sized, O: RouteObserver + ?Sized>(
+        &self,
+        problem: &Arc<RoutingProblem>,
+        rng: &mut R,
+        observer: &mut O,
+    ) -> BuschOutcome {
+        match self.cfg.engine {
+            EngineKind::Scalar => self.route_scalar(problem, rng, observer),
+            EngineKind::Soa => crate::soa::route_soa(&self.cfg, problem, rng, observer),
+        }
+    }
+
+    /// The scalar-engine driver (the original implementation); kept as
+    /// the oracle the data-oriented driver is golden-tested against.
+    fn route_scalar<R: Rng + ?Sized, O: RouteObserver + ?Sized>(
         &self,
         problem: &Arc<RoutingProblem>,
         rng: &mut R,

@@ -25,8 +25,35 @@
 use crate::engine::Simulation;
 use crate::observe::RouteObserver;
 use leveled_net::ids::{DirectedEdge, Direction};
-use leveled_net::NodeId;
+use leveled_net::{LeveledNetwork, NodeId};
 use rand::Rng;
+
+/// The minimal engine surface conflict resolution reads: the network and
+/// the per-step (edge, direction) slot occupancy. Both the scalar
+/// [`Simulation`] and the data-oriented [`crate::soa::SoaEngine`] implement
+/// it, so [`resolve_into`] — including its randomness consumption — is
+/// literally the same code on both engines. That shared body is what makes
+/// the SoA engine's golden equivalence (bit-identical stats and trace
+/// against the scalar oracle) hold by construction rather than by
+/// re-implementation.
+pub trait SlotView {
+    /// The network topology.
+    fn network(&self) -> &LeveledNetwork;
+    /// Whether the (edge, direction) slot is still free this step.
+    fn slot_free(&self, mv: DirectedEdge) -> bool;
+}
+
+impl<M, O: RouteObserver> SlotView for Simulation<M, O> {
+    #[inline]
+    fn network(&self) -> &LeveledNetwork {
+        Simulation::network(self)
+    }
+
+    #[inline]
+    fn slot_free(&self, mv: DirectedEdge) -> bool {
+        Simulation::slot_free(self, mv)
+    }
+}
 
 /// One packet competing for an exit at a node.
 #[derive(Clone, Copy, Debug)]
@@ -141,8 +168,8 @@ pub struct ConflictScratch {
 /// algorithm where the w.h.p. preconditions can fail.
 ///
 /// Allocating convenience wrapper around [`resolve_into`].
-pub fn resolve<M, O: RouteObserver, R: Rng + ?Sized>(
-    sim: &Simulation<M, O>,
+pub fn resolve<S: SlotView + ?Sized, R: Rng + ?Sized>(
+    sim: &S,
     node: NodeId,
     contenders: &[Contender],
     allow_fallback: bool,
@@ -159,8 +186,8 @@ pub fn resolve<M, O: RouteObserver, R: Rng + ?Sized>(
 
 /// [`resolve`] with an explicit [`DeflectRule`] (used by the safe-deflection
 /// ablation). Allocating convenience wrapper around [`resolve_into`].
-pub fn resolve_with<M, O: RouteObserver, R: Rng + ?Sized>(
-    sim: &Simulation<M, O>,
+pub fn resolve_with<S: SlotView + ?Sized, R: Rng + ?Sized>(
+    sim: &S,
     node: NodeId,
     contenders: &[Contender],
     rule: DeflectRule,
@@ -179,8 +206,8 @@ pub fn resolve_with<M, O: RouteObserver, R: Rng + ?Sized>(
 /// contested group with a free slot, plus one per loser under
 /// [`DeflectRule::Arbitrary`]).
 // lint: hot-path
-pub fn resolve_into<'s, M, O: RouteObserver, R: Rng + ?Sized>(
-    sim: &Simulation<M, O>,
+pub fn resolve_into<'s, S: SlotView + ?Sized, R: Rng + ?Sized>(
+    sim: &S,
     node: NodeId,
     contenders: &[Contender],
     rule: DeflectRule,
@@ -195,7 +222,7 @@ pub fn resolve_into<'s, M, O: RouteObserver, R: Rng + ?Sized>(
     // Locally-claimed slots this resolution (on top of engine-level state).
     let local_used = &mut scratch.local_used;
     local_used.clear();
-    let free = |local_used: &[usize], mv: DirectedEdge, sim: &Simulation<M, O>| -> bool {
+    let free = |local_used: &[usize], mv: DirectedEdge, sim: &S| -> bool {
         sim.slot_free(mv) && !local_used.contains(&mv.slot_index())
     };
 

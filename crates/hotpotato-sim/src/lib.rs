@@ -34,12 +34,15 @@ pub mod engine;
 pub mod exchange;
 pub mod kinematics;
 pub mod observe;
+pub mod pool_core;
 pub mod record;
 pub mod router_api;
+pub mod soa;
 pub mod stats;
 pub mod store_forward;
 pub mod summary;
 
+pub use conflict::SlotView;
 pub use engine::{
     AuditLevel, ExitKind, InjectOutcome, PacketStatus, SimError, Simulation, SimulationBuilder,
     StepReport,
@@ -51,5 +54,6 @@ pub use observe::{
 };
 pub use record::{replay, MoveEvent, RunRecord, TrivialDelivery};
 pub use router_api::{RouteOutcome, Router};
+pub use soa::{BandStage, SoaEngine, SoaShared, NO_MOVE};
 pub use stats::{RouteStats, Time};
 pub use summary::Summary;

@@ -1,15 +1,22 @@
-//! The concurrency core of the sweep worker pool, written once against
+//! The concurrency core of the worker pools, written once against
 //! primitives that resolve to `std::sync`/`std::thread` in production
 //! and to the vendored `loom` workalike under `--cfg loom`.
 //!
-//! The split exists so the loom model (`tests/loom_pool.rs`) verifies
-//! *this* code — the channel/mutex/condvar protocol that `runner.rs`
-//! builds `parallel_map` on — rather than a lookalike. Everything
-//! schedule-sensitive lives here: worker spawn/dequeue/shutdown
-//! ([`PoolCore`]), sweep completion signaling ([`CompletionLatch`]) and
-//! first-panic capture ([`PanicSlot`]). `runner.rs` keeps the parts the
-//! model does not need: chunking, result slots, and the lifetime-erasing
+//! The split exists so the loom models (`bench/tests/loom_pool.rs`)
+//! verify *this* code — the channel/mutex/condvar protocols that both
+//! the bench sweep runner's `parallel_map` and the SoA engine's
+//! intra-run band sharding build on — rather than a lookalike.
+//! Everything schedule-sensitive lives here: worker
+//! spawn/dequeue/shutdown ([`PoolCore`]), sweep completion signaling
+//! ([`CompletionLatch`]), first-panic capture ([`PanicSlot`]), and the
+//! per-band result handoff of the intra-run sharded step
+//! ([`BandResults`]). The consumers keep the parts the models do not
+//! need: chunking, result slots, and (bench only) the lifetime-erasing
 //! transmute.
+//!
+//! Historically this module lived in the `bench` crate; it moved here so
+//! the simulation engine can shard a single run across the same pool
+//! (`bench` re-exports it under the old `bench::pool_core` path).
 
 #[cfg(loom)]
 use loom::{
@@ -159,5 +166,85 @@ impl PanicSlot {
 impl Default for PanicSlot {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// The worker-thread budget shared by every pool in the workspace: the
+/// `HOTPOTATO_THREADS` environment variable when set to a positive
+/// integer, otherwise the machine's available parallelism. Read on every
+/// call, so tests and operators can retune a running process.
+#[cfg(not(loom))]
+pub fn configured_threads() -> usize {
+    match std::env::var("HOTPOTATO_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism().map_or(4, std::num::NonZero::get),
+    }
+}
+
+/// Under loom the thread budget is a fixed small constant: models pick
+/// their own thread counts explicitly, and `available_parallelism` is
+/// outside the modeled world.
+#[cfg(loom)]
+pub fn configured_threads() -> usize {
+    2
+}
+
+/// Per-band result slots for the intra-run sharded step: band `b` posts
+/// its output into slot `b`, and the coordinating thread blocks until
+/// every slot is filled, then consumes them **in band-index order** —
+/// the fixed reduction order that makes the sharded step deterministic
+/// regardless of which worker finishes first.
+pub struct BandResults<T> {
+    total: usize,
+    slots: Mutex<Vec<Option<T>>>,
+    filled: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl<T> BandResults<T> {
+    /// Slots for `bands` bands, all empty.
+    pub fn new(bands: usize) -> BandResults<T> {
+        BandResults {
+            total: bands,
+            slots: Mutex::new((0..bands).map(|_| None).collect()),
+            filled: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Posts band `band`'s output. Each band must post exactly once;
+    /// double-posting a slot panics (it would mean two workers processed
+    /// the same band — the overlap the loom model rules out).
+    pub fn post(&self, band: usize, value: T) {
+        {
+            let mut slots = self.slots.lock().expect("band slots");
+            assert!(
+                slots[band].replace(value).is_none(),
+                "band {band} posted twice: bands must not overlap"
+            );
+        }
+        *self.filled.lock().expect("band fill counter") += 1;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until every band has posted, then returns the outputs in
+    /// band-index order (slot order, not completion order), resetting the
+    /// slots for reuse on the next step.
+    pub fn wait_all(&self) -> Vec<T> {
+        {
+            let mut filled = self.filled.lock().expect("band fill counter");
+            while *filled < self.total {
+                filled = self.cv.wait(filled).expect("band fill counter");
+            }
+            *filled = 0;
+        }
+        let mut slots = self.slots.lock().expect("band slots");
+        slots
+            .iter_mut()
+            .map(|s| s.take().expect("every band posted"))
+            .collect()
     }
 }

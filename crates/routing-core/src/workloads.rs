@@ -124,6 +124,55 @@ pub fn butterfly_bit_reversal(
     Arc::new(RoutingProblem::new(Arc::clone(net), paths_out).expect("level-0 sources are distinct"))
 }
 
+/// `n` packets on distinct sources, each following a uniformly random
+/// forward walk from its source to the network's last level.
+///
+/// Sources are the first `n` admissible nodes (nodes with at least one
+/// forward edge) in ascending id order, so `n` equal to the admissible
+/// count puts exactly one packet on every non-final node — the
+/// million-packet saturation workload for large instances. Unlike
+/// [`random_pairs`] this never materializes per-source reachability
+/// masks, so it stays linear in `n · depth` and is usable at bf(16)
+/// scale.
+pub fn random_walks<R: Rng + ?Sized>(
+    net: &Arc<LeveledNetwork>,
+    n: usize,
+    rng: &mut R,
+) -> Result<Arc<RoutingProblem>, WorkloadError> {
+    let sources: Vec<NodeId> = net
+        .nodes()
+        .filter(|&v| !net.fwd_edges(v).is_empty())
+        .take(n)
+        .collect();
+    if sources.len() < n {
+        return Err(WorkloadError::NotEnoughSources {
+            requested: n,
+            available: net
+                .nodes()
+                .filter(|&v| !net.fwd_edges(v).is_empty())
+                .count(),
+        });
+    }
+    let mut paths_out = Vec::with_capacity(n);
+    for &src in &sources {
+        let mut edges = Vec::new();
+        let mut at = src;
+        loop {
+            let fwd = net.fwd_edges(at);
+            if fwd.is_empty() {
+                break;
+            }
+            let e = fwd[rng.gen_range(0..fwd.len())];
+            edges.push(e);
+            at = net.edge(e).head;
+        }
+        paths_out.push(Path::new(net, src, edges).expect("forward edges chain"));
+    }
+    RoutingProblem::new(Arc::clone(net), paths_out)
+        .map(Arc::new)
+        .map_err(|_| unreachable!("sources are distinct by construction"))
+}
+
 /// A hot-spot workload: `num_sources` packets from distinct random sources,
 /// each aimed at one of `num_dests` randomly chosen destination nodes
 /// (many-to-one concentration).
