@@ -49,6 +49,8 @@ fn measure_perf_doc(quick: bool) -> serde_json::Value {
     let mut rep = best.expect("at least one pass");
     eprintln!("perfjson: measuring large-instance row...");
     rep.rows.push(experiments::perf::measure_large(quick));
+    eprintln!("perfjson: measuring steady-state streaming row...");
+    rep.rows.push(experiments::perf::measure_streaming(quick));
     let rows: Vec<serde_json::Value> = rep
         .rows
         .iter()

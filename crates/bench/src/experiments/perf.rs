@@ -13,7 +13,10 @@
 //! throughput. The large-instance suite ([`measure_large`]) exercises
 //! the data-oriented engine at bf(14) (quick) / bf(16) with a packet on
 //! every non-final node — the million-packet saturation target — with
-//! invariant audits on and the intra-run banded path enabled.
+//! invariant audits on and the intra-run banded path enabled. The
+//! steady-state suite ([`measure_streaming`]) drives a continuous
+//! Poisson injection stream through the admission-controlled streaming
+//! loop and reports the sustained delivery rate.
 //!
 //! [`measure`] returns the raw numbers; [`run`] renders them as a table.
 //! The `tables` binary's `perfjson` mode serializes [`measure`]'s output
@@ -23,9 +26,11 @@
 use crate::table::{f, Table};
 use baselines::{GreedyConfig, GreedyRouter, StoreForwardRouter};
 use busch_router::{BuschConfig, BuschRouter, Params};
+use hotpotato_sim::{route_streaming, StreamPriority, StreamingConfig};
 use leveled_net::builders::{self, ButterflyCoords};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use routing_core::spec::parse_run_spec;
 use routing_core::workloads;
 use std::sync::Arc;
 use std::time::Instant;
@@ -277,10 +282,59 @@ pub fn measure_large(quick: bool) -> PerfMeasurement {
     }
 }
 
+/// The steady-state streaming row: a continuous Poisson injection
+/// stream on a bf(10) (quick) / bf(12) random-pairs instance at the
+/// default admission cap, defined through the same
+/// `TOPO/WL/ALGO/SEED/ARRIVAL` run-spec grammar the CLI and the service
+/// consume. The reported packets/s is the sustained rate — arrivals
+/// keep the network loaded for the whole run, so the figure reflects
+/// throughput under continuous load rather than a drain from a full
+/// initial population. Panics if the stream fails to drain before the
+/// step cap: the row's presence is the claim that the instance reaches
+/// steady state and completes.
+pub fn measure_streaming(quick: bool) -> PerfMeasurement {
+    let k: u32 = if quick { 10 } else { 12 };
+    let pairs = if quick { 2048 } else { 8192 };
+    let spec = format!("bf:{k}/pairs:{pairs}/greedy/7/poisson:2");
+    let run = parse_run_spec(&spec).expect("canonical streaming spec");
+    let (_topo, problem, mut rng) = run.instantiate().expect("spec instantiates");
+    let process = run
+        .arrival_process()
+        .expect("arrival grammar")
+        .expect("spec carries an arrival segment");
+    // Same discipline as the CLI: the schedule is drawn from the
+    // post-workload rng and routing continues from that stream.
+    let schedule = process.schedule(problem.num_packets(), &mut rng);
+    let cfg = StreamingConfig {
+        priority: StreamPriority::for_algo(&run.algo).expect("greedy streams"),
+        ..StreamingConfig::default()
+    };
+    let (wall_s, repeats, out) = timed_best(quick, || {
+        let mut r = rng.clone();
+        route_streaming(&problem, &schedule, &cfg, &mut r)
+    });
+    assert!(
+        out.drained,
+        "streaming instance must reach steady state and drain"
+    );
+    PerfMeasurement {
+        component: "greedy (streaming poisson)",
+        k,
+        packets: problem.num_packets() as u64,
+        wall_s,
+        repeats,
+        steps: Some(out.stats.steps_run),
+        moves: out.stats.counter("moves"),
+        peak_rss_bytes: peak_rss_bytes(),
+        violations: Some(u64::from(!out.drained)),
+    }
+}
+
 /// Runs PERF.
 pub fn run(quick: bool) {
     let mut report = measure(quick);
     report.rows.push(measure_large(quick));
+    report.rows.push(measure_streaming(quick));
     let mut t = Table::new(
         format!(
             "PERF: end-to-end throughput; classic rows on bf({}) bit-reversal \
@@ -312,6 +366,6 @@ pub fn run(quick: bool) {
             row.rss_bytes_per_packet().map_or_else(|| "-".into(), f),
         ]);
     }
-    t.note("best-of-repeats per component; large row audited + banded");
+    t.note("best-of-repeats per component; large row audited + banded; streaming row is sustained Poisson load");
     t.print();
 }

@@ -62,6 +62,18 @@ pub const BUFFERLESS_INVARIANTS: &[(&str, &str)] = &[
         "step-counter-consistency",
         "every step line's counters equal the event batch it closes",
     ),
+    (
+        "admission",
+        "streaming injections are admitted arrivals: never before the packet arrived, never after it was dropped",
+    ),
+    (
+        "arrival-before-injection",
+        "streaming arrival events are unique, correctly timed, and precede the packet's injection",
+    ),
+    (
+        "drop-discipline",
+        "only an arrived, never-injected packet may be dropped, exactly once, in a streaming trace",
+    ),
 ];
 
 /// Violation counters for `I_a..I_f` (see module docs). All-zero means the
@@ -506,7 +518,7 @@ mod tests {
             assert!(!desc.is_empty(), "invariant '{id}' needs a description");
             assert!(seen.insert(id), "duplicate invariant id '{id}'");
         }
-        assert_eq!(BUFFERLESS_INVARIANTS.len(), 7);
+        assert_eq!(BUFFERLESS_INVARIANTS.len(), 10);
     }
 
     #[test]

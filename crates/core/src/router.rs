@@ -77,29 +77,13 @@ pub struct Meta {
     pub state: PacketState,
 }
 
-/// Which bufferless engine executes the run. Both implement the same
-/// algorithm; the scalar engine is the oracle the data-oriented engine
-/// is golden-tested against, and stays selectable for audit.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum EngineKind {
-    /// The original per-packet-struct engine ([`Simulation`]).
-    Scalar,
-    /// The data-oriented engine ([`hotpotato_sim::SoaEngine`]): SoA
-    /// packet state, bitset slot occupancy, packed moves. Sequential
-    /// mode is bit-identical to [`EngineKind::Scalar`].
-    Soa,
-}
-
-impl EngineKind {
-    /// The default engine: `Soa`, unless the `HOTPOTATO_ENGINE`
-    /// environment variable says `scalar`.
-    pub fn from_env() -> EngineKind {
-        match std::env::var("HOTPOTATO_ENGINE") {
-            Ok(v) if v.trim().eq_ignore_ascii_case("scalar") => EngineKind::Scalar,
-            _ => EngineKind::Soa,
-        }
-    }
-}
+/// Which bufferless engine executes the run — re-exported from
+/// [`routing_core::spec`], the one typed selection surface shared by
+/// `RunSpec`, `SimulationBuilder`, and this router's config. Both
+/// engines implement the same algorithm; the scalar engine is the
+/// oracle the data-oriented engine is golden-tested against, and stays
+/// selectable for audit.
+pub use routing_core::spec::EngineKind;
 
 /// Router configuration beyond the scheduling parameters.
 #[derive(Clone, Copy, Debug)]
@@ -128,7 +112,9 @@ pub struct BuschConfig {
     /// Record every movement event for independent replay auditing
     /// ([`hotpotato_sim::replay::verify`]).
     pub record: bool,
-    /// Which engine executes the run (defaults from `HOTPOTATO_ENGINE`).
+    /// Which engine executes the run (see [`EngineKind::resolve`]: the
+    /// default honors the deprecated `HOTPOTATO_ENGINE` env var, with a
+    /// warning, when no explicit kind is set).
     pub engine: EngineKind,
     /// SoA engine only: shard each step's dispatch across contiguous
     /// level bands with per-band rng streams (see `crate::soa`). Results
@@ -150,8 +136,17 @@ impl BuschConfig {
             eager_injection: false,
             trace: false,
             record: false,
-            engine: EngineKind::from_env(),
+            engine: EngineKind::resolve(None),
             parallel_bands: false,
+        }
+    }
+
+    /// [`BuschConfig::new`] with an explicit engine choice (bypasses the
+    /// deprecated env-var fallback entirely).
+    pub fn with_engine(params: Params, engine: EngineKind) -> Self {
+        BuschConfig {
+            engine,
+            ..BuschConfig::new(params)
         }
     }
 }

@@ -31,7 +31,7 @@ use crate::record::{MoveEvent, RunRecord, TrivialDelivery};
 use crate::stats::{RouteStats, Time};
 use leveled_net::ids::DirectedEdge;
 use leveled_net::{LeveledNetwork, NodeId};
-use routing_core::{PacketId, RoutingProblem};
+use routing_core::{EngineKind, PacketId, RoutingProblem};
 use std::sync::Arc;
 
 /// Lifecycle of a packet inside the engine.
@@ -171,6 +171,7 @@ pub struct SimulationBuilder<M, O = NoopObserver> {
     metas: Vec<M>,
     trace: bool,
     recording: bool,
+    engine: EngineKind,
     observer: O,
 }
 
@@ -181,6 +182,7 @@ impl<M> SimulationBuilder<M> {
             metas,
             trace: false,
             recording: false,
+            engine: EngineKind::Scalar,
             observer: NoopObserver,
         }
     }
@@ -206,6 +208,18 @@ impl<M, O> SimulationBuilder<M, O> {
         self.recording(level == AuditLevel::Replay)
     }
 
+    /// Declares which engine substrate this run selects — the typed
+    /// replacement for the deprecated `HOTPOTATO_ENGINE` env var. The
+    /// builder itself always constructs the scalar [`Simulation`]
+    /// (that *is* the scalar substrate); drivers that own both
+    /// substrates (the Busch router, the streaming driver) read the
+    /// declaration back via [`Simulation::engine_kind`] and dispatch.
+    /// Defaults to [`EngineKind::Scalar`].
+    pub fn engine(mut self, kind: EngineKind) -> Self {
+        self.engine = kind;
+        self
+    }
+
     /// Attaches an event sink; the simulation feeds it every engine event
     /// (see [`RouteObserver`]). Pass `&mut sink` to keep ownership.
     pub fn observer<O2: RouteObserver>(self, observer: O2) -> SimulationBuilder<M, O2> {
@@ -214,6 +228,7 @@ impl<M, O> SimulationBuilder<M, O> {
             metas: self.metas,
             trace: self.trace,
             recording: self.recording,
+            engine: self.engine,
             observer,
         }
     }
@@ -228,6 +243,7 @@ impl<M, O> SimulationBuilder<M, O> {
             metas,
             trace,
             recording,
+            engine,
             observer,
         } = self;
         assert_eq!(metas.len(), problem.num_packets());
@@ -277,6 +293,7 @@ impl<M, O> SimulationBuilder<M, O> {
             } else {
                 None
             },
+            engine,
             observer,
         }
     }
@@ -340,6 +357,9 @@ pub struct Simulation<M, O = NoopObserver> {
     delivered: usize,
     stats: RouteStats,
     record: Option<RunRecord>,
+    /// The engine substrate this run declared (see
+    /// [`SimulationBuilder::engine`]).
+    engine: EngineKind,
     observer: O,
 }
 
@@ -399,6 +419,13 @@ impl<M, O: RouteObserver> Simulation<M, O> {
     #[inline]
     pub fn observer_mut(&mut self) -> &mut O {
         &mut self.observer
+    }
+
+    /// The engine substrate this run declared via
+    /// [`SimulationBuilder::engine`].
+    #[inline]
+    pub fn engine_kind(&self) -> EngineKind {
+        self.engine
     }
 
     /// Current simulation time (step number).

@@ -15,7 +15,10 @@
 //! The [`conflict`] module provides the shared conflict-resolution routine
 //! (priority winners, *safe backward deflections* in the sense of the
 //! paper's Lemma 2.1) used by both the paper's algorithm and the greedy
-//! baselines.
+//! baselines. The [`streaming`] module drives the engine in the
+//! *continuous-injection* (online) mode: an open-ended step loop fed by
+//! an arrival process through bounded admission control, instead of the
+//! batch run-to-quiesce loop.
 //!
 //! Cross-cutting layers on top of the engines:
 //!
@@ -40,6 +43,7 @@ pub mod router_api;
 pub mod soa;
 pub mod stats;
 pub mod store_forward;
+pub mod streaming;
 pub mod summary;
 
 pub use conflict::SlotView;
@@ -56,4 +60,8 @@ pub use record::{replay, MoveEvent, RunRecord, TrivialDelivery};
 pub use router_api::{RouteOutcome, Router};
 pub use soa::{BandStage, SoaEngine, SoaShared, NO_MOVE};
 pub use stats::{RouteStats, Time};
+pub use streaming::{
+    route_streaming, route_streaming_observed, AdmissionControl, StreamPriority, StreamingConfig,
+    StreamingOutcome,
+};
 pub use summary::Summary;

@@ -114,6 +114,18 @@ pub trait RouteObserver {
     #[inline]
     fn on_step_end(&mut self, t: Time, report: &StepReport, active: usize) {}
 
+    /// Streaming mode: packet `pkt` *arrived* at step `t` — it became
+    /// available for injection per the run's arrival process. Batch runs
+    /// never emit this (every packet is implicitly available at step 0).
+    #[inline]
+    fn on_arrival(&mut self, t: Time, pkt: u32) {}
+
+    /// Streaming mode: admission control *dropped* packet `pkt` at step
+    /// `t` (the deferred queue was full). A dropped packet is never
+    /// injected and counts as undelivered in the final statistics.
+    #[inline]
+    fn on_drop(&mut self, t: Time, pkt: u32) {}
+
     /// The router assigned packets to frontier sets.
     #[inline]
     fn on_sets_assigned(&mut self, sets: &[u32], num_sets: u32) {}
@@ -182,6 +194,14 @@ impl<O: RouteObserver + ?Sized> RouteObserver for &mut O {
         (**self).on_step_end(t, report, active);
     }
     #[inline]
+    fn on_arrival(&mut self, t: Time, pkt: u32) {
+        (**self).on_arrival(t, pkt);
+    }
+    #[inline]
+    fn on_drop(&mut self, t: Time, pkt: u32) {
+        (**self).on_drop(t, pkt);
+    }
+    #[inline]
     fn on_sets_assigned(&mut self, sets: &[u32], num_sets: u32) {
         (**self).on_sets_assigned(sets, num_sets);
     }
@@ -232,6 +252,16 @@ impl<A: RouteObserver, B: RouteObserver> RouteObserver for (A, B) {
     fn on_step_end(&mut self, t: Time, report: &StepReport, active: usize) {
         self.0.on_step_end(t, report, active);
         self.1.on_step_end(t, report, active);
+    }
+    #[inline]
+    fn on_arrival(&mut self, t: Time, pkt: u32) {
+        self.0.on_arrival(t, pkt);
+        self.1.on_arrival(t, pkt);
+    }
+    #[inline]
+    fn on_drop(&mut self, t: Time, pkt: u32) {
+        self.0.on_drop(t, pkt);
+        self.1.on_drop(t, pkt);
     }
     #[inline]
     fn on_sets_assigned(&mut self, sets: &[u32], num_sets: u32) {
@@ -294,6 +324,18 @@ impl<O: RouteObserver> RouteObserver for Option<O> {
     fn on_step_end(&mut self, t: Time, report: &StepReport, active: usize) {
         if let Some(o) = self {
             o.on_step_end(t, report, active);
+        }
+    }
+    #[inline]
+    fn on_arrival(&mut self, t: Time, pkt: u32) {
+        if let Some(o) = self {
+            o.on_arrival(t, pkt);
+        }
+    }
+    #[inline]
+    fn on_drop(&mut self, t: Time, pkt: u32) {
+        if let Some(o) = self {
+            o.on_drop(t, pkt);
         }
     }
     #[inline]
@@ -404,6 +446,10 @@ pub struct MetricsObserver {
     steps: u64,
     delivered: u64,
     trivial: u64,
+    /// Streaming mode: packets made available by the arrival process.
+    arrivals: u64,
+    /// Streaming mode: packets dropped by admission control.
+    drops: u64,
     current_phase: u64,
     phases_seen: u64,
     /// Frontier-set of each packet (empty until `on_sets_assigned`).
@@ -442,6 +488,8 @@ impl MetricsObserver {
             steps: 0,
             delivered: 0,
             trivial: 0,
+            arrivals: 0,
+            drops: 0,
             current_phase: 0,
             phases_seen: 0,
             sets: Vec::new(),
@@ -512,6 +560,17 @@ impl MetricsObserver {
     /// the router ran without audits).
     pub fn congestion_watermarks(&self) -> &[u32] {
         &self.congestion_watermark
+    }
+
+    /// Streaming mode: packets made available by the arrival process so
+    /// far (0 for batch runs, which never emit arrivals).
+    pub fn arrivals(&self) -> u64 {
+        self.arrivals
+    }
+
+    /// Streaming mode: packets dropped by admission control so far.
+    pub fn drops(&self) -> u64 {
+        self.drops
     }
 
     /// Initial per-set congestion (the Lemma 2.2 quantity), captured from
@@ -597,6 +656,13 @@ impl MetricsObserver {
                     ("series", serde::Value::Array(occupancy_series)),
                 ]),
             ),
+            (
+                "injection",
+                serde::Value::object([
+                    ("arrivals", self.arrivals.to_json()),
+                    ("drops", self.drops.to_json()),
+                ]),
+            ),
             ("frame_progress", serde::Value::Array(frame_progress)),
             (
                 "congestion",
@@ -667,6 +733,14 @@ impl RouteObserver for MetricsObserver {
         if self.sample_every > 0 && t.is_multiple_of(self.sample_every) {
             self.occupancy_series.push((t, self.occupancy.clone()));
         }
+    }
+
+    fn on_arrival(&mut self, _t: Time, _pkt: u32) {
+        self.arrivals += 1;
+    }
+
+    fn on_drop(&mut self, _t: Time, _pkt: u32) {
+        self.drops += 1;
     }
 
     fn on_sets_assigned(&mut self, sets: &[u32], num_sets: u32) {
@@ -811,6 +885,18 @@ impl<W: Write> RouteObserver for JsonlTraceObserver<W> {
             report.deflections,
             report.fallback_deflections,
             report.oscillations,
+        ));
+    }
+
+    fn on_arrival(&mut self, t: Time, pkt: u32) {
+        self.line(format_args!(
+            "{{\"ev\":\"arrival\",\"t\":{t},\"pkt\":{pkt}}}\n"
+        ));
+    }
+
+    fn on_drop(&mut self, t: Time, pkt: u32) {
+        self.line(format_args!(
+            "{{\"ev\":\"drop\",\"t\":{t},\"pkt\":{pkt}}}\n"
         ));
     }
 

@@ -14,11 +14,13 @@
 //!   butterfly, dimension-order paths on the mesh;
 //! * [`workloads`] — problem generators: random pairs, level-to-level
 //!   permutations, hot spots, and the §5 mesh workload with
-//!   `C = D = Θ(n)`;
-//! * [`spec`] — the text grammar naming topologies and workloads
-//!   (`butterfly:10` + `bitrev`), shared by the CLI and the trace
-//!   analyzer so an instance can be reconstructed from a trace's `meta`
-//!   line.
+//!   `C = D = Θ(n)` — plus [`ArrivalProcess`], which times a problem's
+//!   packets for streaming (continuous-injection) runs;
+//! * [`spec`] — the text grammar naming topologies, workloads, arrival
+//!   processes, and engines (`bf:10/bitrev/busch/7[/poisson:0.5]`),
+//!   shared by the CLI, `hotpotato serve`, the bench harness, and the
+//!   trace analyzer so an instance can be reconstructed from a trace's
+//!   `meta` line.
 
 pub mod dag;
 pub mod path;
@@ -30,3 +32,5 @@ pub mod workloads;
 pub use dag::DagNetwork;
 pub use path::{Path, PathError};
 pub use problem::{PacketId, PacketSpec, ProblemError, RoutingProblem};
+pub use spec::{EngineKind, RunSpec};
+pub use workloads::ArrivalProcess;

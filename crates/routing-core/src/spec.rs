@@ -24,12 +24,90 @@
 //! spec, seed) identifies the instance exactly.
 
 use crate::problem::RoutingProblem;
-use crate::workloads;
+use crate::workloads::{self, ArrivalProcess};
 use leveled_net::builders::{self, ButterflyCoords, MeshCoords, MeshCorner};
 use leveled_net::LeveledNetwork;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::sync::Arc;
+
+/// Which simulation engine substrate executes a run.
+///
+/// This is the one typed surface for engine selection: the CLI
+/// (`--engine`), `hotpotato serve`, the bench runner, and tests all pick
+/// scalar/SoA by setting it explicitly on a [`RunSpec`] or a
+/// `SimulationBuilder`. The legacy `HOTPOTATO_ENGINE` environment
+/// variable is honored only as a deprecated fallback (with a one-time
+/// warning) when no explicit kind was given — see
+/// [`EngineKind::resolve`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// The arena-based scalar engine (`Simulation`).
+    Scalar,
+    /// The data-oriented structure-of-arrays engine (bit-identical to
+    /// scalar when run sequentially). The default.
+    #[default]
+    Soa,
+}
+
+impl EngineKind {
+    /// Parses an engine name: `scalar` or `soa` (case-insensitive).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "scalar" => Ok(EngineKind::Scalar),
+            "soa" => Ok(EngineKind::Soa),
+            other => Err(format!("unknown engine '{other}' (scalar|soa)")),
+        }
+    }
+
+    /// The canonical name [`EngineKind::parse`] accepts.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EngineKind::Scalar => "scalar",
+            EngineKind::Soa => "soa",
+        }
+    }
+
+    /// Resolves the engine to run: an explicit choice wins; otherwise
+    /// the deprecated `HOTPOTATO_ENGINE` environment variable is
+    /// consulted (warning once on stderr); otherwise the default
+    /// ([`EngineKind::Soa`]).
+    pub fn resolve(explicit: Option<EngineKind>) -> EngineKind {
+        if let Some(kind) = explicit {
+            return kind;
+        }
+        match std::env::var("HOTPOTATO_ENGINE") {
+            Ok(v) => {
+                static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+                WARN_ONCE.call_once(|| {
+                    eprintln!(
+                        "warning: HOTPOTATO_ENGINE is deprecated; select the engine \
+                         explicitly (--engine, RunSpec.engine, or SimulationBuilder::engine)"
+                    );
+                });
+                if v.eq_ignore_ascii_case("scalar") {
+                    EngineKind::Scalar
+                } else {
+                    EngineKind::Soa
+                }
+            }
+            Err(_) => EngineKind::default(),
+        }
+    }
+}
+
+impl std::str::FromStr for EngineKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        EngineKind::parse(s)
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// A parsed topology plus the coordinate helpers some workloads need.
 pub struct ParsedTopo {
@@ -203,9 +281,11 @@ pub fn reconstruct_problem(
 }
 
 /// One hosted run, as `hotpotato serve` names it: the instance triple
-/// plus the algorithm, parsed from a single `TOPO/WL[/ALGO[/SEED]]`
-/// string (`/`-separated because the topo and workload specs themselves
-/// use `:`). Example: `bf:10/bitrev/busch/7`.
+/// plus the algorithm, parsed from a single
+/// `TOPO/WL[/ALGO[/SEED[/ARRIVAL]]]` string (`/`-separated because the
+/// topo and workload specs themselves use `:`). Examples:
+/// `bf:10/bitrev/busch/7` (batch), `bf:10/pairs:64/greedy/7/poisson:0.5`
+/// (streaming).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RunSpec {
     /// Topology spec ([`parse_topo`] grammar).
@@ -215,32 +295,88 @@ pub struct RunSpec {
     /// Algorithm name (`busch`, `greedy`, ... — validated by the router
     /// dispatch, not here).
     pub algo: String,
-    /// Run seed (workload generation and routing share it).
+    /// Run seed (workload generation, arrival schedule, and routing
+    /// share it).
     pub seed: u64,
+    /// Arrival-process spec segment ([`ArrivalProcess::parse`] grammar);
+    /// `None` selects classic batch mode (all packets ready at step 0).
+    pub arrival: Option<String>,
+    /// Explicit engine choice; `None` defers to
+    /// [`EngineKind::resolve`]'s deprecated-env-var fallback/default.
+    pub engine: Option<EngineKind>,
 }
 
 impl RunSpec {
+    /// A batch-mode spec with no explicit engine — the shape every
+    /// pre-streaming call site used.
+    pub fn batch(topo: &str, workload: &str, algo: &str, seed: u64) -> Self {
+        RunSpec {
+            topo: topo.to_string(),
+            workload: workload.to_string(),
+            algo: algo.to_string(),
+            seed,
+            arrival: None,
+            engine: None,
+        }
+    }
+
     /// A URL-safe run name, unique per distinct spec:
-    /// `bf:10/bitrev/busch/7` → `busch-bf_10-bitrev-7`.
+    /// `bf:10/bitrev/busch/7` → `busch-bf_10-bitrev-7`; a streaming
+    /// spec appends its arrival segment
+    /// (`…/poisson:0.5` → `…-7-poisson_0.5`).
     pub fn name(&self) -> String {
-        format!(
+        let mut name = format!(
             "{}-{}-{}-{}",
             self.algo,
             self.topo.replace(':', "_"),
             self.workload.replace(':', "_"),
             self.seed
-        )
+        );
+        if let Some(arrival) = &self.arrival {
+            name.push('-');
+            name.push_str(&arrival.replace([':', ','], "_"));
+        }
+        name
+    }
+
+    /// The parsed arrival process, or `None` for batch mode.
+    pub fn arrival_process(&self) -> Result<Option<ArrivalProcess>, String> {
+        self.arrival
+            .as_deref()
+            .map(ArrivalProcess::parse)
+            .transpose()
+    }
+
+    /// The engine this spec resolves to (explicit choice, else the
+    /// deprecated env-var fallback, else the default).
+    pub fn engine_kind(&self) -> EngineKind {
+        EngineKind::resolve(self.engine)
+    }
+
+    /// Builds the exact instance this spec names: parses the topology,
+    /// seeds one rng from `seed`, draws the workload from it, and
+    /// returns the rng **in its post-workload state** — the router must
+    /// continue from that same stream for the run to be reproducible
+    /// from the spec alone. This is the single instantiation path shared
+    /// by `hotpotato route`, `hotpotato serve`, and the bench harness.
+    pub fn instantiate(&self) -> Result<(ParsedTopo, Arc<RoutingProblem>, ChaCha8Rng), String> {
+        let topo = parse_topo(&self.topo)?;
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let problem = parse_workload(&self.workload, &topo, &mut rng)?;
+        Ok((topo, problem, rng))
     }
 }
 
-/// Parses a [`RunSpec`] from `TOPO/WL[/ALGO[/SEED]]`. The algorithm
-/// defaults to `busch` and the seed to 1. Structural only: the topo and
-/// workload grammars are checked when the problem is reconstructed.
+/// Parses a [`RunSpec`] from `TOPO/WL[/ALGO[/SEED[/ARRIVAL]]]`. The
+/// algorithm defaults to `busch`, the seed to 1, and the arrival process
+/// to none (batch mode). The arrival segment is validated here; the topo
+/// and workload grammars are checked when the problem is reconstructed.
 pub fn parse_run_spec(spec: &str) -> Result<RunSpec, String> {
     let parts: Vec<&str> = spec.split('/').collect();
-    if !(2..=4).contains(&parts.len()) {
+    if !(2..=5).contains(&parts.len()) {
         return Err(format!(
-            "run spec '{spec}' must be TOPO/WL[/ALGO[/SEED]], e.g. bf:10/bitrev/busch/7"
+            "run spec '{spec}' must be TOPO/WL[/ALGO[/SEED[/ARRIVAL]]], \
+             e.g. bf:10/bitrev/busch/7 or bf:10/pairs:64/greedy/7/poisson:0.5"
         ));
     }
     if parts.iter().any(|p| p.is_empty()) {
@@ -252,11 +388,20 @@ pub fn parse_run_spec(spec: &str) -> Result<RunSpec, String> {
             .map_err(|_| format!("bad run seed '{s}'"))?,
         None => 1,
     };
+    let arrival = match parts.get(4) {
+        Some(s) => {
+            ArrivalProcess::parse(s)?;
+            Some((*s).to_string())
+        }
+        None => None,
+    };
     Ok(RunSpec {
         topo: parts[0].to_string(),
         workload: parts[1].to_string(),
         algo: parts.get(2).copied().unwrap_or("busch").to_string(),
         seed,
+        arrival,
+        engine: None,
     })
 }
 
@@ -274,6 +419,8 @@ mod tests {
                 workload: "bitrev".into(),
                 algo: "greedy".into(),
                 seed: 7,
+                arrival: None,
+                engine: None,
             }
         );
         assert_eq!(full.name(), "greedy-bf_10-bitrev-7");
@@ -281,11 +428,57 @@ mod tests {
         let minimal = parse_run_spec("mesh:8x8/transpose").unwrap();
         assert_eq!(minimal.algo, "busch");
         assert_eq!(minimal.seed, 1);
+        assert!(minimal.arrival.is_none());
+
+        let streaming = parse_run_spec("bf:10/pairs:64/greedy/7/poisson:0.5").unwrap();
+        assert_eq!(streaming.arrival.as_deref(), Some("poisson:0.5"));
+        assert_eq!(
+            streaming.arrival_process().unwrap(),
+            Some(ArrivalProcess::Poisson { rate: 0.5 })
+        );
+        assert_eq!(streaming.name(), "greedy-bf_10-pairs_64-7-poisson_0.5");
 
         assert!(parse_run_spec("bf:10").is_err());
-        assert!(parse_run_spec("bf:10/bitrev/busch/7/extra").is_err());
+        assert!(parse_run_spec("bf:10/bitrev/busch/7/poisson:0.5/extra").is_err());
         assert!(parse_run_spec("bf:10//busch").is_err());
         assert!(parse_run_spec("bf:10/bitrev/busch/x").is_err());
+        assert!(parse_run_spec("bf:10/bitrev/busch/7/nosuch:1").is_err());
+    }
+
+    #[test]
+    fn engine_kinds_parse_and_resolve() {
+        assert_eq!(EngineKind::parse("scalar").unwrap(), EngineKind::Scalar);
+        assert_eq!(EngineKind::parse("SoA").unwrap(), EngineKind::Soa);
+        assert!(EngineKind::parse("vector").is_err());
+        assert_eq!(
+            EngineKind::resolve(Some(EngineKind::Scalar)),
+            EngineKind::Scalar
+        );
+        // Explicit choice wins over anything the environment says.
+        let spec = RunSpec {
+            engine: Some(EngineKind::Scalar),
+            ..RunSpec::batch("bf:4", "bitrev", "busch", 1)
+        };
+        assert_eq!(spec.engine_kind(), EngineKind::Scalar);
+        assert_eq!(
+            RunSpec::batch("bf:4", "bitrev", "busch", 1).name(),
+            "busch-bf_4-bitrev-1"
+        );
+    }
+
+    #[test]
+    fn instantiate_matches_reconstruct_and_returns_live_rng() {
+        let spec = parse_run_spec("butterfly:4/pairs:6/greedy/42").unwrap();
+        let (_, via_spec, mut rng) = spec.instantiate().unwrap();
+        let (_, via_reconstruct) = reconstruct_problem("butterfly:4", "pairs:6", 42).unwrap();
+        assert_eq!(via_spec.num_packets(), via_reconstruct.num_packets());
+        for (a, b) in via_spec.packets().iter().zip(via_reconstruct.packets()) {
+            assert_eq!(a.path.edges(), b.path.edges());
+        }
+        // The returned rng continues the same stream the workload drew
+        // from: instantiating twice and drawing must agree.
+        let (_, _, mut rng2) = spec.instantiate().unwrap();
+        assert_eq!(rng.gen::<u64>(), rng2.gen::<u64>());
     }
 
     #[test]

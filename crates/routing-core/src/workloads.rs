@@ -450,12 +450,185 @@ pub fn many_to_many<R: Rng + ?Sized>(
     )))
 }
 
+/// An arrival process for streaming (continuous-injection) runs: how the
+/// packets of a [`RoutingProblem`] become *available for injection* over
+/// time, instead of all being ready at step 0 as in batch mode.
+///
+/// The process assigns each packet an **arrival step**; the streaming
+/// driver only starts injecting a packet once the simulation clock
+/// reaches that step (and admission control may defer or drop it after
+/// that). Spec grammar (the optional fifth `/`-segment of a run spec):
+///
+/// ```text
+/// poisson:RATE          exponential inter-arrival gaps, RATE pkts/step
+/// burst:SIZE:PERIOD     adversarial bursts: SIZE packets every PERIOD steps
+/// replay:T0,T1,..       explicit arrival trace, one step per packet
+/// ```
+///
+/// Schedules are deterministic given the caller's rng (Poisson draws
+/// from it; bursts and replays are rng-free).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals at `rate` packets per step (exponential gaps).
+    Poisson {
+        /// Mean arrivals per step; must be finite and positive.
+        rate: f64,
+    },
+    /// Adversarial bursts: `size` packets arrive together every `period`
+    /// steps (the workload that stresses admission control hardest).
+    Bursts {
+        /// Packets per burst.
+        size: u32,
+        /// Steps between consecutive bursts.
+        period: u64,
+    },
+    /// A replayed arrival trace: packet `i` arrives at `times[i]`
+    /// (packets beyond the list arrive at the last listed step).
+    Replay {
+        /// Non-decreasing arrival steps.
+        times: Vec<u64>,
+    },
+}
+
+impl ArrivalProcess {
+    /// Parses an arrival-process spec segment (see the type docs for the
+    /// grammar).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let (kind, rest) = spec.split_once(':').unwrap_or((spec, ""));
+        match kind {
+            "poisson" => {
+                let rate: f64 = rest
+                    .parse()
+                    .map_err(|_| format!("bad poisson rate '{rest}'"))?;
+                if !rate.is_finite() || rate <= 0.0 {
+                    return Err(format!("poisson rate {rate} must be positive and finite"));
+                }
+                Ok(ArrivalProcess::Poisson { rate })
+            }
+            "burst" => {
+                let (size_s, period_s) = rest
+                    .split_once(':')
+                    .ok_or_else(|| format!("burst needs SIZE:PERIOD, got '{rest}'"))?;
+                let size: u32 = size_s
+                    .parse()
+                    .map_err(|_| format!("bad burst size '{size_s}'"))?;
+                let period: u64 = period_s
+                    .parse()
+                    .map_err(|_| format!("bad burst period '{period_s}'"))?;
+                if size == 0 || period == 0 {
+                    return Err("burst size and period must be positive".into());
+                }
+                Ok(ArrivalProcess::Bursts { size, period })
+            }
+            "replay" => {
+                if rest.is_empty() {
+                    return Err("replay needs at least one arrival step".into());
+                }
+                let times: Vec<u64> = rest
+                    .split(',')
+                    .map(|s| {
+                        s.parse::<u64>()
+                            .map_err(|_| format!("bad replay step '{s}'"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if times.windows(2).any(|w| w[0] > w[1]) {
+                    return Err("replay arrival steps must be non-decreasing".into());
+                }
+                Ok(ArrivalProcess::Replay { times })
+            }
+            other => Err(format!(
+                "unknown arrival process '{other}' (poisson|burst|replay)"
+            )),
+        }
+    }
+
+    /// The canonical spec segment this process round-trips through
+    /// [`ArrivalProcess::parse`].
+    pub fn spec_string(&self) -> String {
+        match self {
+            ArrivalProcess::Poisson { rate } => format!("poisson:{rate}"),
+            ArrivalProcess::Bursts { size, period } => format!("burst:{size}:{period}"),
+            ArrivalProcess::Replay { times } => {
+                let list: Vec<String> = times.iter().map(u64::to_string).collect();
+                format!("replay:{}", list.join(","))
+            }
+        }
+    }
+
+    /// The arrival step of each of `n` packets, in packet-id order. The
+    /// returned schedule is non-decreasing: workloads assign packet ids
+    /// in generation order, and the stream admits them in that order.
+    pub fn schedule<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<u64> {
+        match self {
+            ArrivalProcess::Poisson { rate } => {
+                let mut t = 0.0f64;
+                (0..n)
+                    .map(|_| {
+                        // Exponential gap via inverse CDF; 1-U avoids ln(0).
+                        let u: f64 = rng.gen();
+                        t += -(1.0 - u).ln() / rate;
+                        t as u64
+                    })
+                    .collect()
+            }
+            ArrivalProcess::Bursts { size, period } => (0..n)
+                .map(|i| (i as u64 / u64::from(*size)) * period)
+                .collect(),
+            ArrivalProcess::Replay { times } => {
+                let last = *times.last().expect("parse requires non-empty");
+                (0..n)
+                    .map(|i| times.get(i).copied().unwrap_or(last))
+                    .collect()
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use leveled_net::builders::{self, MeshCorner};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn arrival_processes_parse_and_round_trip() {
+        for spec in ["poisson:0.5", "burst:8:4", "replay:0,0,3,9"] {
+            let p = ArrivalProcess::parse(spec).unwrap();
+            assert_eq!(p.spec_string(), spec);
+            assert_eq!(ArrivalProcess::parse(&p.spec_string()).unwrap(), p);
+        }
+        for bad in [
+            "poisson:0",
+            "poisson:-1",
+            "poisson:x",
+            "burst:0:4",
+            "burst:4",
+            "replay:",
+            "replay:3,1",
+            "uniform:1",
+        ] {
+            assert!(ArrivalProcess::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn arrival_schedules_are_deterministic_and_monotone() {
+        let p = ArrivalProcess::parse("poisson:0.25").unwrap();
+        let mut a_rng = ChaCha8Rng::seed_from_u64(9);
+        let mut b_rng = ChaCha8Rng::seed_from_u64(9);
+        let a = p.schedule(100, &mut a_rng);
+        let b = p.schedule(100, &mut b_rng);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+
+        let bursts = ArrivalProcess::parse("burst:3:10").unwrap();
+        let sched = bursts.schedule(7, &mut a_rng);
+        assert_eq!(sched, vec![0, 0, 0, 10, 10, 10, 20]);
+
+        let replay = ArrivalProcess::parse("replay:1,4,4").unwrap();
+        assert_eq!(replay.schedule(5, &mut a_rng), vec![1, 4, 4, 4, 4]);
+    }
 
     #[test]
     fn random_pairs_respects_count_and_validity() {

@@ -34,6 +34,27 @@ fn defl_bucket(deflections: u32) -> usize {
         .unwrap_or(DEFL_BUCKET_BOUNDS.len())
 }
 
+/// Upper bounds of the delivery-latency histogram buckets (steps from
+/// injection to absorption; powers of two). Latencies above the last
+/// bound land in the `+Inf` overflow bucket.
+pub const LAT_BUCKET_BOUNDS: [u64; 12] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048];
+
+/// Number of latency histogram slots: one per bound plus overflow.
+pub const LAT_BUCKETS: usize = LAT_BUCKET_BOUNDS.len() + 1;
+
+/// Capacity of the sliding window of recent delivery latencies that
+/// backs the live percentile gauges. A fixed ring: the window always
+/// holds the most recent `LAT_WINDOW` deliveries (fewer early on).
+pub const LAT_WINDOW: usize = 512;
+
+/// The histogram slot a delivery latency falls into.
+fn lat_bucket(latency: u64) -> usize {
+    LAT_BUCKET_BOUNDS
+        .iter()
+        .position(|&bound| latency <= bound)
+        .unwrap_or(LAT_BUCKET_BOUNDS.len())
+}
+
 /// One coherent view of a running (or finished) simulation: everything
 /// `/metrics` and `/rollup` serve, copied under the exchange lock so a
 /// reader never observes half of one step and half of another.
@@ -61,6 +82,21 @@ pub struct LiveSnapshot {
     pub active: u64,
     /// Phases seen so far (0 for phase-less routers).
     pub phases: u64,
+    /// Streaming: packets surfaced by the arrival process (0 in batch
+    /// mode, where the whole workload is available at step 0).
+    pub arrivals: u64,
+    /// Streaming: packets dropped by admission control (queue full).
+    pub drops: u64,
+    /// Deliveries counted into the latency histogram.
+    pub lat_count: u64,
+    /// Sum of all counted delivery latencies (steps).
+    pub lat_sum: u64,
+    /// Delivery-latency histogram, per-bucket counts aligned with
+    /// [`LAT_BUCKET_BOUNDS`] plus the overflow slot.
+    pub lat_hist: [u64; LAT_BUCKETS],
+    /// Sliding window of the most recent delivery latencies (unordered;
+    /// readers sort their own copy for percentiles).
+    pub lat_window: Vec<u64>,
     /// Deflections-per-packet histogram, per-bucket counts aligned with
     /// [`DEFL_BUCKET_BOUNDS`] plus the overflow slot.
     pub defl_hist: [u64; DEFL_BUCKETS],
@@ -110,6 +146,12 @@ impl LiveSnapshot {
             unsafe_deflections: 0,
             active: 0,
             phases: 0,
+            arrivals: 0,
+            drops: 0,
+            lat_count: 0,
+            lat_sum: 0,
+            lat_hist: [0; LAT_BUCKETS],
+            lat_window: Vec::with_capacity(LAT_WINDOW),
             defl_hist: [0; DEFL_BUCKETS],
             occupancy: Vec::with_capacity(levels),
             level_watermark: Vec::with_capacity(levels),
@@ -130,6 +172,14 @@ impl LiveSnapshot {
     pub fn total_deflections(&self) -> u64 {
         self.safe_deflections + self.unsafe_deflections
     }
+
+    /// Streaming injection-queue depth: packets that have arrived but
+    /// are neither dropped nor in the network nor trivially delivered.
+    /// Always 0 in batch mode (no arrival events).
+    pub fn queue_depth(&self) -> u64 {
+        self.arrivals
+            .saturating_sub(self.drops + self.injected + self.trivial)
+    }
 }
 
 /// Scalar counters the observer maintains itself (the vectors live in
@@ -144,6 +194,43 @@ struct Counts {
     oscillations: u64,
     active: u64,
     phases: u64,
+    arrivals: u64,
+    drops: u64,
+}
+
+/// Incremental delivery-latency aggregates: the histogram, the running
+/// sum/count, and the fixed-capacity ring of recent latencies.
+struct Latency {
+    hist: [u64; LAT_BUCKETS],
+    sum: u64,
+    count: u64,
+    ring: Vec<u64>,
+    pos: usize,
+}
+
+impl Latency {
+    fn new() -> Self {
+        Latency {
+            hist: [0; LAT_BUCKETS],
+            sum: 0,
+            count: 0,
+            ring: Vec::with_capacity(LAT_WINDOW),
+            pos: 0,
+        }
+    }
+
+    // lint: hot-path
+    fn record(&mut self, latency: u64) {
+        self.hist[lat_bucket(latency)] += 1;
+        self.sum += latency;
+        self.count += 1;
+        if self.ring.len() < LAT_WINDOW {
+            self.ring.push(latency);
+        } else {
+            self.ring[self.pos] = latency;
+            self.pos = (self.pos + 1) % LAT_WINDOW;
+        }
+    }
 }
 
 /// Copies the current aggregates into `snap`. Split out so the same
@@ -155,6 +242,7 @@ fn fill_snapshot(
     snap: &mut LiveSnapshot,
     counts: &Counts,
     defl_hist: &[u64; DEFL_BUCKETS],
+    latency: &Latency,
     metrics: &MetricsObserver,
     agg: &StreamingAggregator,
     finished: bool,
@@ -167,6 +255,13 @@ fn fill_snapshot(
     snap.oscillations = counts.oscillations;
     snap.active = counts.active;
     snap.phases = counts.phases;
+    snap.arrivals = counts.arrivals;
+    snap.drops = counts.drops;
+    snap.lat_count = latency.count;
+    snap.lat_sum = latency.sum;
+    snap.lat_hist = latency.hist;
+    snap.lat_window.clear();
+    snap.lat_window.extend_from_slice(&latency.ring);
     snap.safe_deflections = metrics.safe_deflections();
     snap.unsafe_deflections = metrics.unsafe_deflections();
     snap.defl_hist = *defl_hist;
@@ -208,6 +303,10 @@ pub struct LiveObserver {
     /// Deflections per packet (drives the incremental histogram).
     defl_counts: Vec<u32>,
     defl_hist: [u64; DEFL_BUCKETS],
+    /// Injection step per packet (`u64::MAX` = not injected yet);
+    /// delivery latency is absorb time minus this.
+    injected_step: Vec<Time>,
+    latency: Latency,
 }
 
 impl LiveObserver {
@@ -238,6 +337,8 @@ impl LiveObserver {
                 counts: Counts::default(),
                 defl_counts: vec![0; n],
                 defl_hist,
+                injected_step: vec![u64::MAX; n],
+                latency: Latency::new(),
             },
             reader,
         )
@@ -274,10 +375,11 @@ impl LiveObserver {
             publisher,
             counts,
             defl_hist,
+            latency,
             ..
         } = &mut self;
         publisher.flush_with(|snap| {
-            fill_snapshot(snap, counts, defl_hist, metrics, agg, true);
+            fill_snapshot(snap, counts, defl_hist, latency, metrics, agg, true);
         });
         self.agg
     }
@@ -292,10 +394,11 @@ impl LiveObserver {
                 publisher,
                 counts,
                 defl_hist,
+                latency,
                 ..
             } = self;
             publisher.publish_with(|snap| {
-                fill_snapshot(snap, counts, defl_hist, metrics, agg, false);
+                fill_snapshot(snap, counts, defl_hist, latency, metrics, agg, false);
             });
         }
     }
@@ -305,7 +408,10 @@ impl RouteObserver for LiveObserver {
     fn on_move(&mut self, t: Time, pkt: u32, mv: DirectedEdge, kind: ExitKind) {
         self.counts.moves += 1;
         match kind {
-            ExitKind::Inject => self.counts.injected += 1,
+            ExitKind::Inject => {
+                self.counts.injected += 1;
+                self.injected_step[pkt as usize] = t;
+            }
             ExitKind::Oscillate => self.counts.oscillations += 1,
             ExitKind::Deflect { .. } => {
                 let d = &mut self.defl_counts[pkt as usize];
@@ -326,14 +432,32 @@ impl RouteObserver for LiveObserver {
     fn on_trivial(&mut self, t: Time, pkt: u32) {
         self.counts.trivial += 1;
         self.counts.delivered += 1;
+        // Source == destination: delivered the step it was admitted.
+        self.latency.record(0);
         self.metrics.on_trivial(t, pkt);
         self.agg.on_trivial(t, pkt);
     }
 
     fn on_deliver(&mut self, t: Time, pkt: u32) {
         self.counts.delivered += 1;
+        let injected = self.injected_step[pkt as usize];
+        if injected != u64::MAX {
+            self.latency.record(t.saturating_sub(injected));
+        }
         self.metrics.on_deliver(t, pkt);
         self.agg.on_deliver(t, pkt);
+    }
+
+    fn on_arrival(&mut self, t: Time, pkt: u32) {
+        self.counts.arrivals += 1;
+        self.metrics.on_arrival(t, pkt);
+        self.agg.on_arrival(t, pkt);
+    }
+
+    fn on_drop(&mut self, t: Time, pkt: u32) {
+        self.counts.drops += 1;
+        self.metrics.on_drop(t, pkt);
+        self.agg.on_drop(t, pkt);
     }
 
     fn on_step_end(&mut self, t: Time, report: &StepReport, active: usize) {
@@ -395,6 +519,27 @@ mod tests {
         assert_eq!(defl_bucket(256), 9);
         assert_eq!(defl_bucket(257), 10);
         assert_eq!(defl_bucket(u32::MAX), DEFL_BUCKETS - 1);
+    }
+
+    #[test]
+    fn latency_buckets_and_ring_window() {
+        assert_eq!(lat_bucket(0), 0);
+        assert_eq!(lat_bucket(1), 0);
+        assert_eq!(lat_bucket(2), 1);
+        assert_eq!(lat_bucket(2048), LAT_BUCKET_BOUNDS.len() - 1);
+        assert_eq!(lat_bucket(2049), LAT_BUCKETS - 1);
+
+        let mut lat = Latency::new();
+        for i in 0..(LAT_WINDOW as u64 + 10) {
+            lat.record(i);
+        }
+        assert_eq!(lat.count, LAT_WINDOW as u64 + 10);
+        assert_eq!(lat.hist.iter().sum::<u64>(), lat.count);
+        // The ring holds exactly the most recent LAT_WINDOW latencies.
+        assert_eq!(lat.ring.len(), LAT_WINDOW);
+        assert!(!lat.ring.contains(&9));
+        assert!(lat.ring.contains(&10));
+        assert!(lat.ring.contains(&(LAT_WINDOW as u64 + 9)));
     }
 
     #[test]

@@ -10,17 +10,19 @@
 //! exchange, so it can be called from any number of HTTP threads.
 
 use crate::http::{Request, Response, EXPOSITION_CONTENT_TYPE};
-use crate::live::{LiveObserver, LiveSnapshot, DEFL_BUCKET_BOUNDS};
+use crate::live::{LiveObserver, LiveSnapshot, DEFL_BUCKET_BOUNDS, LAT_BUCKET_BOUNDS};
 use crate::prom::{Kind, PromWriter};
 use baselines::{
     GreedyConfig, GreedyPriority, GreedyRouter, RandomPriorityRouter, StoreForwardRouter,
 };
 use busch_router::{BuschConfig, BuschRouter, Params};
-use hotpotato_sim::{Router, SnapshotReader};
+use hotpotato_sim::{
+    route_streaming_observed, AdmissionControl, Router, SnapshotReader, StreamPriority,
+    StreamingConfig,
+};
 use hotpotato_trace::{report_json, rollup_doc, Rollup};
-use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use routing_core::spec::{parse_topo, parse_workload, RunSpec};
+use routing_core::spec::{EngineKind, RunSpec};
 use routing_core::RoutingProblem;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -37,28 +39,39 @@ pub struct RunConfig {
     /// Per-step sleep in microseconds (0 = full speed). Lets CI stretch
     /// a short run far enough to scrape it mid-flight.
     pub throttle_us: u64,
+    /// Streaming admission control: in-flight cap and injection-queue
+    /// bound (ignored by batch runs).
+    pub admission: AdmissionControl,
 }
 
 impl RunConfig {
     /// Default cadences for `spec`: publish every 64 steps, 64 rollup
-    /// buckets, no throttle.
+    /// buckets, no throttle, default admission bounds.
     pub fn new(spec: RunSpec) -> Self {
         RunConfig {
             spec,
             publish_every: 64,
             rollup_cap: 64,
             throttle_us: 0,
+            admission: AdmissionControl::default(),
         }
     }
 }
 
 /// Builds the router the CLI would build for `algo` (default
 /// configurations; `record` off — the service audits nothing offline).
-pub fn build_router(algo: &str, problem: &RoutingProblem) -> Result<Box<dyn Router>, String> {
+/// `engine` selects the Busch router's substrate; the baselines run on
+/// the scalar engine regardless.
+pub fn build_router(
+    algo: &str,
+    problem: &RoutingProblem,
+    engine: EngineKind,
+) -> Result<Box<dyn Router>, String> {
     Ok(match algo {
-        "busch" => Box::new(BuschRouter::with_config(BuschConfig::new(Params::auto(
-            problem,
-        )))),
+        "busch" => Box::new(BuschRouter::with_config(BuschConfig::with_engine(
+            Params::auto(problem),
+            engine,
+        ))),
         "greedy" | "ftg" => Box::new(GreedyRouter::with_config(GreedyConfig {
             priority: if algo == "ftg" {
                 GreedyPriority::FurthestToGo
@@ -103,15 +116,22 @@ impl Service {
             Vec::with_capacity(configs.len());
         for config in configs {
             let spec = &config.spec;
-            let topo = parse_topo(&spec.topo)?;
-            // Mirror the CLI exactly: one rng seeds the workload and then
-            // keeps driving the router, so a served run is
-            // trajectory-identical to `hotpotato route` with the same seed.
-            let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
-            let problem = parse_workload(&spec.workload, &topo, &mut rng)?;
-            // Validate the algorithm name now; the thread rebuilds the
-            // router (it is cheap and `Box<dyn Router>` is not `Send`).
-            build_router(&spec.algo, &problem)?;
+            // The single instantiation path shared with the CLI: one rng
+            // seeds the workload and then keeps driving the run, so a
+            // served run is trajectory-identical to `hotpotato route`
+            // with the same spec.
+            let (_topo, problem, rng) = spec.instantiate()?;
+            // Validate the algorithm/arrival combination now; the thread
+            // rebuilds the router (it is cheap and `Box<dyn Router>` is
+            // not `Send`).
+            match spec.arrival_process()? {
+                Some(_) => {
+                    StreamPriority::for_algo(&spec.algo)?;
+                }
+                None => {
+                    build_router(&spec.algo, &problem, spec.engine_kind())?;
+                }
+            }
             let name = spec.name();
             if prepared.iter().any(|(n, ..)| *n == name) {
                 return Err(format!("duplicate run '{name}'"));
@@ -126,11 +146,36 @@ impl Service {
                 LiveObserver::new(&problem, config.publish_every, config.rollup_cap);
             let mut observer = observer.with_throttle_us(config.throttle_us);
             let spec = config.spec.clone();
-            let algo = spec.algo.clone();
+            let admission = config.admission;
             let join = std::thread::spawn(move || {
-                let router = build_router(&algo, &problem).expect("algo validated at launch");
-                let outcome = router.route(&problem, &mut rng, &mut observer);
-                observer.finish(&outcome.stats);
+                match spec.arrival_process().expect("arrival validated at launch") {
+                    Some(process) => {
+                        // Streaming: draw the arrival schedule from the
+                        // post-workload rng, then drive the open-ended
+                        // injection loop from the same stream.
+                        let schedule = process.schedule(problem.num_packets(), &mut rng);
+                        let cfg = StreamingConfig {
+                            admission,
+                            priority: StreamPriority::for_algo(&spec.algo)
+                                .expect("algo validated at launch"),
+                            ..StreamingConfig::default()
+                        };
+                        let outcome = route_streaming_observed(
+                            &problem,
+                            &schedule,
+                            &cfg,
+                            &mut rng,
+                            &mut observer,
+                        );
+                        observer.finish(&outcome.stats);
+                    }
+                    None => {
+                        let router = build_router(&spec.algo, &problem, spec.engine_kind())
+                            .expect("algo validated at launch");
+                        let outcome = router.route(&problem, &mut rng, &mut observer);
+                        observer.finish(&outcome.stats);
+                    }
+                }
             });
             runs.push(RunHandle {
                 name,
@@ -195,6 +240,7 @@ impl Service {
                     "workload": run.spec.workload.clone(),
                     "algo": run.spec.algo.clone(),
                     "seed": run.spec.seed,
+                    "arrival": run.spec.arrival.clone().unwrap_or_default(),
                     "seq": seq,
                     "steps": steps,
                     "finished": finished,
@@ -264,6 +310,18 @@ impl Service {
             "Wait-state oscillation moves.",
             &|s| s.oscillations,
         );
+        counter(
+            &mut w,
+            "hotpotato_arrivals_total",
+            "Streaming packets surfaced by the arrival process (0 in batch mode).",
+            &|s| s.arrivals,
+        );
+        counter(
+            &mut w,
+            "hotpotato_dropped_total",
+            "Streaming packets dropped by admission control (queue full).",
+            &|s| s.drops,
+        );
 
         w.family(
             "hotpotato_deflections_total",
@@ -299,6 +357,39 @@ impl Service {
             );
         }
 
+        w.family(
+            "hotpotato_delivery_latency_steps",
+            "Distribution of delivery latencies (steps from injection to absorption).",
+            Kind::Histogram,
+        );
+        let lat_bounds: Vec<f64> = LAT_BUCKET_BOUNDS.iter().map(|&b| b as f64).collect();
+        for (run, _, s) in &snaps {
+            w.histogram(
+                "hotpotato_delivery_latency_steps",
+                &[("run", run)],
+                &lat_bounds,
+                &s.lat_hist,
+                s.lat_sum as f64,
+            );
+        }
+
+        w.family(
+            "hotpotato_delivery_latency_window_steps",
+            "Sliding-window latency percentiles over the most recent deliveries.",
+            Kind::Gauge,
+        );
+        for (run, _, s) in &snaps {
+            let mut window = s.lat_window.clone();
+            window.sort_unstable();
+            for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+                w.sample(
+                    "hotpotato_delivery_latency_window_steps",
+                    &[("run", run), ("quantile", label)],
+                    percentile(&window, q),
+                );
+            }
+        }
+
         let gauge = |w: &mut PromWriter, name, help, field: &dyn Fn(&LiveSnapshot) -> f64| {
             w.family(name, help, Kind::Gauge);
             for (run, _, s) in &snaps {
@@ -322,6 +413,12 @@ impl Service {
             "hotpotato_phases",
             "Phases started (0 for phase-less routers).",
             &|s| s.phases as f64,
+        );
+        gauge(
+            &mut w,
+            "hotpotato_injection_queue_depth",
+            "Streaming packets arrived but not yet admitted or dropped.",
+            &|s| s.queue_depth() as f64,
         );
         gauge(
             &mut w,
@@ -386,6 +483,16 @@ impl Service {
         }
         w.finish()
     }
+}
+
+/// Nearest-rank percentile of an ascending-sorted window (`NaN` when
+/// the window is empty — no deliveries yet).
+fn percentile(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1] as f64
 }
 
 /// Indexed gauge samples with a `level` label.

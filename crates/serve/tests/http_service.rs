@@ -3,6 +3,7 @@
 //! aggregator, byte-for-byte through the shared renderer) plus the HTTP
 //! plumbing over a real ephemeral-port listener.
 
+use hotpotato_sim::{route_streaming, StreamPriority, StreamingConfig};
 use hotpotato_trace::{parse_rollup, StreamingAggregator};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -27,7 +28,7 @@ fn reference_run(spec: &str, cap: usize) -> (hotpotato_sim::RouteStats, Streamin
     let topo = parse_topo(&run.topo).unwrap();
     let mut rng = ChaCha8Rng::seed_from_u64(run.seed);
     let problem = parse_workload(&run.workload, &topo, &mut rng).unwrap();
-    let router = build_router(&run.algo, &problem).unwrap();
+    let router = build_router(&run.algo, &problem, run.engine_kind()).unwrap();
     let mut agg = StreamingAggregator::new(cap);
     let outcome = router.route(&problem, &mut rng, &mut agg);
     (outcome.stats, agg)
@@ -188,6 +189,80 @@ fn serves_over_real_sockets() {
     assert!(parse_rollup(&body).unwrap().finished);
     let (status, _) = http_get(&addr, "/rollup/nope").unwrap();
     assert_eq!(status, 404);
+}
+
+#[test]
+fn streaming_run_serves_admission_and_latency_families() {
+    const STREAM_SPEC: &str = "butterfly:6/pairs:64/greedy/7/poisson:0.5";
+    let run = parse_run_spec(STREAM_SPEC).unwrap();
+    let name = run.name();
+    let mut service = Service::launch(vec![RunConfig::new(run)]).unwrap();
+    service.wait();
+
+    // Reference: the same spec under the same rng discipline (schedule
+    // drawn from the post-workload stream, routing continues from it).
+    let run = parse_run_spec(STREAM_SPEC).unwrap();
+    let (_topo, problem, mut rng) = run.instantiate().unwrap();
+    let process = run.arrival_process().unwrap().unwrap();
+    let schedule = process.schedule(problem.num_packets(), &mut rng);
+    let cfg = StreamingConfig {
+        priority: StreamPriority::for_algo(&run.algo).unwrap(),
+        ..StreamingConfig::default()
+    };
+    let out = route_streaming(&problem, &schedule, &cfg, &mut rng);
+    assert!(out.drained);
+
+    let text = get(&service, "/metrics").body;
+    let rl = format!("run=\"{name}\"");
+    assert_eq!(
+        metric_value(&text, "hotpotato_arrivals_total", &rl),
+        out.arrivals as f64,
+    );
+    assert_eq!(
+        metric_value(&text, "hotpotato_dropped_total", &rl),
+        out.dropped as f64,
+    );
+    assert_eq!(
+        metric_value(&text, "hotpotato_steps_total", &rl),
+        out.stats.steps_run as f64,
+    );
+    assert_eq!(
+        metric_value(&text, "hotpotato_deliveries_total", &rl),
+        out.stats.delivered_count() as f64,
+    );
+    // Quiesced: nothing arrived-but-unresolved remains.
+    assert_eq!(
+        metric_value(&text, "hotpotato_injection_queue_depth", &rl),
+        0.0
+    );
+    // The latency histogram counted every delivery, and the sliding
+    // window percentiles are finite and ordered.
+    assert_eq!(
+        metric_value(&text, "hotpotato_delivery_latency_steps_count", &rl),
+        out.stats.delivered_count() as f64,
+    );
+    let p = |q: &str| {
+        metric_value(
+            &text,
+            "hotpotato_delivery_latency_window_steps",
+            &format!("{rl},quantile=\"{q}\""),
+        )
+    };
+    let (p50, p95, p99) = (p("0.5"), p("0.95"), p("0.99"));
+    assert!(p50.is_finite() && p95.is_finite() && p99.is_finite());
+    assert!(p50 <= p95 && p95 <= p99, "percentiles ordered");
+    // Rollup quiesce consistency holds for streaming runs too, and the
+    // /runs listing carries the arrival spec.
+    assert!(
+        parse_rollup(&get(&service, &format!("/rollup/{name}")).body)
+            .unwrap()
+            .finished
+    );
+    assert!(
+        get(&service, "/runs").body.contains("poisson:0.5"),
+        "{}",
+        get(&service, "/runs").body
+    );
 }
 
 #[test]

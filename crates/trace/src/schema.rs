@@ -22,8 +22,11 @@ use serde::Value;
 ///
 /// Version history: 1 = the original JSONL trace format; 2 = adds the
 /// `Rollup` envelope served by `hotpotato serve` (trace lines are
-/// unchanged, but the version is shared so one fingerprint pins both).
-pub const SCHEMA_VERSION: u64 = 2;
+/// unchanged, but the version is shared so one fingerprint pins both);
+/// 3 = streaming mode: the `meta` line gains the `arrival` field (the
+/// arrival-process spec, empty for batch runs) and the `arrival` /
+/// `drop` injection events are added.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// The `meta` envelope line: everything needed to rebuild the instance.
 #[derive(Clone, Debug, PartialEq)]
@@ -38,6 +41,11 @@ pub struct Meta {
     pub algo: String,
     /// The run seed (workload generation and routing share one rng).
     pub seed: u64,
+    /// Arrival-process spec (`routing_core::workloads::ArrivalProcess`
+    /// grammar); empty string = batch mode. A non-empty value marks a
+    /// streaming trace: the verifier rebuilds the arrival schedule from
+    /// it and enforces the arrival/admission laws.
+    pub arrival: String,
     /// Number of packets (cross-checked on reconstruction).
     pub packets: u64,
     /// Number of levels, `L + 1` (cross-checked on reconstruction).
@@ -112,6 +120,22 @@ pub enum TraceEvent {
     /// An absorption at the destination (arrival time, staging step + 1).
     Deliver {
         /// Arrival time.
+        t: Time,
+        /// Packet index.
+        pkt: u32,
+    },
+    /// Streaming: the packet became available for injection (its
+    /// arrival-process step was reached).
+    Arrival {
+        /// Arrival step.
+        t: Time,
+        /// Packet index.
+        pkt: u32,
+    },
+    /// Streaming: admission control dropped the packet (the injection
+    /// queue was full); it is never injected.
+    Drop {
+        /// Drop step.
         t: Time,
         /// Packet index.
         pkt: u32,
@@ -195,6 +219,8 @@ impl TraceEvent {
             TraceEvent::Move { .. } => "move",
             TraceEvent::Trivial { .. } => "trivial",
             TraceEvent::Deliver { .. } => "deliver",
+            TraceEvent::Arrival { .. } => "arrival",
+            TraceEvent::Drop { .. } => "drop",
             TraceEvent::Step { .. } => "step",
             TraceEvent::Sets { .. } => "sets",
             TraceEvent::PhaseStart { .. } => "phase_start",
@@ -364,24 +390,26 @@ pub fn parse_line(line: &str) -> Result<TraceEvent, ParseError> {
     let ev = f.str("ev")?.to_string();
     let event = match ev.as_str() {
         "meta" => {
-            let meta = Meta {
-                schema: f.u64("schema")?,
+            // Check the version before the field set: an old trace
+            // should report its version, not a missing v3 field.
+            let schema = f.u64("schema")?;
+            if schema != SCHEMA_VERSION {
+                return Err(err(format!(
+                    "unsupported trace schema {schema} (this build reads {SCHEMA_VERSION})"
+                )));
+            }
+            TraceEvent::Meta(Meta {
+                schema,
                 topo: f.str("topo")?.to_string(),
                 workload: f.str("workload")?.to_string(),
                 algo: f.str("algo")?.to_string(),
                 seed: f.u64("seed")?,
+                arrival: f.str("arrival")?.to_string(),
                 packets: f.u64("packets")?,
                 levels: f.u64("levels")?,
                 congestion: f.u64("congestion")?,
                 dilation: f.u64("dilation")?,
-            };
-            if meta.schema != SCHEMA_VERSION {
-                return Err(err(format!(
-                    "unsupported trace schema {} (this build reads {SCHEMA_VERSION})",
-                    meta.schema
-                )));
-            }
-            TraceEvent::Meta(meta)
+            })
         }
         "move" => TraceEvent::Move {
             t: f.u64("t")?,
@@ -399,6 +427,14 @@ pub fn parse_line(line: &str) -> Result<TraceEvent, ParseError> {
             pkt: f.u32("pkt")?,
         },
         "deliver" => TraceEvent::Deliver {
+            t: f.u64("t")?,
+            pkt: f.u32("pkt")?,
+        },
+        "arrival" => TraceEvent::Arrival {
+            t: f.u64("t")?,
+            pkt: f.u32("pkt")?,
+        },
+        "drop" => TraceEvent::Drop {
             t: f.u64("t")?,
             pkt: f.u32("pkt")?,
         },
@@ -507,6 +543,7 @@ pub fn meta_line(meta: &Meta) -> String {
         ("workload", Value::String(meta.workload.clone())),
         ("algo", Value::String(meta.algo.clone())),
         ("seed", meta.seed.to_json()),
+        ("arrival", Value::String(meta.arrival.clone())),
         ("packets", meta.packets.to_json()),
         ("levels", meta.levels.to_json()),
         ("congestion", meta.congestion.to_json()),
@@ -595,6 +632,7 @@ mod tests {
             workload: "bitrev".into(),
             algo: "busch".into(),
             seed: 42,
+            arrival: "poisson:0.5".into(),
             packets: 8,
             levels: 4,
             congestion: 2,
@@ -643,11 +681,24 @@ mod tests {
             .msg
             .contains("unknown field 'zz'"));
         assert!(
-            parse_rollup(r#"{"schema":2,"run":"x","seq":0,"finished":false}"#)
+            parse_rollup(r#"{"schema":3,"run":"x","seq":0,"finished":false}"#)
                 .unwrap_err()
                 .msg
                 .contains("missing field 'rollup'")
         );
+    }
+
+    #[test]
+    fn streaming_injection_events_parse() {
+        match parse_line(r#"{"ev":"arrival","t":3,"pkt":1}"#).unwrap() {
+            TraceEvent::Arrival { t: 3, pkt: 1 } => {}
+            other => panic!("wrong event: {other:?}"),
+        }
+        match parse_line(r#"{"ev":"drop","t":4,"pkt":2}"#).unwrap() {
+            TraceEvent::Drop { t: 4, pkt: 2 } => {}
+            other => panic!("wrong event: {other:?}"),
+        }
+        assert!(parse_line(r#"{"ev":"drop","t":4}"#).is_err());
     }
 
     #[test]

@@ -174,7 +174,8 @@ pub fn verify_trace(trace: &Trace) -> Result<VerifyReport, VerifyError> {
     };
     let instance = reconstruct(meta)?;
     let model = Model::for_algo(&meta.algo);
-    let state = StreamState::run(trace, &instance, model)?;
+    let streaming = !meta.arrival.is_empty();
+    let state = StreamState::run(trace, &instance, model, streaming)?;
     state.check_stats(stats, trace.events.len())?;
 
     let timelines = build_timelines(trace, state.n);
@@ -207,7 +208,12 @@ pub fn verify_trace(trace: &Trace) -> Result<VerifyReport, VerifyError> {
 struct StreamState {
     n: usize,
     now: Time,
+    /// Streaming trace (meta's `arrival` spec is non-empty): injections
+    /// must be preceded by an `arrival` event, drops are legal.
+    streaming: bool,
     pos: Vec<Option<NodeId>>,
+    arrived: Vec<bool>,
+    dropped: Vec<bool>,
     injected: Vec<bool>,
     delivered: Vec<bool>,
     last_move_step: Vec<u64>,
@@ -244,14 +250,22 @@ struct Batch {
 }
 
 impl StreamState {
-    fn run(trace: &Trace, instance: &VerifiedInstance, model: Model) -> Result<Self, VerifyError> {
+    fn run(
+        trace: &Trace,
+        instance: &VerifiedInstance,
+        model: Model,
+        streaming: bool,
+    ) -> Result<Self, VerifyError> {
         let net = &instance.net;
         let problem = &instance.problem;
         let n = problem.num_packets();
         let mut s = StreamState {
             n,
             now: 0,
+            streaming,
             pos: vec![None; n],
+            arrived: vec![false; n],
+            dropped: vec![false; n],
             injected: vec![false; n],
             delivered: vec![false; n],
             last_move_step: vec![u64::MAX; n],
@@ -332,6 +346,20 @@ impl StreamState {
                         ExitKind::Inject => {
                             if s.injected[p] {
                                 return fail(line, format!("packet {pkt} injected twice"));
+                            }
+                            // check: admission — streaming injections need a
+                            // prior arrival and must not have been dropped.
+                            if s.streaming && !s.arrived[p] {
+                                return fail(
+                                    line,
+                                    format!("packet {pkt} injected before its arrival event"),
+                                );
+                            }
+                            if s.dropped[p] {
+                                return fail(
+                                    line,
+                                    format!("packet {pkt} injected after being dropped"),
+                                );
                             }
                             let path = &problem.packets()[p].path;
                             let ok =
@@ -426,6 +454,18 @@ impl StreamState {
                     }
                     if s.injected[p] || s.delivered[p] {
                         return fail(line, format!("packet {pkt} delivered trivially twice"));
+                    }
+                    if s.streaming && !s.arrived[p] {
+                        return fail(
+                            line,
+                            format!("packet {pkt} delivered trivially before its arrival event"),
+                        );
+                    }
+                    if s.dropped[p] {
+                        return fail(
+                            line,
+                            format!("packet {pkt} delivered trivially after being dropped"),
+                        );
                     }
                     if !problem.packets()[p].path.is_empty() {
                         return fail(
@@ -582,6 +622,60 @@ impl StreamState {
                             );
                         }
                     }
+                }
+                TraceEvent::Arrival { t, pkt } => {
+                    let p = *pkt as usize;
+                    if p >= n {
+                        return fail(line, format!("packet {pkt} out of range (N={n})"));
+                    }
+                    if !s.streaming {
+                        return fail(
+                            line,
+                            format!("arrival event for packet {pkt} in a batch trace"),
+                        );
+                    }
+                    if *t != s.now {
+                        return fail(line, format!("arrival at t={t} in step {}", s.now));
+                    }
+                    if s.arrived[p] {
+                        return fail(line, format!("packet {pkt} arrived twice"));
+                    }
+                    // check: arrival-before-injection — the packet must not
+                    // already be in the network (or delivered).
+                    if s.injected[p] {
+                        return fail(
+                            line,
+                            format!("packet {pkt} arrived after it was already injected"),
+                        );
+                    }
+                    s.arrived[p] = true;
+                }
+                TraceEvent::Drop { t, pkt } => {
+                    let p = *pkt as usize;
+                    if p >= n {
+                        return fail(line, format!("packet {pkt} out of range (N={n})"));
+                    }
+                    if !s.streaming {
+                        return fail(
+                            line,
+                            format!("drop event for packet {pkt} in a batch trace"),
+                        );
+                    }
+                    if *t != s.now {
+                        return fail(line, format!("drop at t={t} in step {}", s.now));
+                    }
+                    // check: drop-discipline — only an arrived, never-injected,
+                    // never-dropped packet can be dropped by admission control.
+                    if !s.arrived[p] {
+                        return fail(line, format!("packet {pkt} dropped before arriving"));
+                    }
+                    if s.injected[p] {
+                        return fail(line, format!("packet {pkt} dropped after injection"));
+                    }
+                    if s.dropped[p] {
+                        return fail(line, format!("packet {pkt} dropped twice"));
+                    }
+                    s.dropped[p] = true;
                 }
                 TraceEvent::PhaseStart { .. }
                 | TraceEvent::PhaseEnd { .. }

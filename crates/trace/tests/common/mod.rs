@@ -33,6 +33,7 @@ pub fn record_busch_with<O: RouteObserver>(
         workload: workload_spec.to_string(),
         algo: "busch".to_string(),
         seed,
+        arrival: String::new(),
         packets: problem.num_packets() as u64,
         levels: topo.net.num_levels() as u64,
         congestion: u64::from(problem.congestion()),

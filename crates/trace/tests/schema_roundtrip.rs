@@ -14,9 +14,9 @@ use std::collections::BTreeSet;
 #[test]
 fn schema_version_is_pinned() {
     // Changing any event's field set requires bumping the version; this
-    // assertion forces that edit to be deliberate. (2 = the Rollup
-    // envelope joined the pinned wire types.)
-    assert_eq!(SCHEMA_VERSION, 2);
+    // assertion forces that edit to be deliberate. (3 = streaming mode:
+    // `meta` gains the `arrival` spec; `arrival`/`drop` events added.)
+    assert_eq!(SCHEMA_VERSION, 3);
 }
 
 /// One canonical line per event variant (and per move kind), exactly as
@@ -25,7 +25,7 @@ fn canonical_lines() -> Vec<(&'static str, &'static str)> {
     vec![
         (
             "meta",
-            r#"{"ev":"meta","schema":2,"topo":"bf:3","workload":"bitrev","algo":"busch","seed":7,"packets":8,"levels":4,"congestion":2,"dilation":3}"#,
+            r#"{"ev":"meta","schema":3,"topo":"bf:3","workload":"bitrev","algo":"busch","seed":7,"arrival":"","packets":8,"levels":4,"congestion":2,"dilation":3}"#,
         ),
         (
             "move",
@@ -49,6 +49,8 @@ fn canonical_lines() -> Vec<(&'static str, &'static str)> {
         ),
         ("trivial", r#"{"ev":"trivial","t":0,"pkt":5}"#),
         ("deliver", r#"{"ev":"deliver","t":6,"pkt":2}"#),
+        ("arrival", r#"{"ev":"arrival","t":6,"pkt":2}"#),
+        ("drop", r#"{"ev":"drop","t":6,"pkt":2}"#),
         (
             "step",
             r#"{"ev":"step","t":4,"moved":3,"absorbed":1,"injected":0,"deflections":1,"fallback":0,"oscillations":1,"active":2}"#,
@@ -135,7 +137,7 @@ fn renamed_fields_are_rejected_for_every_variant() {
 
 #[test]
 fn wrong_schema_version_is_rejected() {
-    let line = r#"{"ev":"meta","schema":1,"topo":"bf:3","workload":"bitrev","algo":"busch","seed":7,"packets":8,"levels":4,"congestion":2,"dilation":3}"#;
+    let line = r#"{"ev":"meta","schema":1,"topo":"bf:3","workload":"bitrev","algo":"busch","seed":7,"arrival":"","packets":8,"levels":4,"congestion":2,"dilation":3}"#;
     let err = parse_line(line).unwrap_err();
     assert!(err.msg.contains("unsupported trace schema"), "{err}");
 }

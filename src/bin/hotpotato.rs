@@ -3,11 +3,15 @@
 //! ```text
 //! hotpotato topo <SPEC> [--dot]          describe a topology
 //! hotpotato route --topo <SPEC> --workload <WL> [--algo A] [--seed S]
+//!                 [--spec TOPO/WL[/ALGO[/SEED[/ARRIVAL]]]]
+//!                 [--arrival P] [--engine scalar|soa]
+//!                 [--max-in-flight N] [--max-deferred N] [--max-steps N]
 //!                 [--params m,w,q,sets] [--verify] [--json]
 //!                 [--metrics-out PATH] [--trace-out PATH]
 //!                 [--aggregate-out PATH] [--aggregate-cap N]
-//! hotpotato serve --run TOPO/WL[/ALGO[/SEED]] [--run ...] [--addr A]
+//! hotpotato serve --run TOPO/WL[/ALGO[/SEED[/ARRIVAL]]] [--run ...] [--addr A]
 //!                 [--publish-every N] [--rollup-cap N] [--throttle-us N]
+//!                 [--engine scalar|soa] [--max-in-flight N] [--max-deferred N]
 //! hotpotato trace verify <FILE>          replay-verify a recorded trace
 //! hotpotato trace analyze <FILE> [--out PATH]   aggregate trace report
 //! hotpotato trace diff <A> <B>           compare two trace analyses
@@ -24,6 +28,10 @@
 //!   hotspot:N:D | funnel:N | level:FROM:TO | blast:FROM:TO
 //!
 //! algorithms: busch (default) | greedy | ftg | rank | sf | sfrank
+//!             (streaming arrivals: greedy | ftg | aging)
+//!
+//! arrival P (continuous-injection streaming mode):
+//!   poisson:RATE | burst:SIZE:PERIOD | replay:T0,T1,...
 //! ```
 //!
 //! Examples:
@@ -43,12 +51,14 @@ use baselines::{
     GreedyConfig, GreedyPriority, GreedyRouter, RandomPriorityRouter, StoreForwardRouter,
 };
 use busch_router::{BuschConfig, BuschRouter, FrameSchedule, InvariantReport, PaperParams, Params};
-use hotpotato_sim::{JsonlTraceObserver, MetricsObserver, Router};
+use hotpotato_sim::{
+    route_streaming_observed, AdmissionControl, JsonlTraceObserver, MetricsObserver, Router,
+    StreamPriority, StreamingConfig,
+};
 use hotpotato_trace::{schema, StreamingAggregator, Trace};
 use leveled_net::render;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use routing_core::spec::{parse_run_spec, parse_topo, parse_workload};
+use routing_core::spec::{parse_run_spec, parse_topo, EngineKind, RunSpec};
+use routing_core::ArrivalProcess;
 use std::io::Write as _;
 use std::process::exit;
 
@@ -81,11 +91,15 @@ fn print_usage() {
          usage:\n\
          \u{20}  hotpotato topo <SPEC> [--dot]\n\
          \u{20}  hotpotato route --topo <SPEC> --workload <WL> [--algo A] [--seed S]\n\
+         \u{20}                  [--spec TOPO/WL[/ALGO[/SEED[/ARRIVAL]]]]\n\
+         \u{20}                  [--arrival P] [--engine scalar|soa]\n\
+         \u{20}                  [--max-in-flight N] [--max-deferred N] [--max-steps N]\n\
          \u{20}                  [--params m,w,q,sets] [--verify] [--json]\n\
          \u{20}                  [--metrics-out PATH] [--trace-out PATH]\n\
          \u{20}                  [--aggregate-out PATH] [--aggregate-cap N]\n\
-         \u{20}  hotpotato serve --run TOPO/WL[/ALGO[/SEED]] [--run ...] [--addr A]\n\
+         \u{20}  hotpotato serve --run TOPO/WL[/ALGO[/SEED[/ARRIVAL]]] [--run ...] [--addr A]\n\
          \u{20}                  [--publish-every N] [--rollup-cap N] [--throttle-us N]\n\
+         \u{20}                  [--engine scalar|soa] [--max-in-flight N] [--max-deferred N]\n\
          \u{20}  hotpotato trace verify <FILE>\n\
          \u{20}  hotpotato trace analyze <FILE> [--out PATH]\n\
          \u{20}  hotpotato trace diff <A> <B>\n\
@@ -97,7 +111,8 @@ fn print_usage() {
          \u{20}           random:L[:WMAX[:PROB[:SEED]]]\n\
          workloads:  pairs:N m2m:N permutation bitrev transpose hotspot:N:D\n\
          \u{20}           funnel:N level:FROM:TO blast:FROM:TO\n\
-         algorithms: busch greedy ftg rank sf sfrank"
+         algorithms: busch greedy ftg rank sf sfrank (streaming: greedy ftg aging)\n\
+         arrivals:   poisson:RATE burst:SIZE:PERIOD replay:T0,T1,..."
     );
 }
 
@@ -130,18 +145,49 @@ fn cmd_topo(args: &[String]) -> i32 {
 }
 
 fn cmd_route(args: &[String]) -> i32 {
-    let Some(topo_spec) = flag_value(args, "--topo") else {
-        eprintln!("route needs --topo <SPEC>");
-        return 2;
+    // One typed surface: either a full run spec (`--spec TOPO/WL[/ALGO
+    // [/SEED[/ARRIVAL]]]`, the same grammar `serve --run` and the bench
+    // gate accept) or the individual flags; both produce a `RunSpec`.
+    let mut run = match flag_value(args, "--spec") {
+        Some(spec) => match parse_run_spec(spec) {
+            Ok(run) => run,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 2;
+            }
+        },
+        None => {
+            let Some(topo_spec) = flag_value(args, "--topo") else {
+                eprintln!("route needs --topo <SPEC> (or --spec TOPO/WL[/ALGO[/SEED[/ARRIVAL]]])");
+                return 2;
+            };
+            let Some(wl_spec) = flag_value(args, "--workload") else {
+                eprintln!("route needs --workload <WL>");
+                return 2;
+            };
+            let algo = flag_value(args, "--algo").unwrap_or("busch");
+            let seed: u64 = flag_value(args, "--seed")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(42);
+            RunSpec::batch(topo_spec, wl_spec, algo, seed)
+        }
     };
-    let Some(wl_spec) = flag_value(args, "--workload") else {
-        eprintln!("route needs --workload <WL>");
-        return 2;
-    };
-    let algo = flag_value(args, "--algo").unwrap_or("busch");
-    let seed: u64 = flag_value(args, "--seed")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(42);
+    if let Some(arrival) = flag_value(args, "--arrival") {
+        if let Err(e) = ArrivalProcess::parse(arrival) {
+            eprintln!("error: {e}");
+            return 2;
+        }
+        run.arrival = Some(arrival.to_string());
+    }
+    if let Some(engine) = flag_value(args, "--engine") {
+        match EngineKind::parse(engine) {
+            Ok(kind) => run.engine = Some(kind),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 2;
+            }
+        }
+    }
     let verify = args.iter().any(|a| a == "--verify");
     let json = args.iter().any(|a| a == "--json");
     let metrics_out = flag_value(args, "--metrics-out");
@@ -151,21 +197,15 @@ fn cmd_route(args: &[String]) -> i32 {
         .and_then(|s| s.parse().ok())
         .unwrap_or(64);
 
-    let topo = match parse_topo(topo_spec) {
-        Ok(t) => t,
+    let (topo, problem, mut rng) = match run.instantiate() {
+        Ok(parts) => parts,
         Err(e) => {
             eprintln!("error: {e}");
             return 2;
         }
     };
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let problem = match parse_workload(wl_spec, &topo, &mut rng) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return 2;
-        }
-    };
+    let algo = run.algo.as_str();
+    let seed = run.seed;
     if !json {
         println!("problem:  {}", problem.describe());
         println!(
@@ -174,11 +214,48 @@ fn cmd_route(args: &[String]) -> i32 {
         );
     }
 
-    // Algorithm dispatch: every router reduces to the same object-safe
-    // interface; only the Busch router carries extra pre-run output
-    // (parameters) and post-run output (invariants).
+    // Streaming mode resolves its whole configuration up front so a bad
+    // algorithm/arrival combination fails before any sink file exists.
+    let streaming = match run.arrival_process() {
+        Ok(None) => None,
+        Ok(Some(process)) => match StreamPriority::for_algo(algo) {
+            Ok(priority) => {
+                let cfg = StreamingConfig {
+                    admission: AdmissionControl {
+                        max_in_flight: flag_value(args, "--max-in-flight")
+                            .and_then(|s| s.parse().ok())
+                            .unwrap_or(256),
+                        max_deferred: flag_value(args, "--max-deferred")
+                            .and_then(|s| s.parse().ok())
+                            .unwrap_or(1024),
+                    },
+                    priority,
+                    max_steps: flag_value(args, "--max-steps")
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(5_000_000),
+                    record: verify,
+                    ..StreamingConfig::default()
+                };
+                Some((process, cfg))
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 2;
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+
+    // Algorithm dispatch (batch mode): every router reduces to the same
+    // object-safe interface; only the Busch router carries extra pre-run
+    // output (parameters) and post-run output (invariants). Streaming
+    // drives the conflict core directly, so it builds no router.
     let mut params: Option<Params> = None;
-    let router: Box<dyn Router> = match algo {
+    let router: Option<Box<dyn Router>> = match algo {
+        _ if streaming.is_some() => None,
         "busch" => {
             let p = match flag_value(args, "--params") {
                 Some(spec) => {
@@ -214,9 +291,9 @@ fn cmd_route(args: &[String]) -> i32 {
             params = Some(p);
             let cfg = BuschConfig {
                 record: verify,
-                ..BuschConfig::new(p)
+                ..BuschConfig::with_engine(p, run.engine_kind())
             };
-            Box::new(BuschRouter::with_config(cfg))
+            Some(Box::new(BuschRouter::with_config(cfg)))
         }
         "greedy" | "ftg" => {
             let cfg = GreedyConfig {
@@ -228,14 +305,16 @@ fn cmd_route(args: &[String]) -> i32 {
                 record: verify,
                 ..Default::default()
             };
-            Box::new(GreedyRouter::with_config(cfg))
+            Some(Box::new(GreedyRouter::with_config(cfg)))
         }
-        "rank" => Box::new(RandomPriorityRouter {
+        "rank" => Some(Box::new(RandomPriorityRouter {
             record: verify,
             ..Default::default()
-        }),
-        "sf" => Box::new(StoreForwardRouter::fifo()),
-        "sfrank" => Box::new(StoreForwardRouter::random_rank(problem.congestion() as u64)),
+        })),
+        "sf" => Some(Box::new(StoreForwardRouter::fifo())),
+        "sfrank" => Some(Box::new(StoreForwardRouter::random_rank(
+            problem.congestion() as u64,
+        ))),
         other => {
             eprintln!("unknown algorithm '{other}'");
             return 2;
@@ -251,10 +330,11 @@ fn cmd_route(args: &[String]) -> i32 {
         Some(path) => {
             let meta = schema::Meta {
                 schema: schema::SCHEMA_VERSION,
-                topo: topo_spec.to_string(),
-                workload: wl_spec.to_string(),
+                topo: run.topo.clone(),
+                workload: run.workload.clone(),
                 algo: algo.to_string(),
                 seed,
+                arrival: run.arrival.clone().unwrap_or_default(),
                 packets: problem.num_packets() as u64,
                 levels: topo.net.num_levels() as u64,
                 congestion: u64::from(problem.congestion()),
@@ -277,7 +357,37 @@ fn cmd_route(args: &[String]) -> i32 {
     };
     let aggregate = aggregate_out.map(|_| StreamingAggregator::new(aggregate_cap));
     let mut observer = ((metrics, trace), aggregate);
-    let out = router.route(&problem, &mut rng, &mut observer);
+    // Drive the run: the open-ended injection loop in streaming mode,
+    // the batch router otherwise. Both paths feed the same sinks and
+    // converge on (stats, record).
+    let (stats, record, stream) = match &streaming {
+        Some((process, cfg)) => {
+            let schedule = process.schedule(problem.num_packets(), &mut rng);
+            let out = route_streaming_observed(&problem, &schedule, cfg, &mut rng, &mut observer);
+            if !json {
+                println!(
+                    "stream:   {} arrivals, {} admitted, {} dropped (peak queue {}, \
+                     peak in-flight {}), {:.1} pkts/kstep",
+                    out.arrivals,
+                    out.admitted,
+                    out.dropped,
+                    out.peak_deferred,
+                    out.peak_in_flight,
+                    out.throughput() * 1000.0
+                );
+            }
+            let drained = out.drained;
+            (out.stats, out.record, Some(drained))
+        }
+        None => {
+            let out = router.expect("batch mode always builds a router").route(
+                &problem,
+                &mut rng,
+                &mut observer,
+            );
+            (out.stats, out.record, None)
+        }
+    };
     let ((metrics, trace), aggregate) = observer;
 
     if let (Some(path), Some(metrics)) = (metrics_out, metrics) {
@@ -301,7 +411,7 @@ fn cmd_route(args: &[String]) -> i32 {
     if let Some(trace) = trace {
         let path = trace_out.expect("trace sink implies --trace-out");
         let close = trace.finish().and_then(|mut w| {
-            writeln!(w, "{}", schema::stats_line(&out.stats))?;
+            writeln!(w, "{}", schema::stats_line(&stats))?;
             w.flush()
         });
         match close {
@@ -331,57 +441,82 @@ fn cmd_route(args: &[String]) -> i32 {
         }
     }
 
+    // Streaming failure = the run hit its step cap before draining;
+    // batch failure = some packet was never delivered (drops are a
+    // legitimate streaming outcome, not a failure).
+    let failed = match stream {
+        Some(drained) => !drained,
+        None => !stats.all_delivered(),
+    };
+
     if json {
         let doc = if algo == "busch" {
             serde_json::json!({
                 "algorithm": algo,
                 "problem": problem.describe(),
                 "params": params.expect("busch always has params"),
-                "stats": out.stats,
-                "latency": out.stats.latency_summary(),
-                "invariants": InvariantReport::from_counters(&out.stats.counters),
-                "phases_elapsed": out.stats.counter("phases"),
+                "stats": stats,
+                "latency": stats.latency_summary(),
+                "invariants": InvariantReport::from_counters(&stats.counters),
+                "phases_elapsed": stats.counter("phases"),
+            })
+        } else if stream.is_some() {
+            serde_json::json!({
+                "algorithm": algo,
+                "problem": problem.describe(),
+                "arrival": run.arrival.clone().unwrap_or_default(),
+                "stats": stats,
+                "latency": stats.latency_summary(),
+                "arrivals": stats.counter("arrivals"),
+                "admitted": stats.counter("admitted"),
+                "dropped": stats.counter("dropped"),
+                "drained": stream == Some(true),
             })
         } else {
             serde_json::json!({
                 "algorithm": algo,
                 "problem": problem.describe(),
-                "stats": out.stats,
-                "latency": out.stats.latency_summary(),
+                "stats": stats,
+                "latency": stats.latency_summary(),
             })
         };
         println!("{}", serde_json::to_string_pretty(&doc).expect("serialize"));
-        return i32::from(!out.stats.all_delivered());
+        return i32::from(failed);
     }
 
-    match algo {
-        "busch" => println!("busch:    {}", out.stats.summary()),
-        "greedy" | "ftg" => println!("{algo}:   {}", out.stats.summary()),
-        "rank" => println!("rank:     {}", out.stats.summary()),
-        "sf" => println!(
-            "sf:       {} (max queue {})",
-            out.stats.summary(),
-            out.stats.counter("max_queue")
-        ),
-        "sfrank" => println!(
-            "sfrank:   {} (max queue {})",
-            out.stats.summary(),
-            out.stats.counter("max_queue")
-        ),
-        _ => unreachable!("dispatch rejected unknown algorithms"),
-    }
-    if matches!(algo, "busch" | "greedy" | "ftg") {
-        println!("latency:  {}", out.stats.latency_summary());
-    }
-    if algo == "busch" {
-        println!(
-            "invariants: {}",
-            InvariantReport::from_counters(&out.stats.counters).summary()
-        );
+    if stream.is_some() {
+        println!("{algo}:   {}", stats.summary());
+        println!("latency:  {}", stats.latency_summary());
+    } else {
+        match algo {
+            "busch" => println!("busch:    {}", stats.summary()),
+            "greedy" | "ftg" => println!("{algo}:   {}", stats.summary()),
+            "rank" => println!("rank:     {}", stats.summary()),
+            "sf" => println!(
+                "sf:       {} (max queue {})",
+                stats.summary(),
+                stats.counter("max_queue")
+            ),
+            "sfrank" => println!(
+                "sfrank:   {} (max queue {})",
+                stats.summary(),
+                stats.counter("max_queue")
+            ),
+            _ => unreachable!("dispatch rejected unknown algorithms"),
+        }
+        if matches!(algo, "busch" | "greedy" | "ftg") {
+            println!("latency:  {}", stats.latency_summary());
+        }
+        if algo == "busch" {
+            println!(
+                "invariants: {}",
+                InvariantReport::from_counters(&stats.counters).summary()
+            );
+        }
     }
     if verify {
-        if let Some(record) = out.record.as_ref() {
-            match hotpotato_sim::replay::verify(&problem, record, &out.stats) {
+        if let Some(record) = record.as_ref() {
+            match hotpotato_sim::replay::verify(&problem, record, &stats) {
                 Ok(rep) => {
                     if algo == "busch" {
                         println!(
@@ -401,7 +536,7 @@ fn cmd_route(args: &[String]) -> i32 {
             eprintln!("replay:   unavailable ({algo} does not record moves)");
         }
     }
-    i32::from(!out.stats.all_delivered())
+    i32::from(failed)
 }
 
 /// Reads and strictly parses a JSONL trace file.
@@ -418,7 +553,8 @@ fn cmd_serve(args: &[String]) -> i32 {
         .collect();
     if specs.is_empty() {
         eprintln!(
-            "serve needs at least one --run TOPO/WL[/ALGO[/SEED]] (e.g. --run bf:10/bitrev/busch/7)"
+            "serve needs at least one --run TOPO/WL[/ALGO[/SEED[/ARRIVAL]]] \
+             (e.g. --run bf:10/bitrev/busch/7 or --run bf:10/pairs:64/greedy/7/poisson:0.5)"
         );
         return 2;
     }
@@ -432,16 +568,38 @@ fn cmd_serve(args: &[String]) -> i32 {
     let throttle_us: u64 = flag_value(args, "--throttle-us")
         .and_then(|s| s.parse().ok())
         .unwrap_or(0);
+    let engine = match flag_value(args, "--engine") {
+        Some(s) => match EngineKind::parse(s) {
+            Ok(kind) => Some(kind),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 2;
+            }
+        },
+        None => None,
+    };
+    let admission = AdmissionControl {
+        max_in_flight: flag_value(args, "--max-in-flight")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(256),
+        max_deferred: flag_value(args, "--max-deferred")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1024),
+    };
 
     let mut configs = Vec::with_capacity(specs.len());
     for spec in specs {
         match parse_run_spec(spec) {
-            Ok(run) => configs.push(serve::RunConfig {
-                spec: run,
-                publish_every,
-                rollup_cap,
-                throttle_us,
-            }),
+            Ok(mut run) => {
+                run.engine = engine;
+                configs.push(serve::RunConfig {
+                    spec: run,
+                    publish_every,
+                    rollup_cap,
+                    throttle_us,
+                    admission,
+                });
+            }
             Err(e) => {
                 eprintln!("error: {e}");
                 return 2;

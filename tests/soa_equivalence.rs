@@ -112,6 +112,7 @@ fn soa_trace_verifies_offline() {
         workload: "bitrev".into(),
         algo: "busch".into(),
         seed: 42,
+        arrival: String::new(),
         packets: problem.num_packets() as u64,
         levels: topo.net.num_levels() as u64,
         congestion: u64::from(problem.congestion()),
