@@ -51,6 +51,8 @@ fn measure_perf_doc(quick: bool) -> serde_json::Value {
     rep.rows.push(experiments::perf::measure_large(quick));
     eprintln!("perfjson: measuring steady-state streaming row...");
     rep.rows.push(experiments::perf::measure_streaming(quick));
+    eprintln!("perfjson: measuring sharded trace-verify row...");
+    rep.rows.push(experiments::perf::measure_verify(quick));
     let rows: Vec<serde_json::Value> = rep
         .rows
         .iter()

@@ -16,7 +16,10 @@
 //! invariant audits on and the intra-run banded path enabled. The
 //! steady-state suite ([`measure_streaming`]) drives a continuous
 //! Poisson injection stream through the admission-controlled streaming
-//! loop and reports the sustained delivery rate.
+//! loop and reports the sustained delivery rate. The trace-pipeline
+//! suite ([`measure_verify`]) records a snapshot-bearing trace in
+//! memory and reports sharded replay-verification throughput in trace
+//! events per second.
 //!
 //! [`measure`] returns the raw numbers; [`run`] renders them as a table.
 //! The `tables` binary's `perfjson` mode serializes [`measure`]'s output
@@ -26,12 +29,14 @@
 use crate::table::{f, Table};
 use baselines::{GreedyConfig, GreedyRouter, StoreForwardRouter};
 use busch_router::{BuschConfig, BuschRouter, Params};
-use hotpotato_sim::{route_streaming, StreamPriority, StreamingConfig};
+use hotpotato_sim::{route_streaming, JsonlTraceObserver, StreamPriority, StreamingConfig};
+use hotpotato_trace::{schema, ShardOptions, Trace};
 use leveled_net::builders::{self, ButterflyCoords};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use routing_core::spec::parse_run_spec;
 use routing_core::workloads;
+use std::io::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -330,11 +335,68 @@ pub fn measure_streaming(quick: bool) -> PerfMeasurement {
     }
 }
 
+/// The trace-pipeline row: record a snapshot-bearing JSONL trace of the
+/// classic bf(10) quick / bf(12) bit-reversal Busch run in memory —
+/// meta/stats envelope and all, exactly as `route --trace-out` writes
+/// it — then time sharded replay verification over the worker pool.
+/// `moves` carries the trace event count, so this row's moves/s in the
+/// committed baseline is verify throughput in events/s. Panics if the
+/// clean trace fails to verify: the row's presence is the claim that
+/// the recorded stream replays.
+pub fn measure_verify(quick: bool) -> PerfMeasurement {
+    let k = if quick { 10 } else { 12 };
+    let net = Arc::new(builders::butterfly(k));
+    let coords = ButterflyCoords { k };
+    let prob = workloads::butterfly_bit_reversal(&net, &coords);
+    let n = prob.num_packets() as u64;
+    let params = Params::auto(&prob);
+    let meta = schema::Meta {
+        schema: schema::SCHEMA_VERSION,
+        topo: format!("bf:{k}"),
+        workload: "bitrev".to_string(),
+        algo: "busch".to_string(),
+        seed: 1,
+        arrival: String::new(),
+        packets: n,
+        levels: net.num_levels() as u64,
+        congestion: u64::from(prob.congestion()),
+        dilation: u64::from(prob.dilation()),
+    };
+    let mut buf: Vec<u8> = Vec::new();
+    writeln!(buf, "{}", schema::meta_line(&meta)).expect("vec sink");
+    let mut obs = JsonlTraceObserver::with_snapshots(buf, &prob);
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let out = BuschRouter::new(params).route_observed(&prob, &mut rng, &mut obs);
+    assert!(out.stats.all_delivered());
+    let mut buf = obs.finish().expect("vec sink");
+    writeln!(buf, "{}", schema::stats_line(&out.stats)).expect("vec sink");
+    let text = String::from_utf8(buf).expect("recorder emits UTF-8");
+    let trace = Arc::new(Trace::parse(&text).expect("recorder emits valid traces"));
+    let events = trace.events.len() as u64;
+
+    let opts = ShardOptions::default(); // jobs auto-detected, like the banded engine
+    let (wall_s, repeats, run) = timed_best(quick, || {
+        hotpotato_trace::verify_trace_sharded(&trace, &opts).expect("clean trace verifies")
+    });
+    PerfMeasurement {
+        component: "sharded verify (trace)",
+        k,
+        packets: n,
+        wall_s,
+        repeats,
+        steps: Some(run.report.steps),
+        moves: events,
+        peak_rss_bytes: peak_rss_bytes(),
+        violations: Some(0),
+    }
+}
+
 /// Runs PERF.
 pub fn run(quick: bool) {
     let mut report = measure(quick);
     report.rows.push(measure_large(quick));
     report.rows.push(measure_streaming(quick));
+    report.rows.push(measure_verify(quick));
     let mut t = Table::new(
         format!(
             "PERF: end-to-end throughput; classic rows on bf({}) bit-reversal \

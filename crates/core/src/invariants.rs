@@ -74,6 +74,10 @@ pub const BUFFERLESS_INVARIANTS: &[(&str, &str)] = &[
         "drop-discipline",
         "only an arrived, never-injected packet may be dropped, exactly once, in a streaming trace",
     ),
+    (
+        "snapshot-consistency",
+        "every phase-entry snapshot checkpoint equals the state replayed from the event stream at its position",
+    ),
 ];
 
 /// Violation counters for `I_a..I_f` (see module docs). All-zero means the
@@ -518,7 +522,7 @@ mod tests {
             assert!(!desc.is_empty(), "invariant '{id}' needs a description");
             assert!(seen.insert(id), "duplicate invariant id '{id}'");
         }
-        assert_eq!(BUFFERLESS_INVARIANTS.len(), 10);
+        assert_eq!(BUFFERLESS_INVARIANTS.len(), 11);
     }
 
     #[test]

@@ -814,26 +814,166 @@ fn kind_str(kind: ExitKind) -> &'static str {
     }
 }
 
+/// Per-packet lifecycle bookkeeping for phase-entry `snapshot` events
+/// (opt-in via [`JsonlTraceObserver::with_snapshots`]). Mirrors exactly
+/// what the trace verifier replays, so every emitted checkpoint is
+/// audited against an independent reconstruction — and a sharded
+/// verifier can seed a mid-trace replay from it.
+struct SnapshotTracker {
+    net: Arc<LeveledNetwork>,
+    /// Lifecycle code per packet: 0 pending, 1 arrived, 2 dropped,
+    /// 3 in flight, 4 delivered (the verifier's precedence order).
+    state: Vec<u8>,
+    /// Current node per packet; meaningful only while `state == 3`.
+    node: Vec<u32>,
+    moves: u64,
+    forward: u64,
+    backward: u64,
+    deflections: u64,
+    oscillations: u64,
+    trivial: u64,
+    /// Edges crossed forward in the step being built.
+    cur_forward: Vec<u32>,
+    /// Edges crossed forward in the last completed step (the
+    /// safe-deflection recycling pool a seeded verifier needs).
+    prev_forward: Vec<u32>,
+    num_sets: u32,
+}
+
+impl SnapshotTracker {
+    fn new(problem: &RoutingProblem) -> Self {
+        let n = problem.num_packets();
+        SnapshotTracker {
+            net: problem.network_arc(),
+            state: vec![0; n],
+            node: vec![0; n],
+            moves: 0,
+            forward: 0,
+            backward: 0,
+            deflections: 0,
+            oscillations: 0,
+            trivial: 0,
+            cur_forward: Vec::new(),
+            prev_forward: Vec::new(),
+            num_sets: 0,
+        }
+    }
+
+    // lint: hot-path
+    fn on_move(&mut self, pkt: u32, mv: DirectedEdge, kind: ExitKind) {
+        let p = pkt as usize;
+        self.state[p] = 3;
+        self.node[p] = self.net.move_target(mv).0;
+        self.moves += 1;
+        match mv.dir {
+            leveled_net::Direction::Forward => {
+                self.forward += 1;
+                self.cur_forward.push(mv.edge.0);
+            }
+            leveled_net::Direction::Backward => self.backward += 1,
+        }
+        match kind {
+            ExitKind::Deflect { .. } => self.deflections += 1,
+            ExitKind::Oscillate => self.oscillations += 1,
+            _ => {}
+        }
+    }
+
+    /// Renders the checkpoint line, byte-identical to the trace crate's
+    /// canonical `snapshot` rendering.
+    fn snapshot_line(&self, phase: u64, t: Time) -> String {
+        use std::fmt::Write as _;
+        let mut line = format!("{{\"ev\":\"snapshot\",\"phase\":{phase},\"t\":{t},\"state\":[");
+        for (i, s) in self.state.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            let _ = write!(line, "{s}");
+        }
+        line.push_str("],\"nodes\":[");
+        let mut first = true;
+        for p in 0..self.state.len() {
+            if self.state[p] == 3 {
+                if !first {
+                    line.push(',');
+                }
+                first = false;
+                let _ = write!(line, "{}", self.node[p]);
+            }
+        }
+        line.push_str("],\"prev_forward\":[");
+        for (i, e) in self.prev_forward.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            let _ = write!(line, "{e}");
+        }
+        let _ = write!(
+            line,
+            "],\"moves\":{},\"forward\":{},\"backward\":{},\"deflections\":{},\"oscillations\":{},\"trivial\":{},\"num_sets\":{}}}",
+            self.moves,
+            self.forward,
+            self.backward,
+            self.deflections,
+            self.oscillations,
+            self.trivial,
+            self.num_sets,
+        );
+        line
+    }
+}
+
 /// Streams every event as one JSON object per line (JSON Lines) to a
 /// writer. Events carry an `"ev"` discriminator (`move`, `trivial`,
 /// `deliver`, `step`, `sets`, `phase_start`, `phase_end`, `frontier`,
-/// `congestion`, `section`).
+/// `congestion`, `section`, and — with
+/// [`JsonlTraceObserver::with_snapshots`] — `snapshot`).
+///
+/// Lines accumulate in an internal sized buffer that drains to the
+/// writer only when full and at phase/quiesce boundaries
+/// ([`RouteObserver::on_phase_end`] / [`JsonlTraceObserver::finish`]),
+/// so the per-event path never performs I/O.
 ///
 /// Write errors are sticky: the first one stops the stream and is
 /// surfaced by [`JsonlTraceObserver::finish`].
 pub struct JsonlTraceObserver<W: Write> {
     out: W,
+    buf: Vec<u8>,
     err: Option<std::io::Error>,
+    snap: Option<SnapshotTracker>,
 }
 
+/// Internal buffer size: lines drain to the writer once this many bytes
+/// accumulate (or earlier, at a phase/quiesce boundary).
+const TRACE_BUF_CAP: usize = 64 * 1024;
+
 impl<W: Write> JsonlTraceObserver<W> {
-    /// Wraps `out`; consider a [`std::io::BufWriter`] for file sinks.
+    /// Wraps `out`. Events are buffered internally (see the type docs),
+    /// so `out` does not need its own [`std::io::BufWriter`].
     pub fn new(out: W) -> Self {
-        JsonlTraceObserver { out, err: None }
+        JsonlTraceObserver {
+            out,
+            buf: Vec::with_capacity(TRACE_BUF_CAP),
+            err: None,
+            snap: None,
+        }
+    }
+
+    /// Like [`JsonlTraceObserver::new`], but also emits a `snapshot`
+    /// checkpoint event after every `phase_start` line: the full
+    /// per-packet lifecycle/kinematics state, counter totals, and the
+    /// forward-arrival pool. Checkpoints let the trace verifier replay
+    /// phases independently (sharded verification) and are themselves
+    /// audited against the replayed stream.
+    pub fn with_snapshots(out: W, problem: &RoutingProblem) -> Self {
+        let mut obs = JsonlTraceObserver::new(out);
+        obs.snap = Some(SnapshotTracker::new(problem));
+        obs
     }
 
     /// Flushes and returns the writer, or the first write error.
     pub fn finish(mut self) -> std::io::Result<W> {
+        self.flush_buf();
         if let Some(e) = self.err.take() {
             return Err(e);
         }
@@ -841,18 +981,40 @@ impl<W: Write> JsonlTraceObserver<W> {
         Ok(self.out)
     }
 
+    /// Drains the internal buffer to the writer.
+    fn flush_buf(&mut self) {
+        if self.err.is_some() {
+            self.buf.clear();
+            return;
+        }
+        if self.buf.is_empty() {
+            return;
+        }
+        if let Err(e) = self.out.write_all(&self.buf) {
+            self.err = Some(e);
+        }
+        self.buf.clear();
+    }
+
+    // lint: hot-path
     fn line(&mut self, args: std::fmt::Arguments<'_>) {
         if self.err.is_some() {
             return;
         }
-        if let Err(e) = self.out.write_fmt(args) {
-            self.err = Some(e);
+        // Formatting into a Vec is infallible; I/O errors can only
+        // surface when the buffer drains.
+        let _ = self.buf.write_fmt(args);
+        if self.buf.len() >= TRACE_BUF_CAP {
+            self.flush_buf();
         }
     }
 }
 
 impl<W: Write> RouteObserver for JsonlTraceObserver<W> {
     fn on_move(&mut self, t: Time, pkt: u32, mv: DirectedEdge, kind: ExitKind) {
+        if let Some(tr) = &mut self.snap {
+            tr.on_move(pkt, mv, kind);
+        }
         let dir = match mv.dir {
             leveled_net::Direction::Forward => "F",
             leveled_net::Direction::Backward => "B",
@@ -865,18 +1027,29 @@ impl<W: Write> RouteObserver for JsonlTraceObserver<W> {
     }
 
     fn on_trivial(&mut self, t: Time, pkt: u32) {
+        if let Some(tr) = &mut self.snap {
+            tr.state[pkt as usize] = 4;
+            tr.trivial += 1;
+        }
         self.line(format_args!(
             "{{\"ev\":\"trivial\",\"t\":{t},\"pkt\":{pkt}}}\n"
         ));
     }
 
     fn on_deliver(&mut self, t: Time, pkt: u32) {
+        if let Some(tr) = &mut self.snap {
+            tr.state[pkt as usize] = 4;
+        }
         self.line(format_args!(
             "{{\"ev\":\"deliver\",\"t\":{t},\"pkt\":{pkt}}}\n"
         ));
     }
 
     fn on_step_end(&mut self, t: Time, report: &StepReport, active: usize) {
+        if let Some(tr) = &mut self.snap {
+            std::mem::swap(&mut tr.prev_forward, &mut tr.cur_forward);
+            tr.cur_forward.clear();
+        }
         self.line(format_args!(
             "{{\"ev\":\"step\",\"t\":{t},\"moved\":{},\"absorbed\":{},\"injected\":{},\"deflections\":{},\"fallback\":{},\"oscillations\":{},\"active\":{active}}}\n",
             report.moved,
@@ -889,18 +1062,27 @@ impl<W: Write> RouteObserver for JsonlTraceObserver<W> {
     }
 
     fn on_arrival(&mut self, t: Time, pkt: u32) {
+        if let Some(tr) = &mut self.snap {
+            tr.state[pkt as usize] = 1;
+        }
         self.line(format_args!(
             "{{\"ev\":\"arrival\",\"t\":{t},\"pkt\":{pkt}}}\n"
         ));
     }
 
     fn on_drop(&mut self, t: Time, pkt: u32) {
+        if let Some(tr) = &mut self.snap {
+            tr.state[pkt as usize] = 2;
+        }
         self.line(format_args!(
             "{{\"ev\":\"drop\",\"t\":{t},\"pkt\":{pkt}}}\n"
         ));
     }
 
     fn on_sets_assigned(&mut self, sets: &[u32], num_sets: u32) {
+        if let Some(tr) = &mut self.snap {
+            tr.num_sets = num_sets;
+        }
         if self.err.is_some() {
             return;
         }
@@ -919,12 +1101,19 @@ impl<W: Write> RouteObserver for JsonlTraceObserver<W> {
         self.line(format_args!(
             "{{\"ev\":\"phase_start\",\"phase\":{phase},\"t\":{t}}}\n"
         ));
+        if let Some(tr) = &self.snap {
+            let snap_line = tr.snapshot_line(phase, t);
+            self.line(format_args!("{snap_line}\n"));
+        }
     }
 
     fn on_phase_end(&mut self, phase: u64, t: Time) {
         self.line(format_args!(
             "{{\"ev\":\"phase_end\",\"phase\":{phase},\"t\":{t}}}\n"
         ));
+        // Phase boundary: drain the buffer so a crashed or killed run
+        // leaves at most one phase of events unwritten.
+        self.flush_buf();
     }
 
     fn on_frontier(&mut self, phase: u64, set: u32, frontier: i64) {

@@ -88,6 +88,13 @@ pub struct Analysis {
     pub safe_deflections: u64,
     /// Oscillation moves.
     pub oscillations: u64,
+    /// Streaming arrivals observed (schema-v3 `arrival` events).
+    pub arrivals: u64,
+    /// Streaming drops observed (schema-v3 `drop` events).
+    pub drops: u64,
+    /// Sorted admission-to-delivery latencies of streaming packets:
+    /// steps from a packet's `arrival` event to its `deliver` event.
+    pub arrival_latencies: Vec<u64>,
     /// Per-packet timelines.
     pub timelines: Vec<PacketTimeline>,
     /// Per-phase aggregates.
@@ -180,6 +187,7 @@ pub fn analyze(trace: &Trace) -> Analysis {
     // Single pass: totals, per-phase rows, per-packet positions (for
     // frontier lags, when the instance is known).
     let mut level_of_pkt: Vec<Option<u32>> = vec![None; n];
+    let mut arrival_at: Vec<Option<Time>> = vec![None; n];
     let mut delivered: Vec<bool> = vec![false; n];
     let mut sets: Option<Vec<u32>> = None;
     let mut phase_rows = phases;
@@ -249,7 +257,17 @@ pub fn analyze(trace: &Trace) -> Analysis {
                 if let Some(d) = delivered.get_mut(pkt as usize) {
                     *d = true;
                 }
+                if let Some(at) = arrival_at.get(pkt as usize).copied().flatten() {
+                    a.arrival_latencies.push(t.saturating_sub(at));
+                }
             }
+            TraceEvent::Arrival { t, pkt } => {
+                a.arrivals += 1;
+                if let Some(slot) = arrival_at.get_mut(pkt as usize) {
+                    *slot = Some(t);
+                }
+            }
+            TraceEvent::Drop { .. } => a.drops += 1,
             TraceEvent::Sets { sets: ref s, .. } => sets = Some(s.clone()),
             TraceEvent::Frontier {
                 phase,
@@ -288,6 +306,7 @@ pub fn analyze(trace: &Trace) -> Analysis {
         }
     }
     a.phases = phase_rows;
+    a.arrival_latencies.sort_unstable();
     a.timelines = build_timelines(trace, n);
     a.chains = attribute_chains(trace);
     a.instance = instance.as_ref().map(|i| {
@@ -301,6 +320,25 @@ pub fn analyze(trace: &Trace) -> Analysis {
 }
 
 impl Analysis {
+    /// Drops per arrival (0 when the trace has no streaming events).
+    pub fn drop_rate(&self) -> f64 {
+        if self.arrivals == 0 {
+            0.0
+        } else {
+            self.drops as f64 / self.arrivals as f64
+        }
+    }
+
+    /// Mean admission-to-delivery latency of streaming packets (0 when
+    /// the trace has no streaming events).
+    pub fn arrival_latency_mean(&self) -> f64 {
+        if self.arrival_latencies.is_empty() {
+            0.0
+        } else {
+            self.arrival_latencies.iter().sum::<u64>() as f64 / self.arrival_latencies.len() as f64
+        }
+    }
+
     /// Sorted latencies of delivered, non-trivial packets.
     fn latencies(&self) -> Vec<u64> {
         let mut v: Vec<u64> = self
@@ -406,6 +444,14 @@ impl Analysis {
                         / home_runs.len() as f64
                 },
             }),
+            "streaming": json!({
+                "arrivals": self.arrivals,
+                "drops": self.drops,
+                "drop_rate": self.drop_rate(),
+                "arrival_latency_mean": self.arrival_latency_mean(),
+                "arrival_latency_p50": percentile(&self.arrival_latencies, 0.50),
+                "arrival_latency_max": self.arrival_latencies.last().copied().unwrap_or(0),
+            }),
             "phases": Value::Array(phases),
             "frontier_lag": json!({
                 "observations": self.frontier_lags.len() as u64,
@@ -443,7 +489,9 @@ impl Analysis {
 }
 
 /// Compares two analyses metric by metric, reporting absolute values and
-/// signed deltas (`b − a`) for every shared scalar.
+/// signed deltas (`b − a`) for every shared scalar. Streaming traces
+/// (schema-v3 `arrival`/`drop` events) additionally get admission
+/// latency and drop-rate rows; on batch traces those rows read zero.
 pub fn diff(a: &Analysis, b: &Analysis) -> Value {
     fn row(name: &str, a: u64, b: u64) -> Value {
         json!({
@@ -451,6 +499,14 @@ pub fn diff(a: &Analysis, b: &Analysis) -> Value {
             "a": a,
             "b": b,
             "delta": b as i64 - a as i64,
+        })
+    }
+    fn frow(name: &str, a: f64, b: f64) -> Value {
+        json!({
+            "metric": name,
+            "a": a,
+            "b": b,
+            "delta": b - a,
         })
     }
     let lat_a = a.latencies();
@@ -478,6 +534,19 @@ pub fn diff(a: &Analysis, b: &Analysis) -> Value {
             u64::from(b.chains.max_depth),
         ),
         row("phases", a.phases.len() as u64, b.phases.len() as u64),
+        row("arrivals", a.arrivals, b.arrivals),
+        row("drops", a.drops, b.drops),
+        frow("drop_rate", a.drop_rate(), b.drop_rate()),
+        frow(
+            "arrival_latency_mean",
+            a.arrival_latency_mean(),
+            b.arrival_latency_mean(),
+        ),
+        row(
+            "arrival_latency_p50",
+            percentile(&a.arrival_latencies, 0.5),
+            percentile(&b.arrival_latencies, 0.5),
+        ),
     ];
     json!({
         "a": json!({ "topo": a.topo.clone(), "workload": a.workload.clone(), "algo": a.algo.clone(), "seed": a.seed }),

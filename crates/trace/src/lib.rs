@@ -25,19 +25,34 @@
 //!   and empirical C+L scaling ratios, as JSON.
 //! - [`stream`] — [`stream::StreamingAggregator`], a [`RouteObserver`]
 //!   with a hard memory cap for runs too long to trace in full.
+//! - [`binary`] — the `.hpt` varint/delta binary framing: the same
+//!   version-pinned schema in a fraction of the bytes, transcoding
+//!   losslessly to and from canonical JSONL.
+//! - [`shard`] — sharded parallel verification: `snapshot` checkpoints
+//!   split the stream into independently replayable segments fanned out
+//!   over a worker pool, with deterministic first-divergence reporting
+//!   and pipeline telemetry (events/s, bytes/s, peak RSS, shard
+//!   utilization).
 //!
 //! [`RouteObserver`]: hotpotato_sim::RouteObserver
 
 pub mod analyze;
+pub mod binary;
 pub mod schema;
+pub mod shard;
 pub mod stream;
 pub mod timeline;
 pub mod verify;
 
 pub use analyze::{analyze, diff, Analysis};
+pub use binary::{decode_trace, encode_trace, is_binary, BinaryError};
 pub use schema::{
-    parse_line, parse_rollup, rollup_doc, Meta, ParseError, Rollup, StatsLine, Trace, TraceEvent,
-    SCHEMA_VERSION,
+    parse_line, parse_rollup, rollup_doc, Meta, ParseError, Rollup, Snapshot, StatsLine, Trace,
+    TraceEvent, SCHEMA_VERSION,
+};
+pub use shard::{
+    parse_jsonl_parallel, peak_rss_bytes, verify_trace_sharded, PipelineTelemetry, ShardOptions,
+    ShardRun,
 };
 pub use stream::{report_json, Bucket, StreamingAggregator};
 pub use timeline::{attribute_chains, build_timelines, ChainReport, PacketTimeline};

@@ -25,8 +25,12 @@ use serde::Value;
 /// unchanged, but the version is shared so one fingerprint pins both);
 /// 3 = streaming mode: the `meta` line gains the `arrival` field (the
 /// arrival-process spec, empty for batch runs) and the `arrival` /
-/// `drop` injection events are added.
-pub const SCHEMA_VERSION: u64 = 3;
+/// `drop` injection events are added; 4 = trace pipeline: the
+/// `snapshot` phase-entry checkpoint event is added and the binary
+/// `.hpt` framing (see [`crate::binary`]) is pinned to the same
+/// version — its wire layout is fingerprinted alongside this file by
+/// `cargo xtask lint`.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// The `meta` envelope line: everything needed to rebuild the instance.
 #[derive(Clone, Debug, PartialEq)]
@@ -90,6 +94,43 @@ pub struct Rollup {
     /// The aggregator report, exactly as `StreamingAggregator::to_json()`
     /// rendered it.
     pub rollup: Value,
+}
+
+/// A `snapshot` checkpoint line: the full verifier-visible state at a
+/// phase entry (a step boundary), emitted by the recorder so the trace
+/// can be *sharded* — each snapshot seeds an independent verification
+/// segment, and the sequential verifier cross-checks every snapshot
+/// against its replayed state (the `snapshot-consistency` law).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Snapshot {
+    /// Phase index this snapshot opens (matches the preceding
+    /// `phase_start` line).
+    pub phase: u64,
+    /// First step of the phase; the replayed clock must agree.
+    pub t: Time,
+    /// Per-packet lifecycle code: 0 = pending, 1 = arrived (streaming,
+    /// not yet injected), 2 = dropped, 3 = in flight, 4 = delivered.
+    pub state: Vec<u32>,
+    /// Current node of each in-flight (`state == 3`) packet, in packet
+    /// order.
+    pub nodes: Vec<u32>,
+    /// Edges crossed forward in the step just before the boundary (the
+    /// arrival pool the safe-deflection-recycling law checks against).
+    pub prev_forward: Vec<u32>,
+    /// Cumulative move count at the boundary.
+    pub moves: u64,
+    /// Cumulative forward crossings.
+    pub forward: u64,
+    /// Cumulative backward crossings.
+    pub backward: u64,
+    /// Cumulative deflections.
+    pub deflections: u64,
+    /// Cumulative oscillation moves.
+    pub oscillations: u64,
+    /// Cumulative trivial deliveries.
+    pub trivial: u64,
+    /// Frontier-set count from the `sets` line (0 = not assigned yet).
+    pub num_sets: u32,
 }
 
 /// One parsed trace line.
@@ -207,6 +248,8 @@ pub enum TraceEvent {
         /// Nanoseconds spent.
         nanos: u64,
     },
+    /// Phase-entry state checkpoint (see [`Snapshot`]).
+    Snapshot(Snapshot),
     /// Envelope: final run statistics (last line).
     Stats(StatsLine),
 }
@@ -228,6 +271,7 @@ impl TraceEvent {
             TraceEvent::Frontier { .. } => "frontier",
             TraceEvent::Congestion { .. } => "congestion",
             TraceEvent::Section { .. } => "section",
+            TraceEvent::Snapshot(_) => "snapshot",
             TraceEvent::Stats(_) => "stats",
         }
     }
@@ -475,6 +519,20 @@ pub fn parse_line(line: &str) -> Result<TraceEvent, ParseError> {
             section: f.str("section")?.to_string(),
             nanos: f.u64("nanos")?,
         },
+        "snapshot" => TraceEvent::Snapshot(Snapshot {
+            phase: f.u64("phase")?,
+            t: f.u64("t")?,
+            state: f.u32_array("state")?,
+            nodes: f.u32_array("nodes")?,
+            prev_forward: f.u32_array("prev_forward")?,
+            moves: f.u64("moves")?,
+            forward: f.u64("forward")?,
+            backward: f.u64("backward")?,
+            deflections: f.u64("deflections")?,
+            oscillations: f.u64("oscillations")?,
+            trivial: f.u64("trivial")?,
+            num_sets: f.u32("num_sets")?,
+        }),
         "stats" => TraceEvent::Stats(StatsLine {
             steps: f.u64("steps")?,
             injected_at: f.opt_u64_array("injected_at")?,
@@ -603,6 +661,137 @@ pub fn stats_line(stats: &RouteStats) -> String {
     .to_compact_string()
 }
 
+/// Renders the `stats` envelope line from an already-parsed
+/// [`StatsLine`] (byte-identical to [`stats_line`] on the same data).
+pub fn stats_line_of(s: &StatsLine) -> String {
+    use serde::Serialize as _;
+    Value::object([
+        ("ev", Value::String("stats".into())),
+        ("steps", s.steps.to_json()),
+        ("injected_at", s.injected_at.to_json()),
+        ("delivered_at", s.delivered_at.to_json()),
+        ("deflections", s.deflections.to_json()),
+    ])
+    .to_compact_string()
+}
+
+fn push_u32_array(out: &mut String, arr: &[u32]) {
+    use std::fmt::Write as _;
+    out.push('[');
+    for (i, v) in arr.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+}
+
+/// Renders a `snapshot` checkpoint line (without trailing newline).
+/// The recorder (`JsonlTraceObserver::with_snapshots`) emits exactly
+/// this shape, pinned by the canonical-line test in
+/// `tests/schema_roundtrip.rs`.
+pub fn snapshot_line(s: &Snapshot) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(64 + 4 * s.state.len());
+    let _ = write!(
+        out,
+        "{{\"ev\":\"snapshot\",\"phase\":{},\"t\":{},\"state\":",
+        s.phase, s.t
+    );
+    push_u32_array(&mut out, &s.state);
+    out.push_str(",\"nodes\":");
+    push_u32_array(&mut out, &s.nodes);
+    out.push_str(",\"prev_forward\":");
+    push_u32_array(&mut out, &s.prev_forward);
+    let _ = write!(
+        out,
+        ",\"moves\":{},\"forward\":{},\"backward\":{},\"deflections\":{},\"oscillations\":{},\"trivial\":{},\"num_sets\":{}}}",
+        s.moves, s.forward, s.backward, s.deflections, s.oscillations, s.trivial, s.num_sets
+    );
+    out
+}
+
+/// Direction letter used by `move` lines.
+fn dir_name(dir: Direction) -> &'static str {
+    match dir {
+        Direction::Forward => "F",
+        Direction::Backward => "B",
+    }
+}
+
+/// Renders any [`TraceEvent`] exactly as the recording pipeline writes
+/// it (no trailing newline): envelope lines via [`meta_line`] /
+/// [`stats_line_of`], movement lines byte-identical to
+/// `hotpotato_sim::JsonlTraceObserver`'s emission. This canonical
+/// rendering is what makes binary → JSONL transcoding lossless down to
+/// the byte for any trace the pipeline recorded.
+pub fn event_line(ev: &TraceEvent) -> String {
+    use std::fmt::Write as _;
+    match ev {
+        TraceEvent::Meta(m) => meta_line(m),
+        TraceEvent::Move {
+            t,
+            pkt,
+            edge,
+            dir,
+            kind,
+        } => format!(
+            "{{\"ev\":\"move\",\"t\":{t},\"pkt\":{pkt},\"edge\":{},\"dir\":\"{}\",\"kind\":\"{}\"}}",
+            edge.0,
+            dir_name(*dir),
+            kind_name(*kind),
+        ),
+        TraceEvent::Trivial { t, pkt } => format!("{{\"ev\":\"trivial\",\"t\":{t},\"pkt\":{pkt}}}"),
+        TraceEvent::Deliver { t, pkt } => format!("{{\"ev\":\"deliver\",\"t\":{t},\"pkt\":{pkt}}}"),
+        TraceEvent::Arrival { t, pkt } => format!("{{\"ev\":\"arrival\",\"t\":{t},\"pkt\":{pkt}}}"),
+        TraceEvent::Drop { t, pkt } => format!("{{\"ev\":\"drop\",\"t\":{t},\"pkt\":{pkt}}}"),
+        TraceEvent::Step {
+            t,
+            moved,
+            absorbed,
+            injected,
+            deflections,
+            fallback,
+            oscillations,
+            active,
+        } => format!(
+            "{{\"ev\":\"step\",\"t\":{t},\"moved\":{moved},\"absorbed\":{absorbed},\"injected\":{injected},\"deflections\":{deflections},\"fallback\":{fallback},\"oscillations\":{oscillations},\"active\":{active}}}"
+        ),
+        TraceEvent::Sets { num_sets, sets } => {
+            let mut out = String::with_capacity(32 + 2 * sets.len());
+            let _ = write!(out, "{{\"ev\":\"sets\",\"num_sets\":{num_sets},\"sets\":");
+            push_u32_array(&mut out, sets);
+            out.push('}');
+            out
+        }
+        TraceEvent::PhaseStart { phase, t } => {
+            format!("{{\"ev\":\"phase_start\",\"phase\":{phase},\"t\":{t}}}")
+        }
+        TraceEvent::PhaseEnd { phase, t } => {
+            format!("{{\"ev\":\"phase_end\",\"phase\":{phase},\"t\":{t}}}")
+        }
+        TraceEvent::Frontier {
+            phase,
+            set,
+            frontier,
+        } => format!("{{\"ev\":\"frontier\",\"phase\":{phase},\"set\":{set},\"frontier\":{frontier}}}"),
+        TraceEvent::Congestion {
+            phase,
+            set,
+            congestion,
+            initial,
+        } => format!(
+            "{{\"ev\":\"congestion\",\"phase\":{phase},\"set\":{set},\"congestion\":{congestion},\"initial\":{initial}}}"
+        ),
+        TraceEvent::Section { section, nanos } => {
+            format!("{{\"ev\":\"section\",\"section\":\"{section}\",\"nanos\":{nanos}}}")
+        }
+        TraceEvent::Snapshot(s) => snapshot_line(s),
+        TraceEvent::Stats(s) => stats_line_of(s),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -681,11 +870,35 @@ mod tests {
             .msg
             .contains("unknown field 'zz'"));
         assert!(
-            parse_rollup(r#"{"schema":3,"run":"x","seq":0,"finished":false}"#)
+            parse_rollup(r#"{"schema":4,"run":"x","seq":0,"finished":false}"#)
                 .unwrap_err()
                 .msg
                 .contains("missing field 'rollup'")
         );
+    }
+
+    #[test]
+    fn snapshot_lines_round_trip() {
+        let snap = Snapshot {
+            phase: 3,
+            t: 36,
+            state: vec![0, 3, 4, 2],
+            nodes: vec![17],
+            prev_forward: vec![2, 5],
+            moves: 9,
+            forward: 8,
+            backward: 1,
+            deflections: 1,
+            oscillations: 0,
+            trivial: 1,
+            num_sets: 2,
+        };
+        let line = snapshot_line(&snap);
+        match parse_line(&line).unwrap() {
+            TraceEvent::Snapshot(s) => assert_eq!(s, snap),
+            other => panic!("wrong event: {other:?}"),
+        }
+        assert_eq!(event_line(&TraceEvent::Snapshot(snap)), line);
     }
 
     #[test]

@@ -13,10 +13,16 @@
 //!    really recycle an edge crossed forward the same step, absorption
 //!    exactly on arrival — and every `step` line's counts must equal the
 //!    batch it closes;
-//! 3. the reconstructed per-packet timelines must match the `stats`
+//! 3. every `snapshot` checkpoint must equal the replayed state at its
+//!    position in the stream (the snapshot-consistency law) — which is
+//!    also what makes checkpoints trustworthy *seeds*: the sharded
+//!    verifier ([`crate::shard`]) replays each snapshot-delimited
+//!    segment independently and reports the same first divergence the
+//!    sequential pass would;
+//! 4. the reconstructed per-packet timelines must match the `stats`
 //!    envelope line **exactly** (injection step, arrival time, deflection
 //!    count, per packet), and the step count must match;
-//! 4. as defense in depth, the moves are folded into a
+//! 5. as defense in depth, the moves are folded into a
 //!    [`hotpotato_sim::RunRecord`] and re-audited by the *in-memory*
 //!    auditor [`hotpotato_sim::replay::verify`] — two independently
 //!    written verifiers must agree (bufferless traces).
@@ -24,7 +30,7 @@
 //! Any divergence is reported with the 1-based line number of the first
 //! offending event, so a corrupted trace names its own corruption.
 
-use crate::schema::{Meta, StatsLine, Trace, TraceEvent};
+use crate::schema::{Meta, Snapshot, StatsLine, Trace, TraceEvent};
 use crate::timeline::{build_timelines, PacketTimeline};
 use hotpotato_sim::{replay, ExitKind, MoveEvent, RouteStats, RunRecord, Time, TrivialDelivery};
 use leveled_net::ids::DirectedEdge;
@@ -112,6 +118,7 @@ pub struct VerifyReport {
 }
 
 /// The reconstructed instance a trace was verified against.
+#[derive(Clone)]
 pub struct VerifiedInstance {
     /// The network.
     pub net: Arc<LeveledNetwork>,
@@ -204,10 +211,13 @@ pub fn verify_trace(trace: &Trace) -> Result<VerifyReport, VerifyError> {
     })
 }
 
-/// The streaming verifier state (one pass over the events).
-struct StreamState {
-    n: usize,
-    now: Time,
+/// The streaming verifier state (one pass over the events). A fresh
+/// state replays a trace from the top; [`StreamState::apply_snapshot`]
+/// instead seeds it from a `snapshot` checkpoint so a snapshot-delimited
+/// segment can be replayed independently (the sharded path).
+pub(crate) struct StreamState {
+    pub(crate) n: usize,
+    pub(crate) now: Time,
     /// Streaming trace (meta's `arrival` spec is non-empty): injections
     /// must be preceded by an `arrival` event, drops are legal.
     streaming: bool,
@@ -215,15 +225,24 @@ struct StreamState {
     arrived: Vec<bool>,
     dropped: Vec<bool>,
     injected: Vec<bool>,
-    delivered: Vec<bool>,
+    pub(crate) delivered: Vec<bool>,
     last_move_step: Vec<u64>,
     active: usize,
-    moves: u64,
-    forward: u64,
-    backward: u64,
-    deflections: u64,
-    oscillations: u64,
-    trivial: usize,
+    pub(crate) moves: u64,
+    pub(crate) forward: u64,
+    pub(crate) backward: u64,
+    pub(crate) deflections: u64,
+    pub(crate) oscillations: u64,
+    pub(crate) trivial: usize,
+    /// Per-step accumulators, reset at every `step` line.
+    batch: Batch,
+    /// Forward moves of the previous step: arrivals into this step's
+    /// nodes, i.e. the admissible safe-deflection recycling pool.
+    prev_forward: HashMap<u32, usize>,
+    num_sets: Option<u32>,
+    /// Phase announced by the most recent `phase_start` line (snapshots
+    /// must agree with it).
+    last_phase: Option<u64>,
 }
 
 /// Per-step (batch) accumulators, reset at every `step` line.
@@ -250,16 +269,9 @@ struct Batch {
 }
 
 impl StreamState {
-    fn run(
-        trace: &Trace,
-        instance: &VerifiedInstance,
-        model: Model,
-        streaming: bool,
-    ) -> Result<Self, VerifyError> {
-        let net = &instance.net;
-        let problem = &instance.problem;
-        let n = problem.num_packets();
-        let mut s = StreamState {
+    /// A fresh state: nothing arrived, injected, or delivered yet.
+    pub(crate) fn new(n: usize, streaming: bool) -> Self {
+        StreamState {
             n,
             now: 0,
             streaming,
@@ -276,421 +288,708 @@ impl StreamState {
             deflections: 0,
             oscillations: 0,
             trivial: 0,
-        };
-        let mut batch = Batch::default();
-        // Forward moves of the previous step: arrivals into this step's
-        // nodes, i.e. the admissible safe-deflection recycling pool.
-        let mut prev_forward: HashMap<u32, usize> = HashMap::new();
-        let mut num_sets: Option<u32> = None;
+            batch: Batch::default(),
+            prev_forward: HashMap::new(),
+            num_sets: None,
+            last_phase: None,
+        }
+    }
+
+    /// Replays the whole trace from a fresh state (the sequential path).
+    fn run(
+        trace: &Trace,
+        instance: &VerifiedInstance,
+        model: Model,
+        streaming: bool,
+    ) -> Result<Self, VerifyError> {
+        let mut s = StreamState::new(instance.problem.num_packets(), streaming);
         let last = trace.events.len();
-
-        for (i, ev) in trace.events.iter().enumerate() {
-            let line = i + 1;
-            match ev {
-                TraceEvent::Meta(_) => {
-                    if line != 1 {
-                        return fail(line, "meta line not at the start of the trace");
-                    }
-                }
-                TraceEvent::Stats(_) => {
-                    if line != last {
-                        return fail(line, "stats line not at the end of the trace");
-                    }
-                }
-                TraceEvent::Move {
-                    t,
-                    pkt,
-                    edge,
-                    dir,
-                    kind,
-                } => {
-                    let (t, pkt) = (*t, *pkt);
-                    if t != s.now {
-                        return fail(
-                            line,
-                            format!("move at t={t} inside step {} (out of order)", s.now),
-                        );
-                    }
-                    let p = pkt as usize;
-                    if p >= n {
-                        return fail(line, format!("packet {pkt} out of range (N={n})"));
-                    }
-                    if edge.index() >= net.num_edges() {
-                        return fail(line, format!("edge {} does not exist", edge.0));
-                    }
-                    if s.delivered[p] {
-                        return fail(line, format!("packet {pkt} moved after delivery"));
-                    }
-                    if s.last_move_step[p] == s.now {
-                        return fail(line, format!("packet {pkt} moved twice in step {t}"));
-                    }
-                    let mv = DirectedEdge {
-                        edge: *edge,
-                        dir: *dir,
-                    };
-                    // check: slot-capacity — one packet per (edge, dir) slot per step.
-                    if let Some(prev) = batch.slots.insert(mv.slot_index(), line) {
-                        return fail(
-                            line,
-                            format!(
-                                "edge {e} {dir:?} slot already used in step {t} (line {prev})",
-                                e = edge.0
-                            ),
-                        );
-                    }
-                    let origin = net.move_origin(mv);
-                    let target = net.move_target(mv);
-                    match kind {
-                        // check: injection-port — one injection per packet,
-                        // departing the first edge of its preselected path.
-                        ExitKind::Inject => {
-                            if s.injected[p] {
-                                return fail(line, format!("packet {pkt} injected twice"));
-                            }
-                            // check: admission — streaming injections need a
-                            // prior arrival and must not have been dropped.
-                            if s.streaming && !s.arrived[p] {
-                                return fail(
-                                    line,
-                                    format!("packet {pkt} injected before its arrival event"),
-                                );
-                            }
-                            if s.dropped[p] {
-                                return fail(
-                                    line,
-                                    format!("packet {pkt} injected after being dropped"),
-                                );
-                            }
-                            let path = &problem.packets()[p].path;
-                            let ok =
-                                !path.is_empty() && mv == DirectedEdge::forward(path.edges()[0]);
-                            if !ok {
-                                return fail(
-                                    line,
-                                    format!(
-                                        "packet {pkt} injected away from its source/first edge"
-                                    ),
-                                );
-                            }
-                            s.injected[p] = true;
-                            batch.injections += 1;
-                        }
-                        _ => {
-                            let Some(at) = s.pos[p] else {
-                                return fail(
-                                    line,
-                                    format!("packet {pkt} moved while not in flight"),
-                                );
-                            };
-                            // check: locality — the move must depart the node
-                            // the packet actually occupies.
-                            if at != origin {
-                                return fail(
-                                    line,
-                                    format!(
-                                        "packet {pkt} teleported: trace departs node {} but it \
-                                         is at node {}",
-                                        origin.0, at.0
-                                    ),
-                                );
-                            }
-                        }
-                    }
-                    match kind {
-                        ExitKind::Deflect { safe } => {
-                            batch.deflections += 1;
-                            s.deflections += 1;
-                            if !safe {
-                                batch.fallback += 1;
-                            } else if *dir == Direction::Backward {
-                                batch.safe_backward.push((edge.0, line));
-                            } else {
-                                return fail(
-                                    line,
-                                    format!(
-                                        "packet {pkt} safe-deflected forward (safe deflections \
-                                         are backward recycles)"
-                                    ),
-                                );
-                            }
-                        }
-                        ExitKind::Oscillate => {
-                            batch.oscillations += 1;
-                            s.oscillations += 1;
-                        }
-                        _ => {}
-                    }
-                    match dir {
-                        Direction::Forward => {
-                            s.forward += 1;
-                            batch.forward_edges.insert(edge.0, line);
-                        }
-                        Direction::Backward => s.backward += 1,
-                    }
-                    s.moves += 1;
-                    batch.moves += 1;
-                    s.last_move_step[p] = s.now;
-                    let dest = problem.packets()[p].path.dest(net);
-                    if target == dest {
-                        if s.pos[p].is_some() {
-                            s.active -= 1;
-                        }
-                        s.pos[p] = None;
-                        batch.landed.push((pkt, line));
-                    } else {
-                        if s.pos[p].is_none() {
-                            s.active += 1;
-                        }
-                        s.pos[p] = Some(target);
-                    }
-                }
-                TraceEvent::Trivial { t, pkt } => {
-                    let p = *pkt as usize;
-                    if p >= n {
-                        return fail(line, format!("packet {pkt} out of range (N={n})"));
-                    }
-                    if *t != s.now {
-                        return fail(line, format!("trivial delivery at t={t} in step {}", s.now));
-                    }
-                    if s.injected[p] || s.delivered[p] {
-                        return fail(line, format!("packet {pkt} delivered trivially twice"));
-                    }
-                    if s.streaming && !s.arrived[p] {
-                        return fail(
-                            line,
-                            format!("packet {pkt} delivered trivially before its arrival event"),
-                        );
-                    }
-                    if s.dropped[p] {
-                        return fail(
-                            line,
-                            format!("packet {pkt} delivered trivially after being dropped"),
-                        );
-                    }
-                    if !problem.packets()[p].path.is_empty() {
-                        return fail(
-                            line,
-                            format!("packet {pkt} delivered trivially but its path is not trivial"),
-                        );
-                    }
-                    s.injected[p] = true;
-                    s.delivered[p] = true;
-                    s.trivial += 1;
-                }
-                TraceEvent::Deliver { t, pkt } => {
-                    let p = *pkt as usize;
-                    if p >= n {
-                        return fail(line, format!("packet {pkt} out of range (N={n})"));
-                    }
-                    if *t != s.now + 1 {
-                        return fail(
-                            line,
-                            format!(
-                                "delivery of packet {pkt} at t={t} but arrivals of step {} land \
-                                 at t={}",
-                                s.now,
-                                s.now + 1
-                            ),
-                        );
-                    }
-                    let Some(slot) = batch.landed.iter().position(|&(q, _)| q == *pkt) else {
-                        return fail(
-                            line,
-                            format!(
-                                "packet {pkt} delivered without landing on its destination this \
-                                 step"
-                            ),
-                        );
-                    };
-                    batch.landed.swap_remove(slot);
-                    if s.delivered[p] {
-                        return fail(line, format!("packet {pkt} delivered twice"));
-                    }
-                    s.delivered[p] = true;
-                    batch.delivers += 1;
-                }
-                TraceEvent::Step {
-                    t,
-                    moved,
-                    absorbed,
-                    injected,
-                    deflections,
-                    fallback,
-                    oscillations,
-                    active,
-                } => {
-                    if *t != s.now {
-                        return fail(
-                            line,
-                            format!("step line t={t} but current step is {}", s.now),
-                        );
-                    }
-                    // check: safe-deflection-recycling — safe deflections
-                    // must recycle an arrival edge: one some packet crossed
-                    // forward in the previous step (Lemma 2.1 edge
-                    // recycling).
-                    for &(edge, defl_line) in &batch.safe_backward {
-                        if !prev_forward.contains_key(&edge) {
-                            return fail(
-                                defl_line,
-                                format!(
-                                    "safe deflection over edge {edge} in step {t} but no packet \
-                                     arrived forward over it in step {}",
-                                    t.wrapping_sub(1)
-                                ),
-                            );
-                        }
-                    }
-                    // check: absorb-on-arrival — every packet that landed on
-                    // its destination this step must have been delivered
-                    // before the step line closed the batch.
-                    if let Some(&(pkt, move_line)) = batch.landed.first() {
-                        return fail(
-                            move_line,
-                            format!(
-                                "packet {pkt} landed on its destination in step {t} but was \
-                                 never delivered"
-                            ),
-                        );
-                    }
-                    // check: step-counter-consistency — the step line's
-                    // claimed counters must equal the batch it closes.
-                    let report = [
-                        ("moved", *moved, batch.moves),
-                        ("absorbed", *absorbed, batch.delivers),
-                        ("injected", *injected, batch.injections),
-                        ("deflections", *deflections, batch.deflections),
-                        ("fallback", *fallback, batch.fallback),
-                        ("oscillations", *oscillations, batch.oscillations),
-                    ];
-                    for (name, claimed, counted) in report {
-                        if claimed != counted {
-                            return fail(
-                                line,
-                                format!(
-                                    "step {t} claims {name}={claimed} but the event stream \
-                                     shows {counted}"
-                                ),
-                            );
-                        }
-                    }
-                    if model == Model::Bufferless {
-                        if *active != s.active as u64 {
-                            return fail(
-                                line,
-                                format!(
-                                    "step {t} claims active={active} but the event stream shows \
-                                     {}",
-                                    s.active
-                                ),
-                            );
-                        }
-                        // check: no-rest — bufferless: every packet in
-                        // flight at the start of the step must have moved
-                        // during it.
-                        if let Some(p) =
-                            (0..n).find(|&p| s.pos[p].is_some() && s.last_move_step[p] != s.now)
-                        {
-                            return fail(
-                                line,
-                                format!("packet {p} rested in step {t} (hot-potato violation)"),
-                            );
-                        }
-                    }
-                    s.now += 1;
-                    prev_forward = std::mem::take(&mut batch.forward_edges);
-                    batch = Batch::default();
-                }
-                TraceEvent::Sets { num_sets: k, sets } => {
-                    if sets.len() != n {
-                        return fail(
-                            line,
-                            format!("sets line covers {} packets, instance has {n}", sets.len()),
-                        );
-                    }
-                    if let Some(bad) = sets.iter().find(|&&x| x >= *k) {
-                        return fail(line, format!("set id {bad} out of range (num_sets={k})"));
-                    }
-                    num_sets = Some(*k);
-                }
-                TraceEvent::Frontier { set, .. } | TraceEvent::Congestion { set, .. } => {
-                    if let Some(k) = num_sets {
-                        if *set >= k {
-                            return fail(
-                                line,
-                                format!("frontier-set id {set} out of range (num_sets={k})"),
-                            );
-                        }
-                    }
-                }
-                TraceEvent::Arrival { t, pkt } => {
-                    let p = *pkt as usize;
-                    if p >= n {
-                        return fail(line, format!("packet {pkt} out of range (N={n})"));
-                    }
-                    if !s.streaming {
-                        return fail(
-                            line,
-                            format!("arrival event for packet {pkt} in a batch trace"),
-                        );
-                    }
-                    if *t != s.now {
-                        return fail(line, format!("arrival at t={t} in step {}", s.now));
-                    }
-                    if s.arrived[p] {
-                        return fail(line, format!("packet {pkt} arrived twice"));
-                    }
-                    // check: arrival-before-injection — the packet must not
-                    // already be in the network (or delivered).
-                    if s.injected[p] {
-                        return fail(
-                            line,
-                            format!("packet {pkt} arrived after it was already injected"),
-                        );
-                    }
-                    s.arrived[p] = true;
-                }
-                TraceEvent::Drop { t, pkt } => {
-                    let p = *pkt as usize;
-                    if p >= n {
-                        return fail(line, format!("packet {pkt} out of range (N={n})"));
-                    }
-                    if !s.streaming {
-                        return fail(
-                            line,
-                            format!("drop event for packet {pkt} in a batch trace"),
-                        );
-                    }
-                    if *t != s.now {
-                        return fail(line, format!("drop at t={t} in step {}", s.now));
-                    }
-                    // check: drop-discipline — only an arrived, never-injected,
-                    // never-dropped packet can be dropped by admission control.
-                    if !s.arrived[p] {
-                        return fail(line, format!("packet {pkt} dropped before arriving"));
-                    }
-                    if s.injected[p] {
-                        return fail(line, format!("packet {pkt} dropped after injection"));
-                    }
-                    if s.dropped[p] {
-                        return fail(line, format!("packet {pkt} dropped twice"));
-                    }
-                    s.dropped[p] = true;
-                }
-                TraceEvent::PhaseStart { .. }
-                | TraceEvent::PhaseEnd { .. }
-                | TraceEvent::Section { .. } => {}
-            }
-        }
-
-        if batch.moves > 0 {
-            return fail(last, "trace ends mid-step (moves after the last step line)");
-        }
+        s.run_range(trace, instance, model, 0..last, last, None)?;
+        s.check_trailing(last)?;
         Ok(s)
     }
 
+    /// Seeds the state from a `snapshot` checkpoint so replay can start
+    /// at the checkpoint's position instead of line 1. The snapshot's
+    /// own trustworthiness is established separately: the shard (or the
+    /// sequential pass) covering the *preceding* segment checks it
+    /// against replayed state via [`StreamState::check_snapshot`].
+    pub(crate) fn apply_snapshot(
+        &mut self,
+        snap: &Snapshot,
+        line: usize,
+        instance: &VerifiedInstance,
+    ) -> Result<(), VerifyError> {
+        if snap.state.len() != self.n {
+            return fail(
+                line,
+                format!(
+                    "snapshot covers {} packets, instance has {}",
+                    snap.state.len(),
+                    self.n
+                ),
+            );
+        }
+        let num_nodes = instance.net.num_nodes() as u32;
+        let mut ni = 0usize;
+        for p in 0..self.n {
+            match snap.state[p] {
+                0 => {}
+                1 => self.arrived[p] = true,
+                2 => {
+                    self.arrived[p] = true;
+                    self.dropped[p] = true;
+                }
+                3 => {
+                    let Some(&node) = snap.nodes.get(ni) else {
+                        return fail(
+                            line,
+                            "snapshot has fewer nodes than in-flight packets".to_string(),
+                        );
+                    };
+                    if node >= num_nodes {
+                        return fail(
+                            line,
+                            format!("snapshot places packet {p} on nonexistent node {node}"),
+                        );
+                    }
+                    ni += 1;
+                    self.arrived[p] = true;
+                    self.injected[p] = true;
+                    self.pos[p] = Some(NodeId(node));
+                    self.active += 1;
+                }
+                4 => {
+                    self.arrived[p] = true;
+                    self.injected[p] = true;
+                    self.delivered[p] = true;
+                }
+                other => {
+                    return fail(
+                        line,
+                        format!("unknown snapshot state code {other} for packet {p}"),
+                    )
+                }
+            }
+        }
+        if ni != snap.nodes.len() {
+            return fail(
+                line,
+                format!(
+                    "snapshot carries {} nodes but {} in-flight packets",
+                    snap.nodes.len(),
+                    ni
+                ),
+            );
+        }
+        self.now = snap.t;
+        self.last_phase = Some(snap.phase);
+        self.moves = snap.moves;
+        self.forward = snap.forward;
+        self.backward = snap.backward;
+        self.deflections = snap.deflections;
+        self.oscillations = snap.oscillations;
+        self.trivial = snap.trivial as usize;
+        self.prev_forward = snap.prev_forward.iter().map(|&e| (e, line)).collect();
+        self.num_sets = if snap.num_sets == 0 {
+            None
+        } else {
+            Some(snap.num_sets)
+        };
+        Ok(())
+    }
+
+    // check: snapshot-consistency — every phase-entry checkpoint must
+    // equal the state replayed from the event stream at its position:
+    // per-packet lifecycle + kinematics, the forward-arrival recycling
+    // pool, the cumulative counters, and the phase/step clocks. This is
+    // both a law in its own right (the recorder's bookkeeping is audited
+    // against the replayer's) and the hinge of sharded verification —
+    // shard k ends by checking snapshot k+1, so a seeded segment chain
+    // proves exactly what the sequential pass proves.
+    pub(crate) fn check_snapshot(&self, snap: &Snapshot, line: usize) -> Result<(), VerifyError> {
+        if snap.t != self.now {
+            return fail(
+                line,
+                format!(
+                    "snapshot at t={} but replay is at step {}",
+                    snap.t, self.now
+                ),
+            );
+        }
+        if self.last_phase != Some(snap.phase) {
+            return fail(
+                line,
+                format!(
+                    "snapshot opens phase {} but the last phase_start announced {:?}",
+                    snap.phase, self.last_phase
+                ),
+            );
+        }
+        // A snapshot must sit on a step boundary, or seeding a shard
+        // from it would drop the open batch's slot bookkeeping.
+        if self.batch.moves > 0 {
+            return fail(line, "snapshot taken mid-step".to_string());
+        }
+        if snap.state.len() != self.n {
+            return fail(
+                line,
+                format!(
+                    "snapshot covers {} packets, instance has {}",
+                    snap.state.len(),
+                    self.n
+                ),
+            );
+        }
+        let mut ni = 0usize;
+        for p in 0..self.n {
+            let expect: u32 = if self.delivered[p] {
+                4
+            } else if self.pos[p].is_some() {
+                3
+            } else if self.dropped[p] {
+                2
+            } else if self.arrived[p] {
+                1
+            } else {
+                0
+            };
+            if snap.state[p] != expect {
+                return fail(
+                    line,
+                    format!(
+                        "snapshot says packet {p} state={} but replay shows {expect}",
+                        snap.state[p]
+                    ),
+                );
+            }
+            if let Some(at) = self.pos[p] {
+                let claimed = snap.nodes.get(ni).copied();
+                if claimed != Some(at.0) {
+                    return fail(
+                        line,
+                        format!(
+                            "snapshot places packet {p} at node {claimed:?} but replay shows {}",
+                            at.0
+                        ),
+                    );
+                }
+                ni += 1;
+            }
+        }
+        if ni != snap.nodes.len() {
+            return fail(
+                line,
+                format!(
+                    "snapshot carries {} nodes but replay shows {} in-flight packets",
+                    snap.nodes.len(),
+                    ni
+                ),
+            );
+        }
+        if snap.prev_forward.len() != self.prev_forward.len()
+            || snap
+                .prev_forward
+                .iter()
+                .any(|e| !self.prev_forward.contains_key(e))
+        {
+            return fail(
+                line,
+                format!(
+                    "snapshot's forward-arrival pool ({} edges) disagrees with replay ({} edges)",
+                    snap.prev_forward.len(),
+                    self.prev_forward.len()
+                ),
+            );
+        }
+        let counters = [
+            ("moves", snap.moves, self.moves),
+            ("forward", snap.forward, self.forward),
+            ("backward", snap.backward, self.backward),
+            ("deflections", snap.deflections, self.deflections),
+            ("oscillations", snap.oscillations, self.oscillations),
+            ("trivial", snap.trivial, self.trivial as u64),
+        ];
+        for (name, claimed, counted) in counters {
+            if claimed != counted {
+                return fail(
+                    line,
+                    format!("snapshot claims {name}={claimed} but replay counted {counted}"),
+                );
+            }
+        }
+        if snap.num_sets != self.num_sets.unwrap_or(0) {
+            return fail(
+                line,
+                format!(
+                    "snapshot claims num_sets={} but replay saw {:?}",
+                    snap.num_sets, self.num_sets
+                ),
+            );
+        }
+        Ok(())
+    }
+
+    /// The trailing mid-step check: only meaningful at the true end of
+    /// the trace (segment ends at snapshots sit on step boundaries and
+    /// are covered by [`StreamState::check_snapshot`] instead).
+    pub(crate) fn check_trailing(&self, last: usize) -> Result<(), VerifyError> {
+        if self.batch.moves > 0 {
+            return fail(last, "trace ends mid-step (moves after the last step line)");
+        }
+        Ok(())
+    }
+
+    /// Replays `trace.events[range]` into the state. `last` is the
+    /// whole trace's event count (envelope positions and diagnostics
+    /// stay global, so a shard reports the same line numbers the
+    /// sequential pass would). `tick`, when set, is called with a delta
+    /// of newly processed events every few tens of thousands of events
+    /// (progress reporting).
+    pub(crate) fn run_range(
+        &mut self,
+        trace: &Trace,
+        instance: &VerifiedInstance,
+        model: Model,
+        range: std::ops::Range<usize>,
+        last: usize,
+        tick: Option<&(dyn Fn(u64) + Sync)>,
+    ) -> Result<(), VerifyError> {
+        const TICK_EVERY: u64 = 65_536;
+        let mut since_tick = 0u64;
+        for i in range {
+            let line = i + 1;
+            self.event(&trace.events[i], line, instance, model, last)?;
+            since_tick += 1;
+            if since_tick == TICK_EVERY {
+                if let Some(tick) = tick {
+                    tick(since_tick);
+                }
+                since_tick = 0;
+            }
+        }
+        if since_tick > 0 {
+            if let Some(tick) = tick {
+                tick(since_tick);
+            }
+        }
+        Ok(())
+    }
+
+    /// Replays one event into the state.
+    #[allow(clippy::too_many_lines)]
+    fn event(
+        &mut self,
+        ev: &TraceEvent,
+        line: usize,
+        instance: &VerifiedInstance,
+        model: Model,
+        last: usize,
+    ) -> Result<(), VerifyError> {
+        let net = &instance.net;
+        let problem = &instance.problem;
+        let n = self.n;
+        match ev {
+            TraceEvent::Meta(_) => {
+                if line != 1 {
+                    return fail(line, "meta line not at the start of the trace");
+                }
+            }
+            TraceEvent::Stats(_) => {
+                if line != last {
+                    return fail(line, "stats line not at the end of the trace");
+                }
+            }
+            TraceEvent::Move {
+                t,
+                pkt,
+                edge,
+                dir,
+                kind,
+            } => {
+                let (t, pkt) = (*t, *pkt);
+                if t != self.now {
+                    return fail(
+                        line,
+                        format!("move at t={t} inside step {} (out of order)", self.now),
+                    );
+                }
+                let p = pkt as usize;
+                if p >= n {
+                    return fail(line, format!("packet {pkt} out of range (N={n})"));
+                }
+                if edge.index() >= net.num_edges() {
+                    return fail(line, format!("edge {} does not exist", edge.0));
+                }
+                if self.delivered[p] {
+                    return fail(line, format!("packet {pkt} moved after delivery"));
+                }
+                if self.last_move_step[p] == self.now {
+                    return fail(line, format!("packet {pkt} moved twice in step {t}"));
+                }
+                let mv = DirectedEdge {
+                    edge: *edge,
+                    dir: *dir,
+                };
+                // check: slot-capacity — one packet per (edge, dir) slot per step.
+                if let Some(prev) = self.batch.slots.insert(mv.slot_index(), line) {
+                    return fail(
+                        line,
+                        format!(
+                            "edge {e} {dir:?} slot already used in step {t} (line {prev})",
+                            e = edge.0
+                        ),
+                    );
+                }
+                let origin = net.move_origin(mv);
+                let target = net.move_target(mv);
+                match kind {
+                    // check: injection-port — one injection per packet,
+                    // departing the first edge of its preselected path.
+                    ExitKind::Inject => {
+                        if self.injected[p] {
+                            return fail(line, format!("packet {pkt} injected twice"));
+                        }
+                        // check: admission — streaming injections need a
+                        // prior arrival and must not have been dropped.
+                        if self.streaming && !self.arrived[p] {
+                            return fail(
+                                line,
+                                format!("packet {pkt} injected before its arrival event"),
+                            );
+                        }
+                        if self.dropped[p] {
+                            return fail(
+                                line,
+                                format!("packet {pkt} injected after being dropped"),
+                            );
+                        }
+                        let path = &problem.packets()[p].path;
+                        let ok = !path.is_empty() && mv == DirectedEdge::forward(path.edges()[0]);
+                        if !ok {
+                            return fail(
+                                line,
+                                format!("packet {pkt} injected away from its source/first edge"),
+                            );
+                        }
+                        self.injected[p] = true;
+                        self.batch.injections += 1;
+                    }
+                    _ => {
+                        let Some(at) = self.pos[p] else {
+                            return fail(line, format!("packet {pkt} moved while not in flight"));
+                        };
+                        // check: locality — the move must depart the node
+                        // the packet actually occupies.
+                        if at != origin {
+                            return fail(
+                                line,
+                                format!(
+                                    "packet {pkt} teleported: trace departs node {} but it \
+                                     is at node {}",
+                                    origin.0, at.0
+                                ),
+                            );
+                        }
+                    }
+                }
+                match kind {
+                    ExitKind::Deflect { safe } => {
+                        self.batch.deflections += 1;
+                        self.deflections += 1;
+                        if !safe {
+                            self.batch.fallback += 1;
+                        } else if *dir == Direction::Backward {
+                            self.batch.safe_backward.push((edge.0, line));
+                        } else {
+                            return fail(
+                                line,
+                                format!(
+                                    "packet {pkt} safe-deflected forward (safe deflections \
+                                     are backward recycles)"
+                                ),
+                            );
+                        }
+                    }
+                    ExitKind::Oscillate => {
+                        self.batch.oscillations += 1;
+                        self.oscillations += 1;
+                    }
+                    _ => {}
+                }
+                match dir {
+                    Direction::Forward => {
+                        self.forward += 1;
+                        self.batch.forward_edges.insert(edge.0, line);
+                    }
+                    Direction::Backward => self.backward += 1,
+                }
+                self.moves += 1;
+                self.batch.moves += 1;
+                self.last_move_step[p] = self.now;
+                let dest = problem.packets()[p].path.dest(net);
+                if target == dest {
+                    if self.pos[p].is_some() {
+                        self.active -= 1;
+                    }
+                    self.pos[p] = None;
+                    self.batch.landed.push((pkt, line));
+                } else {
+                    if self.pos[p].is_none() {
+                        self.active += 1;
+                    }
+                    self.pos[p] = Some(target);
+                }
+            }
+            TraceEvent::Trivial { t, pkt } => {
+                let p = *pkt as usize;
+                if p >= n {
+                    return fail(line, format!("packet {pkt} out of range (N={n})"));
+                }
+                if *t != self.now {
+                    return fail(
+                        line,
+                        format!("trivial delivery at t={t} in step {}", self.now),
+                    );
+                }
+                if self.injected[p] || self.delivered[p] {
+                    return fail(line, format!("packet {pkt} delivered trivially twice"));
+                }
+                if self.streaming && !self.arrived[p] {
+                    return fail(
+                        line,
+                        format!("packet {pkt} delivered trivially before its arrival event"),
+                    );
+                }
+                if self.dropped[p] {
+                    return fail(
+                        line,
+                        format!("packet {pkt} delivered trivially after being dropped"),
+                    );
+                }
+                if !problem.packets()[p].path.is_empty() {
+                    return fail(
+                        line,
+                        format!("packet {pkt} delivered trivially but its path is not trivial"),
+                    );
+                }
+                self.injected[p] = true;
+                self.delivered[p] = true;
+                self.trivial += 1;
+            }
+            TraceEvent::Deliver { t, pkt } => {
+                let p = *pkt as usize;
+                if p >= n {
+                    return fail(line, format!("packet {pkt} out of range (N={n})"));
+                }
+                if *t != self.now + 1 {
+                    return fail(
+                        line,
+                        format!(
+                            "delivery of packet {pkt} at t={t} but arrivals of step {} land \
+                             at t={}",
+                            self.now,
+                            self.now + 1
+                        ),
+                    );
+                }
+                let Some(slot) = self.batch.landed.iter().position(|&(q, _)| q == *pkt) else {
+                    return fail(
+                        line,
+                        format!(
+                            "packet {pkt} delivered without landing on its destination this \
+                             step"
+                        ),
+                    );
+                };
+                self.batch.landed.swap_remove(slot);
+                if self.delivered[p] {
+                    return fail(line, format!("packet {pkt} delivered twice"));
+                }
+                self.delivered[p] = true;
+                self.batch.delivers += 1;
+            }
+            TraceEvent::Step {
+                t,
+                moved,
+                absorbed,
+                injected,
+                deflections,
+                fallback,
+                oscillations,
+                active,
+            } => {
+                if *t != self.now {
+                    return fail(
+                        line,
+                        format!("step line t={t} but current step is {}", self.now),
+                    );
+                }
+                // check: safe-deflection-recycling — safe deflections
+                // must recycle an arrival edge: one some packet crossed
+                // forward in the previous step (Lemma 2.1 edge
+                // recycling).
+                for &(edge, defl_line) in &self.batch.safe_backward {
+                    if !self.prev_forward.contains_key(&edge) {
+                        return fail(
+                            defl_line,
+                            format!(
+                                "safe deflection over edge {edge} in step {t} but no packet \
+                                 arrived forward over it in step {}",
+                                t.wrapping_sub(1)
+                            ),
+                        );
+                    }
+                }
+                // check: absorb-on-arrival — every packet that landed on
+                // its destination this step must have been delivered
+                // before the step line closed the batch.
+                if let Some(&(pkt, move_line)) = self.batch.landed.first() {
+                    return fail(
+                        move_line,
+                        format!(
+                            "packet {pkt} landed on its destination in step {t} but was \
+                             never delivered"
+                        ),
+                    );
+                }
+                // check: step-counter-consistency — the step line's
+                // claimed counters must equal the batch it closes.
+                let report = [
+                    ("moved", *moved, self.batch.moves),
+                    ("absorbed", *absorbed, self.batch.delivers),
+                    ("injected", *injected, self.batch.injections),
+                    ("deflections", *deflections, self.batch.deflections),
+                    ("fallback", *fallback, self.batch.fallback),
+                    ("oscillations", *oscillations, self.batch.oscillations),
+                ];
+                for (name, claimed, counted) in report {
+                    if claimed != counted {
+                        return fail(
+                            line,
+                            format!(
+                                "step {t} claims {name}={claimed} but the event stream \
+                                 shows {counted}"
+                            ),
+                        );
+                    }
+                }
+                if model == Model::Bufferless {
+                    if *active != self.active as u64 {
+                        return fail(
+                            line,
+                            format!(
+                                "step {t} claims active={active} but the event stream shows \
+                                 {}",
+                                self.active
+                            ),
+                        );
+                    }
+                    // check: no-rest — bufferless: every packet in
+                    // flight at the start of the step must have moved
+                    // during it.
+                    if let Some(p) = (0..n)
+                        .find(|&p| self.pos[p].is_some() && self.last_move_step[p] != self.now)
+                    {
+                        return fail(
+                            line,
+                            format!("packet {p} rested in step {t} (hot-potato violation)"),
+                        );
+                    }
+                }
+                self.now += 1;
+                self.prev_forward = std::mem::take(&mut self.batch.forward_edges);
+                self.batch = Batch::default();
+            }
+            TraceEvent::Sets { num_sets: k, sets } => {
+                if sets.len() != n {
+                    return fail(
+                        line,
+                        format!("sets line covers {} packets, instance has {n}", sets.len()),
+                    );
+                }
+                if let Some(bad) = sets.iter().find(|&&x| x >= *k) {
+                    return fail(line, format!("set id {bad} out of range (num_sets={k})"));
+                }
+                self.num_sets = Some(*k);
+            }
+            TraceEvent::Frontier { set, .. } | TraceEvent::Congestion { set, .. } => {
+                if let Some(k) = self.num_sets {
+                    if *set >= k {
+                        return fail(
+                            line,
+                            format!("frontier-set id {set} out of range (num_sets={k})"),
+                        );
+                    }
+                }
+            }
+            TraceEvent::Arrival { t, pkt } => {
+                let p = *pkt as usize;
+                if p >= n {
+                    return fail(line, format!("packet {pkt} out of range (N={n})"));
+                }
+                if !self.streaming {
+                    return fail(
+                        line,
+                        format!("arrival event for packet {pkt} in a batch trace"),
+                    );
+                }
+                if *t != self.now {
+                    return fail(line, format!("arrival at t={t} in step {}", self.now));
+                }
+                if self.arrived[p] {
+                    return fail(line, format!("packet {pkt} arrived twice"));
+                }
+                // check: arrival-before-injection — the packet must not
+                // already be in the network (or delivered).
+                if self.injected[p] {
+                    return fail(
+                        line,
+                        format!("packet {pkt} arrived after it was already injected"),
+                    );
+                }
+                self.arrived[p] = true;
+            }
+            TraceEvent::Drop { t, pkt } => {
+                let p = *pkt as usize;
+                if p >= n {
+                    return fail(line, format!("packet {pkt} out of range (N={n})"));
+                }
+                if !self.streaming {
+                    return fail(
+                        line,
+                        format!("drop event for packet {pkt} in a batch trace"),
+                    );
+                }
+                if *t != self.now {
+                    return fail(line, format!("drop at t={t} in step {}", self.now));
+                }
+                // check: drop-discipline — only an arrived, never-injected,
+                // never-dropped packet can be dropped by admission control.
+                if !self.arrived[p] {
+                    return fail(line, format!("packet {pkt} dropped before arriving"));
+                }
+                if self.injected[p] {
+                    return fail(line, format!("packet {pkt} dropped after injection"));
+                }
+                if self.dropped[p] {
+                    return fail(line, format!("packet {pkt} dropped twice"));
+                }
+                self.dropped[p] = true;
+            }
+            TraceEvent::Snapshot(snap) => self.check_snapshot(snap, line)?,
+            TraceEvent::PhaseStart { phase, .. } => self.last_phase = Some(*phase),
+            TraceEvent::PhaseEnd { .. } | TraceEvent::Section { .. } => {}
+        }
+        Ok(())
+    }
+
     /// Compares the reconstructed end state with the stats envelope.
-    fn check_stats(&self, stats: &StatsLine, stats_line_no: usize) -> Result<(), VerifyError> {
+    pub(crate) fn check_stats(
+        &self,
+        stats: &StatsLine,
+        stats_line_no: usize,
+    ) -> Result<(), VerifyError> {
         if stats.steps != self.now {
             return fail(
                 stats_line_no,
@@ -734,7 +1033,7 @@ impl StreamState {
 
 /// Exact per-packet comparison between the reconstructed timelines and
 /// the stats envelope (the acceptance contract: totals match RouteStats).
-fn check_timelines_against_stats(
+pub(crate) fn check_timelines_against_stats(
     timelines: &[PacketTimeline],
     stats: &StatsLine,
     model: Model,
@@ -786,13 +1085,24 @@ fn check_timelines_against_stats(
 
 /// Folds the trace into a [`RunRecord`] + [`RouteStats`] and runs the
 /// independent in-memory auditor over them.
-fn cross_check_replay(
+pub(crate) fn cross_check_replay(
     problem: &Arc<RoutingProblem>,
     trace: &Trace,
     stats: &StatsLine,
 ) -> Result<(), VerifyError> {
+    // Bounds-check ids before handing the record to the replay engine:
+    // under sharded verification the auditor runs *concurrently* with
+    // the stream verifier, so it can see corrupt events the sequential
+    // pass would have rejected first — they must surface as errors, not
+    // out-of-range indexing.
+    let packets = problem.num_packets();
+    let edges = problem.network().num_edges();
+    let bounds = |line: usize, what: &str, got: usize, limit: usize| VerifyError {
+        line,
+        msg: format!("replay auditor: {what} {got} out of range (instance has {limit})"),
+    };
     let mut record = RunRecord::default();
-    for ev in &trace.events {
+    for (i, ev) in trace.events.iter().enumerate() {
         match *ev {
             TraceEvent::Move {
                 t,
@@ -800,16 +1110,29 @@ fn cross_check_replay(
                 edge,
                 dir,
                 kind,
-            } => record.moves.push(MoveEvent {
-                time: t,
-                pkt: PacketId(pkt),
-                mv: DirectedEdge { edge, dir },
-                kind,
-            }),
-            TraceEvent::Trivial { t, pkt } => record.trivial.push(TrivialDelivery {
-                time: t,
-                pkt: PacketId(pkt),
-            }),
+            } => {
+                if pkt as usize >= packets {
+                    return Err(bounds(i + 1, "packet id", pkt as usize, packets));
+                }
+                if edge.index() >= edges {
+                    return Err(bounds(i + 1, "edge id", edge.index(), edges));
+                }
+                record.moves.push(MoveEvent {
+                    time: t,
+                    pkt: PacketId(pkt),
+                    mv: DirectedEdge { edge, dir },
+                    kind,
+                });
+            }
+            TraceEvent::Trivial { t, pkt } => {
+                if pkt as usize >= packets {
+                    return Err(bounds(i + 1, "packet id", pkt as usize, packets));
+                }
+                record.trivial.push(TrivialDelivery {
+                    time: t,
+                    pkt: PacketId(pkt),
+                });
+            }
             _ => {}
         }
     }

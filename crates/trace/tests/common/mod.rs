@@ -2,6 +2,10 @@
 //! Busch router on a spec-described instance and captures the enveloped
 //! JSONL trace exactly as `hotpotato route --trace-out` writes it.
 
+// Each test binary compiles this module afresh and uses one recorder
+// or the other.
+#![allow(dead_code)]
+
 use busch_router::{BuschConfig, BuschRouter, Params};
 use hotpotato_sim::{JsonlTraceObserver, RouteObserver, RouteStats, Router};
 use hotpotato_trace::schema;
@@ -23,6 +27,35 @@ pub fn record_busch_with<O: RouteObserver>(
     seed: u64,
     extra: O,
 ) -> (String, RouteStats, O) {
+    record_busch_inner(topo_spec, workload_spec, seed, extra, false)
+}
+
+/// Like [`record_busch_with`], but records through
+/// `JsonlTraceObserver::with_snapshots`, so the trace carries the
+/// phase-entry `snapshot` checkpoints that sharded verification seeds
+/// from — exactly what `hotpotato route --trace-out` emits.
+pub fn record_busch_snapshots(
+    topo_spec: &str,
+    workload_spec: &str,
+    seed: u64,
+) -> (String, RouteStats) {
+    let (text, stats, _) = record_busch_inner(
+        topo_spec,
+        workload_spec,
+        seed,
+        hotpotato_sim::NoopObserver,
+        true,
+    );
+    (text, stats)
+}
+
+fn record_busch_inner<O: RouteObserver>(
+    topo_spec: &str,
+    workload_spec: &str,
+    seed: u64,
+    extra: O,
+    snapshots: bool,
+) -> (String, RouteStats, O) {
     let topo = spec::parse_topo(topo_spec).expect("topology spec");
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let problem = spec::parse_workload(workload_spec, &topo, &mut rng).expect("workload spec");
@@ -41,7 +74,12 @@ pub fn record_busch_with<O: RouteObserver>(
     };
 
     let router = BuschRouter::with_config(BuschConfig::new(Params::auto(&problem)));
-    let mut observer = (extra, JsonlTraceObserver::new(Vec::new()));
+    let jsonl = if snapshots {
+        JsonlTraceObserver::with_snapshots(Vec::new(), &problem)
+    } else {
+        JsonlTraceObserver::new(Vec::new())
+    };
+    let mut observer = (extra, jsonl);
     let out = Router::route(&router, &problem, &mut rng, &mut observer);
     let (extra, trace) = observer;
     let body = trace.finish().expect("in-memory sink cannot fail");

@@ -2,21 +2,29 @@
 //! parses back exactly, the schema version is pinned, and any unknown,
 //! renamed, or missing field is a hard error. If an emitter field is
 //! renamed without bumping `SCHEMA_VERSION`, these tests fail.
+//!
+//! The same canonical lines also pin the binary `.hpt` framing: every
+//! variant must survive a JSONL → binary → JSONL round trip down to the
+//! byte, and truncated or corrupted binary input must fail with the
+//! exact byte offset and event index.
 
 mod common;
 
 use common::record_busch_with;
 use hotpotato_sim::{ExitKind, SectionProfiler};
-use hotpotato_trace::{parse_line, Trace, TraceEvent, SCHEMA_VERSION};
+use hotpotato_trace::{
+    decode_trace, encode_trace, is_binary, parse_line, schema, Trace, TraceEvent, SCHEMA_VERSION,
+};
 use leveled_net::Direction;
 use std::collections::BTreeSet;
 
 #[test]
 fn schema_version_is_pinned() {
     // Changing any event's field set requires bumping the version; this
-    // assertion forces that edit to be deliberate. (3 = streaming mode:
-    // `meta` gains the `arrival` spec; `arrival`/`drop` events added.)
-    assert_eq!(SCHEMA_VERSION, 3);
+    // assertion forces that edit to be deliberate. (4 = trace pipeline:
+    // `snapshot` phase-entry checkpoints added, plus the binary `.hpt`
+    // framing carrying the same event set.)
+    assert_eq!(SCHEMA_VERSION, 4);
 }
 
 /// One canonical line per event variant (and per move kind), exactly as
@@ -25,7 +33,7 @@ fn canonical_lines() -> Vec<(&'static str, &'static str)> {
     vec![
         (
             "meta",
-            r#"{"ev":"meta","schema":3,"topo":"bf:3","workload":"bitrev","algo":"busch","seed":7,"arrival":"","packets":8,"levels":4,"congestion":2,"dilation":3}"#,
+            r#"{"ev":"meta","schema":4,"topo":"bf:3","workload":"bitrev","algo":"busch","seed":7,"arrival":"","packets":8,"levels":4,"congestion":2,"dilation":3}"#,
         ),
         (
             "move",
@@ -69,6 +77,10 @@ fn canonical_lines() -> Vec<(&'static str, &'static str)> {
         (
             "section",
             r#"{"ev":"section","section":"conflict","nanos":1234}"#,
+        ),
+        (
+            "snapshot",
+            r#"{"ev":"snapshot","phase":3,"t":36,"state":[0,1,3],"nodes":[7,2],"prev_forward":[4294967295,9],"moves":12,"forward":8,"backward":4,"deflections":1,"oscillations":2,"trivial":0,"num_sets":2}"#,
         ),
         (
             "stats",
@@ -181,4 +193,96 @@ fn a_real_run_emits_every_event_kind_and_parses_fully() {
     for want in ["adv", "inj", "osc", "def-safe"] {
         assert!(move_kinds.contains(want), "run staged no '{want}' move");
     }
+}
+
+/// The canonical lines parsed into one trace — every event variant and
+/// every move kind, in emission order.
+fn canonical_trace() -> Trace {
+    let events = canonical_lines()
+        .iter()
+        .map(|(ev, line)| parse_line(line).unwrap_or_else(|e| panic!("{ev}: {e}")))
+        .collect();
+    Trace { events }
+}
+
+#[test]
+fn every_variant_survives_binary_round_trip() {
+    let trace = canonical_trace();
+    let bytes = encode_trace(&trace);
+    assert!(is_binary(&bytes), "encoder must emit the .hpt magic");
+    let back = decode_trace(&bytes).expect("binary decodes");
+    assert_eq!(back.events, trace.events, "JSONL -> .hpt -> events");
+    // Transcoding back out is byte-identical to the canonical JSONL:
+    // the round trip is lossless, not merely value-preserving.
+    for (ev, (name, line)) in back.events.iter().zip(canonical_lines()) {
+        assert_eq!(schema::event_line(ev), line, "{name}: JSONL re-render");
+    }
+}
+
+#[test]
+fn truncated_binary_input_reports_exact_offset_and_event() {
+    // A minimal single-event trace with a known wire layout: magic (4
+    // bytes) + version varint (1) + trivial tag (1) + t delta (1) +
+    // pkt (1) = 8 bytes. Dropping the final byte must fail at byte 7
+    // while decoding event 0.
+    let one = Trace {
+        events: vec![parse_line(r#"{"ev":"trivial","t":0,"pkt":5}"#).unwrap()],
+    };
+    let bytes = encode_trace(&one);
+    assert_eq!(bytes.len(), 8, "wire layout of the minimal trace");
+    let err = decode_trace(&bytes[..7]).expect_err("truncation must fail");
+    assert_eq!((err.offset, err.event), (7, 0));
+    assert_eq!(
+        err.to_string(),
+        "binary trace error at byte 7 (event 0): unexpected end of input"
+    );
+
+    // General case: any cut strictly inside the *last* event of the
+    // full canonical trace fails, attributed to that event's index and
+    // an offset inside the surviving bytes. (A cut exactly on an event
+    // boundary is a valid shorter trace, so start one past it.)
+    let trace = canonical_trace();
+    let all = encode_trace(&trace);
+    let head = encode_trace(&Trace {
+        events: trace.events[..trace.events.len() - 1].to_vec(),
+    });
+    assert!(all.starts_with(&head), "encoding is prefix-stable");
+    decode_trace(&head).expect("cut on the event boundary still parses");
+    let last = trace.events.len() - 1;
+    for cut in head.len() + 1..all.len() {
+        let err =
+            decode_trace(&all[..cut]).expect_err("a cut strictly inside the last event must fail");
+        assert_eq!(err.event, last, "cut at byte {cut}: event attribution");
+        assert!(
+            err.offset >= head.len() && err.offset <= cut,
+            "cut at byte {cut}: offset {} outside the last event",
+            err.offset
+        );
+    }
+}
+
+#[test]
+fn corrupted_binary_input_reports_exact_offset_and_event() {
+    let trace = canonical_trace();
+    let mut bytes = encode_trace(&trace);
+
+    // Corrupt the first event's tag byte (magic is 4 bytes, the
+    // version varint is 1): unknown tag, event 0, byte 5.
+    let tag_at = 4 + 1;
+    bytes[tag_at] = 0xff;
+    let err = decode_trace(&bytes).expect_err("bad tag must fail");
+    assert_eq!((err.offset, err.event), (tag_at, 0));
+    assert!(err.msg.contains("unknown event tag 255"), "{err}");
+
+    // Corrupt the version varint: rejected before any event decodes.
+    let mut bytes = encode_trace(&trace);
+    bytes[4] = 99;
+    let err = decode_trace(&bytes).expect_err("bad version must fail");
+    assert_eq!(err.event, 0);
+    assert!(err.msg.contains("unsupported trace schema 99"), "{err}");
+
+    // Not a binary trace at all.
+    let err = decode_trace(b"junk jsonl text").expect_err("bad magic");
+    assert_eq!((err.offset, err.event), (0, 0));
+    assert!(err.msg.contains("bad magic"), "{err}");
 }

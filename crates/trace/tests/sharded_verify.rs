@@ -1,0 +1,132 @@
+//! Sharded verification equals sequential verification — on clean
+//! traces (identical reports) and on corrupted ones (identical first
+//! divergence: same line, same message, at any job count, regardless
+//! of shard completion order).
+
+mod common;
+
+use common::record_busch_snapshots;
+use hotpotato_trace::{verify_trace, verify_trace_sharded, ShardOptions, Trace, TraceEvent};
+use std::sync::{Arc, OnceLock};
+
+const JOB_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One snapshot-bearing recorded run shared by every test here.
+fn snapshot_trace() -> &'static String {
+    static TRACE: OnceLock<String> = OnceLock::new();
+    TRACE.get_or_init(|| record_busch_snapshots("bf:8", "bitrev", 7).0)
+}
+
+fn opts(jobs: usize) -> ShardOptions {
+    ShardOptions {
+        jobs,
+        progress: false,
+    }
+}
+
+#[test]
+fn sharded_report_matches_sequential_at_any_job_count() {
+    let trace = Trace::parse(snapshot_trace()).expect("recorded trace parses");
+    let snapshots = trace
+        .events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Snapshot(_)))
+        .count();
+    assert!(
+        snapshots > 1,
+        "bf:8 runs multiple phases, so multiple seeds"
+    );
+    let seq = verify_trace(&trace).expect("clean trace verifies");
+    let trace = Arc::new(trace);
+    for jobs in JOB_COUNTS {
+        let run = verify_trace_sharded(&trace, &opts(jobs)).expect("sharded verify succeeds");
+        assert_eq!(run.jobs, jobs);
+        assert_eq!(run.shards, snapshots + 1, "one segment per seed + head");
+        let rep = &run.report;
+        assert_eq!(rep.packets, seq.packets, "jobs={jobs}");
+        assert_eq!(rep.delivered, seq.delivered, "jobs={jobs}");
+        assert_eq!(rep.steps, seq.steps, "jobs={jobs}");
+        assert_eq!(rep.deflections, seq.deflections, "jobs={jobs}");
+        assert_eq!(rep.timelines, seq.timelines, "jobs={jobs}");
+        assert!(rep.replay_cross_checked, "jobs={jobs}");
+    }
+}
+
+/// Rewrites the value of `"key":<value>` in a single JSONL line.
+fn set_field(line: &str, key: &str, value: &str) -> String {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat).expect("field present") + pat.len();
+    let end = line[start..].find([',', '}']).expect("value terminator") + start;
+    format!("{}{}{}", &line[..start], value, &line[end..])
+}
+
+/// Corrupts line `victim` (0-based) via `edit`, then asserts the
+/// sequential and sharded verifiers report byte-identical first
+/// divergences at every job count.
+fn assert_same_divergence(victim: usize, edit: impl Fn(&str) -> String) {
+    let mut lines: Vec<String> = snapshot_trace().lines().map(String::from).collect();
+    lines[victim] = edit(&lines[victim]);
+    let trace = Trace::parse(&(lines.join("\n") + "\n")).expect("still parses");
+    let seq = verify_trace(&trace).expect_err("corruption must be caught");
+    assert_eq!(seq.line, victim + 1, "sequential blames the edited line");
+    let trace = Arc::new(trace);
+    for jobs in JOB_COUNTS {
+        let Err(par) = verify_trace_sharded(&trace, &opts(jobs)) else {
+            panic!("jobs={jobs}: sharded verify must catch the corruption");
+        };
+        assert_eq!(
+            (par.line, &par.msg),
+            (seq.line, &seq.msg),
+            "jobs={jobs}: first divergence must match the sequential verifier"
+        );
+    }
+}
+
+#[test]
+fn corrupted_move_diverges_identically_at_any_job_count() {
+    // Pick a move in the *second half* of the trace so several earlier
+    // segments verify clean: completion order genuinely varies.
+    let lines: Vec<&str> = snapshot_trace().lines().collect();
+    let victim = lines
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.contains("\"ev\":\"move\""))
+        .map(|(i, _)| i)
+        .rfind(|&i| i > lines.len() / 2)
+        .expect("late move exists");
+    assert_same_divergence(victim, |l| set_field(l, "pkt", "100000"));
+}
+
+#[test]
+fn corrupted_snapshot_diverges_identically_at_any_job_count() {
+    // Tamper with a checkpoint's counter total: the snapshot-consistency
+    // law must blame the snapshot line itself, at any job count.
+    let lines: Vec<&str> = snapshot_trace().lines().collect();
+    let victim = lines
+        .iter()
+        .rposition(|l| l.contains("\"ev\":\"snapshot\""))
+        .expect("trace has snapshots");
+    assert_same_divergence(victim, |l| {
+        let pat = "\"moves\":";
+        let start = l.find(pat).unwrap() + pat.len();
+        let end = l[start..].find(',').unwrap() + start;
+        let n: u64 = l[start..end].parse().unwrap();
+        set_field(l, "moves", &(n + 1).to_string())
+    });
+}
+
+#[test]
+fn corrupted_step_counter_diverges_identically_at_any_job_count() {
+    let lines: Vec<&str> = snapshot_trace().lines().collect();
+    let victim = lines
+        .iter()
+        .rposition(|l| l.contains("\"ev\":\"step\""))
+        .expect("trace has steps");
+    assert_same_divergence(victim, |l| {
+        let pat = "\"deflections\":";
+        let start = l.find(pat).unwrap() + pat.len();
+        let end = l[start..].find(',').unwrap() + start;
+        let n: u64 = l[start..end].parse().unwrap();
+        set_field(l, "deflections", &(n + 1).to_string())
+    });
+}

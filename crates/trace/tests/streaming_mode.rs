@@ -192,6 +192,59 @@ fn bucket_cap_holds_under_sustained_injection() {
 }
 
 #[test]
+fn streaming_diff_reports_arrival_latency_and_drop_rate_deltas() {
+    // Two recordings of the same bursty instance: a tight admission box
+    // that sheds load vs the default. `trace diff` must surface the
+    // schema-v3 streaming deltas — arrivals, drops, drop rate, and
+    // admission-to-delivery latency.
+    const SPEC: &str = "bf:6/pairs:192/greedy/3/burst:64:4";
+    let record = |cfg: &StreamingConfig| -> Trace {
+        let mut obs = hotpotato_sim::JsonlTraceObserver::new(Vec::new());
+        let out = stream(SPEC, cfg, &mut obs);
+        assert!(out.drained, "stream must drain");
+        let text = String::from_utf8(obs.finish().expect("in-memory sink")).unwrap();
+        Trace::parse(&text).expect("trace parses")
+    };
+    let tight = record(&StreamingConfig {
+        admission: AdmissionControl {
+            max_in_flight: 8,
+            max_deferred: 16,
+        },
+        ..StreamingConfig::default()
+    });
+    let roomy = record(&StreamingConfig::default());
+
+    let a = hotpotato_trace::analyze(&tight);
+    let b = hotpotato_trace::analyze(&roomy);
+    assert_eq!(a.arrivals, 192, "every scheduled packet arrives");
+    assert_eq!(b.arrivals, 192);
+    assert!(a.drops > 0, "tight admission must shed load");
+    assert!(b.drops < a.drops, "roomy admission sheds less");
+    assert!(a.drop_rate() > 0.0 && a.drop_rate() <= 1.0);
+    assert!(
+        !a.arrival_latencies.is_empty() && a.arrival_latency_mean() > 0.0,
+        "admitted streaming packets take time to deliver"
+    );
+
+    let doc = hotpotato_trace::diff(&a, &b);
+    let rows = doc["rows"].as_array().expect("diff rows");
+    let row = |name: &str| {
+        rows.iter()
+            .find(|r| r["metric"] == name)
+            .unwrap_or_else(|| panic!("diff has no '{name}' row"))
+    };
+    assert_eq!(row("arrivals")["delta"].as_i64(), Some(0));
+    assert_eq!(row("drops")["a"].as_u64(), Some(a.drops));
+    assert!(row("drops")["delta"].as_i64().unwrap() < 0);
+    assert!(row("drop_rate")["delta"].as_f64().unwrap() < 0.0);
+    let lat = row("arrival_latency_mean");
+    assert!((lat["a"].as_f64().unwrap() - a.arrival_latency_mean()).abs() < 1e-9);
+    assert!((lat["b"].as_f64().unwrap() - b.arrival_latency_mean()).abs() < 1e-9);
+    let p50 = row("arrival_latency_p50");
+    assert!(p50["a"].as_u64().is_some() && p50["b"].as_u64().is_some());
+}
+
+#[test]
 fn metrics_observer_accounts_arrivals_and_drops_exactly() {
     // A tight admission box under bursty arrivals forces drops; the
     // observer's counters must match the engine's accounting exactly.

@@ -1,0 +1,28 @@
+//! Seeded violation: a trace-writer emit path that allocates per event.
+//!
+//! Models the regression the sized trace buffer exists to prevent: the
+//! JSONL observer's per-event emit hook building a fresh `String` per
+//! event instead of appending into its reused byte buffer and flushing
+//! only at the capacity threshold and at phase/quiesce boundaries.
+
+pub struct Sink {
+    pub buf: Vec<u8>,
+    pub written: usize,
+}
+
+// lint: hot-path
+pub fn emit_move(sink: &mut Sink, t: u64, pkt: u32) {
+    // A fresh heap string per trace event — exactly what the sized
+    // buffer makes unnecessary; the lint must flag both allocations.
+    let line = format!("{{\"ev\":\"move\",\"t\":{t},\"pkt\":{pkt}}}\n");
+    let owned = line.as_str().to_string();
+    sink.buf.extend_from_slice(owned.as_bytes());
+    sink.written += owned.len();
+}
+
+/// Buffered append — allocation-free, must NOT fire.
+// lint: hot-path
+pub fn emit_buffered(sink: &mut Sink, bytes: &[u8]) {
+    sink.buf.extend_from_slice(bytes);
+    sink.written += bytes.len();
+}

@@ -8,10 +8,12 @@
 //!   per-call allocation: no `Vec::new`, `vec![]`, `Box::new`,
 //!   `.clone()`, `.collect()`, `.to_vec()`, `format!`, or `String`
 //!   construction inside the annotated body.
-//! * [`schemafp`] — the normalized token stream of the `TraceEvent` /
-//!   envelope types in `crates/trace/src/schema.rs` is hashed against a
-//!   committed fingerprint; any drift without a `SCHEMA_VERSION` bump in
-//!   the same change fails the lint (`--bless` re-commits the pair).
+//! * [`schemafp`] — the normalized token streams of the `TraceEvent` /
+//!   envelope types in `crates/trace/src/schema.rs` and of the binary
+//!   codec (`Tag`, `encode_event`, `decode_event` in
+//!   `crates/trace/src/binary.rs`) are hashed against a committed
+//!   fingerprint; any drift without a `SCHEMA_VERSION` bump in the same
+//!   change fails the lint (`--bless` re-commits the pair).
 //! * [`coverage`] — every bufferless invariant enumerated in
 //!   `crates/core/src/invariants.rs` (`BUFFERLESS_INVARIANTS`) must have
 //!   a matching `// check: <id>` tag in `crates/trace/src/verify.rs`, so
@@ -70,6 +72,12 @@ impl Config {
     /// The version-pinned trace schema definition.
     pub fn schema_rs(&self) -> PathBuf {
         self.root.join("crates/trace/src/schema.rs")
+    }
+
+    /// The binary trace codec, pinned alongside the schema (absent in
+    /// fixture trees that predate the binary framing).
+    pub fn binary_rs(&self) -> PathBuf {
+        self.root.join("crates/trace/src/binary.rs")
     }
 
     /// The committed schema fingerprint.

@@ -8,7 +8,10 @@
 //!
 //! * the normalized token streams of `Meta`, `StatsLine` and
 //!   `TraceEvent` (attributes included — a `#[serde(rename)]` is a wire
-//!   change) are hashed into a 64-bit fingerprint;
+//!   change) are hashed into a 64-bit fingerprint, together with the
+//!   binary codec's tag table and encoder/decoder bodies (`Tag`,
+//!   `encode_event`, `decode_event` in `binary.rs`) — the `.hpt` framing
+//!   is the same contract in a second encoding;
 //! * the committed pair (`schema_version`, `fingerprint`) lives in
 //!   `crates/xtask/schema.fingerprint`;
 //! * if the hash moves while `SCHEMA_VERSION` stays put, the lint fails
@@ -21,6 +24,11 @@ use crate::{fnv1a, Config, Diagnostic};
 
 /// The envelope items whose token streams are pinned, in hash order.
 pub const PINNED_ITEMS: &[&str] = &["Meta", "StatsLine", "TraceEvent", "Rollup"];
+
+/// The binary-codec items pinned from `binary.rs`, in hash order. The
+/// tag table and the encoder/decoder bodies *are* the `.hpt` wire
+/// layout, so they drift under the same version pin as the JSONL types.
+pub const PINNED_BINARY_ITEMS: &[&str] = &["Tag", "encode_event", "decode_event"];
 
 /// What the schema source currently says.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -177,6 +185,28 @@ pub fn current(cfg: &Config) -> Result<Current, Diagnostic> {
         }
         hash_input.push('\n');
     }
+    // The binary codec rides under the same pin when present (the seeded
+    // fixture trees predate the `.hpt` framing and carry only schema.rs).
+    if let Ok(bin_src) = std::fs::read_to_string(cfg.binary_rs()) {
+        let rel_bin = cfg.rel(&cfg.binary_rs());
+        let bin_toks = lex(&bin_src);
+        for name in PINNED_BINARY_ITEMS {
+            let span = item_tokens(&bin_toks, name).ok_or_else(|| Diagnostic {
+                file: rel_bin.clone(),
+                line: 0,
+                lint: "schema-drift",
+                msg: format!("pinned item `{name}` not found in binary codec source"),
+            })?;
+            hash_input.push_str("binary:");
+            hash_input.push_str(name);
+            hash_input.push('\n');
+            for t in span {
+                hash_input.push_str(&t.text);
+                hash_input.push(' ');
+            }
+            hash_input.push('\n');
+        }
+    }
     Ok(Current {
         version,
         version_line,
@@ -201,12 +231,13 @@ fn schema_version(toks: &[Tok]) -> Option<(u64, usize)> {
     Some((digits.parse().ok()?, line))
 }
 
-/// The token span of `struct <name>` / `enum <name>`, including any
-/// immediately preceding attributes and visibility, comments stripped.
+/// The token span of `struct <name>` / `enum <name>` / `fn <name>`,
+/// including any immediately preceding attributes and visibility,
+/// comments stripped.
 fn item_tokens<'a>(toks: &'a [Tok], name: &str) -> Option<Vec<&'a Tok>> {
     let code: Vec<&Tok> = toks.iter().filter(|t| !t.is_comment()).collect();
     let kw = (0..code.len()).find(|&i| {
-        (code[i].is_ident("struct") || code[i].is_ident("enum"))
+        (code[i].is_ident("struct") || code[i].is_ident("enum") || code[i].is_ident("fn"))
             && code.get(i + 1).is_some_and(|t| t.is_ident(name))
     })?;
 
@@ -367,6 +398,39 @@ pub struct Rollup { pub seq: u64 }
         let reflow = SCHEMA.replace("{ pub v: u32 }", "{\n    pub v: u32\n}");
         assert_eq!(toks_fp(SCHEMA), toks_fp(&reflow));
         let _ = reformatted;
+    }
+
+    #[test]
+    fn fn_items_are_pinnable() {
+        let src = r"
+/// Codec.
+pub enum Tag { Meta = 0 }
+
+fn encode_event(enc: &mut Enc, ev: &TraceEvent) {
+    match ev {
+        TraceEvent::Stats(s) => enc.byte(Tag::Meta as u8),
+    }
+}
+";
+        let toks = lex(src);
+        let span = item_tokens(&toks, "encode_event").unwrap();
+        assert_eq!(span.first().unwrap().text, "fn");
+        assert_eq!(span.last().unwrap().text, "}");
+        let body_changed = src.replace("Tag::Meta as u8", "0x7f");
+        let a = fnv1a(
+            span.iter()
+                .flat_map(|t| t.text.bytes().chain(std::iter::once(b' ')))
+                .collect::<Vec<u8>>(),
+        );
+        let toks2 = lex(&body_changed);
+        let span2 = item_tokens(&toks2, "encode_event").unwrap();
+        let b = fnv1a(
+            span2
+                .iter()
+                .flat_map(|t| t.text.bytes().chain(std::iter::once(b' ')))
+                .collect::<Vec<u8>>(),
+        );
+        assert_ne!(a, b, "an encoder body change must move the hash");
     }
 
     #[test]

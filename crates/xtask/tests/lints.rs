@@ -50,6 +50,15 @@ fn hotpath_lint_fires_on_seeded_soa_dispatch_allocation() {
 }
 
 #[test]
+fn hotpath_lint_fires_on_seeded_trace_buffer_allocation() {
+    // The trace writer's shape: a per-event emit hook that must append
+    // into the observer's reused sized buffer, seeded with a fresh
+    // String per event instead.
+    let got = rendered(hotpath::check(&fixture("hotpath_tracebuf_violation")));
+    assert_eq!(got, expected("hotpath_tracebuf_violation"));
+}
+
+#[test]
 fn schema_drift_lint_fires_on_stale_fingerprint() {
     let got = rendered(schemafp::check(&fixture("schema_drift")));
     assert_eq!(got, expected("schema_drift"));

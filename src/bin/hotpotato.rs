@@ -12,8 +12,10 @@
 //! hotpotato serve --run TOPO/WL[/ALGO[/SEED[/ARRIVAL]]] [--run ...] [--addr A]
 //!                 [--publish-every N] [--rollup-cap N] [--throttle-us N]
 //!                 [--engine scalar|soa] [--max-in-flight N] [--max-deferred N]
-//! hotpotato trace verify <FILE>          replay-verify a recorded trace
+//! hotpotato trace verify <FILE> [--jobs N] [--progress] [--json]
+//!                                        replay-verify a recorded trace
 //! hotpotato trace analyze <FILE> [--out PATH]   aggregate trace report
+//! hotpotato trace convert <IN> <OUT>     transcode JSONL ↔ binary (.hpt)
 //! hotpotato trace diff <A> <B>           compare two trace analyses
 //! hotpotato params <C> <L> <N>           paper §2.1 parameter calculator
 //! hotpotato frames <L> <m> <sets>        frontier-frame schedule (Fig. 2)
@@ -41,7 +43,8 @@
 //! hotpotato route --topo butterfly:6 --workload bitrev --algo busch --verify
 //! hotpotato route --topo butterfly:6 --workload bitrev --metrics-out metrics.json
 //! hotpotato route --topo butterfly:6 --workload bitrev --trace-out run.jsonl
-//! hotpotato trace verify run.jsonl
+//! hotpotato trace convert run.jsonl run.hpt
+//! hotpotato trace verify run.hpt --jobs 4 --progress
 //! hotpotato route --topo mesh:16x16 --workload transpose --algo sf
 //! hotpotato serve --run bf:10/bitrev/busch/7 --addr 127.0.0.1:9898
 //! hotpotato params 64 32 1024
@@ -100,8 +103,9 @@ fn print_usage() {
          \u{20}  hotpotato serve --run TOPO/WL[/ALGO[/SEED[/ARRIVAL]]] [--run ...] [--addr A]\n\
          \u{20}                  [--publish-every N] [--rollup-cap N] [--throttle-us N]\n\
          \u{20}                  [--engine scalar|soa] [--max-in-flight N] [--max-deferred N]\n\
-         \u{20}  hotpotato trace verify <FILE>\n\
+         \u{20}  hotpotato trace verify <FILE> [--jobs N] [--progress] [--json]\n\
          \u{20}  hotpotato trace analyze <FILE> [--out PATH]\n\
+         \u{20}  hotpotato trace convert <IN> <OUT>\n\
          \u{20}  hotpotato trace diff <A> <B>\n\
          \u{20}  hotpotato params <C> <L> <N>\n\
          \u{20}  hotpotato frames <L> <m> <sets>\n\
@@ -324,7 +328,8 @@ fn cmd_route(args: &[String]) -> i32 {
     // Optional event sinks; `(Option<A>, Option<B>)` is itself an
     // observer, and with all sides `None` every hook is a no-op. Trace
     // files are wrapped in a meta/stats envelope so `hotpotato trace
-    // verify` can rebuild the instance offline.
+    // verify` can rebuild the instance offline; phase-entry snapshots
+    // let the verifier shard the replay across workers.
     let metrics = metrics_out.map(|_| MetricsObserver::new(&problem).with_occupancy_sampling(64));
     let trace = match trace_out {
         Some(path) => {
@@ -346,7 +351,7 @@ fn cmd_route(args: &[String]) -> i32 {
                 Ok(w)
             });
             match sink {
-                Ok(w) => Some(JsonlTraceObserver::new(w)),
+                Ok(w) => Some(JsonlTraceObserver::with_snapshots(w, &problem)),
                 Err(e) => {
                     eprintln!("error: cannot create {path}: {e}");
                     return 2;
@@ -539,10 +544,20 @@ fn cmd_route(args: &[String]) -> i32 {
     i32::from(failed)
 }
 
-/// Reads and strictly parses a JSONL trace file.
-fn load_trace(path: &str) -> Result<Trace, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    Trace::parse(&text).map_err(|e| format!("{path}: {e}"))
+/// Reads a trace file, sniffing the `.hpt` magic: binary traces are
+/// decoded, everything else is strictly parsed as JSONL (across `jobs`
+/// threads when > 1). Returns the trace and its on-disk size in bytes.
+fn load_trace(path: &str, jobs: usize) -> Result<(Trace, u64), String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let size = bytes.len() as u64;
+    let trace = if hotpotato_trace::is_binary(&bytes) {
+        hotpotato_trace::decode_trace(&bytes).map_err(|e| format!("{path}: {e}"))?
+    } else {
+        let text =
+            String::from_utf8(bytes).map_err(|e| format!("{path}: trace is not UTF-8 ({e})"))?;
+        hotpotato_trace::parse_jsonl_parallel(&text, jobs).map_err(|e| format!("{path}: {e}"))?
+    };
+    Ok((trace, size))
 }
 
 fn cmd_serve(args: &[String]) -> i32 {
@@ -636,8 +651,9 @@ fn cmd_serve(args: &[String]) -> i32 {
 fn cmd_trace(args: &[String]) -> i32 {
     let usage = || {
         eprintln!(
-            "usage: hotpotato trace verify <FILE>\n\
+            "usage: hotpotato trace verify <FILE> [--jobs N] [--progress] [--json]\n\
              \u{20}      hotpotato trace analyze <FILE> [--out PATH]\n\
+             \u{20}      hotpotato trace convert <IN> <OUT>\n\
              \u{20}      hotpotato trace diff <A> <B>"
         );
         2
@@ -647,15 +663,71 @@ fn cmd_trace(args: &[String]) -> i32 {
             let Some(path) = args.get(1) else {
                 return usage();
             };
-            let trace = match load_trace(path) {
+            let jobs = match flag_value(args, "--jobs") {
+                None => 0,
+                Some(s) => match s.parse::<usize>() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        eprintln!("--jobs wants a number (got '{s}')");
+                        return 2;
+                    }
+                },
+            };
+            let jobs = if jobs == 0 {
+                hotpotato_sim::pool_core::configured_threads()
+            } else {
+                jobs
+            };
+            let progress = args.iter().any(|a| a == "--progress");
+            let json = args.iter().any(|a| a == "--json");
+            let started = std::time::Instant::now();
+            let (trace, bytes) = match load_trace(path, jobs) {
                 Ok(t) => t,
                 Err(e) => {
                     eprintln!("error: {e}");
                     return 2;
                 }
             };
-            match hotpotato_trace::verify_trace(&trace) {
-                Ok(rep) => {
+            let trace = std::sync::Arc::new(trace);
+            let opts = hotpotato_trace::ShardOptions { jobs, progress };
+            match hotpotato_trace::verify_trace_sharded(&trace, &opts) {
+                Ok(run) => {
+                    let pipeline = hotpotato_trace::PipelineTelemetry {
+                        events: trace.events.len() as u64,
+                        bytes,
+                        wall_s: started.elapsed().as_secs_f64(),
+                        jobs: run.jobs,
+                        shards: run.shards,
+                        busy_s: run.busy_s,
+                        peak_rss_bytes: hotpotato_trace::peak_rss_bytes(),
+                    };
+                    let rep = &run.report;
+                    if json {
+                        let doc = serde_json::json!({
+                            "ok": true,
+                            "instance": trace.meta().map(|m| serde_json::json!({
+                                "topo": m.topo.clone(),
+                                "workload": m.workload.clone(),
+                                "algo": m.algo.clone(),
+                                "seed": m.seed,
+                            })),
+                            "verified": serde_json::json!({
+                                "packets": rep.packets,
+                                "steps": rep.steps,
+                                "moves": rep.moves,
+                                "forward": rep.forward,
+                                "backward": rep.backward,
+                                "delivered": rep.delivered,
+                                "trivial": rep.trivial,
+                                "deflections": rep.deflections,
+                                "oscillations": rep.oscillations,
+                                "replay_cross_checked": rep.replay_cross_checked,
+                            }),
+                            "pipeline": pipeline.to_json(),
+                        });
+                        println!("{}", serde_json::to_string_pretty(&doc).expect("serialize"));
+                        return 0;
+                    }
                     if let Some(m) = trace.meta() {
                         println!(
                             "instance: {} / {} / {} (seed {})",
@@ -676,6 +748,21 @@ fn cmd_trace(args: &[String]) -> i32 {
                     } else {
                         println!("replay:   skipped (buffered store-and-forward trace)");
                     }
+                    let util = pipeline
+                        .shard_utilization()
+                        .map_or_else(|| "n/a".to_string(), |u| format!("{:.0}%", u * 100.0));
+                    let rss = pipeline.peak_rss_bytes.map_or_else(
+                        || "n/a".to_string(),
+                        |b| format!("{:.1} MiB", b as f64 / (1024.0 * 1024.0)),
+                    );
+                    println!(
+                        "pipeline: {:.3e} events/s, {:.3e} bytes/s, {} shards over {} \
+                         jobs (busy {util}), peak RSS {rss}",
+                        pipeline.events_per_s(),
+                        pipeline.bytes_per_s(),
+                        run.shards,
+                        run.jobs
+                    );
                     0
                 }
                 Err(e) => {
@@ -688,14 +775,28 @@ fn cmd_trace(args: &[String]) -> i32 {
             let Some(path) = args.get(1) else {
                 return usage();
             };
-            let trace = match load_trace(path) {
+            let started = std::time::Instant::now();
+            let jobs = hotpotato_sim::pool_core::configured_threads();
+            let (trace, bytes) = match load_trace(path, jobs) {
                 Ok(t) => t,
                 Err(e) => {
                     eprintln!("error: {e}");
                     return 2;
                 }
             };
-            let report = hotpotato_trace::analyze(&trace).to_json();
+            let mut report = hotpotato_trace::analyze(&trace).to_json();
+            let pipeline = hotpotato_trace::PipelineTelemetry {
+                events: trace.events.len() as u64,
+                bytes,
+                wall_s: started.elapsed().as_secs_f64(),
+                jobs,
+                shards: 0,
+                busy_s: 0.0,
+                peak_rss_bytes: hotpotato_trace::peak_rss_bytes(),
+            };
+            if let serde_json::Value::Object(members) = &mut report {
+                members.push(("pipeline".to_string(), pipeline.to_json()));
+            }
             let text = serde_json::to_string_pretty(&report).expect("serialize");
             match flag_value(args, "--out") {
                 Some(out) => {
@@ -709,11 +810,67 @@ fn cmd_trace(args: &[String]) -> i32 {
             }
             0
         }
+        Some("convert") => {
+            let (Some(input), Some(output)) = (args.get(1), args.get(2)) else {
+                return usage();
+            };
+            let bytes = match std::fs::read(input) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("error: cannot read {input}: {e}");
+                    return 2;
+                }
+            };
+            let in_len = bytes.len();
+            let (out_bytes, direction) = if hotpotato_trace::is_binary(&bytes) {
+                match hotpotato_trace::decode_trace(&bytes) {
+                    Ok(trace) => {
+                        let mut text = String::new();
+                        for ev in &trace.events {
+                            text.push_str(&schema::event_line(ev));
+                            text.push('\n');
+                        }
+                        (text.into_bytes(), "binary -> jsonl")
+                    }
+                    Err(e) => {
+                        eprintln!("error: {input}: {e}");
+                        return 2;
+                    }
+                }
+            } else {
+                let text = match String::from_utf8(bytes) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("error: {input}: trace is not UTF-8 ({e})");
+                        return 2;
+                    }
+                };
+                match Trace::parse(&text) {
+                    Ok(trace) => (hotpotato_trace::encode_trace(&trace), "jsonl -> binary"),
+                    Err(e) => {
+                        eprintln!("error: {input}: {e}");
+                        return 2;
+                    }
+                }
+            };
+            if let Err(e) = std::fs::write(output, &out_bytes) {
+                eprintln!("error: writing {output}: {e}");
+                return 1;
+            }
+            println!(
+                "convert:  {direction}, {in_len} -> {} bytes ({:.1}% of input)",
+                out_bytes.len(),
+                out_bytes.len() as f64 / in_len as f64 * 100.0
+            );
+            0
+        }
         Some("diff") => {
             let (Some(a), Some(b)) = (args.get(1), args.get(2)) else {
                 return usage();
             };
-            let traces = load_trace(a).and_then(|ta| load_trace(b).map(|tb| (ta, tb)));
+            let jobs = hotpotato_sim::pool_core::configured_threads();
+            let traces =
+                load_trace(a, jobs).and_then(|(ta, _)| load_trace(b, jobs).map(|(tb, _)| (ta, tb)));
             let (ta, tb) = match traces {
                 Ok(t) => t,
                 Err(e) => {
