@@ -227,6 +227,9 @@ impl BuschRouter {
 
     /// The scalar-engine driver (the original implementation); kept as
     /// the oracle the data-oriented driver is golden-tested against.
+    // lint: telemetry
+    // (the `Instant` reads feed `on_section` profiling only; no routing
+    // decision depends on them)
     fn route_scalar<R: Rng + ?Sized, O: RouteObserver + ?Sized>(
         &self,
         problem: &Arc<RoutingProblem>,

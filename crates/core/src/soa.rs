@@ -371,6 +371,9 @@ mod pool {
 /// Routes `problem` on the data-oriented engine. Same contract and
 /// event stream as the scalar driver; see the module docs for the
 /// sequential/banded split.
+// lint: telemetry
+// (the `Instant` reads feed `on_section` profiling only; no routing
+// decision depends on them)
 pub(crate) fn route_soa<R: Rng + ?Sized, O: RouteObserver + ?Sized>(
     cfg: &BuschConfig,
     problem: &Arc<RoutingProblem>,

@@ -206,6 +206,9 @@ pub fn resolve_with<S: SlotView + ?Sized, R: Rng + ?Sized>(
 /// contested group with a free slot, plus one per loser under
 /// [`DeflectRule::Arbitrary`]).
 // lint: hot-path
+// lint: panics-by-design(dense-index invariant surface: packet/node ids are
+// validated at construction, so an OOB here is an engine bug caught by the
+// golden suites, never a client-input path)
 pub fn resolve_into<'s, S: SlotView + ?Sized, R: Rng + ?Sized>(
     sim: &S,
     node: NodeId,

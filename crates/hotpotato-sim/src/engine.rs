@@ -234,6 +234,9 @@ impl<M, O> SimulationBuilder<M, O> {
     }
 
     /// Builds the engine.
+    // lint: panics-by-design(dense-index invariant surface: packet/node ids are
+    // validated at construction, so an OOB here is an engine bug caught by the
+    // golden suites, never a client-input path)
     pub fn build(self) -> Simulation<M, O>
     where
         O: RouteObserver,
@@ -470,6 +473,9 @@ impl<M, O: RouteObserver> Simulation<M, O> {
 
     /// Packet indices that arrived at `node` this step, in staged order.
     #[inline]
+    // lint: panics-by-design(dense-index invariant surface: packet/node ids are
+    // validated at construction, so an OOB here is an engine bug caught by the
+    // golden suites, never a client-input path)
     pub fn arrivals(&self, node: NodeId) -> &[u32] {
         let i = node.index();
         let len = self.bucket_len[i] as usize;
@@ -482,6 +488,9 @@ impl<M, O: RouteObserver> Simulation<M, O> {
 
     /// The dynamic state of packet `idx`.
     #[inline]
+    // lint: panics-by-design(dense-index invariant surface: packet/node ids are
+    // validated at construction, so an OOB here is an engine bug caught by the
+    // golden suites, never a client-input path)
     pub fn packet(&self, idx: u32) -> &SimPacket<M> {
         &self.packets[idx as usize]
     }
@@ -494,11 +503,17 @@ impl<M, O: RouteObserver> Simulation<M, O> {
 
     /// The preselected path of packet `idx`.
     #[inline]
+    // lint: panics-by-design(dense-index invariant surface: packet/node ids are
+    // validated at construction, so an OOB here is an engine bug caught by the
+    // golden suites, never a client-input path)
     pub fn path_of(&self, idx: u32) -> &routing_core::Path {
         &self.problem.packets()[idx as usize].path
     }
 
     /// The next move along packet `idx`'s current path.
+    // lint: panics-by-design(dense-index invariant surface: packet/node ids are
+    // validated at construction, so an OOB here is an engine bug caught by the
+    // golden suites, never a client-input path)
     pub fn next_move_of(&self, idx: u32) -> Option<DirectedEdge> {
         self.packets[idx as usize].next_move(self.path_of(idx))
     }
@@ -584,6 +599,9 @@ impl<M, O: RouteObserver> Simulation<M, O> {
 
     /// Stages the exit of active packet `idx` along `mv` this step.
     // lint: hot-path
+    // lint: panics-by-design(dense-index invariant surface: packet/node ids are
+    // validated at construction, so an OOB here is an engine bug caught by the
+    // golden suites, never a client-input path)
     pub fn stage_exit(
         &mut self,
         idx: u32,
@@ -618,6 +636,9 @@ impl<M, O: RouteObserver> Simulation<M, O> {
     /// paper's algorithm arranges isolation by scheduling; algorithms can
     /// check [`Simulation::arrivals`] at the source to audit it.
     // lint: hot-path
+    // lint: panics-by-design(dense-index invariant surface: packet/node ids are
+    // validated at construction, so an OOB here is an engine bug caught by the
+    // golden suites, never a client-input path)
     pub fn try_inject(&mut self, idx: u32) -> Result<InjectOutcome, SimError> {
         let i = idx as usize;
         if self.status[i] != PacketStatus::Pending {
@@ -657,6 +678,9 @@ impl<M, O: RouteObserver> Simulation<M, O> {
     /// staged (the bufferless constraint), moves packets, absorbs arrivals
     /// at destinations, and advances the clock.
     // lint: hot-path
+    // lint: panics-by-design(dense-index invariant surface: packet/node ids are
+    // validated at construction, so an OOB here is an engine bug caught by the
+    // golden suites, never a client-input path)
     pub fn finish_step(&mut self) -> Result<StepReport, SimError> {
         // Bufferless check: every packet that arrived this step must leave.
         // Every `stage_exit` stages a distinct arrival (injections cannot

@@ -151,7 +151,9 @@ impl<T> SnapshotPublisher<T> {
     /// retried automatically on the next publish, a skipped fill simply
     /// means this snapshot is dropped and the next one will be fresher.
     // lint: hot-path
+    // lint: no-panic
     pub fn publish_with(&mut self, fill: impl FnOnce(&mut T)) -> bool {
+        // lint: allow-panic(slots has fixed arity 2; back is always 0 or 1)
         match self.shared.slots[self.back].try_lock() {
             Ok(mut slot) => {
                 fill(&mut slot.value);
@@ -180,8 +182,10 @@ impl<T> SnapshotPublisher<T> {
     /// After `flush_with` returns, every subsequent acquire observes the
     /// flushed snapshot (or a newer one). Never called from the step
     /// loop — only once, after the run completes.
+    // lint: no-panic
     pub fn flush_with(&mut self, fill: impl FnOnce(&mut T)) {
         {
+            // lint: allow-panic(slots has fixed arity 2; back is always 0 or 1)
             let mut slot = relax(self.shared.slots[self.back].lock());
             fill(&mut slot.value);
             self.next_seq += 1;
@@ -216,9 +220,11 @@ impl<T> SnapshotReader<T> {
     ///
     /// Holding the slot only for the duration of `f` keeps writer skips
     /// rare; `f` should copy what it needs and return.
+    // lint: no-panic
     pub fn acquire<R>(&self, f: impl FnOnce(u64, &T) -> R) -> R {
         let front = *relax(self.shared.front.lock());
         // Front guard dropped here: never hold two locks at once.
+        // lint: allow-panic(slots has fixed arity 2; front is always 0 or 1)
         let slot = relax(self.shared.slots[front].lock());
         f(slot.seq, &slot.value)
     }

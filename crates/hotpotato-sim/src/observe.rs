@@ -722,6 +722,8 @@ impl RouteObserver for MetricsObserver {
         }
     }
 
+    // lint: trusted(clones the occupancy vec only on sampled steps, an
+    // amortized telemetry cost the hot-path budget accepts)
     fn on_step_end(&mut self, t: Time, _report: &StepReport, _active: usize) {
         self.steps += 1;
         for (level, &occ) in self.occupancy.iter().enumerate() {
@@ -1061,6 +1063,9 @@ impl<W: Write> RouteObserver for JsonlTraceObserver<W> {
         ));
     }
 
+    // lint: panics-by-design(dense-index invariant surface: packet/node ids are
+    // validated at construction, so an OOB here is an engine bug caught by the
+    // golden suites, never a client-input path)
     fn on_arrival(&mut self, t: Time, pkt: u32) {
         if let Some(tr) = &mut self.snap {
             tr.state[pkt as usize] = 1;
@@ -1070,6 +1075,9 @@ impl<W: Write> RouteObserver for JsonlTraceObserver<W> {
         ));
     }
 
+    // lint: panics-by-design(dense-index invariant surface: packet/node ids are
+    // validated at construction, so an OOB here is an engine bug caught by the
+    // golden suites, never a client-input path)
     fn on_drop(&mut self, t: Time, pkt: u32) {
         if let Some(tr) = &mut self.snap {
             tr.state[pkt as usize] = 2;

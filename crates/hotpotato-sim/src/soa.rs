@@ -241,6 +241,9 @@ impl SoaShared {
     /// Packet indices that arrived at node `v` this step, in staged
     /// order.
     #[inline]
+    // lint: panics-by-design(dense-index invariant surface: packet/node ids are
+    // validated at construction, so an OOB here is an engine bug caught by the
+    // golden suites, never a client-input path)
     pub fn arrivals(&self, v: u32) -> &[u32] {
         let m = self.arr_meta[v as usize];
         if (m >> 8) != self.arr_tag {
@@ -607,6 +610,9 @@ impl<O: RouteObserver> SoaEngine<O> {
     /// Attempts to inject pending packet `pkt` — same semantics and
     /// outcome set as [`crate::Simulation::try_inject`].
     // lint: hot-path
+    // lint: panics-by-design(dense-index invariant surface: packet/node ids are
+    // validated at construction, so an OOB here is an engine bug caught by the
+    // golden suites, never a client-input path)
     pub fn try_inject(&mut self, pkt: u32) -> InjectOutcome {
         let i = pkt as usize;
         debug_assert_eq!(self.status[i], STATUS_PENDING);
@@ -643,6 +649,8 @@ impl<O: RouteObserver> SoaEngine<O> {
 
     /// Names the arrival that was left resting (cold path of the
     /// bufferless check).
+    // lint: trusted(cold diagnosis path: allocates once, immediately before the
+    // run aborts with the error it names)
     #[cold]
     fn find_rested(&self) -> SimError {
         let sh = &self.shared;
@@ -668,6 +676,9 @@ impl<O: RouteObserver> SoaEngine<O> {
     /// advances the clock. Mirrors [`crate::Simulation::finish_step`]
     /// event for event.
     // lint: hot-path
+    // lint: panics-by-design(dense-index invariant surface: packet/node ids are
+    // validated at construction, so an OOB here is an engine bug caught by the
+    // golden suites, never a client-input path)
     pub fn finish_step(&mut self) -> Result<StepReport, SimError> {
         if self.staged_arrivals != self.shared.arrivals_count {
             return Err(self.find_rested());

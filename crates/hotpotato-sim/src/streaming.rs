@@ -167,6 +167,7 @@ pub fn route_streaming<R: Rng + ?Sized>(
 }
 
 /// [`route_streaming`] with an attached event sink.
+// lint: no-panic
 pub fn route_streaming_observed<R: Rng + ?Sized, O: RouteObserver + ?Sized>(
     problem: &Arc<RoutingProblem>,
     schedule: &[Time],
@@ -175,6 +176,7 @@ pub fn route_streaming_observed<R: Rng + ?Sized, O: RouteObserver + ?Sized>(
     observer: &mut O,
 ) -> StreamingOutcome {
     let n = problem.num_packets();
+    // lint: allow-panic(api precondition: the schedule/packet arity contract is the fn's one caller-facing assert)
     assert_eq!(schedule.len(), n, "arrival schedule must time every packet");
     let mut sim = Simulation::builder(Arc::clone(problem), vec![(); n])
         .trace(cfg.trace)
@@ -185,6 +187,7 @@ pub fn route_streaming_observed<R: Rng + ?Sized, O: RouteObserver + ?Sized>(
     // Arrival order: by step, ties by packet id (generators emit
     // non-decreasing schedules, but an explicit schedule need not be).
     let mut order: Vec<u32> = (0..n as u32).collect();
+    // lint: allow-panic(p ranges over 0..n and schedule.len() == n per the arity assert above)
     order.sort_by_key(|&p| (schedule[p as usize], p));
     let mut next_arrival = 0usize;
 
@@ -221,6 +224,7 @@ pub fn route_streaming_observed<R: Rng + ?Sized, O: RouteObserver + ?Sized>(
             for &p in &arrivals_buf {
                 let desired = sim
                     .next_move_of(p)
+                    // lint: allow-panic(engine invariant: an active packet is off-destination, so next_move_of is Some)
                     .expect("active packets are not at their destination");
                 let priority = match cfg.priority {
                     StreamPriority::Uniform => 0,
@@ -239,8 +243,10 @@ pub fn route_streaming_observed<R: Rng + ?Sized, O: RouteObserver + ?Sized>(
                     arrival: sim.packet(p).last_move,
                 });
             }
+            // lint: allow-panic(RangeFull slicing of a Vec cannot panic)
             if let [c] = contenders[..] {
                 sim.stage_exit(c.pkt, c.desired, ExitKind::Advance)
+                    // lint: allow-panic(engine invariant: a lone contender's desired slot is free by the bufferless law)
                     .expect("lone desired slot is free");
                 continue;
             }
@@ -254,6 +260,7 @@ pub fn route_streaming_observed<R: Rng + ?Sized, O: RouteObserver + ?Sized>(
                 rng,
                 &mut scratch,
             )
+            // lint: allow-panic(engine invariant: fallback resolution always succeeds within the degree bound)
             .expect("fallback resolution cannot fail within degree bound");
             for &e in exits {
                 let kind = if e.won {
@@ -262,6 +269,7 @@ pub fn route_streaming_observed<R: Rng + ?Sized, O: RouteObserver + ?Sized>(
                     ExitKind::Deflect { safe: e.safe }
                 };
                 sim.stage_exit(e.pkt, e.mv, kind)
+                    // lint: allow-panic(engine invariant: the resolver emits only feasible exits)
                     .expect("resolver produces feasible exits");
             }
         }
@@ -269,7 +277,9 @@ pub fn route_streaming_observed<R: Rng + ?Sized, O: RouteObserver + ?Sized>(
         // 2. Arrival intake: packets whose step has come enter the
         // queue, or are dropped if the queue is at its bound.
         while next_arrival < n {
+            // lint: allow-panic(loop guard: next_arrival < n and order has exactly n entries)
             let p = order[next_arrival];
+            // lint: allow-panic(p < n indexes the length-asserted schedule)
             if schedule[p as usize] > now {
                 break;
             }
@@ -295,6 +305,7 @@ pub fn route_streaming_observed<R: Rng + ?Sized, O: RouteObserver + ?Sized>(
             if budget == 0 {
                 return true;
             }
+            // lint: allow-panic(admission invariant: the deferred queue holds only pending packets)
             match sim.try_inject(p).expect("queued packets are pending") {
                 InjectOutcome::Injected => {
                     budget -= 1;
@@ -309,6 +320,7 @@ pub fn route_streaming_observed<R: Rng + ?Sized, O: RouteObserver + ?Sized>(
             }
         });
 
+        // lint: allow-panic(engine invariant: pass 1 staged an exit for every occupied node)
         sim.finish_step().expect("all arrivals staged");
         peak_in_flight = peak_in_flight.max(sim.active_count());
     }

@@ -181,23 +181,31 @@ impl RoutingProblem {
     pub fn per_set_congestion(&self, assignment: &[u32], num_sets: usize) -> Vec<u32> {
         assert_eq!(assignment.len(), self.packets.len());
         let ne = self.net.num_edges();
-        // One pass per edge-slot with set-tagged counting: a dense
-        // (num_sets x num_edges) matrix would be large, so count into a
-        // per-set sparse accumulation instead.
-        let mut per_set_edge: Vec<std::collections::HashMap<u32, u32>> =
-            vec![std::collections::HashMap::new(); num_sets];
+        // A dense (num_sets x num_edges) matrix would be large, so
+        // collect the sparse (set, edge) incidences and count equal runs
+        // after a sort — order-deterministic, and cache-friendlier than
+        // per-set hash maps.
+        let mut incidences: Vec<(u32, u32)> = Vec::new();
         for (p, &set) in self.packets.iter().zip(assignment) {
             assert!((set as usize) < num_sets, "set id out of range");
-            let map = &mut per_set_edge[set as usize];
             for &e in p.path.edges() {
                 debug_assert!(e.index() < ne);
-                *map.entry(e.0).or_insert(0) += 1;
+                incidences.push((set, e.0));
             }
         }
-        per_set_edge
-            .into_iter()
-            .map(|m| m.into_values().max().unwrap_or(0))
-            .collect()
+        incidences.sort_unstable();
+        let mut out = vec![0u32; num_sets];
+        let mut run = 0u32;
+        for (i, &(set, edge)) in incidences.iter().enumerate() {
+            run = if i > 0 && incidences[i - 1] == (set, edge) {
+                run + 1
+            } else {
+                1
+            };
+            let max = &mut out[set as usize];
+            *max = (*max).max(run);
+        }
+        out
     }
 
     /// Histogram of path lengths (index = length).

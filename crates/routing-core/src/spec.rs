@@ -367,11 +367,19 @@ impl RunSpec {
     }
 }
 
+/// Every algorithm name some driver dispatches on: the batch routers
+/// (`hotpotato route`, serve) plus the streaming-only priority rules.
+/// [`parse_run_spec`] validates against this list so a typo fails at
+/// parse time with the valid set in the message, not deep in a driver.
+pub const KNOWN_ALGOS: &[&str] = &["busch", "greedy", "ftg", "rank", "sf", "sfrank", "aging"];
+
 /// Parses a [`RunSpec`] from `TOPO/WL[/ALGO[/SEED[/ARRIVAL]]]`. The
 /// algorithm defaults to `busch`, the seed to 1, and the arrival process
-/// to none (batch mode). The arrival segment is validated here; the topo
-/// and workload grammars are checked when the problem is reconstructed.
+/// to none (batch mode). The algorithm, seed and arrival segments are
+/// validated here; the topo and workload grammars are checked when the
+/// problem is reconstructed.
 pub fn parse_run_spec(spec: &str) -> Result<RunSpec, String> {
+    const SEGMENTS: [&str; 5] = ["topo", "workload", "algo", "seed", "arrival"];
     let parts: Vec<&str> = spec.split('/').collect();
     if !(2..=5).contains(&parts.len()) {
         return Err(format!(
@@ -379,8 +387,21 @@ pub fn parse_run_spec(spec: &str) -> Result<RunSpec, String> {
              e.g. bf:10/bitrev/busch/7 or bf:10/pairs:64/greedy/7/poisson:0.5"
         ));
     }
-    if parts.iter().any(|p| p.is_empty()) {
-        return Err(format!("run spec '{spec}' has an empty component"));
+    for (i, p) in parts.iter().enumerate() {
+        if p.is_empty() {
+            return Err(format!(
+                "run spec '{spec}' has an empty {} segment",
+                SEGMENTS[i]
+            ));
+        }
+    }
+    if let Some(algo) = parts.get(2) {
+        if !KNOWN_ALGOS.contains(algo) {
+            return Err(format!(
+                "unknown algorithm '{algo}' (known: {})",
+                KNOWN_ALGOS.join("|")
+            ));
+        }
     }
     let seed = match parts.get(3) {
         Some(s) => s

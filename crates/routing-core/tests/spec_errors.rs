@@ -1,0 +1,129 @@
+//! Pinned error messages for every way a run spec can be malformed.
+//!
+//! `parse_run_spec` is the single text entry point the CLI, the serve
+//! layer and the bench harness all funnel through — its error strings
+//! ARE the user interface for a mistyped spec. Each test pins the exact
+//! message so a reworded or mis-attributed error (wrong segment blamed,
+//! valid set dropped from the hint) fails here, not in a user's
+//! terminal.
+
+use routing_core::spec::{parse_run_spec, parse_topo, RunSpec};
+
+/// The `Err` payload of a spec, as an owned string.
+fn err(spec: &str) -> String {
+    parse_run_spec(spec).expect_err(spec)
+}
+
+#[test]
+fn arity_too_short_and_too_long() {
+    let msg = "run spec 'bf:10' must be TOPO/WL[/ALGO[/SEED[/ARRIVAL]]], \
+               e.g. bf:10/bitrev/busch/7 or bf:10/pairs:64/greedy/7/poisson:0.5";
+    assert_eq!(err("bf:10"), msg);
+    assert_eq!(
+        err("bf:10/bitrev/busch/7/poisson:0.5/extra"),
+        msg.replace("'bf:10'", "'bf:10/bitrev/busch/7/poisson:0.5/extra'")
+    );
+}
+
+#[test]
+fn empty_segments_are_blamed_by_name() {
+    assert_eq!(
+        err("/bitrev/busch"),
+        "run spec '/bitrev/busch' has an empty topo segment"
+    );
+    assert_eq!(
+        err("bf:10//busch"),
+        "run spec 'bf:10//busch' has an empty workload segment"
+    );
+    assert_eq!(
+        err("bf:10/bitrev//7"),
+        "run spec 'bf:10/bitrev//7' has an empty algo segment"
+    );
+    assert_eq!(
+        err("bf:10/bitrev/busch//poisson:0.5"),
+        "run spec 'bf:10/bitrev/busch//poisson:0.5' has an empty seed segment"
+    );
+    assert_eq!(
+        err("bf:10/bitrev/busch/7/"),
+        "run spec 'bf:10/bitrev/busch/7/' has an empty arrival segment"
+    );
+}
+
+#[test]
+fn unknown_algorithm_lists_the_valid_set() {
+    assert_eq!(
+        err("bf:10/bitrev/nosuch"),
+        "unknown algorithm 'nosuch' (known: busch|greedy|ftg|rank|sf|sfrank|aging)"
+    );
+}
+
+#[test]
+fn bad_seed_is_named() {
+    assert_eq!(err("bf:10/bitrev/busch/x"), "bad run seed 'x'");
+    assert_eq!(err("bf:10/bitrev/busch/-1"), "bad run seed '-1'");
+}
+
+#[test]
+fn bad_arrival_segments() {
+    assert_eq!(
+        err("bf:10/bitrev/greedy/7/nosuch:1"),
+        "unknown arrival process 'nosuch' (poisson|burst|replay)"
+    );
+    assert_eq!(
+        err("bf:10/bitrev/greedy/7/poisson:fast"),
+        "bad poisson rate 'fast'"
+    );
+    assert_eq!(
+        err("bf:10/bitrev/greedy/7/poisson:0"),
+        "poisson rate 0 must be positive and finite"
+    );
+    assert_eq!(
+        err("bf:10/bitrev/greedy/7/burst:4"),
+        "burst needs SIZE:PERIOD, got '4'"
+    );
+    assert_eq!(
+        err("bf:10/bitrev/greedy/7/replay:3,1"),
+        "replay arrival steps must be non-decreasing"
+    );
+}
+
+#[test]
+fn malformed_topo_surfaces_at_instantiation() {
+    // The topo grammar is deliberately checked at problem construction,
+    // not parse time — but the message is still pinned end to end.
+    let spec = parse_run_spec("nosuch:4/bitrev/busch/7").expect("parse defers topo checks");
+    assert_eq!(
+        spec.instantiate().err().expect("unknown topology"),
+        "unknown topology 'nosuch'"
+    );
+    assert_eq!(
+        parse_topo("bf:99").err().expect("dimension bound"),
+        "butterfly dimension 99 out of range (1..=27)"
+    );
+}
+
+#[test]
+fn malformed_workload_surfaces_at_instantiation() {
+    let spec = parse_run_spec("bf:4/nosuch/busch/7").expect("parse defers workload checks");
+    assert_eq!(
+        spec.instantiate().err().expect("unknown workload"),
+        "unknown workload 'nosuch'"
+    );
+    let spec = parse_run_spec("bf:4/pairs/busch/7").expect("parse defers workload checks");
+    assert_eq!(
+        spec.instantiate().err().expect("missing argument"),
+        "workload 'pairs' needs an argument"
+    );
+}
+
+#[test]
+fn valid_specs_still_parse() {
+    // Guard against the new validation rejecting the documented examples.
+    assert!(parse_run_spec("bf:10/bitrev/busch/7").is_ok());
+    assert!(parse_run_spec("bf:10/pairs:64/greedy/7/poisson:0.5").is_ok());
+    assert!(parse_run_spec("mesh:8x8/transpose").is_ok());
+    assert_eq!(
+        parse_run_spec("bf:4/bitrev").unwrap(),
+        RunSpec::batch("bf:4", "bitrev", "busch", 1)
+    );
+}

@@ -11,6 +11,11 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::thread;
 
+/// Cap on the request head (request line + headers) a client may send.
+/// A peer streaming an endless line would otherwise grow `read_line`'s
+/// buffer without bound.
+const MAX_REQUEST_HEAD_BYTES: u64 = 16 * 1024;
+
 /// A parsed request line (headers are read and discarded).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Request {
@@ -81,9 +86,13 @@ fn status_text(status: u16) -> &'static str {
 
 /// Reads and parses one request from the stream: the request line, then
 /// headers up to the blank line (discarded — nothing this server does
-/// depends on them).
+/// depends on them). The whole head is read through a
+/// [`MAX_REQUEST_HEAD_BYTES`] limit; a head cut off at the limit either
+/// still parses (GET needs only the first line) or fails as malformed —
+/// it can never grow memory unboundedly.
+// lint: no-panic
 fn read_request(stream: &TcpStream) -> io::Result<Request> {
-    let mut reader = BufReader::new(stream);
+    let mut reader = BufReader::new(stream.take(MAX_REQUEST_HEAD_BYTES));
     let mut line = String::new();
     reader.read_line(&mut line)?;
     let mut parts = line.split_whitespace();
@@ -120,10 +129,21 @@ fn write_response(stream: &mut TcpStream, response: &Response) -> io::Result<()>
     stream.flush()
 }
 
-/// Handles one accepted connection end to end.
+/// Handles one accepted connection end to end. Malformed input is a
+/// `400`; a handler that panics despite the no-panic lint is caught and
+/// answered with a `500` instead of leaving the peer to hang on a dead
+/// thread.
+// lint: no-panic
 fn handle_connection(mut stream: TcpStream, handler: &dyn Fn(&Request) -> Response) {
     let response = match read_request(&stream) {
-        Ok(req) if req.method == "GET" => handler(&req),
+        Ok(req) if req.method == "GET" => {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler(&req)))
+                .unwrap_or_else(|_| Response {
+                    status: 500,
+                    content_type: "text/plain; charset=utf-8",
+                    body: "internal server error\n".into(),
+                })
+        }
         Ok(_) => Response::method_not_allowed(),
         Err(_) => Response {
             status: 400,

@@ -210,6 +210,7 @@ impl Service {
     }
 
     /// Routes one request. Pure read; callable from any thread.
+    // lint: no-panic
     pub fn handle(&self, req: &Request) -> Response {
         let path = req.path.split('?').next().unwrap_or("");
         match path {
@@ -492,7 +493,7 @@ fn percentile(sorted: &[u64], q: f64) -> f64 {
         return f64::NAN;
     }
     let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1] as f64
+    sorted.get(rank - 1).map_or(f64::NAN, |&v| v as f64)
 }
 
 /// Indexed gauge samples with a `level` label.

@@ -274,9 +274,10 @@ fn duplicate_and_invalid_specs_fail_launch() {
     };
     assert!(e.contains("duplicate"), "{e}");
     assert!(Service::launch(vec![]).is_err());
-    let bad_algo = RunConfig::new(parse_run_spec("butterfly:4/bitrev/zigzag").unwrap());
-    let Err(e) = Service::launch(vec![bad_algo]) else {
-        panic!("bad algo launched")
+    // An unknown algorithm no longer reaches launch: parse_run_spec
+    // validates against the known set up front.
+    let Err(e) = parse_run_spec("butterfly:4/bitrev/zigzag") else {
+        panic!("bad algo parsed")
     };
     assert!(e.contains("unknown algorithm"), "{e}");
     assert!(parse_run_spec("nope").is_err());

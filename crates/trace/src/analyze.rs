@@ -114,7 +114,7 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
         return 0;
     }
     let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
+    sorted.get(idx.min(sorted.len() - 1)).copied().unwrap_or(0)
 }
 
 /// Analyzes a parsed trace. Reconstruction of the instance (for level

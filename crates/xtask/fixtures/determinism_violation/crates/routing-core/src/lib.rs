@@ -1,0 +1,42 @@
+//! Seeded violation for the `determinism` lint.
+//!
+//! This tree sits under `crates/routing-core/src`, a result-affecting
+//! path: hash-order iteration of a local binding, wall-clock reads and
+//! randomly seeded hashers must all be flagged — except inside a
+//! `// lint: telemetry` fn, which models an observer that may read the
+//! clock.
+
+use std::collections::HashMap;
+
+/// Iterates a hash collection: the emitted order leaks hash order.
+pub fn assign_sets(packets: &[(u32, u32)]) -> Vec<u32> {
+    let mut by_set: HashMap<u32, u32> = HashMap::new();
+    for &(pkt, set) in packets {
+        by_set.insert(pkt, set);
+    }
+    let mut out = Vec::new();
+    for (&pkt, &set) in by_set.iter() {
+        out.push(pkt ^ set);
+    }
+    out
+}
+
+/// Reads the wall clock in result-affecting code.
+pub fn seed_from_clock() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+/// Uses the randomly seeded std hasher.
+pub fn bucket_of(key: u64) -> u64 {
+    use std::hash::{BuildHasher, Hasher, RandomState};
+    let mut h = RandomState::new().build_hasher();
+    h.write_u64(key);
+    h.finish()
+}
+
+/// Observer-only clock read: exempt via the telemetry marker.
+// lint: telemetry
+pub fn sample_wall_ms() -> u128 {
+    std::time::Instant::now().elapsed().as_millis()
+}

@@ -1,0 +1,33 @@
+//! Seeded violation for the `hot-path-closure` lint.
+//!
+//! The hot-path fn itself is allocation-free — the intraprocedural
+//! `hot-path-alloc` lint sees nothing here. The allocation hides two
+//! calls down, in a helper reached only through the call graph; the
+//! closure lint must flag it with the full call chain.
+
+/// The annotated entry point: clean body, dirty closure.
+// lint: hot-path
+pub fn step(xs: &mut [u32]) {
+    for x in xs.iter_mut() {
+        *x = advance(*x);
+    }
+}
+
+/// First hop: still allocation-free.
+fn advance(x: u32) -> u32 {
+    widen(x) + 1
+}
+
+/// Second hop: allocates per call.
+fn widen(x: u32) -> u32 {
+    let v = vec![x; 2];
+    v[0].wrapping_add(v[1])
+}
+
+/// Not reachable from the hot path — its allocation must NOT be
+/// flagged, proving the closure is call-graph-driven, not crate-wide.
+pub fn cold_setup(n: usize) -> Vec<u32> {
+    let mut v = Vec::new();
+    v.resize(n, 0);
+    v
+}

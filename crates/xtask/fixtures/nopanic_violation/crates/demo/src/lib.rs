@@ -1,0 +1,27 @@
+//! Seeded violation for the `no-panic` lint.
+//!
+//! One marked region root with a direct panic source, a transitive one
+//! reached through a helper, and one suppressed-and-counted
+//! `allow-panic(reason)` site. The suppressed site must not appear in
+//! the diagnostics but must show up in the allowed count.
+
+/// The region root: models a serve-loop handler.
+// lint: no-panic
+pub fn handle(input: Option<u32>, table: &[u32]) -> u32 {
+    // Direct violation: unwrap on client-controlled input.
+    let idx = input.unwrap() as usize;
+    // Suppressed and counted: the reason is part of the marker.
+    // lint: allow-panic(table arity is fixed at build time)
+    let base = table[0];
+    base + lookup(table, idx)
+}
+
+/// Reached from the root: indexing with an unchecked index.
+fn lookup(table: &[u32], idx: usize) -> u32 {
+    table[idx]
+}
+
+/// Not reachable from any no-panic root — free to panic.
+pub fn debug_dump(x: Option<u32>) -> u32 {
+    x.expect("debug only")
+}

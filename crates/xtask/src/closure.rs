@@ -1,0 +1,118 @@
+//! Interprocedural hot-path allocation lint (`hot-path-closure`).
+//!
+//! [`crate::hotpath`] checks `// lint: hot-path` bodies intraprocedurally,
+//! so a marked fn could launder an allocation through an unmarked helper:
+//! the marked body shows only a call, the helper shows a `Vec::new` with
+//! no marker above it, and the old lint sees nothing. This lint closes
+//! that hole: it takes the transitive callee closure of every hot-path fn
+//! over the workspace [`crate::callgraph::CallGraph`] and scans every
+//! *reached, unmarked* fn with the same forbidden-shape table, reporting
+//! the call chain by which the allocation is reachable from the inner
+//! loop.
+//!
+//! Marked roots themselves are deliberately excluded here (they are the
+//! old lint's job — two diagnostics for one site would be noise), as are
+//! fns marked `// lint: trusted(reason)`, which cut traversal entirely.
+//! Unresolved calls (std, vendored externals) are assumed
+//! allocation-free at the call boundary; the shapes std allocates with
+//! (`Vec::new`, `format!`, …) appear in first-party source where this
+//! lint does see them.
+
+use crate::callgraph::CallGraph;
+use crate::{hotpath, Config, Diagnostic};
+
+/// Lint name used in diagnostics.
+pub const LINT: &str = "hot-path-closure";
+
+/// Lints the transitive callee closure of every hot-path fn.
+pub fn check(cfg: &Config) -> Vec<Diagnostic> {
+    check_graph(&CallGraph::build(cfg))
+}
+
+/// Graph-reusing entry point (the driver builds one graph for all
+/// interprocedural lints).
+pub fn check_graph(g: &CallGraph) -> Vec<Diagnostic> {
+    let roots = g.marked("hot-path");
+    let (reach, _trusted) = g.reachable(&roots);
+    let mut diags = Vec::new();
+    for (&id, parent) in &reach {
+        if parent.is_none() {
+            continue; // a root: the intraprocedural lint owns it
+        }
+        let f = &g.fns[id];
+        if f.has_marker("hot-path") || f.has_marker("trusted") {
+            continue;
+        }
+        let toks = &g.files[f.file].toks;
+        let body = &toks[f.body.0.min(toks.len())..f.body.1.min(toks.len())];
+        for (line, shape) in hotpath::shape_hits(body) {
+            let chain = g.chain(&reach, id);
+            let root = chain.split(" → ").next().unwrap_or("?").to_string();
+            diags.push(Diagnostic {
+                file: f.rel.clone(),
+                line,
+                lint: LINT,
+                msg: format!(
+                    "fn `{}`, reached from hot-path fn `{root}` via {chain}, \
+                     uses `{shape}` (allocates per call)",
+                    f.name
+                ),
+            });
+        }
+    }
+    diags.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+
+    fn graph(src: &str) -> CallGraph {
+        let mut g = CallGraph::empty();
+        g.add_file("crates/demo/src/lib.rs".into(), "demo".into(), src);
+        g.index();
+        g
+    }
+
+    #[test]
+    fn transitive_allocation_is_flagged_with_chain() {
+        let g = graph(
+            "// lint: hot-path\nfn root(buf: &mut [u32]) { mid(buf); }\n\
+             fn mid(buf: &mut [u32]) { leaf(buf); }\n\
+             fn leaf(_buf: &mut [u32]) { let _v = Vec::new(); }\n",
+        );
+        let diags: Vec<String> = check_graph(&g).iter().map(ToString::to_string).collect();
+        assert_eq!(
+            diags,
+            ["crates/demo/src/lib.rs:4: [hot-path-closure] fn `leaf`, reached from \
+              hot-path fn `root` via root → mid → leaf, uses `Vec::new` (allocates per call)"]
+        );
+    }
+
+    #[test]
+    fn root_body_is_left_to_the_intraprocedural_lint() {
+        let g = graph("// lint: hot-path\nfn root() { let _v = Vec::new(); }\n");
+        assert!(check_graph(&g).is_empty());
+    }
+
+    #[test]
+    fn unreached_allocation_is_fine() {
+        let g = graph(
+            "// lint: hot-path\nfn root() {}\nfn elsewhere() { let _v = Vec::new(); }\n",
+        );
+        assert!(check_graph(&g).is_empty());
+    }
+
+    #[test]
+    fn trusted_fn_is_not_scanned_or_descended() {
+        let g = graph(
+            "// lint: hot-path\nfn root() { mid(); }\n\
+             // lint: trusted(amortized: grows once, then reused)\n\
+             fn mid() { let _v = Vec::new(); leaf(); }\n\
+             fn leaf() { let _s = String::new(); }\n",
+        );
+        assert!(check_graph(&g).is_empty());
+    }
+}

@@ -1,0 +1,285 @@
+//! Determinism lint (`determinism`).
+//!
+//! The repo's entire verification story — golden-equivalence between the
+//! AoS and SoA engines, sharded parallel trace verification, the
+//! congestion+dilation bound tables — assumes that the same run spec
+//! produces the same schedule, bit for bit, every time. That assumption
+//! is easy to break silently: one `for (k, v) in hash_map` in a
+//! result-affecting loop and packet service order varies per process
+//! (std's hashers are randomly seeded per process since `RandomState`
+//! seeds from the OS).
+//!
+//! Unlike the closure lints, this one is *scope*-based, not
+//! marker-based: every non-test fn in the result-affecting crates
+//! (routing-core, core, hotpotato-sim, leveled-net, baselines — not
+//! serve/bench/trace, whose timing and I/O are presentation-layer) is
+//! checked for three sources of nondeterminism:
+//!
+//! 1. **Wall-clock reads** — `Instant` / `SystemTime` identifiers in a
+//!    fn body, unless the fn is marked `// lint: telemetry` (the marker
+//!    asserts the readings feed observers/profiling only and never a
+//!    routing decision).
+//! 2. **Randomly seeded hashing** — `DefaultHasher` / `RandomState`,
+//!    flagged unconditionally: result-affecting code has no legitimate
+//!    use for a per-process-seeded hasher.
+//! 3. **Hash-order iteration** — a `let` binding whose initializer or
+//!    type annotation mentions `HashMap`/`HashSet` must not be iterated
+//!    (`.iter()`, `.keys()`, `.values()`, `.drain()`, `.retain()`,
+//!    `for _ in map`, …). Keyed `insert`/`get` access stays fine — only
+//!    order-revealing operations are flagged. (Field- and
+//!    parameter-typed maps are invisible at token level; the repo's
+//!    result-affecting state lives in locals and `Vec`s, and DESIGN.md
+//!    §14 records this as the lint's known conservatism boundary.)
+
+use crate::callgraph::CallGraph;
+use crate::lexer::{Tok, TokKind};
+use crate::{Config, Diagnostic};
+
+/// Lint name used in diagnostics.
+pub const LINT: &str = "determinism";
+
+/// Repo-relative prefixes of result-affecting code.
+pub const RESULT_AFFECTING: &[&str] = &[
+    "crates/routing-core/src",
+    "crates/core/src",
+    "crates/hotpotato-sim/src",
+    "crates/leveled-net/src",
+    "crates/baselines/src",
+];
+
+/// Order-revealing methods on hash collections.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Lints every non-test fn in the result-affecting scope.
+pub fn check(cfg: &Config) -> Vec<Diagnostic> {
+    check_graph(&CallGraph::build(cfg))
+}
+
+/// Graph-reusing entry point (the graph supplies fn boundaries, markers
+/// and test-ness; no reachability is needed here).
+pub fn check_graph(g: &CallGraph) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for f in &g.fns {
+        if f.in_test || !RESULT_AFFECTING.iter().any(|p| f.rel.starts_with(p)) {
+            continue;
+        }
+        let toks = &g.files[f.file].toks;
+        let body = &toks[f.body.0.min(toks.len())..f.body.1.min(toks.len())];
+        scan_fn(&f.rel, &f.name, f.has_marker("telemetry"), body, &mut diags);
+    }
+    diags.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    diags
+}
+
+/// Scans one fn body for the three nondeterminism sources.
+fn scan_fn(rel: &str, fn_name: &str, telemetry: bool, body: &[Tok], diags: &mut Vec<Diagnostic>) {
+    let code: Vec<&Tok> = body.iter().filter(|t| !t.is_comment()).collect();
+    let mut hash_bindings: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        let t = code[i];
+        if t.kind == TokKind::Ident {
+            match t.text.as_str() {
+                "Instant" | "SystemTime" if !telemetry => diags.push(Diagnostic {
+                    file: rel.to_string(),
+                    line: t.line,
+                    lint: LINT,
+                    msg: format!(
+                        "fn `{fn_name}` reads `{}` (wall clock in result-affecting code; \
+                         mark `// lint: telemetry` if observer-only)",
+                        t.text
+                    ),
+                }),
+                "DefaultHasher" | "RandomState" => diags.push(Diagnostic {
+                    file: rel.to_string(),
+                    line: t.line,
+                    lint: LINT,
+                    msg: format!(
+                        "fn `{fn_name}` uses `{}` (randomly seeded hash order)",
+                        t.text
+                    ),
+                }),
+                "use" => {
+                    // `use …;` imports a name, it does not read it —
+                    // skip to the terminating `;` so `use …::RandomState`
+                    // is not reported as a use-site.
+                    while i < code.len() && !code[i].is_punct(';') {
+                        i += 1;
+                    }
+                }
+                "let" => {
+                    // `let [mut] name … = …;` — does the statement
+                    // mention a hash collection?
+                    let mut j = i + 1;
+                    if code.get(j).map(|t| t.is_ident("mut")).unwrap_or(false) {
+                        j += 1;
+                    }
+                    if let Some(name) = code.get(j).filter(|t| t.kind == TokKind::Ident) {
+                        let mut k = j + 1;
+                        let mut hashy = false;
+                        let mut depth = 0usize;
+                        while k < code.len() {
+                            let c = code[k];
+                            if c.is_punct('{') {
+                                depth += 1;
+                            } else if c.is_punct('}') {
+                                depth = depth.saturating_sub(1);
+                            } else if depth == 0 && c.is_punct(';') {
+                                break;
+                            } else if c.is_ident("HashMap") || c.is_ident("HashSet") {
+                                hashy = true;
+                            }
+                            k += 1;
+                        }
+                        if hashy {
+                            hash_bindings.push(name.text.clone());
+                        }
+                    }
+                }
+                "in" => {
+                    // `for pat in [&][mut] name` over a hash binding
+                    // (when `name` is not further dereferenced with `.`,
+                    // which the method arm below reports instead).
+                    let mut j = i + 1;
+                    while code
+                        .get(j)
+                        .map(|t| t.is_punct('&') || t.is_ident("mut"))
+                        .unwrap_or(false)
+                    {
+                        j += 1;
+                    }
+                    if let Some(name) = code.get(j).filter(|t| t.kind == TokKind::Ident) {
+                        let next_is_dot =
+                            code.get(j + 1).map(|t| t.is_punct('.')).unwrap_or(false);
+                        if hash_bindings.contains(&name.text) && !next_is_dot {
+                            diags.push(Diagnostic {
+                                file: rel.to_string(),
+                                line: name.line,
+                                lint: LINT,
+                                msg: format!(
+                                    "fn `{fn_name}` iterates hash collection `{}` \
+                                     (unordered iteration affects results)",
+                                    name.text
+                                ),
+                            });
+                        }
+                    }
+                }
+                _ => {
+                    // `name . iter_method (` on a hash binding.
+                    if hash_bindings.contains(&t.text)
+                        && code.get(i + 1).map(|n| n.is_punct('.')).unwrap_or(false)
+                    {
+                        if let Some(m) = code.get(i + 2).filter(|n| n.kind == TokKind::Ident) {
+                            if ITER_METHODS.contains(&m.text.as_str())
+                                && code.get(i + 3).map(|n| n.is_punct('(')).unwrap_or(false)
+                            {
+                                diags.push(Diagnostic {
+                                    file: rel.to_string(),
+                                    line: m.line,
+                                    lint: LINT,
+                                    msg: format!(
+                                        "fn `{fn_name}` iterates hash collection `{}` via \
+                                         `.{}()` (unordered iteration affects results)",
+                                        t.text, m.text
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+
+    fn rendered(src: &str) -> Vec<String> {
+        let mut g = CallGraph::empty();
+        g.add_file(
+            "crates/routing-core/src/lib.rs".into(),
+            "routing_core".into(),
+            src,
+        );
+        g.index();
+        check_graph(&g).iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn instant_in_scope_fires_unless_telemetry() {
+        let diags = rendered("fn f() { let _t = Instant::now(); }\n");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].contains("reads `Instant`"), "{diags:?}");
+        let ok = rendered("// lint: telemetry\nfn f() { let _t = Instant::now(); }\n");
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn default_hasher_always_fires() {
+        let diags =
+            rendered("// lint: telemetry\nfn f() { let _h = DefaultHasher::new(); }\n");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].contains("DefaultHasher"), "{diags:?}");
+    }
+
+    #[test]
+    fn hashmap_iteration_fires_but_keyed_access_does_not() {
+        let ok = rendered(
+            "fn f() { let mut m = HashMap::new(); m.insert(1, 2); let _ = m.get(&1); }\n",
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+        let diags = rendered(
+            "fn f() { let m: HashMap<u32, u32> = HashMap::new(); for _kv in &m {} let _n = m.iter().count(); }\n",
+        );
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags[0].contains("iterates hash collection `m`"), "{diags:?}");
+    }
+
+    #[test]
+    fn out_of_scope_and_test_code_are_skipped() {
+        let mut g = CallGraph::empty();
+        g.add_file(
+            "crates/serve/src/lib.rs".into(),
+            "serve".into(),
+            "fn f() { let _t = Instant::now(); }\n",
+        );
+        g.add_file(
+            "crates/routing-core/src/x.rs".into(),
+            "routing_core".into(),
+            "#[cfg(test)]\nmod tests {\n    fn f() { let _t = Instant::now(); }\n}\n",
+        );
+        g.index();
+        assert!(check_graph(&g).is_empty());
+    }
+
+    #[test]
+    fn use_imports_are_not_use_sites() {
+        let diags = rendered(
+            "fn f(key: u64) -> u64 {\n    use std::hash::{BuildHasher, RandomState};\n    RandomState::new().build_hasher().finish()\n}\n",
+        );
+        assert_eq!(diags.len(), 1, "only the construction, not the import: {diags:?}");
+        assert!(diags[0].contains(":3:"), "{diags:?}");
+    }
+
+    #[test]
+    fn vec_iteration_is_fine() {
+        let ok = rendered("fn f(v: &Vec<u32>) -> u32 { v.iter().sum() }\n");
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+}

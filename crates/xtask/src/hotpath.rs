@@ -105,7 +105,22 @@ fn annotated_fn(toks: &[Tok], from: usize) -> Option<(String, &[Tok])> {
 
 /// Reports every forbidden shape occurring in `body`.
 fn scan_body(rel: &str, fn_name: &str, body: &[Tok], diags: &mut Vec<Diagnostic>) {
+    for (line, name) in shape_hits(body) {
+        diags.push(Diagnostic {
+            file: rel.to_string(),
+            line,
+            lint: "hot-path-alloc",
+            msg: format!("hot-path fn `{fn_name}` uses `{name}` (allocates per call)"),
+        });
+    }
+}
+
+/// Every forbidden allocation shape in `body`, as `(line, shape)` pairs.
+/// Shared with the interprocedural closure lint so both report the same
+/// shape vocabulary.
+pub fn shape_hits(body: &[Tok]) -> Vec<(usize, &'static str)> {
     let code: Vec<&Tok> = body.iter().filter(|t| !t.is_comment()).collect();
+    let mut out = Vec::new();
     let mut i = 0;
     while i < code.len() {
         let mut matched = None;
@@ -116,17 +131,13 @@ fn scan_body(rel: &str, fn_name: &str, body: &[Tok], diags: &mut Vec<Diagnostic>
             }
         }
         if let Some((name, len)) = matched {
-            diags.push(Diagnostic {
-                file: rel.to_string(),
-                line: code[i].line,
-                lint: "hot-path-alloc",
-                msg: format!("hot-path fn `{fn_name}` uses `{name}` (allocates per call)"),
-            });
+            out.push((code[i].line, name));
             i += len;
         } else {
             i += 1;
         }
     }
+    out
 }
 
 fn matches_at(code: &[&Tok], at: usize, pat: &[Pat]) -> bool {

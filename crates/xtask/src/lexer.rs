@@ -105,6 +105,21 @@ pub fn lex(src: &str) -> Vec<Tok> {
             }
             line += count_lines(start, i, &b);
             toks.push(tok(TokKind::BlockComment, &b[start..i], start_line));
+        } else if c == 'r'
+            && i + 1 < n
+            && b[i + 1] == '#'
+            && i + 2 < n
+            && (b[i + 2].is_alphabetic() || b[i + 2] == '_')
+            && raw_string_hashes(&b[i..]).is_none()
+        {
+            // Raw identifier (`r#match`, `r#fn`): one Ident token whose
+            // text keeps the `r#` prefix, so `is_ident("match")` does not
+            // confuse it with the keyword.
+            i += 2;
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            toks.push(tok(TokKind::Ident, &b[start..i], start_line));
         } else if c == 'r' && raw_string_hashes(&b[i..]).is_some() {
             i += consume_raw_string(&b[i..]);
             line += count_lines(start, i, &b);
@@ -147,10 +162,22 @@ pub fn lex(src: &str) -> Vec<Tok> {
             }
             toks.push(tok(TokKind::Ident, &b[start..i], start_line));
         } else if c.is_ascii_digit() {
+            let radix_prefixed = c == '0'
+                && i + 1 < n
+                && matches!(b[i + 1], 'x' | 'X' | 'o' | 'O' | 'b' | 'B');
             while i < n
                 && (b[i].is_alphanumeric()
                     || b[i] == '_'
-                    || (b[i] == '.' && i + 1 < n && b[i + 1].is_ascii_digit() && b[i - 1] != '.'))
+                    || (b[i] == '.' && i + 1 < n && b[i + 1].is_ascii_digit() && b[i - 1] != '.')
+                    // Signed float exponent (`1e-3`, `2.5E+9`): the sign
+                    // belongs to the number iff the previous char was the
+                    // exponent marker and the literal is not 0x/0o/0b
+                    // radix-prefixed (where `E` is just a hex digit).
+                    || (!radix_prefixed
+                        && matches!(b[i], '+' | '-')
+                        && matches!(b[i - 1], 'e' | 'E')
+                        && i + 1 < n
+                        && b[i + 1].is_ascii_digit()))
             {
                 i += 1;
             }
@@ -283,5 +310,42 @@ mod tests {
         assert_eq!(t[0], (TokKind::Number, "0".into()));
         assert_eq!(t[1], (TokKind::Punct, ".".into()));
         assert_eq!(t[4], (TokKind::Number, "1.5".into()));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_raw_strings() {
+        let t = kinds("r#match r#fn(x)");
+        assert_eq!(t[0], (TokKind::Ident, "r#match".into()));
+        assert_eq!(t[1], (TokKind::Ident, "r#fn".into()));
+        assert_eq!(t[2], (TokKind::Punct, "(".into()));
+        // The prefix is kept, so keyword comparisons do not misfire.
+        assert!(!lex("r#match").iter().any(|t| t.is_ident("match")));
+    }
+
+    #[test]
+    fn raw_identifier_does_not_shadow_raw_strings() {
+        // `r#"..."#` must still lex as one Str even though `r#` + alpha
+        // looks like a raw-identifier prefix from the first two chars.
+        let t = kinds(r####"r#"abc"# r#abc"####);
+        assert_eq!(t[0].0, TokKind::Str);
+        assert_eq!(t[1], (TokKind::Ident, "r#abc".into()));
+    }
+
+    #[test]
+    fn signed_float_exponents_are_one_number() {
+        let t = kinds("1e-3 2.5E+9 7e4");
+        assert_eq!(t[0], (TokKind::Number, "1e-3".into()));
+        assert_eq!(t[1], (TokKind::Number, "2.5E+9".into()));
+        assert_eq!(t[2], (TokKind::Number, "7e4".into()));
+    }
+
+    #[test]
+    fn exponent_sign_absorption_stops_where_rust_does() {
+        // `1e` then binary minus: `1e- x` is not a signed exponent (no
+        // digit follows), and hex `0xE-1` must not eat the minus.
+        let t = kinds("a-3 0xE-1");
+        assert_eq!(t[1], (TokKind::Punct, "-".into()));
+        assert_eq!(t[3], (TokKind::Number, "0xE".into()));
+        assert_eq!(t[4], (TokKind::Punct, "-".into()));
     }
 }

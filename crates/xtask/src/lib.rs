@@ -1,7 +1,8 @@
 //! Repo-specific static analysis (`cargo xtask lint`).
 //!
-//! Three custom lints that no off-the-shelf tool can express, each
-//! enforcing an invariant this codebase's correctness story leans on:
+//! Six custom lints that no off-the-shelf tool can express, each
+//! enforcing an invariant this codebase's correctness story leans on.
+//! Three are per-function token lints:
 //!
 //! * [`hotpath`] — functions annotated `// lint: hot-path` (the engine
 //!   step, conflict-resolution, and kinematics paths) must stay free of
@@ -19,13 +20,29 @@
 //!   a matching `// check: <id>` tag in `crates/trace/src/verify.rs`, so
 //!   no invariant silently drops out of offline verification.
 //!
+//! Three are *interprocedural*, built on a workspace-wide [`callgraph`]:
+//!
+//! * [`closure`] — `hot-path-alloc` extended to the transitive callee
+//!   closure of every hot-path fn, so helpers can't smuggle allocations.
+//! * [`nopanic`] — fns marked `// lint: no-panic` (serve request loop,
+//!   snapshot exchange, streaming admission) and everything they reach
+//!   must be free of `panic!`/`unwrap`/`expect`/`assert!`/indexing,
+//!   modulo counted `// lint: allow-panic(reason)` sites.
+//! * [`determinism`] — result-affecting crates may not iterate hash
+//!   collections, read wall clocks outside `// lint: telemetry` fns, or
+//!   use randomly seeded hashers.
+//!
 //! Each lint ships with a seeded-violation fixture under `fixtures/`;
 //! `cargo xtask fixtures` (and `tests/lints.rs`) assert the exact
 //! diagnostic, file and line the violation must produce.
 
+pub mod callgraph;
+pub mod closure;
 pub mod coverage;
+pub mod determinism;
 pub mod hotpath;
 pub mod lexer;
+pub mod nopanic;
 pub mod schemafp;
 
 use std::fmt;

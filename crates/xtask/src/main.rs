@@ -2,9 +2,11 @@
 //!
 //! Subcommands:
 //!
-//! * `cargo xtask lint` — run the repo lints (hot-path allocation,
+//! * `cargo xtask lint` — run the repo lints (hot-path allocation and
+//!   its interprocedural closure, panic-freedom, determinism,
 //!   schema-drift fingerprint, invariant coverage) over the workspace;
-//!   nonzero exit on any diagnostic.
+//!   prints a per-lint summary table (diagnostic count, allow-panic
+//!   sites, wall time) and exits nonzero on any diagnostic.
 //! * `cargo xtask lint --bless` — re-commit the schema fingerprint
 //!   (refused when the schema drifted without a `SCHEMA_VERSION` bump),
 //!   then lint.
@@ -14,7 +16,9 @@
 //!   This proves the lints actually fire; CI runs it next to `lint`.
 
 use std::path::{Path, PathBuf};
-use xtask::{coverage, hotpath, schemafp, Config, Diagnostic};
+use std::time::Instant;
+use xtask::callgraph::CallGraph;
+use xtask::{closure, coverage, determinism, hotpath, nopanic, schemafp, Config, Diagnostic};
 
 fn main() {
     std::process::exit(run());
@@ -43,12 +47,76 @@ fn workspace_root() -> PathBuf {
         .to_path_buf()
 }
 
-/// Runs all three lints over `root` and returns the diagnostics.
-fn run_all(cfg: &Config) -> Vec<Diagnostic> {
-    let mut diags = hotpath::check(cfg);
-    diags.extend(schemafp::check(cfg));
-    diags.extend(coverage::check(cfg));
-    diags
+/// One row of the per-lint summary table.
+struct LintRow {
+    name: &'static str,
+    diags: Vec<Diagnostic>,
+    /// `allow-panic(reason)` sites suppressed (no-panic only).
+    allowed: Option<usize>,
+    wall_ms: u128,
+}
+
+/// Times one lint pass into a summary row.
+fn timed(name: &'static str, f: impl FnOnce() -> Vec<Diagnostic>) -> LintRow {
+    let t0 = Instant::now();
+    let diags = f();
+    LintRow {
+        name,
+        diags,
+        allowed: None,
+        wall_ms: t0.elapsed().as_millis(),
+    }
+}
+
+/// Runs all six lints over `root`. The call graph is built once and
+/// shared by the three interprocedural lints (its construction time is
+/// charged to the `hot-path-closure` row).
+fn run_all(cfg: &Config) -> Vec<LintRow> {
+    let mut rows = Vec::new();
+    rows.push(timed("hot-path-alloc", || hotpath::check(cfg)));
+    let t0 = Instant::now();
+    let graph = CallGraph::build(cfg);
+    rows.push(LintRow {
+        name: "hot-path-closure",
+        diags: closure::check_graph(&graph),
+        allowed: None,
+        wall_ms: t0.elapsed().as_millis(),
+    });
+    let t0 = Instant::now();
+    let (diags, allowed) = nopanic::check_graph(&graph);
+    rows.push(LintRow {
+        name: "no-panic",
+        diags,
+        allowed: Some(allowed),
+        wall_ms: t0.elapsed().as_millis(),
+    });
+    let t0 = Instant::now();
+    rows.push(LintRow {
+        name: "determinism",
+        diags: determinism::check_graph(&graph),
+        allowed: None,
+        wall_ms: t0.elapsed().as_millis(),
+    });
+    rows.push(timed("schema-drift", || schemafp::check(cfg)));
+    rows.push(timed("invariant-coverage", || coverage::check(cfg)));
+    rows
+}
+
+/// Prints the per-lint summary table (CI greps the `lint-time` lines to
+/// watch for lint cost regressions).
+fn summary(rows: &[LintRow]) {
+    println!("{:<20} {:>11} {:>8} {:>8}", "lint", "diagnostics", "allowed", "wall-ms");
+    for r in rows {
+        let allowed = r.allowed.map_or("-".to_string(), |n| n.to_string());
+        println!(
+            "{:<20} {:>11} {:>8} {:>8}",
+            r.name,
+            r.diags.len(),
+            allowed,
+            r.wall_ms
+        );
+        println!("lint-time {} {}ms", r.name, r.wall_ms);
+    }
 }
 
 fn lint(root: &Path, bless: bool) -> i32 {
@@ -61,15 +129,23 @@ fn lint(root: &Path, bless: bool) -> i32 {
         }
         println!("blessed {}", cfg.rel(&cfg.fingerprint_file()));
     }
-    let diags = run_all(&cfg);
-    for d in &diags {
-        eprintln!("{d}");
+    let rows = run_all(&cfg);
+    let mut total = 0usize;
+    for r in &rows {
+        for d in &r.diags {
+            eprintln!("{d}");
+        }
+        total += r.diags.len();
     }
-    if diags.is_empty() {
-        println!("xtask lint: clean (hot-path-alloc, schema-drift, invariant-coverage)");
+    summary(&rows);
+    if total == 0 {
+        println!(
+            "xtask lint: clean (hot-path-alloc, hot-path-closure, no-panic, \
+             determinism, schema-drift, invariant-coverage)"
+        );
         0
     } else {
-        eprintln!("xtask lint: {} error(s)", diags.len());
+        eprintln!("xtask lint: {total} error(s)");
         1
     }
 }
@@ -77,8 +153,14 @@ fn lint(root: &Path, bless: bool) -> i32 {
 /// Maps a fixture directory name to the single lint it seeds a
 /// violation for (a fixture tree only carries that lint's input files).
 fn fixture_lint(name: &str) -> Option<fn(&Config) -> Vec<Diagnostic>> {
-    if name.starts_with("hotpath") {
+    if name.starts_with("hotpath_closure") {
+        Some(closure::check)
+    } else if name.starts_with("hotpath") {
         Some(hotpath::check)
+    } else if name.starts_with("nopanic") {
+        Some(nopanic::check)
+    } else if name.starts_with("determinism") {
+        Some(determinism::check)
     } else if name.starts_with("schema") {
         Some(schemafp::check)
     } else if name.starts_with("coverage") {
@@ -124,8 +206,8 @@ fn fixtures(root: &Path) -> i32 {
         let expected: Vec<&str> = expected.lines().filter(|l| !l.is_empty()).collect();
         let Some(lint) = fixture_lint(&name) else {
             eprintln!(
-                "fixture {name}: name must start with hotpath/schema/coverage \
-                 to select the lint under test"
+                "fixture {name}: name must start with hotpath/hotpath_closure/\
+                 nopanic/determinism/schema/coverage to select the lint under test"
             );
             failed += 1;
             continue;

@@ -1,0 +1,161 @@
+//! Pinned token streams for the lexer's edge cases.
+//!
+//! The interprocedural lints trust the lexer to classify exactly — a
+//! raw string mistaken for an identifier, or a char literal mistaken
+//! for a lifetime, silently changes what the call-graph and panic-shape
+//! matchers see. Each test here pins the full `(kind, text)` stream for
+//! one tricky input, so any lexer change that reshapes a stream fails
+//! loudly with a diff instead of surfacing as a phantom lint result.
+
+use xtask::lexer::{lex, TokKind};
+
+/// Renders a token stream as `Kind(text)` strings for exact comparison.
+fn stream(src: &str) -> Vec<String> {
+    lex(src)
+        .into_iter()
+        .map(|t| format!("{:?}({})", t.kind, t.text))
+        .collect()
+}
+
+#[test]
+fn raw_strings_all_hash_depths() {
+    assert_eq!(
+        stream(r#####"r"a" r#"b"# r##"c"## br#"d"#"#####),
+        [
+            r#####"Str(r"a")"#####,
+            r#####"Str(r#"b"#)"#####,
+            r#####"Str(r##"c"##)"#####,
+            r#####"Str(br#"d"#)"#####,
+        ]
+    );
+}
+
+#[test]
+fn raw_string_containing_quote_and_hash() {
+    // The closing delimiter must match the opening hash count exactly;
+    // an interior `"#` does not close an `r##"..."##` string.
+    assert_eq!(
+        stream(r###"r##"has "# inside"## tail"###),
+        [r###"Str(r##"has "# inside"##)"###, "Ident(tail)"]
+    );
+}
+
+#[test]
+fn raw_identifiers_keep_prefix() {
+    assert_eq!(
+        stream("r#match r#fn ( r#type )"),
+        [
+            "Ident(r#match)",
+            "Ident(r#fn)",
+            "Punct(()",
+            "Ident(r#type)",
+            "Punct())",
+        ]
+    );
+}
+
+#[test]
+fn nested_block_comment_is_one_token() {
+    assert_eq!(
+        stream("/* a /* b /* c */ */ */ x"),
+        ["BlockComment(/* a /* b /* c */ */ */)", "Ident(x)"]
+    );
+}
+
+#[test]
+fn block_comment_hides_line_comment_and_string() {
+    assert_eq!(
+        stream("/* \" // */ y"),
+        ["BlockComment(/* \" // */)", "Ident(y)"]
+    );
+}
+
+#[test]
+fn lifetime_char_disambiguation() {
+    assert_eq!(
+        stream("&'a str 'x' '\\'' b'z' 'static"),
+        [
+            "Punct(&)",
+            "Lifetime('a)",
+            "Ident(str)",
+            "Char('x')",
+            "Char('\\'')",
+            "Char(b'z')",
+            "Lifetime('static)",
+        ]
+    );
+}
+
+#[test]
+fn labeled_loop_is_a_lifetime() {
+    assert_eq!(
+        stream("'outer: loop"),
+        ["Lifetime('outer)", "Punct(:)", "Ident(loop)"]
+    );
+}
+
+#[test]
+fn numbers_with_exponents_and_suffixes() {
+    assert_eq!(
+        stream("1e-3 2.5E+9 0xff_u32 1_000 0b1010 3f64"),
+        [
+            "Number(1e-3)",
+            "Number(2.5E+9)",
+            "Number(0xff_u32)",
+            "Number(1_000)",
+            "Number(0b1010)",
+            "Number(3f64)",
+        ]
+    );
+}
+
+#[test]
+fn range_and_field_access_are_not_floats() {
+    assert_eq!(
+        stream("0..n 1..=2 t.0"),
+        [
+            "Number(0)",
+            "Punct(.)",
+            "Punct(.)",
+            "Ident(n)",
+            "Number(1)",
+            "Punct(.)",
+            "Punct(.)",
+            "Punct(=)",
+            "Number(2)",
+            "Ident(t)",
+            "Punct(.)",
+            "Number(0)",
+        ]
+    );
+}
+
+#[test]
+fn string_escapes_do_not_terminate_early() {
+    assert_eq!(
+        stream(r#""a\"b" "\\" c"#),
+        [r#"Str("a\"b")"#, r#"Str("\\")"#, "Ident(c)"]
+    );
+}
+
+#[test]
+fn marker_comment_survives_amid_edge_cases() {
+    // A `// lint:` marker after a raw string on the same logical pass —
+    // the marker scan reads LineComment tokens, so this pins that the
+    // raw string does not swallow it.
+    let toks = lex("let s = r#\"// lint: hot-path\"#; // lint: no-panic\nfn f() {}");
+    let comments: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::LineComment)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(comments, ["// lint: no-panic"]);
+}
+
+#[test]
+fn unterminated_constructs_do_not_panic() {
+    // Tolerated: the remainder becomes one token.
+    assert_eq!(stream("\"open").len(), 1);
+    assert_eq!(stream("/* open").len(), 1);
+    assert_eq!(stream("r#\"open").len(), 1);
+}

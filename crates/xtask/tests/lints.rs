@@ -7,7 +7,7 @@
 //! `cargo test` also proves the lints are live, not just compiled.
 
 use std::path::{Path, PathBuf};
-use xtask::{coverage, hotpath, schemafp, Config, Diagnostic};
+use xtask::{closure, coverage, determinism, hotpath, nopanic, schemafp, Config, Diagnostic};
 
 fn repo_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
@@ -82,10 +82,56 @@ fn bless_refuses_unbumped_drift() {
 }
 
 #[test]
+fn closure_lint_fires_on_seeded_transitive_allocation() {
+    let got = rendered(closure::check(&fixture("hotpath_closure_violation")));
+    assert_eq!(got, expected("hotpath_closure_violation"));
+}
+
+#[test]
+fn closure_fixture_is_invisible_to_the_intraprocedural_lint() {
+    // The acceptance criterion for the call-graph layer: the seeded
+    // allocation sits two calls below the hot-path fn, so the old
+    // per-function `hot-path-alloc` must see a clean tree while the
+    // closure lint flags it.
+    let cfg = fixture("hotpath_closure_violation");
+    let intra = hotpath::check(&cfg);
+    assert!(intra.is_empty(), "intraprocedural lint must miss it: {intra:#?}");
+    assert!(!closure::check(&cfg).is_empty());
+}
+
+#[test]
+fn nopanic_lint_fires_on_seeded_panics() {
+    let got = rendered(nopanic::check(&fixture("nopanic_violation")));
+    assert_eq!(got, expected("nopanic_violation"));
+}
+
+#[test]
+fn nopanic_fixture_counts_its_allowed_site() {
+    // The fixture carries exactly one `// lint: allow-panic(reason)`
+    // site; it must be suppressed from the diagnostics AND counted.
+    let (diags, allowed) = nopanic::check_counted(&fixture("nopanic_violation"));
+    assert_eq!(allowed, 1);
+    assert!(
+        !diags.iter().any(|d| d.msg.contains("table[0]")),
+        "suppressed site leaked: {diags:#?}"
+    );
+}
+
+#[test]
+fn determinism_lint_fires_on_seeded_nondeterminism() {
+    let got = rendered(determinism::check(&fixture("determinism_violation")));
+    assert_eq!(got, expected("determinism_violation"));
+}
+
+#[test]
 fn real_workspace_is_clean() {
     let cfg = Config::new(repo_root());
     let mut diags = hotpath::check(&cfg);
     diags.extend(schemafp::check(&cfg));
     diags.extend(coverage::check(&cfg));
+    let g = xtask::callgraph::CallGraph::build(&cfg);
+    diags.extend(closure::check_graph(&g));
+    diags.extend(nopanic::check_graph(&g).0);
+    diags.extend(determinism::check_graph(&g));
     assert!(diags.is_empty(), "{diags:#?}");
 }
