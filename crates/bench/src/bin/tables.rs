@@ -53,6 +53,8 @@ fn measure_perf_doc(quick: bool) -> serde_json::Value {
     rep.rows.push(experiments::perf::measure_streaming(quick));
     eprintln!("perfjson: measuring sharded trace-verify row...");
     rep.rows.push(experiments::perf::measure_verify(quick));
+    eprintln!("perfjson: measuring fleet-throughput row...");
+    rep.rows.push(experiments::perf::measure_fleet(quick));
     let rows: Vec<serde_json::Value> = rep
         .rows
         .iter()
@@ -71,6 +73,8 @@ fn measure_perf_doc(quick: bool) -> serde_json::Value {
                 "peak_rss_bytes": r.peak_rss_bytes,
                 "rss_bytes_per_packet": r.rss_bytes_per_packet(),
                 "violations": r.violations,
+                "runs": r.runs,
+                "runs_per_s": r.runs_per_s(),
             })
         })
         .collect();

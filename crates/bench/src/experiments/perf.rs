@@ -69,6 +69,8 @@ pub struct PerfMeasurement {
     /// Invariant violations observed (`Some(0)` required of audited
     /// large-instance rows; `None` where no audit runs).
     pub violations: Option<u64>,
+    /// Sweep runs executed (`Some` only for the fleet-throughput row).
+    pub runs: Option<u64>,
 }
 
 impl PerfMeasurement {
@@ -91,6 +93,11 @@ impl PerfMeasurement {
     pub fn rss_bytes_per_packet(&self) -> Option<f64> {
         self.peak_rss_bytes
             .map(|b| b as f64 / self.packets.max(1) as f64)
+    }
+
+    /// Sweep runs per wall-clock second (fleet-throughput row only).
+    pub fn runs_per_s(&self) -> Option<f64> {
+        self.runs.map(|r| r as f64 / self.wall_s)
     }
 }
 
@@ -170,6 +177,7 @@ pub fn measure(quick: bool) -> PerfReport {
             moves: out.stats.counter("moves"),
             peak_rss_bytes: peak_rss_bytes(),
             violations: Some(out.invariants.total_violations()),
+            runs: None,
         });
     }
 
@@ -195,6 +203,7 @@ pub fn measure(quick: bool) -> PerfReport {
             moves: record.len() as u64,
             peak_rss_bytes: peak_rss_bytes(),
             violations: None,
+            runs: None,
         });
 
         let (wall_s, repeats, rep) = timed_best(quick, || {
@@ -210,6 +219,7 @@ pub fn measure(quick: bool) -> PerfReport {
             moves: rep.moves,
             peak_rss_bytes: peak_rss_bytes(),
             violations: None,
+            runs: None,
         });
     }
 
@@ -232,6 +242,7 @@ pub fn measure(quick: bool) -> PerfReport {
             moves,
             peak_rss_bytes: peak_rss_bytes(),
             violations: None,
+            runs: None,
         });
     }
 
@@ -284,6 +295,7 @@ pub fn measure_large(quick: bool) -> PerfMeasurement {
         moves: out.stats.counter("moves"),
         peak_rss_bytes: peak_rss_bytes(),
         violations: Some(out.invariants.total_violations()),
+        runs: None,
     }
 }
 
@@ -332,6 +344,7 @@ pub fn measure_streaming(quick: bool) -> PerfMeasurement {
         moves: out.stats.counter("moves"),
         peak_rss_bytes: peak_rss_bytes(),
         violations: Some(u64::from(!out.drained)),
+        runs: None,
     }
 }
 
@@ -388,6 +401,46 @@ pub fn measure_verify(quick: bool) -> PerfMeasurement {
         moves: events,
         peak_rss_bytes: peak_rss_bytes(),
         violations: Some(0),
+        runs: None,
+    }
+}
+
+/// The fleet-throughput row: a fixed ladder of sweep specs (a seed
+/// range across butterfly sizes) collected through the same per-run
+/// trace envelope, replay verification, and [`FleetAggregator`] fold
+/// that `serve --fleet` and the `t1`/`t8` tables use, on the shared
+/// worker pool. `moves` carries the real summed per-run move counts
+/// (the adaptive gate's yardstick); `runs`/`runs_per_s` ride into the
+/// baseline document as the sweep-throughput figure. Panics on any
+/// failed run or invariant violation: the row's presence in the
+/// baseline is the claim that the ladder completes cleanly.
+///
+/// [`FleetAggregator`]: hotpotato_trace::FleetAggregator
+pub fn measure_fleet(quick: bool) -> PerfMeasurement {
+    let (sweep, k) = if quick {
+        ("bf:5..6/bitrev/busch/5..10", 6)
+    } else {
+        ("bf:6..8/bitrev/busch/5..12", 8)
+    };
+    let specs = routing_core::spec::expand_sweep(sweep).expect("fixed ladder parses");
+    let runs = specs.len() as u64;
+    // One timed pass: the whole ladder is far past the minimum-wall
+    // threshold, like the large row.
+    let (wall_s, repeats, agg) =
+        timed_best(true, || crate::fleet::collect_specs(specs.clone(), true));
+    assert_eq!(agg.failed(), 0, "fleet ladder must complete");
+    assert_eq!(agg.violations(), 0, "fleet ladder must be violation-free");
+    PerfMeasurement {
+        component: "fleet (sweep collect)",
+        k,
+        packets: agg.samples().map(|s| s.packets).sum(),
+        wall_s,
+        repeats,
+        steps: Some(agg.samples().map(|s| s.steps).sum()),
+        moves: agg.samples().map(|s| s.moves).sum(),
+        peak_rss_bytes: peak_rss_bytes(),
+        violations: Some(agg.violations()),
+        runs: Some(runs),
     }
 }
 
@@ -397,6 +450,7 @@ pub fn run(quick: bool) {
     report.rows.push(measure_large(quick));
     report.rows.push(measure_streaming(quick));
     report.rows.push(measure_verify(quick));
+    report.rows.push(measure_fleet(quick));
     let mut t = Table::new(
         format!(
             "PERF: end-to-end throughput; classic rows on bf({}) bit-reversal \
@@ -412,6 +466,7 @@ pub fn run(quick: bool) {
             "steps/s",
             "moves/s",
             "packets/s",
+            "runs/s",
             "peak RSS B/pkt",
         ],
     );
@@ -425,9 +480,11 @@ pub fn run(quick: bool) {
             row.steps_per_s().map_or_else(|| "-".into(), f),
             f(row.moves_per_s()),
             f(row.packets_per_s()),
+            row.runs_per_s().map_or_else(|| "-".into(), f),
             row.rss_bytes_per_packet().map_or_else(|| "-".into(), f),
         ]);
     }
     t.note("best-of-repeats per component; large row audited + banded; streaming row is sustained Poisson load");
+    t.note("fleet row: verified sweep ladder through the fleet envelope + aggregation");
     t.print();
 }

@@ -6,41 +6,29 @@
 //! * **L-sweep** — fixed congestion on deeper and deeper networks;
 //! * **N-sweep** — growing butterflies with proportional packet counts.
 //!
-//! For each point we report the measured makespan `T` and the normalized
-//! ratio `T / (C + L)`. Theorem 2.6 predicts the ratio stays bounded by a
-//! polylog as `C` or `L` grow (the schedule is `(⌈aC⌉·m + L)·m·w` steps);
-//! a superlinear trend in either sweep would falsify the reproduction.
+//! Every table is built from a **fleet artifact**: the sweep's specs run
+//! through [`crate::fleet::collect_strs`] (the same per-run envelope and
+//! [`FleetAggregator`] fold that backs the live `/fleet` endpoint), and
+//! each row reads its own cell back out of the rollup document — mean
+//! makespan `T`, the normalized ratio `T/(C+L)` with its bootstrap 95%
+//! CI, deliveries, and violations. The rollup's log-log fit of
+//! `ln T` on `ln (C+L)` is printed as each sweep's scaling verdict:
+//! Theorem 2.6 predicts an exponent ≈ 1 up to polylog factors, so a
+//! clearly superlinear fit would falsify the reproduction. Because the
+//! aggregation is deterministic at any worker count, these tables are
+//! byte-identical however the runs were scheduled.
+//!
+//! Run seeds drive the whole spec — workload generation *and* routing —
+//! so per-cell congestion is a (narrow) range rather than one value; the
+//! `sets/m` column shows [`Params::auto`] for the first seed's instance.
+//!
+//! [`FleetAggregator`]: hotpotato_trace::FleetAggregator
 
-use crate::runner::{self, average, parallel_map};
+use crate::fleet::collect_strs;
 use crate::table::{f, Table};
 use busch_router::Params;
-use leveled_net::builders;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use routing_core::{workloads, RoutingProblem};
-use std::sync::Arc;
-
-fn row_for(t: &mut Table, label: &str, prob: &Arc<RoutingProblem>, params: Params, seeds: u64) {
-    let runs = parallel_map((0..seeds).collect::<Vec<u64>>(), |seed| {
-        runner::run_busch(prob, params, 1000 + seed)
-    });
-    let avg = average(&runs);
-    let c = prob.congestion() as u64;
-    let l = prob.network().depth() as u64;
-    let cl = (c + l).max(1);
-    t.row(vec![
-        label.to_string(),
-        prob.num_packets().to_string(),
-        c.to_string(),
-        prob.dilation().to_string(),
-        l.to_string(),
-        format!("{}/{}", params.num_sets, params.m),
-        avg.makespan.to_string(),
-        f(avg.makespan as f64 / cl as f64),
-        format!("{}/{}", avg.delivered, avg.n),
-        avg.violations.to_string(),
-    ]);
-}
+use hotpotato_trace::FleetAggregator;
+use serde::Value;
 
 const HEADER: &[&str] = &[
     "instance",
@@ -51,9 +39,94 @@ const HEADER: &[&str] = &[
     "sets/m",
     "T (steps)",
     "T/(C+L)",
+    "ratio CI95",
     "delivered",
     "viol",
 ];
+
+/// One sweep row: a display label plus every spec that feeds its cell.
+struct SweepRow {
+    label: String,
+    specs: Vec<String>,
+}
+
+fn sweep_row(label: impl Into<String>, spec: impl Fn(u64) -> String, seeds: u64) -> SweepRow {
+    SweepRow {
+        label: label.into(),
+        specs: (0..seeds).map(|s| spec(1000 + s)).collect(),
+    }
+}
+
+/// Collects every row's specs into one fleet aggregation, then renders
+/// each row from its cell of the rollup document.
+fn render_sweep(t: &mut Table, rows: &[SweepRow]) -> FleetAggregator {
+    let specs: Vec<String> = rows.iter().flat_map(|r| r.specs.clone()).collect();
+    let agg = collect_strs(&specs, false);
+    assert_eq!(agg.failed(), 0, "T1 sweep runs must all complete");
+    let doc = agg.to_json();
+    for row in rows {
+        // The row's first spec identifies its cell (topo, packets) and a
+        // representative instance for the parameter column.
+        let spec = routing_core::spec::parse_run_spec(&row.specs[0]).expect("table specs parse");
+        let (_, problem, _) = spec.instantiate().expect("table specs instantiate");
+        let params = Params::auto(&problem);
+        let cell = find_cell(&doc, &spec.topo, problem.num_packets() as u64);
+        table_row(t, &row.label, cell, params);
+    }
+    agg
+}
+
+fn find_cell<'a>(doc: &'a Value, topo: &str, packets: u64) -> &'a Value {
+    doc["cells"]
+        .as_array()
+        .expect("fleet rollup has cells")
+        .iter()
+        .find(|c| c["topo"].as_str() == Some(topo) && c["packets"].as_u64() == Some(packets))
+        .expect("row cell present in fleet rollup")
+}
+
+fn table_row(t: &mut Table, label: &str, cell: &Value, params: Params) {
+    let u = |v: &Value| v.as_u64().expect("rollup u64");
+    let range = |v: &Value| {
+        let (lo, hi) = (u(&v["min"]), u(&v["max"]));
+        if lo == hi {
+            lo.to_string()
+        } else {
+            format!("{lo}-{hi}")
+        }
+    };
+    let ratio = &cell["ratio_c_plus_l"];
+    let ci = ratio["ci95"].as_array().expect("rollup ci95");
+    let fl = |v: &Value| v.as_f64().expect("rollup f64");
+    t.row(vec![
+        label.to_string(),
+        u(&cell["packets"]).to_string(),
+        range(&cell["congestion"]),
+        range(&cell["dilation"]),
+        u(&cell["levels"]).to_string(),
+        format!("{}/{}", params.num_sets, params.m),
+        f(fl(&cell["steps"]["mean"])),
+        f(fl(&ratio["mean"])),
+        format!("[{}, {}]", f(fl(&ci[0])), f(fl(&ci[1]))),
+        format!(
+            "{}/{}",
+            u(&cell["delivered"]),
+            u(&cell["runs"]) * u(&cell["packets"])
+        ),
+        u(&cell["violations"]).to_string(),
+    ]);
+}
+
+/// Appends the sweep's log-log scaling verdict (Theorem 2.6 predicts an
+/// exponent ≈ 1 up to polylog factors).
+fn fit_note(t: &mut Table, agg: &FleetAggregator) {
+    if let Some(fit) = agg.fit() {
+        t.note(format!(
+            "fleet fit: T ~ (C+L)^{:.2}, 95% CI [{:.2}, {:.2}], r²={:.3}, {} runs",
+            fit.exponent, fit.ci95.0, fit.ci95.1, fit.r2, fit.points
+        ));
+    }
+}
 
 /// Runs T1.
 pub fn run(quick: bool) {
@@ -64,19 +137,24 @@ pub fn run(quick: bool) {
         "T1a: C-sweep (funnel on complete(16,8); Theorem 2.6 predicts T/(C+L) ~ polylog)",
         HEADER,
     );
-    let net = Arc::new(builders::complete_leveled(16, 8));
     let counts: &[usize] = if quick {
         &[4, 16, 48]
     } else {
         &[4, 8, 16, 32, 64]
     };
-    for &count in counts {
-        let mut rng = ChaCha8Rng::seed_from_u64(42);
-        let prob = workloads::funnel(&net, count, &mut rng).expect("fits");
-        let params = Params::auto(&prob);
-        row_for(&mut t, &format!("funnel C≈{count}"), &prob, params, seeds);
-    }
+    let rows: Vec<SweepRow> = counts
+        .iter()
+        .map(|&count| {
+            sweep_row(
+                format!("funnel C≈{count}"),
+                move |s| format!("complete:16x8/funnel:{count}/busch/{s}"),
+                seeds,
+            )
+        })
+        .collect();
+    let agg = render_sweep(&mut t, &rows);
     t.note("C grows 16x while L, N-per-C stay fixed: T grows linearly in C");
+    fit_note(&mut t, &agg);
     t.print();
 
     // --- L sweep: fixed funnel congestion on deeper networks. ---
@@ -85,14 +163,19 @@ pub fn run(quick: bool) {
         HEADER,
     );
     let depths: &[u32] = if quick { &[8, 32] } else { &[8, 16, 32, 64] };
-    for &l in depths {
-        let net = Arc::new(builders::complete_leveled(l, 6));
-        let mut rng = ChaCha8Rng::seed_from_u64(43);
-        let prob = workloads::funnel(&net, 12, &mut rng).expect("fits");
-        let params = Params::auto(&prob);
-        row_for(&mut t, &format!("L={l}"), &prob, params, seeds);
-    }
+    let rows: Vec<SweepRow> = depths
+        .iter()
+        .map(|&l| {
+            sweep_row(
+                format!("L={l}"),
+                move |s| format!("complete:{l}x6/funnel:12/busch/{s}"),
+                seeds,
+            )
+        })
+        .collect();
+    let agg = render_sweep(&mut t, &rows);
     t.note("L grows 8x at fixed C: T grows linearly in L");
+    fit_note(&mut t, &agg);
     t.print();
 
     // --- N sweep: butterflies with a full row of packets. ---
@@ -101,15 +184,19 @@ pub fn run(quick: bool) {
         HEADER,
     );
     let ks: &[u32] = if quick { &[4, 6] } else { &[4, 5, 6, 7, 8] };
-    for &k in ks {
-        let net = Arc::new(builders::butterfly(k));
-        let coords = leveled_net::builders::ButterflyCoords { k };
-        let mut rng = ChaCha8Rng::seed_from_u64(44);
-        let prob = workloads::butterfly_permutation(&net, &coords, &mut rng);
-        let params = Params::auto(&prob);
-        row_for(&mut t, &format!("butterfly({k})"), &prob, params, seeds);
-    }
+    let rows: Vec<SweepRow> = ks
+        .iter()
+        .map(|&k| {
+            sweep_row(
+                format!("butterfly({k})"),
+                move |s| format!("bf:{k}/permutation/busch/{s}"),
+                seeds,
+            )
+        })
+        .collect();
+    let agg = render_sweep(&mut t, &rows);
     t.note("N grows 16x; T/(C+L) grows only with the polylog params (m, w)");
+    fit_note(&mut t, &agg);
     t.print();
 
     // --- Scale demonstration: adversarial bit-reversal up to N = 4096. ---
@@ -118,15 +205,20 @@ pub fn run(quick: bool) {
             "T1d: scale (bit-reversal on large butterflies, C = Θ(√N), 1 seed)",
             HEADER,
         );
-        for k in [8u32, 10, 12] {
-            let net = Arc::new(builders::butterfly(k));
-            let coords = leveled_net::builders::ButterflyCoords { k };
-            let prob = workloads::butterfly_bit_reversal(&net, &coords);
-            let params = Params::auto(&prob);
-            row_for(&mut t, &format!("butterfly({k}) bitrev"), &prob, params, 1);
-        }
+        let rows: Vec<SweepRow> = [8u32, 10, 12]
+            .iter()
+            .map(|&k| {
+                sweep_row(
+                    format!("butterfly({k}) bitrev"),
+                    move |s| format!("bf:{k}/bitrev/busch/{s}"),
+                    1,
+                )
+            })
+            .collect();
+        let agg = render_sweep(&mut t, &rows);
         t.note("N to 4096, C to 32, network to 53k nodes: invariants stay clean,");
         t.note("T tracks the schedule (⌈sets⌉·m + L)·m·w linearly");
+        fit_note(&mut t, &agg);
         t.print();
     }
 }

@@ -10,19 +10,28 @@
 //! height `m` (the paper's `ln²(LN)+5` knob) and the round length `w`
 //! (the Lemma 4.15 knob) traces the empirical `p(k)` curve from 0 to 1.
 //!
+//! Each parameter point is a **fleet artifact**: the trials run through
+//! [`serve::run_fleet_router`] (custom frame heights are not
+//! spec-expressible, so the explicit-router entry of the same trace
+//! envelope is used) and fold into a [`FleetAggregator`], whose samples
+//! carry trace-derived violations, deliveries, and step counts — the
+//! same evidence chain the live `/fleet` endpoint serves, deterministic
+//! at any worker count.
+//!
 //! Delivery itself is far more forgiving than the invariants: packets
 //! that fall out of their frames still chase their destinations, so the
 //! delivered fraction stays at 1 long after the induction starts failing
 //! — the theorem's *time bound* is what the induction buys, not delivery
 //! as such.
+//!
+//! [`FleetAggregator`]: hotpotato_trace::FleetAggregator
 
-use crate::runner::parallel_map;
+use crate::fleet::collect_with;
 use crate::table::{f, Table};
 use busch_router::{BuschRouter, Params};
 use leveled_net::builders::{self, ButterflyCoords};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use routing_core::{workloads, RoutingProblem};
+use serve::run_fleet_router;
 use std::sync::Arc;
 
 const HEADER: &[&str] = &[
@@ -32,39 +41,48 @@ const HEADER: &[&str] = &[
     "clean-run rate",
     "mean viol",
     "delivered",
-    "mean makespan",
+    "mean steps",
 ];
 
 fn sweep_row(
     t: &mut Table,
+    topo: &str,
     prob: &Arc<RoutingProblem>,
     params: Params,
     trials: u64,
     seed_base: u64,
 ) {
     let depth = prob.network().depth();
-    let runs = parallel_map((0..trials).collect::<Vec<u64>>(), |s| {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed_base + s);
-        let out = BuschRouter::new(params).route(prob, &mut rng);
-        (
-            out.stats.all_delivered() && out.invariants.is_clean(),
-            out.invariants.total_violations(),
-            out.stats.delivered_count(),
-            out.stats.makespan().unwrap_or(0),
+    let agg = collect_with((0..trials).collect::<Vec<u64>>(), |s| {
+        run_fleet_router(
+            &BuschRouter::new(params),
+            prob,
+            topo,
+            "bitrev",
+            seed_base + s,
+            false,
         )
     });
-    let successes = runs.iter().filter(|r| r.0).count();
-    let mean_viol = runs.iter().map(|r| r.1).sum::<u64>() as f64 / runs.len() as f64;
-    let delivered: usize = runs.iter().map(|r| r.2).sum::<usize>() / runs.len();
-    let mean_mk = runs.iter().map(|r| r.3).sum::<u64>() / trials;
+    assert_eq!(agg.failed(), 0, "T8 trials must all produce samples");
+    let packets = prob.num_packets() as u64;
+    // A clean run delivers everything within the schedule (zero grace)
+    // with a spotless phase-end audit.
+    let successes = agg
+        .samples()
+        .filter(|s| s.delivered == packets && s.violations == 0)
+        .count();
+    let mean = |g: fn(&hotpotato_trace::FleetSample) -> u64| {
+        agg.samples().map(|s| g(s) as f64).sum::<f64>() / trials as f64
+    };
+    let delivered = agg.samples().map(|s| s.delivered).sum::<u64>() / trials;
     t.row(vec![
         params.m.to_string(),
         params.w.to_string(),
         params.scheduled_steps(depth).to_string(),
         format!("{successes}/{trials}"),
-        f(mean_viol),
-        format!("{}/{}", delivered, prob.num_packets()),
-        mean_mk.to_string(),
+        f(mean(|s| s.violations)),
+        format!("{}/{}", delivered, packets),
+        f(mean(|s| s.steps)),
     ]);
 }
 
@@ -75,6 +93,7 @@ pub fn run(quick: bool) {
     let net = Arc::new(builders::butterfly(k));
     let coords = ButterflyCoords { k };
     let prob = workloads::butterfly_bit_reversal(&net, &coords);
+    let topo = format!("bf:{k}");
     // One set carries the full congestion C = 4: conflicts are frequent,
     // so the per-round/per-frame failure probability is real.
     let sets = 1;
@@ -94,7 +113,7 @@ pub fn run(quick: bool) {
             num_sets: sets,
             grace_factor: 0,
         };
-        sweep_row(&mut t, &prob, params, trials, 11_000);
+        sweep_row(&mut t, &topo, &prob, params, trials, 11_000);
     }
     t.note("success = every phase-end invariant audit clean AND all delivered");
     t.note("within the schedule (zero grace). The paper's m = ln²(LN)+5 sizing is");
@@ -119,7 +138,7 @@ pub fn run(quick: bool) {
             num_sets: sets,
             grace_factor: 0,
         };
-        sweep_row(&mut t, &prob, params, trials, 12_000);
+        sweep_row(&mut t, &topo, &prob, params, trials, 12_000);
     }
     t.note("measured: at the transition height m = 6, lengthening rounds lifts");
     t.note("the clean-run rate only from 0% to ~3% before it saturates — the");

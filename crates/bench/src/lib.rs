@@ -23,6 +23,7 @@
 //! | perf | simulator throughput (not a paper artifact) | [`experiments::perf`] |
 
 pub mod experiments;
+pub mod fleet;
 pub mod gate;
 pub mod runner;
 pub mod table;

@@ -78,13 +78,9 @@ impl EngineKind {
         }
         match std::env::var("HOTPOTATO_ENGINE") {
             Ok(v) => {
-                static WARN_ONCE: std::sync::Once = std::sync::Once::new();
-                WARN_ONCE.call_once(|| {
-                    eprintln!(
-                        "warning: HOTPOTATO_ENGINE is deprecated; select the engine \
-                         explicitly (--engine, RunSpec.engine, or SimulationBuilder::engine)"
-                    );
-                });
+                if let Some(msg) = engine_env_deprecation_notice() {
+                    eprintln!("{msg}");
+                }
                 if v.eq_ignore_ascii_case("scalar") {
                     EngineKind::Scalar
                 } else {
@@ -94,6 +90,21 @@ impl EngineKind {
             Err(_) => EngineKind::default(),
         }
     }
+}
+
+/// The `HOTPOTATO_ENGINE` deprecation warning, handed out exactly once
+/// per process: the first caller gets the message, every later caller
+/// gets `None`. A sweep instantiates hundreds of [`RunSpec`]s in one
+/// process, and each deprecated-env resolution funnels through here, so
+/// the warning cannot spam stderr once per run.
+pub fn engine_env_deprecation_notice() -> Option<&'static str> {
+    static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+    let mut first = false;
+    WARN_ONCE.call_once(|| first = true);
+    first.then_some(
+        "warning: HOTPOTATO_ENGINE is deprecated; select the engine \
+         explicitly (--engine, RunSpec.engine, or SimulationBuilder::engine)",
+    )
 }
 
 impl std::str::FromStr for EngineKind {
@@ -426,6 +437,86 @@ pub fn parse_run_spec(spec: &str) -> Result<RunSpec, String> {
     })
 }
 
+/// The most runs one sweep expression may expand to — a typo guard
+/// (`1..10000000`), not a capacity statement.
+pub const MAX_SWEEP_RUNS: usize = 100_000;
+
+/// Expands a **sweep expression** into concrete run specs.
+///
+/// A sweep expression is a run spec in which any integer may be written
+/// as an inclusive range `LO..HI`. Every range position expands over its
+/// values and the full cross product is returned, leftmost range varying
+/// slowest; each concrete spec is validated through [`parse_run_spec`].
+/// Ranges compose with every grammar position that takes an integer —
+/// topology sizes, workload counts, and seeds alike:
+///
+/// ```text
+/// bf:6..8/bitrev/busch/1..25        3 sizes × 25 seeds = 75 runs
+/// mesh:4x4/transpose/busch/1..50    one instance, 50 seeds
+/// bf:8/pairs:64..66/greedy/7/poisson:0.5   3 workload sizes (floats untouched)
+/// ```
+///
+/// A plain run spec (no ranges) expands to itself. Expansion is capped
+/// at [`MAX_SWEEP_RUNS`]; descending ranges are rejected.
+pub fn expand_sweep(expr: &str) -> Result<Vec<RunSpec>, String> {
+    let mut out = Vec::new();
+    expand_sweep_into(expr, &mut out)?;
+    Ok(out)
+}
+
+fn expand_sweep_into(expr: &str, out: &mut Vec<RunSpec>) -> Result<(), String> {
+    match find_range(expr)? {
+        Some((start, end, lo, hi)) => {
+            for v in lo..=hi {
+                let concrete = format!("{}{}{}", &expr[..start], v, &expr[end..]);
+                expand_sweep_into(&concrete, out)?;
+            }
+            Ok(())
+        }
+        None => {
+            if out.len() >= MAX_SWEEP_RUNS {
+                return Err(format!("sweep expands to more than {MAX_SWEEP_RUNS} runs"));
+            }
+            out.push(parse_run_spec(expr)?);
+            Ok(())
+        }
+    }
+}
+
+/// Finds the leftmost `LO..HI` integer range in `expr` and returns its
+/// byte span and bounds. Single dots (`poisson:0.5`, `random:6:3:0.4`)
+/// are not ranges: both sides of the `..` must be digit runs.
+fn find_range(expr: &str) -> Result<Option<(usize, usize, u64, u64)>, String> {
+    let b = expr.as_bytes();
+    for i in 0..b.len().saturating_sub(1) {
+        if b[i] != b'.' || b[i + 1] != b'.' {
+            continue;
+        }
+        let mut start = i;
+        while start > 0 && b[start - 1].is_ascii_digit() {
+            start -= 1;
+        }
+        let mut end = i + 2;
+        while end < b.len() && b[end].is_ascii_digit() {
+            end += 1;
+        }
+        if start == i || end == i + 2 {
+            continue; // a lone `..` with no digits on one side
+        }
+        let lo: u64 = expr[start..i]
+            .parse()
+            .map_err(|_| format!("bad sweep range start in '{expr}'"))?;
+        let hi: u64 = expr[i + 2..end]
+            .parse()
+            .map_err(|_| format!("bad sweep range end in '{expr}'"))?;
+        if lo > hi {
+            return Err(format!("descending sweep range {lo}..{hi} in '{expr}'"));
+        }
+        return Ok(Some((start, end, lo, hi)));
+    }
+    Ok(None)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -500,6 +591,51 @@ mod tests {
         // from: instantiating twice and drawing must agree.
         let (_, _, mut rng2) = spec.instantiate().unwrap();
         assert_eq!(rng.gen::<u64>(), rng2.gen::<u64>());
+    }
+
+    #[test]
+    fn sweeps_expand_cross_products_in_order() {
+        let runs = expand_sweep("bf:6..8/bitrev/busch/1..3").unwrap();
+        assert_eq!(runs.len(), 9);
+        // Leftmost range varies slowest.
+        assert_eq!(runs[0], RunSpec::batch("bf:6", "bitrev", "busch", 1));
+        assert_eq!(runs[2], RunSpec::batch("bf:6", "bitrev", "busch", 3));
+        assert_eq!(runs[3], RunSpec::batch("bf:7", "bitrev", "busch", 1));
+        assert_eq!(runs[8], RunSpec::batch("bf:8", "bitrev", "busch", 3));
+        // A plain spec expands to itself.
+        let one = expand_sweep("mesh:4x4/transpose/busch/7").unwrap();
+        assert_eq!(
+            one,
+            vec![RunSpec::batch("mesh:4x4", "transpose", "busch", 7)]
+        );
+    }
+
+    #[test]
+    fn sweep_ranges_leave_floats_alone_and_reject_bad_shapes() {
+        // `poisson:0.5` carries a single dot: not a range.
+        let runs = expand_sweep("bf:8/pairs:4..6/greedy/7/poisson:0.5").unwrap();
+        assert_eq!(runs.len(), 3);
+        assert_eq!(runs[0].workload, "pairs:4");
+        assert_eq!(runs[2].workload, "pairs:6");
+        assert_eq!(runs[0].arrival.as_deref(), Some("poisson:0.5"));
+
+        assert!(
+            expand_sweep("bf:8/bitrev/busch/5..3").is_err(),
+            "descending"
+        );
+        assert!(expand_sweep("bf:8/bitrev/nosuch/1..3").is_err(), "bad algo");
+        assert!(expand_sweep("bf:8/bitrev/busch/1..999999").is_err(), "cap");
+    }
+
+    #[test]
+    fn engine_env_deprecation_warns_once_per_process() {
+        // The first caller in the process may or may not have run
+        // already (test order is unspecified); what is pinned is that
+        // once drained, the notice never fires again — the sweep
+        // anti-spam contract.
+        let _ = engine_env_deprecation_notice();
+        assert!(engine_env_deprecation_notice().is_none());
+        assert!(engine_env_deprecation_notice().is_none());
     }
 
     #[test]

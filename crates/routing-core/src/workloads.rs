@@ -461,12 +461,15 @@ pub fn many_to_many<R: Rng + ?Sized>(
 ///
 /// ```text
 /// poisson:RATE          exponential inter-arrival gaps, RATE pkts/step
-/// burst:SIZE:PERIOD     adversarial bursts: SIZE packets every PERIOD steps
+/// burst:SIZE:PERIOD     periodic bursts: SIZE packets every PERIOD steps
 /// replay:T0,T1,..       explicit arrival trace, one step per packet
+/// adversarial:SIZE:GAP  worst-case burst train: SIZE-packet bursts with
+///                       GAP-step quiet gaps, where a seeded coin per
+///                       boundary coalesces adjacent bursts onto one step
 /// ```
 ///
-/// Schedules are deterministic given the caller's rng (Poisson draws
-/// from it; bursts and replays are rng-free).
+/// Schedules are deterministic given the caller's rng (Poisson and
+/// adversarial draw from it; bursts and replays are rng-free).
 #[derive(Clone, Debug, PartialEq)]
 pub enum ArrivalProcess {
     /// Poisson arrivals at `rate` packets per step (exponential gaps).
@@ -474,8 +477,8 @@ pub enum ArrivalProcess {
         /// Mean arrivals per step; must be finite and positive.
         rate: f64,
     },
-    /// Adversarial bursts: `size` packets arrive together every `period`
-    /// steps (the workload that stresses admission control hardest).
+    /// Periodic bursts: `size` packets arrive together every `period`
+    /// steps.
     Bursts {
         /// Packets per burst.
         size: u32,
@@ -487,6 +490,19 @@ pub enum ArrivalProcess {
     Replay {
         /// Non-decreasing arrival steps.
         times: Vec<u64>,
+    },
+    /// The worst-case burst train: an on-off schedule of `burst`-packet
+    /// bursts separated by `gap` quiet steps, made lumpier by a seeded
+    /// coin at every burst boundary that *coalesces* the next burst onto
+    /// the current step — so instantaneous load ramps in powers of the
+    /// burst size while the long-run rate stays fixed. This is the
+    /// schedule that stresses admission control hardest: deterministic
+    /// given the run seed, maximally bunched for its average rate.
+    Adversarial {
+        /// Packets per base burst.
+        burst: u32,
+        /// Quiet steps between non-coalesced bursts.
+        gap: u64,
     },
 }
 
@@ -536,8 +552,23 @@ impl ArrivalProcess {
                 }
                 Ok(ArrivalProcess::Replay { times })
             }
+            "adversarial" => {
+                let (burst_s, gap_s) = rest
+                    .split_once(':')
+                    .ok_or_else(|| format!("adversarial needs SIZE:GAP, got '{rest}'"))?;
+                let burst: u32 = burst_s
+                    .parse()
+                    .map_err(|_| format!("bad adversarial burst size '{burst_s}'"))?;
+                let gap: u64 = gap_s
+                    .parse()
+                    .map_err(|_| format!("bad adversarial gap '{gap_s}'"))?;
+                if burst == 0 || gap == 0 {
+                    return Err("adversarial burst size and gap must be positive".into());
+                }
+                Ok(ArrivalProcess::Adversarial { burst, gap })
+            }
             other => Err(format!(
-                "unknown arrival process '{other}' (poisson|burst|replay)"
+                "unknown arrival process '{other}' (poisson|burst|replay|adversarial)"
             )),
         }
     }
@@ -552,6 +583,7 @@ impl ArrivalProcess {
                 let list: Vec<String> = times.iter().map(u64::to_string).collect();
                 format!("replay:{}", list.join(","))
             }
+            ArrivalProcess::Adversarial { burst, gap } => format!("adversarial:{burst}:{gap}"),
         }
     }
 
@@ -580,6 +612,28 @@ impl ArrivalProcess {
                     .map(|i| times.get(i).copied().unwrap_or(last))
                     .collect()
             }
+            ArrivalProcess::Adversarial { burst, gap } => {
+                // The fixed on-off train, lumpified: after each burst a
+                // seeded coin either opens the quiet gap or coalesces the
+                // next burst onto the same step. Times only ever advance,
+                // so the schedule is non-decreasing by construction.
+                let mut times = Vec::with_capacity(n);
+                let mut t = 0u64;
+                let mut i = 0usize;
+                while i < n {
+                    for _ in 0..*burst {
+                        if i >= n {
+                            break;
+                        }
+                        times.push(t);
+                        i += 1;
+                    }
+                    if rng.gen::<u64>() & 1 == 0 {
+                        t += gap;
+                    }
+                }
+                times
+            }
         }
     }
 }
@@ -593,7 +647,12 @@ mod tests {
 
     #[test]
     fn arrival_processes_parse_and_round_trip() {
-        for spec in ["poisson:0.5", "burst:8:4", "replay:0,0,3,9"] {
+        for spec in [
+            "poisson:0.5",
+            "burst:8:4",
+            "replay:0,0,3,9",
+            "adversarial:8:4",
+        ] {
             let p = ArrivalProcess::parse(spec).unwrap();
             assert_eq!(p.spec_string(), spec);
             assert_eq!(ArrivalProcess::parse(&p.spec_string()).unwrap(), p);
@@ -606,10 +665,35 @@ mod tests {
             "burst:4",
             "replay:",
             "replay:3,1",
+            "adversarial:0:4",
+            "adversarial:4",
             "uniform:1",
         ] {
             assert!(ArrivalProcess::parse(bad).is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn adversarial_schedules_are_seeded_bursty_and_monotone() {
+        let p = ArrivalProcess::parse("adversarial:4:10").unwrap();
+        let mut a_rng = ChaCha8Rng::seed_from_u64(9);
+        let mut b_rng = ChaCha8Rng::seed_from_u64(9);
+        let a = p.schedule(64, &mut a_rng);
+        assert_eq!(a, p.schedule(64, &mut b_rng), "same seed, same train");
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(a.len(), 64);
+        // Every arrival step is a multiple of the gap, and coalescing
+        // produces at least one step carrying more than one base burst.
+        assert!(a.iter().all(|t| t % 10 == 0));
+        let peak = a
+            .iter()
+            .map(|t| a.iter().filter(|&u| u == t).count())
+            .max()
+            .unwrap();
+        assert!(peak > 4, "coalescing must exceed the base burst: {peak}");
+        // A different seed draws a different train.
+        let mut c_rng = ChaCha8Rng::seed_from_u64(10);
+        assert_ne!(a, p.schedule(64, &mut c_rng));
     }
 
     #[test]

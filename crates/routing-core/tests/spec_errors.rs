@@ -67,7 +67,7 @@ fn bad_seed_is_named() {
 fn bad_arrival_segments() {
     assert_eq!(
         err("bf:10/bitrev/greedy/7/nosuch:1"),
-        "unknown arrival process 'nosuch' (poisson|burst|replay)"
+        "unknown arrival process 'nosuch' (poisson|burst|replay|adversarial)"
     );
     assert_eq!(
         err("bf:10/bitrev/greedy/7/poisson:fast"),

@@ -136,14 +136,14 @@ fn write_response(stream: &mut TcpStream, response: &Response) -> io::Result<()>
 // lint: no-panic
 fn handle_connection(mut stream: TcpStream, handler: &dyn Fn(&Request) -> Response) {
     let response = match read_request(&stream) {
-        Ok(req) if req.method == "GET" => {
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler(&req)))
-                .unwrap_or_else(|_| Response {
-                    status: 500,
-                    content_type: "text/plain; charset=utf-8",
-                    body: "internal server error\n".into(),
-                })
-        }
+        Ok(req) if req.method == "GET" => std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+            || handler(&req),
+        ))
+        .unwrap_or_else(|_| Response {
+            status: 500,
+            content_type: "text/plain; charset=utf-8",
+            body: "internal server error\n".into(),
+        }),
         Ok(_) => Response::method_not_allowed(),
         Err(_) => Response {
             status: 400,

@@ -16,6 +16,14 @@
 //! * `GET /runs` — the hosted runs and their specs;
 //! * `GET /healthz` — liveness.
 //!
+//! [`fleet`] mode replaces the per-run host with a sweep executor: a
+//! queue of run specs fans out over the shared worker pool and every
+//! completed run folds into a cross-run [`FleetAggregator`] served at
+//! `GET /fleet` (per-cell CIs plus the scaling fit) and
+//! `GET /fleet/progress` (queue state, ETA, per-worker utilization).
+//!
+//! [`FleetAggregator`]: hotpotato_trace::FleetAggregator
+//!
 //! The engine→service handoff is the double-buffered
 //! [`hotpotato_sim::SnapshotPublisher`] exchange: the simulation thread
 //! publishes a [`LiveSnapshot`] every `publish_every` steps without ever
@@ -26,11 +34,15 @@
 //!
 //! [`StreamingAggregator`]: hotpotato_trace::StreamingAggregator
 
+pub mod fleet;
 pub mod http;
 pub mod live;
 pub mod prom;
 pub mod service;
 
+pub use fleet::{
+    into_fleet_handler, run_fleet_router, run_fleet_spec, FleetConfig, FleetService, FleetSnapshot,
+};
 pub use http::{Request, Response};
 pub use live::{LiveObserver, LiveSnapshot};
 pub use service::{RunConfig, Service};

@@ -509,6 +509,14 @@ pub fn diff(a: &Analysis, b: &Analysis) -> Value {
             "delta": b - a,
         })
     }
+    // The Theorem 2.6 ratio, 0.0 when the instance is unknown (bare
+    // traces without a meta line) so the row is always present and
+    // threshold checks (`trace diff --fail-on`) can rely on it.
+    fn ratio_cl(x: &Analysis) -> f64 {
+        x.instance.map_or(0.0, |(c, _, l)| {
+            x.steps as f64 / u64::from(c + l).max(1) as f64
+        })
+    }
     let lat_a = a.latencies();
     let lat_b = b.latencies();
     let rows = vec![
@@ -536,6 +544,7 @@ pub fn diff(a: &Analysis, b: &Analysis) -> Value {
         row("phases", a.phases.len() as u64, b.phases.len() as u64),
         row("arrivals", a.arrivals, b.arrivals),
         row("drops", a.drops, b.drops),
+        frow("steps_over_c_plus_l", ratio_cl(a), ratio_cl(b)),
         frow("drop_rate", a.drop_rate(), b.drop_rate()),
         frow(
             "arrival_latency_mean",

@@ -33,11 +33,16 @@
 //!   over a worker pool, with deterministic first-divergence reporting
 //!   and pipeline telemetry (events/s, bytes/s, peak RSS, shard
 //!   utilization).
+//! - [`fleet`] — cross-run aggregation for the fleet observatory:
+//!   per-(topo, algo, size) ratio distributions with deterministic
+//!   bootstrap confidence intervals and the log-log scaling fit whose
+//!   exponent is the empirical Theorem 2.6 verdict.
 //!
 //! [`RouteObserver`]: hotpotato_sim::RouteObserver
 
 pub mod analyze;
 pub mod binary;
+pub mod fleet;
 pub mod schema;
 pub mod shard;
 pub mod stream;
@@ -46,6 +51,10 @@ pub mod verify;
 
 pub use analyze::{analyze, diff, Analysis};
 pub use binary::{decode_trace, encode_trace, is_binary, BinaryError};
+pub use fleet::{
+    parse_fleet, validate_fleet_doc, FleetAggregator, FleetFit, FleetSample, FLEET_SCHEMA_VERSION,
+    RATIO_BUCKET_BOUNDS,
+};
 pub use schema::{
     parse_line, parse_rollup, rollup_doc, Meta, ParseError, Rollup, Snapshot, StatsLine, Trace,
     TraceEvent, SCHEMA_VERSION,

@@ -445,7 +445,7 @@ fn manifest_name(toml: &str) -> Option<String> {
     toml.lines().find_map(|l| {
         let l = l.trim();
         l.strip_prefix("name")
-            .map(|r| r.trim_start())
+            .map(str::trim_start)
             .and_then(|r| r.strip_prefix('='))
             .map(|r| r.trim().trim_matches('"').to_string())
     })
@@ -524,10 +524,10 @@ fn parse_items(
             }
             TokKind::Ident if t.is_ident("mod") => {
                 let name = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident);
-                let brace = toks.get(i + 2).map(|t| t.is_punct('{')).unwrap_or(false);
+                let brace = toks.get(i + 2).is_some_and(|t| t.is_punct('{'));
                 if brace {
                     depth += 1;
-                    if cfg_test_attr || name.map(|t| t.text == "tests").unwrap_or(false) {
+                    if cfg_test_attr || name.is_some_and(|t| t.text == "tests") {
                         test_stack.push(depth);
                     }
                     i += 3;
@@ -593,10 +593,10 @@ fn parse_items(
                 cfg_test_attr = false;
             }
             TokKind::Punct if t.is_punct('}') => {
-                while impl_stack.last().map(|&(_, d)| d == depth).unwrap_or(false) {
+                while impl_stack.last().is_some_and(|&(_, d)| d == depth) {
                     impl_stack.pop();
                 }
-                while test_stack.last().map(|&d| d == depth).unwrap_or(false) {
+                while test_stack.last().is_some_and(|&d| d == depth) {
                     test_stack.pop();
                 }
                 depth = depth.saturating_sub(1);
@@ -676,8 +676,7 @@ fn extract_calls(toks: &[Tok], body: (usize, usize)) -> Vec<CallSite> {
         if code[i].is_punct('.') {
             if let Some(name) = code.get(i + 1).filter(|t| t.kind == TokKind::Ident) {
                 let mut j = i + 2;
-                if turbofish(&code, &mut j) && code.get(j).map(|t| t.is_punct('(')).unwrap_or(false)
-                {
+                if turbofish(&code, &mut j) && code.get(j).is_some_and(|t| t.is_punct('(')) {
                     out.push(CallSite {
                         segs: vec![name.text.clone()],
                         method: true,
@@ -705,11 +704,11 @@ fn extract_calls(toks: &[Tok], body: (usize, usize)) -> Vec<CallSite> {
             let mut segs = vec![code[i].text.clone()];
             let mut j = i + 1;
             loop {
-                if code.get(j).map(|t| t.is_punct(':')).unwrap_or(false)
-                    && code.get(j + 1).map(|t| t.is_punct(':')).unwrap_or(false)
+                if code.get(j).is_some_and(|t| t.is_punct(':'))
+                    && code.get(j + 1).is_some_and(|t| t.is_punct(':'))
                 {
                     let mut k = j + 2;
-                    if code.get(k).map(|t| t.kind == TokKind::Ident).unwrap_or(false) {
+                    if code.get(k).is_some_and(|t| t.kind == TokKind::Ident) {
                         segs.push(code[k].text.clone());
                         j = k + 1;
                         continue;
@@ -721,8 +720,8 @@ fn extract_calls(toks: &[Tok], body: (usize, usize)) -> Vec<CallSite> {
                 }
                 break;
             }
-            let is_macro = code.get(j).map(|t| t.is_punct('!')).unwrap_or(false);
-            let is_call = code.get(j).map(|t| t.is_punct('(')).unwrap_or(false);
+            let is_macro = code.get(j).is_some_and(|t| t.is_punct('!'));
+            let is_call = code.get(j).is_some_and(|t| t.is_punct('('));
             if is_call && !is_macro {
                 out.push(CallSite {
                     segs,
@@ -742,7 +741,7 @@ fn extract_calls(toks: &[Tok], body: (usize, usize)) -> Vec<CallSite> {
 /// returns true; a non-`<` position is left unchanged (also true — the
 /// caller treats "no turbofish" as fine).
 fn turbofish(code: &[&Tok], j: &mut usize) -> bool {
-    if !code.get(*j).map(|t| t.is_punct('<')).unwrap_or(false) {
+    if !code.get(*j).is_some_and(|t| t.is_punct('<')) {
         return true;
     }
     let mut level = 1;
@@ -796,10 +795,7 @@ mod tests {
         let roots = g.marked("hot-path");
         let (reach, cuts) = g.reachable(&roots);
         assert_eq!(cuts, 0);
-        let names: Vec<&str> = reach
-            .keys()
-            .map(|&id| g.fns[id].name.as_str())
-            .collect();
+        let names: Vec<&str> = reach.keys().map(|&id| g.fns[id].name.as_str()).collect();
         assert_eq!(names, ["root", "helper", "inner"]);
         let inner = g.fns.iter().position(|f| f.name == "inner").unwrap();
         assert_eq!(g.chain(&reach, inner), "root → helper → inner");
@@ -826,7 +822,10 @@ mod tests {
         let g = graph("fn from() {}\nfn f() { let _ = String::from(\"x\"); }\n");
         let f = g.fns.iter().position(|x| x.name == "f").unwrap();
         let resolved: Vec<usize> = g.calls[f].iter().flat_map(|c| g.resolve(f, c)).collect();
-        assert!(resolved.is_empty(), "String::from must not fold onto fn from");
+        assert!(
+            resolved.is_empty(),
+            "String::from must not fold onto fn from"
+        );
     }
 
     #[test]
@@ -851,16 +850,12 @@ mod tests {
         );
         let (reach, cuts) = g.reachable(&g.marked("hot-path"));
         assert_eq!(cuts, 1);
-        assert!(!reach
-            .keys()
-            .any(|&id| g.fns[id].name == "leaf"));
+        assert!(!reach.keys().any(|&id| g.fns[id].name == "leaf"));
     }
 
     #[test]
     fn turbofish_and_macros_are_handled() {
-        let g = graph(
-            "fn f() { g::<u32>(); vec![1]; h(); }\nfn g() {}\nfn h() {}\n",
-        );
+        let g = graph("fn f() { g::<u32>(); vec![1]; h(); }\nfn g() {}\nfn h() {}\n");
         let f = g.fns.iter().position(|x| x.name == "f").unwrap();
         let mut resolved: Vec<&str> = g.calls[f]
             .iter()

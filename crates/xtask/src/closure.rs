@@ -86,8 +86,10 @@ mod tests {
         let diags: Vec<String> = check_graph(&g).iter().map(ToString::to_string).collect();
         assert_eq!(
             diags,
-            ["crates/demo/src/lib.rs:4: [hot-path-closure] fn `leaf`, reached from \
-              hot-path fn `root` via root → mid → leaf, uses `Vec::new` (allocates per call)"]
+            [
+                "crates/demo/src/lib.rs:4: [hot-path-closure] fn `leaf`, reached from \
+              hot-path fn `root` via root → mid → leaf, uses `Vec::new` (allocates per call)"
+            ]
         );
     }
 
@@ -99,9 +101,7 @@ mod tests {
 
     #[test]
     fn unreached_allocation_is_fine() {
-        let g = graph(
-            "// lint: hot-path\nfn root() {}\nfn elsewhere() { let _v = Vec::new(); }\n",
-        );
+        let g = graph("// lint: hot-path\nfn root() {}\nfn elsewhere() { let _v = Vec::new(); }\n");
         assert!(check_graph(&g).is_empty());
     }
 

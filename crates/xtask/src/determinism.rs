@@ -122,7 +122,7 @@ fn scan_fn(rel: &str, fn_name: &str, telemetry: bool, body: &[Tok], diags: &mut 
                     // `let [mut] name … = …;` — does the statement
                     // mention a hash collection?
                     let mut j = i + 1;
-                    if code.get(j).map(|t| t.is_ident("mut")).unwrap_or(false) {
+                    if code.get(j).is_some_and(|t| t.is_ident("mut")) {
                         j += 1;
                     }
                     if let Some(name) = code.get(j).filter(|t| t.kind == TokKind::Ident) {
@@ -154,14 +154,12 @@ fn scan_fn(rel: &str, fn_name: &str, telemetry: bool, body: &[Tok], diags: &mut 
                     let mut j = i + 1;
                     while code
                         .get(j)
-                        .map(|t| t.is_punct('&') || t.is_ident("mut"))
-                        .unwrap_or(false)
+                        .is_some_and(|t| t.is_punct('&') || t.is_ident("mut"))
                     {
                         j += 1;
                     }
                     if let Some(name) = code.get(j).filter(|t| t.kind == TokKind::Ident) {
-                        let next_is_dot =
-                            code.get(j + 1).map(|t| t.is_punct('.')).unwrap_or(false);
+                        let next_is_dot = code.get(j + 1).is_some_and(|t| t.is_punct('.'));
                         if hash_bindings.contains(&name.text) && !next_is_dot {
                             diags.push(Diagnostic {
                                 file: rel.to_string(),
@@ -179,11 +177,11 @@ fn scan_fn(rel: &str, fn_name: &str, telemetry: bool, body: &[Tok], diags: &mut 
                 _ => {
                     // `name . iter_method (` on a hash binding.
                     if hash_bindings.contains(&t.text)
-                        && code.get(i + 1).map(|n| n.is_punct('.')).unwrap_or(false)
+                        && code.get(i + 1).is_some_and(|n| n.is_punct('.'))
                     {
                         if let Some(m) = code.get(i + 2).filter(|n| n.kind == TokKind::Ident) {
                             if ITER_METHODS.contains(&m.text.as_str())
-                                && code.get(i + 3).map(|n| n.is_punct('(')).unwrap_or(false)
+                                && code.get(i + 3).is_some_and(|n| n.is_punct('('))
                             {
                                 diags.push(Diagnostic {
                                     file: rel.to_string(),
@@ -232,23 +230,24 @@ mod tests {
 
     #[test]
     fn default_hasher_always_fires() {
-        let diags =
-            rendered("// lint: telemetry\nfn f() { let _h = DefaultHasher::new(); }\n");
+        let diags = rendered("// lint: telemetry\nfn f() { let _h = DefaultHasher::new(); }\n");
         assert_eq!(diags.len(), 1, "{diags:?}");
         assert!(diags[0].contains("DefaultHasher"), "{diags:?}");
     }
 
     #[test]
     fn hashmap_iteration_fires_but_keyed_access_does_not() {
-        let ok = rendered(
-            "fn f() { let mut m = HashMap::new(); m.insert(1, 2); let _ = m.get(&1); }\n",
-        );
+        let ok =
+            rendered("fn f() { let mut m = HashMap::new(); m.insert(1, 2); let _ = m.get(&1); }\n");
         assert!(ok.is_empty(), "{ok:?}");
         let diags = rendered(
             "fn f() { let m: HashMap<u32, u32> = HashMap::new(); for _kv in &m {} let _n = m.iter().count(); }\n",
         );
         assert_eq!(diags.len(), 2, "{diags:?}");
-        assert!(diags[0].contains("iterates hash collection `m`"), "{diags:?}");
+        assert!(
+            diags[0].contains("iterates hash collection `m`"),
+            "{diags:?}"
+        );
     }
 
     #[test]
@@ -273,7 +272,11 @@ mod tests {
         let diags = rendered(
             "fn f(key: u64) -> u64 {\n    use std::hash::{BuildHasher, RandomState};\n    RandomState::new().build_hasher().finish()\n}\n",
         );
-        assert_eq!(diags.len(), 1, "only the construction, not the import: {diags:?}");
+        assert_eq!(
+            diags.len(),
+            1,
+            "only the construction, not the import: {diags:?}"
+        );
         assert!(diags[0].contains(":3:"), "{diags:?}");
     }
 

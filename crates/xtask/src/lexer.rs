@@ -162,9 +162,8 @@ pub fn lex(src: &str) -> Vec<Tok> {
             }
             toks.push(tok(TokKind::Ident, &b[start..i], start_line));
         } else if c.is_ascii_digit() {
-            let radix_prefixed = c == '0'
-                && i + 1 < n
-                && matches!(b[i + 1], 'x' | 'X' | 'o' | 'O' | 'b' | 'B');
+            let radix_prefixed =
+                c == '0' && i + 1 < n && matches!(b[i + 1], 'x' | 'X' | 'o' | 'O' | 'b' | 'B');
             while i < n
                 && (b[i].is_alphanumeric()
                     || b[i] == '_'

@@ -105,7 +105,10 @@ fn run_all(cfg: &Config) -> Vec<LintRow> {
 /// Prints the per-lint summary table (CI greps the `lint-time` lines to
 /// watch for lint cost regressions).
 fn summary(rows: &[LintRow]) {
-    println!("{:<20} {:>11} {:>8} {:>8}", "lint", "diagnostics", "allowed", "wall-ms");
+    println!(
+        "{:<20} {:>11} {:>8} {:>8}",
+        "lint", "diagnostics", "allowed", "wall-ms"
+    );
     for r in rows {
         let allowed = r.allowed.map_or("-".to_string(), |n| n.to_string());
         println!(

@@ -138,8 +138,7 @@ fn allow_lines(body: &[Tok], rel: &str, diags: &mut Vec<Diagnostic>) -> Vec<usiz
             .trim()
             .strip_prefix('(')
             .and_then(|r| r.strip_suffix(')'))
-            .map(str::trim)
-            .unwrap_or("");
+            .map_or("", str::trim);
         if reason.is_empty() {
             diags.push(Diagnostic {
                 file: rel.to_string(),
@@ -164,7 +163,7 @@ pub fn panic_sites(body: &[Tok]) -> Vec<(usize, String)> {
         // Panicking macro: `name !` (not `name ! =`, which cannot occur).
         if t.kind == TokKind::Ident
             && PANIC_MACROS.contains(&t.text.as_str())
-            && code.get(i + 1).map(|n| n.is_punct('!')).unwrap_or(false)
+            && code.get(i + 1).is_some_and(|n| n.is_punct('!'))
         {
             out.push((t.line, format!("{}!", t.text)));
             i += 2;
@@ -174,7 +173,7 @@ pub fn panic_sites(body: &[Tok]) -> Vec<(usize, String)> {
         if t.is_punct('.') {
             if let Some(name) = code.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
                 if (name.text == "unwrap" || name.text == "expect")
-                    && code.get(i + 2).map(|n| n.is_punct('(')).unwrap_or(false)
+                    && code.get(i + 2).is_some_and(|n| n.is_punct('('))
                 {
                     out.push((name.line, format!(".{}()", name.text)));
                     i += 3;
@@ -243,8 +242,10 @@ mod tests {
         );
         assert_eq!(
             diags,
-            ["crates/demo/src/lib.rs:3: [no-panic] fn `helper`, reached from no-panic \
-              fn `f` via f → helper, uses `panic!` (can panic)"]
+            [
+                "crates/demo/src/lib.rs:3: [no-panic] fn `helper`, reached from no-panic \
+              fn `f` via f → helper, uses `panic!` (can panic)"
+            ]
         );
     }
 
@@ -274,7 +275,11 @@ mod tests {
             "// lint: no-panic\nfn f(x: Option<u32>) -> u32 {\n    // lint: allow-panic\n    x.unwrap()\n}\n",
         );
         assert_eq!(allowed, 0);
-        assert_eq!(diags.len(), 2, "missing reason + unsuppressed unwrap: {diags:?}");
+        assert_eq!(
+            diags.len(),
+            2,
+            "missing reason + unsuppressed unwrap: {diags:?}"
+        );
         assert!(diags[0].contains("must carry a reason"), "{diags:?}");
     }
 
@@ -286,8 +291,7 @@ mod tests {
 
     #[test]
     fn debug_assert_is_exempt() {
-        let (diags, _) =
-            rendered("// lint: no-panic\nfn f(x: u32) { debug_assert!(x > 0); }\n");
+        let (diags, _) = rendered("// lint: no-panic\nfn f(x: u32) { debug_assert!(x > 0); }\n");
         assert!(diags.is_empty(), "{diags:?}");
     }
 }

@@ -95,7 +95,10 @@ fn closure_fixture_is_invisible_to_the_intraprocedural_lint() {
     // closure lint flags it.
     let cfg = fixture("hotpath_closure_violation");
     let intra = hotpath::check(&cfg);
-    assert!(intra.is_empty(), "intraprocedural lint must miss it: {intra:#?}");
+    assert!(
+        intra.is_empty(),
+        "intraprocedural lint must miss it: {intra:#?}"
+    );
     assert!(!closure::check(&cfg).is_empty());
 }
 

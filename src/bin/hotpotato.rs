@@ -12,11 +12,18 @@
 //! hotpotato serve --run TOPO/WL[/ALGO[/SEED[/ARRIVAL]]] [--run ...] [--addr A]
 //!                 [--publish-every N] [--rollup-cap N] [--throttle-us N]
 //!                 [--engine scalar|soa] [--max-in-flight N] [--max-deferred N]
+//! hotpotato serve --fleet --sweep EXPR [--sweep ...] [--addr A] [--workers N]
+//!                 [--no-verify] [--throttle-ms N] [--engine scalar|soa]
+//!                                        execute a sweep, serve /fleet live
+//!                                        (EXPR = run spec where any integer
+//!                                         may be a LO..HI range)
 //! hotpotato trace verify <FILE> [--jobs N] [--progress] [--json]
 //!                                        replay-verify a recorded trace
 //! hotpotato trace analyze <FILE> [--out PATH]   aggregate trace report
 //! hotpotato trace convert <IN> <OUT>     transcode JSONL ↔ binary (.hpt)
-//! hotpotato trace diff <A> <B>           compare two trace analyses
+//! hotpotato trace diff <A> <B> [--fail-on METRIC=LIMIT ...]
+//!                                        compare two trace analyses; exit 1
+//!                                        when |delta| exceeds a threshold
 //! hotpotato params <C> <L> <N>           paper §2.1 parameter calculator
 //! hotpotato frames <L> <m> <sets>        frontier-frame schedule (Fig. 2)
 //!
@@ -33,7 +40,7 @@
 //!             (streaming arrivals: greedy | ftg | aging)
 //!
 //! arrival P (continuous-injection streaming mode):
-//!   poisson:RATE | burst:SIZE:PERIOD | replay:T0,T1,...
+//!   poisson:RATE | burst:SIZE:PERIOD | replay:T0,T1,... | adversarial:SIZE:GAP
 //! ```
 //!
 //! Examples:
@@ -60,7 +67,7 @@ use hotpotato_sim::{
 };
 use hotpotato_trace::{schema, StreamingAggregator, Trace};
 use leveled_net::render;
-use routing_core::spec::{parse_run_spec, parse_topo, EngineKind, RunSpec};
+use routing_core::spec::{expand_sweep, parse_run_spec, parse_topo, EngineKind, RunSpec};
 use routing_core::ArrivalProcess;
 use std::io::Write as _;
 use std::process::exit;
@@ -103,10 +110,13 @@ fn print_usage() {
          \u{20}  hotpotato serve --run TOPO/WL[/ALGO[/SEED[/ARRIVAL]]] [--run ...] [--addr A]\n\
          \u{20}                  [--publish-every N] [--rollup-cap N] [--throttle-us N]\n\
          \u{20}                  [--engine scalar|soa] [--max-in-flight N] [--max-deferred N]\n\
+         \u{20}  hotpotato serve --fleet --sweep EXPR [--sweep ...] [--addr A] [--workers N]\n\
+         \u{20}                  [--no-verify] [--throttle-ms N] [--engine scalar|soa]\n\
+         \u{20}                  (EXPR = run spec; any integer may be LO..HI)\n\
          \u{20}  hotpotato trace verify <FILE> [--jobs N] [--progress] [--json]\n\
          \u{20}  hotpotato trace analyze <FILE> [--out PATH]\n\
          \u{20}  hotpotato trace convert <IN> <OUT>\n\
-         \u{20}  hotpotato trace diff <A> <B>\n\
+         \u{20}  hotpotato trace diff <A> <B> [--fail-on METRIC=LIMIT ...]\n\
          \u{20}  hotpotato params <C> <L> <N>\n\
          \u{20}  hotpotato frames <L> <m> <sets>\n\
          \n\
@@ -116,7 +126,8 @@ fn print_usage() {
          workloads:  pairs:N m2m:N permutation bitrev transpose hotspot:N:D\n\
          \u{20}           funnel:N level:FROM:TO blast:FROM:TO\n\
          algorithms: busch greedy ftg rank sf sfrank (streaming: greedy ftg aging)\n\
-         arrivals:   poisson:RATE burst:SIZE:PERIOD replay:T0,T1,..."
+         arrivals:   poisson:RATE burst:SIZE:PERIOD replay:T0,T1,... \
+         adversarial:SIZE:GAP"
     );
 }
 
@@ -561,6 +572,9 @@ fn load_trace(path: &str, jobs: usize) -> Result<(Trace, u64), String> {
 }
 
 fn cmd_serve(args: &[String]) -> i32 {
+    if args.iter().any(|a| a == "--fleet") {
+        return cmd_serve_fleet(args);
+    }
     let specs: Vec<&str> = args
         .windows(2)
         .filter(|w| w[0] == "--run")
@@ -644,6 +658,86 @@ fn cmd_serve(args: &[String]) -> i32 {
     // Serves forever (runs keep their final snapshots available after
     // they quiesce); only an accept-loop error returns.
     let err = server.serve(serve::service::into_handler(service));
+    eprintln!("error: accept loop failed: {err}");
+    1
+}
+
+/// `serve --fleet`: expand every `--sweep` expression, execute the whole
+/// queue on the worker pool, and serve the cross-run aggregation live.
+/// Keeps serving the final rollup after the sweep completes.
+fn cmd_serve_fleet(args: &[String]) -> i32 {
+    let sweeps: Vec<&str> = args
+        .windows(2)
+        .filter(|w| w[0] == "--sweep")
+        .map(|w| w[1].as_str())
+        .collect();
+    if sweeps.is_empty() {
+        eprintln!(
+            "serve --fleet needs at least one --sweep TOPO/WL[/ALGO[/SEED[/ARRIVAL]]] \
+             where any integer may be a LO..HI range \
+             (e.g. --sweep bf:6..10/bitrev/busch/1..25)"
+        );
+        return 2;
+    }
+    let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:9898");
+    let workers: usize = flag_value(args, "--workers")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let throttle_ms: u64 = flag_value(args, "--throttle-ms")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let verify = !args.iter().any(|a| a == "--no-verify");
+    let engine = match flag_value(args, "--engine") {
+        Some(s) => match EngineKind::parse(s) {
+            Ok(kind) => Some(kind),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 2;
+            }
+        },
+        None => None,
+    };
+    let mut specs = Vec::new();
+    for sweep in sweeps {
+        match expand_sweep(sweep) {
+            Ok(expanded) => specs.extend(expanded),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 2;
+            }
+        }
+    }
+    for spec in &mut specs {
+        spec.engine = engine;
+    }
+    let service = match serve::FleetService::launch(serve::FleetConfig {
+        specs,
+        workers,
+        verify,
+        throttle_ms,
+    }) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let server = match serve::http::HttpServer::bind(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind {addr}: {e}");
+            return 1;
+        }
+    };
+    let bound = server.local_addr();
+    println!(
+        "serving fleet on http://{bound}  ({} runs on {} workers, verify {})",
+        service.total(),
+        service.workers(),
+        if verify { "on" } else { "off" }
+    );
+    println!("endpoints: /fleet /fleet/progress /metrics /healthz");
+    let err = server.serve(serve::into_fleet_handler(service));
     eprintln!("error: accept loop failed: {err}");
     1
 }
@@ -868,6 +962,21 @@ fn cmd_trace(args: &[String]) -> i32 {
             let (Some(a), Some(b)) = (args.get(1), args.get(2)) else {
                 return usage();
             };
+            // `--fail-on METRIC=LIMIT` (repeatable): exit nonzero when
+            // |delta| of that diff row exceeds LIMIT, so CI can gate on
+            // regressions (ratio drift, drop-rate spikes) directly.
+            let mut thresholds: Vec<(&str, f64)> = Vec::new();
+            for w in args.windows(2).filter(|w| w[0] == "--fail-on") {
+                let Some((metric, limit)) = w[1].split_once('=') else {
+                    eprintln!("--fail-on wants METRIC=LIMIT (got '{}')", w[1]);
+                    return 2;
+                };
+                let Ok(limit) = limit.parse::<f64>() else {
+                    eprintln!("--fail-on limit '{limit}' is not a number");
+                    return 2;
+                };
+                thresholds.push((metric, limit));
+            }
             let jobs = hotpotato_sim::pool_core::configured_threads();
             let traces =
                 load_trace(a, jobs).and_then(|(ta, _)| load_trace(b, jobs).map(|(tb, _)| (ta, tb)));
@@ -883,7 +992,26 @@ fn cmd_trace(args: &[String]) -> i32 {
                 &hotpotato_trace::analyze(&tb),
             );
             println!("{}", serde_json::to_string_pretty(&doc).expect("serialize"));
-            0
+            let rows = doc["rows"].as_array().cloned().unwrap_or_default();
+            let mut breached = 0;
+            for (metric, limit) in thresholds {
+                let row = rows.iter().find(|r| r["metric"].as_str() == Some(metric));
+                let Some(row) = row else {
+                    eprintln!("error: --fail-on metric '{metric}' is not a diff row");
+                    return 2;
+                };
+                let delta = row["delta"].as_f64().unwrap_or(f64::NAN).abs();
+                // A NaN delta (non-numeric row) breaches, never passes.
+                if delta.is_nan() || delta > limit {
+                    eprintln!("fail-on: |Δ{metric}| = {delta} exceeds {limit}");
+                    breached += 1;
+                }
+            }
+            if breached > 0 {
+                1
+            } else {
+                0
+            }
         }
         _ => usage(),
     }
